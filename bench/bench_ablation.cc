@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation study — which ParaDox mechanism buys what (DESIGN.md's
+ * design-choice index).  Each ParaDox feature is disabled in turn at
+ * a fixed moderate error rate, on a compute-bound and a memory-bound
+ * workload:
+ *
+ *  - adaptive checkpoints off  -> fixed 5,000-inst windows (the
+ *    ParaMedic failure mode of figure 8)
+ *  - line-granularity rollback off -> word-by-word reverse walks
+ *    (the rollback-cost gap of figure 9)
+ *  - lowest-ID scheduling off  -> round-robin, no gating benefit
+ *    (the figure 12 mechanism)
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+namespace
+{
+
+using namespace paradox;
+using namespace paradox::bench;
+
+struct Variant
+{
+    const char *name;
+    void (*tweak)(core::SystemConfig &);
+};
+
+void
+reportVariant(const char *workload, const Variant &variant,
+              double rate)
+{
+    workloads::Workload w = workloads::build(workload, 1);
+    core::SystemConfig config =
+        core::SystemConfig::forMode(core::Mode::ParaDox);
+    variant.tweak(config);
+    core::System system(config, w.program);
+    system.setFaultPlan(faults::uniformPlan(rate, 99));
+    core::RunResult r = system.run(defaultLimits());
+
+    std::printf("%-9s %-18s %9.3f ms  rolls %5llu  "
+                "rollback %8.1f ns  ckptlen %7.0f\n",
+                workload, variant.name, r.seconds() * 1e3,
+                (unsigned long long)r.rollbacks,
+                system.rollbackTimesNs().mean(),
+                system.checkpointLengths().mean());
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: ParaDox mechanisms at error rate 3e-4");
+
+    const Variant variants[] = {
+        {"full-paradox", [](core::SystemConfig &) {}},
+        {"no-adapt-ckpt",
+         [](core::SystemConfig &c) { c.adaptiveCheckpoints = false; }},
+        {"word-rollback",
+         [](core::SystemConfig &c) {
+             c.lineGranularityRollback = false;
+         }},
+        {"round-robin",
+         [](core::SystemConfig &c) { c.lowestIdScheduling = false; }},
+    };
+
+    for (const char *workload : {"bitcount", "stream"}) {
+        for (const Variant &variant : variants)
+            reportVariant(workload, variant, 3e-4);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Design-space exploration (paper section V uses bitcount and stream
+ * for exactly this): how the maximum checkpoint length and the number
+ * of checker cores shape performance.
+ *
+ * Expected shapes: longer checkpoint caps help error-free runs
+ * (fewer register checkpoints) but hurt under errors (more wasted
+ * re-execution) -- the tension AIMD resolves; stream is insensitive
+ * to the cap because log capacity cuts its segments first.  Fewer
+ * checkers starve the main core (checker-wait stalls); Table I's 16
+ * sit at the knee.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+namespace
+{
+
+using namespace paradox;
+using namespace paradox::bench;
+
+core::RunResult
+runWith(const char *workload, unsigned max_ckpt, unsigned checkers,
+        double rate, bool adaptive = true)
+{
+    workloads::Workload w = workloads::build(workload, 2);
+    core::SystemConfig config =
+        core::SystemConfig::forMode(core::Mode::ParaDox);
+    config.checkpointAimd.maxLength = max_ckpt;
+    config.checkpointAimd.initial = std::min(1000u, max_ckpt);
+    config.adaptiveCheckpoints = adaptive;
+    config.checkers.count = checkers;
+    core::System system(config, w.program);
+    if (rate > 0.0)
+        system.setFaultPlan(faults::uniformPlan(rate, 31));
+    core::RunLimits limits = defaultLimits();
+    return system.run(limits);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Design space A: fixed checkpoint length, no AIMD "
+           "(16 checkers) -- the tension AIMD resolves");
+    std::printf("%-9s %-9s %-14s %-14s %-14s\n", "workload", "length",
+                "t(ms) rate=0", "t(ms) 1e-4", "t(ms) 1e-3");
+    for (const char *workload : {"bitcount", "stream"}) {
+        for (unsigned len : {100u, 500u, 1000u, 2000u, 5000u,
+                             10000u}) {
+            auto clean = runWith(workload, len, 16, 0.0, false);
+            auto mid = runWith(workload, len, 16, 1e-4, false);
+            auto high = runWith(workload, len, 16, 1e-3, false);
+            std::printf("%-9s %-9u %-14.3f %-14.3f %-14.3f\n",
+                        workload, len, clean.seconds() * 1e3,
+                        mid.seconds() * 1e3, high.seconds() * 1e3);
+        }
+        std::printf("\n");
+    }
+    std::printf("(AIMD reference: adaptive lengths give "
+                "t(0)=%.3f / t(1e-4)=%.3f / t(1e-3)=%.3f ms "
+                "on bitcount)\n\n",
+                runWith("bitcount", 5000, 16, 0.0).seconds() * 1e3,
+                runWith("bitcount", 5000, 16, 1e-4).seconds() * 1e3,
+                runWith("bitcount", 5000, 16, 1e-3).seconds() * 1e3);
+
+    banner("Design space B: checker-core count (5000-inst cap, "
+           "error-free)");
+    std::printf("%-9s %-9s %-10s %-14s\n", "workload", "checkers",
+                "t(ms)", "avg awake");
+    for (const char *workload : {"bitcount", "stream"}) {
+        for (unsigned n : {4u, 8u, 12u, 16u, 24u, 32u}) {
+            auto r = runWith(workload, 5000, n, 0.0);
+            std::printf("%-9s %-9u %-10.3f %-14.2f\n", workload, n,
+                        r.seconds() * 1e3, r.avgCheckersAwake);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

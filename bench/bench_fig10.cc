@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 10 — normalized slowdown across SPEC CPU2006 proxies:
+ * error-free passive detection [DSN'18], error-free ParaMedic
+ * [DSN'19], and ParaDox with dynamic voltage scaling (errors from
+ * the per-workload exponential undervolt model), all relative to a
+ * fault-intolerant baseline.
+ *
+ * Expected shape (paper): slowdowns stay within ~1.15x; ordering is
+ * detection-only <= ParaMedic <= ParaDox(DVS); gobmk/povray/h264ref/
+ * omnetpp/xalancbmk pay for checker L0 I-cache misses even in
+ * detection-only mode.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace paradox;
+    using namespace paradox::bench;
+
+    banner("Figure 10: normalized slowdown "
+           "(detection-only / ParaMedic / ParaDox+DVS)");
+    std::printf("%-11s %-12s %-12s %-12s\n", "workload", "detect",
+                "paramedic", "paradox-dvs");
+
+    std::vector<double> detect, medic, dox;
+    for (const std::string &name : workloads::specNames()) {
+        RunSpec base;
+        base.mode = core::Mode::Baseline;
+        base.workload = name;
+        base.scale = 16;  // long enough for DVS steady state
+        core::RunResult rb = runSpec(base);
+        const double t0 = double(rb.time);
+
+        RunSpec d = base;
+        d.mode = core::Mode::DetectionOnly;
+        core::RunResult rd = runSpec(d);
+
+        RunSpec m = base;
+        m.mode = core::Mode::ParaMedic;
+        core::RunResult rm = runSpec(m);
+
+        RunSpec p = base;
+        p.mode = core::Mode::ParaDox;
+        p.dvfs = true;
+        core::RunResult rp = runSpec(p);
+
+        double sd = double(rd.time) / t0;
+        double sm = double(rm.time) / t0;
+        double sp = double(rp.time) / t0;
+        detect.push_back(sd);
+        medic.push_back(sm);
+        dox.push_back(sp);
+        std::printf("%-11s %-12.3f %-12.3f %-12.3f\n", name.c_str(),
+                    sd, sm, sp);
+    }
+    std::printf("%-11s %-12.3f %-12.3f %-12.3f\n", "gmean",
+                geomean(detect), geomean(medic), geomean(dox));
+    return 0;
+}

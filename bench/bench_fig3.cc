@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 3 — error-resilient undervolting in theory: total energy
+ * versus supply voltage, showing the sweet spot between
+ * recovery-dominated (left) and margin-dominated (right) regions.
+ *
+ * The paper draws this schematically; here the curve is produced
+ * from the actual models: core power from the V^2 f power model, and
+ * recovery overhead from the exponential undervolt error model with
+ * the measured per-error recovery cost.
+ */
+
+#include <cstdio>
+
+#include "faults/undervolt_model.hh"
+#include "power/power_model.hh"
+
+int
+main()
+{
+    using namespace paradox;
+
+    std::printf("Figure 3: modelled total energy vs supply voltage\n");
+    std::printf("%-8s %-12s %-12s %-12s\n", "V", "corePower",
+                "recovMult", "energy");
+
+    power::PowerModel power_model;
+    faults::UndervoltErrorModel error_model(
+        faults::UndervoltErrorModel::Params{0.980, 0.820, 290.0});
+
+    // Mean recovery: half a checkpoint of wasted work per error at
+    // ~1000-instruction checkpoints (measured, figure 9 regime).
+    const double wasted_insts_per_error = 500.0;
+
+    double best_v = 0.0, best_e = 1e99;
+    for (double v = 0.76; v <= 1.081; v += 0.01) {
+        double p = power_model.corePower(v, power_model.params().fNominal);
+        double rate = error_model.perInstructionRate(v);
+        // Work multiplier: each instruction is re-executed
+        // wasted_insts_per_error * rate extra times on average.
+        double recovery = 1.0 + rate * wasted_insts_per_error;
+        if (recovery > 100.0)
+            recovery = 100.0;  // livelock region
+        double energy = p * recovery;
+        std::printf("%-8.3f %-12.4f %-12.4f %-12.4f\n", v, p,
+                    recovery, energy);
+        if (energy < best_e) {
+            best_e = energy;
+            best_v = v;
+        }
+    }
+    std::printf("\nsweet spot: %.3f V (energy %.4f of nominal)\n",
+                best_v, best_e);
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration harnesses: configured
+ * runs of the full system per mode, and table printing that matches
+ * the paper's rows/series.
+ */
+
+#ifndef PARADOX_BENCH_COMMON_HH
+#define PARADOX_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/system.hh"
+#include "power/undervolt_data.hh"
+#include "workloads/workload.hh"
+
+namespace paradox
+{
+namespace bench
+{
+
+/** Default per-run bounds: generous but livelock-safe. */
+inline core::RunLimits
+defaultLimits()
+{
+    core::RunLimits limits;
+    limits.maxExecuted = 60'000'000;
+    limits.maxTicks = ticksPerMs * 500;
+    return limits;
+}
+
+/** One configured system run on a named workload. */
+struct RunSpec
+{
+    core::Mode mode = core::Mode::ParaDox;
+    std::string workload = "bitcount";
+    unsigned scale = 1;
+    double faultRate = 0.0;        //!< fixed-rate injection if > 0
+    bool dvfs = false;             //!< voltage-driven injection
+    std::uint64_t seed = 12345;
+    core::RunLimits limits = defaultLimits();
+};
+
+/** Execute @p spec; returns the run summary. */
+inline core::RunResult
+runSpec(const RunSpec &spec)
+{
+    workloads::Workload w = workloads::build(spec.workload, spec.scale);
+    core::SystemConfig config = core::SystemConfig::forMode(spec.mode);
+    config.seed = spec.seed;
+    core::System system(config, w.program);
+    if (spec.dvfs)
+        system.enableDvfs(power::errorModelParams(spec.workload));
+    else if (spec.faultRate > 0.0)
+        system.setFaultPlan(
+            faults::uniformPlan(spec.faultRate, spec.seed));
+    return system.run(spec.limits);
+}
+
+/** Geometric mean of a container of positive values. */
+template <typename C>
+double
+geomean(const C &values)
+{
+    double log_sum = 0.0;
+    std::size_t n = 0;
+    for (double v : values) {
+        log_sum += std::log(v);
+        ++n;
+    }
+    return n ? std::exp(log_sum / double(n)) : 0.0;
+}
+
+/** Print a banner line for a figure harness. */
+inline void
+banner(const char *what)
+{
+    std::printf("================================================="
+                "=====\n%s\n"
+                "================================================="
+                "=====\n",
+                what);
+}
+
+} // namespace bench
+} // namespace paradox
+
+#endif // PARADOX_BENCH_COMMON_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fault-injection demo: fire each of the paper's three fault models
+ * at a visible rate, show how detections break down by mechanism
+ * (store comparison, final architectural-state check, invalid checker
+ * behaviour -- figure 7), and verify the output stays exact.
+ *
+ *   $ ./examples/fault_injection_demo [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace paradox;
+
+void
+demo(const std::string &workload, const char *label,
+     const faults::FaultConfig &fc)
+{
+    workloads::Workload w = workloads::build(workload, 1);
+    core::SystemConfig config =
+        core::SystemConfig::forMode(core::Mode::ParaDox);
+    core::System system(config, w.program);
+    faults::FaultPlan plan;
+    plan.add(fc);
+    system.setFaultPlan(std::move(plan));
+
+    core::RunLimits limits;
+    limits.maxExecuted = 120'000'000;
+    core::RunResult r = system.run(limits);
+
+    bool correct = r.halted &&
+                   system.memory().read(workloads::resultAddr, 8) ==
+                       w.expectedResult;
+
+    std::printf("%-28s injected %4llu  detected %4llu  "
+                "(store %llu, final-state %llu, load-entry %llu, "
+                "invalid %llu)\n",
+                label, (unsigned long long)r.faultsInjected,
+                (unsigned long long)r.errorsDetected,
+                (unsigned long long)system.detectionCount(
+                    core::DetectReason::StoreMismatch),
+                (unsigned long long)system.detectionCount(
+                    core::DetectReason::FinalStateMismatch),
+                (unsigned long long)system.detectionCount(
+                    core::DetectReason::LoadEntryMismatch),
+                (unsigned long long)system.detectionCount(
+                    core::DetectReason::InvalidBehavior));
+    std::printf("%-28s   wasted %.0f ns/err, rollback %.1f ns/err, "
+                "result %s\n",
+                "", system.wastedExecNs().mean(),
+                system.rollbackTimesNs().mean(),
+                correct ? "CORRECT" : "WRONG");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "gcc";
+    std::printf("fault-injection demo on '%s' "
+                "(all faults go to checker replays, as in the "
+                "paper)\n\n",
+                workload.c_str());
+
+    faults::FaultConfig log_faults;
+    log_faults.kind = faults::FaultKind::LogBitFlip;
+    log_faults.rate = 2e-4;
+    demo(workload, "memory (log bit flips)", log_faults);
+
+    faults::FaultConfig fu_faults;
+    fu_faults.kind = faults::FaultKind::FunctionalUnit;
+    fu_faults.targetClass = isa::InstClass::IntAlu;
+    fu_faults.rate = 2e-4;
+    demo(workload, "combinational (IntAlu unit)", fu_faults);
+
+    fu_faults.targetClass = isa::InstClass::IntMult;
+    demo(workload, "combinational (IntMult unit)", fu_faults);
+
+    for (auto [cat, name] :
+         {std::pair{isa::RegCategory::Integer, "register (integer)"},
+          std::pair{isa::RegCategory::Float, "register (float)"},
+          std::pair{isa::RegCategory::Flags, "register (flags)"},
+          std::pair{isa::RegCategory::Misc, "register (pc/misc)"}}) {
+        faults::FaultConfig reg_faults;
+        reg_faults.kind = faults::FaultKind::RegisterBitFlip;
+        reg_faults.targetCategory = cat;
+        reg_faults.rate = 2e-4;
+        demo(workload, name, reg_faults);
+    }
+
+    std::printf("\nnote: injected > detected is expected -- some "
+                "flips are masked\n(dead registers, unread bits), "
+                "exactly as in real hardware.\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Undervolt explorer: sweep fixed supply voltages for a workload and
+ * chart the figure-3 trade-off empirically -- power falls as voltage
+ * drops until recovery costs take over, exposing the sweet spot.
+ *
+ *   $ ./examples/undervolt_explorer [workload] [vlow] [vhigh]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "faults/undervolt_model.hh"
+#include "power/undervolt_data.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace paradox;
+
+struct Point
+{
+    double voltage;
+    double time_ms;
+    double power;
+    double edp;
+    std::uint64_t errors;
+    bool correct;
+};
+
+/** Run at one *fixed* voltage: the controller is frozen there. */
+Point
+runAtVoltage(const std::string &name, double volts, Tick base_time,
+             double base_power)
+{
+    workloads::Workload w = workloads::build(name, 2);
+    core::SystemConfig config =
+        core::SystemConfig::forMode(core::Mode::ParaDox);
+    // Freeze the controller at the chosen voltage.
+    config.voltage.startVoltage = volts;
+    config.voltage.vMinAllowed = volts;
+    config.voltage.decreaseStep = 0.0;
+    config.voltage.recoveryFactor = 1.0;  // errors do not raise it
+    core::System system(config, w.program);
+    system.enableDvfs(power::errorModelParams(name));
+
+    core::RunLimits limits;
+    limits.maxExecuted = 120'000'000;
+    limits.maxTicks = ticksPerMs * 200;
+    core::RunResult r = system.run(limits);
+
+    Point p;
+    p.voltage = volts;
+    p.time_ms = r.seconds() * 1e3;
+    p.power = r.avgPower;
+    p.errors = r.errorsDetected;
+    p.correct = r.halted &&
+                system.memory().read(workloads::resultAddr, 8) ==
+                    w.expectedResult;
+    p.edp = r.halted ? power::edpRatio(r.avgPower, r.time, base_power,
+                                       base_time)
+                     : 99.0;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "bitcount";
+    const double vlow = argc > 2 ? std::atof(argv[2]) : 0.80;
+    const double vhigh = argc > 3 ? std::atof(argv[3]) : 0.96;
+
+    // Margined baseline for normalization.
+    workloads::Workload w = workloads::build(name, 2);
+    core::SystemConfig base_config =
+        core::SystemConfig::forMode(core::Mode::Baseline);
+    core::System base(base_config, w.program);
+    core::RunResult rb = base.run();
+
+    std::printf("undervolt sweep: %s (baseline %.3f ms at %.3f V)\n\n",
+                name.c_str(), rb.seconds() * 1e3,
+                base_config.voltage.vSafe);
+    std::printf("%-8s %-10s %-8s %-8s %-8s %-8s\n", "V", "time_ms",
+                "power", "EDP", "errors", "result");
+
+    Point best{};
+    best.edp = 1e9;
+    for (double v = vhigh; v >= vlow - 1e-9; v -= 0.01) {
+        Point p = runAtVoltage(name, v, rb.time, rb.avgPower);
+        std::printf("%-8.3f %-10.3f %-8.3f %-8.3f %-8llu %s\n",
+                    p.voltage, p.time_ms, p.power, p.edp,
+                    (unsigned long long)p.errors,
+                    p.correct ? "correct" : "INCOMPLETE");
+        if (p.correct && p.edp < best.edp)
+            best = p;
+    }
+    std::printf("\nsweet spot: %.3f V (EDP %.3f of baseline, "
+                "%llu errors repaired)\n",
+                best.voltage, best.edp,
+                (unsigned long long)best.errors);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * AIMD checkpoint-length controller (paper section IV-A).
+ *
+ * ParaDox maximizes performance by growing the target instruction
+ * window additively (+10 per clean checkpoint, capped at 5,000) and
+ * shrinking it multiplicatively on trouble.  On a reduction -- an
+ * observed error *or* a pinned-line eviction attempt -- the new
+ * target is min(target/2, observed length of the previous
+ * checkpoint), which reacts faster than a pure halving when
+ * checkpoints were already being cut short (by log capacity, an
+ * early-discovered error, or eviction pressure).
+ *
+ * ParaMedic uses a fixed maximum-length target (errors assumed
+ * exceptional), which is what makes it livelock-prone at high error
+ * rates (figure 8).
+ */
+
+#ifndef PARADOX_CORE_AIMD_HH
+#define PARADOX_CORE_AIMD_HH
+
+#include <algorithm>
+
+#include "core/config.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+/** Checkpoint-length controller. */
+class CheckpointLengthController
+{
+  public:
+    /**
+     * @param params AIMD tuning
+     * @param adaptive false models ParaMedic: the target is pinned to
+     *        the maximum and never adapts
+     */
+    CheckpointLengthController(const CheckpointAimdParams &params,
+                               bool adaptive)
+        : params_(params), adaptive_(adaptive),
+          target_(adaptive ? params.initial : params.maxLength)
+    {}
+
+    /** Present target instruction window. */
+    unsigned target() const { return target_; }
+
+    /** A checkpoint completed without trouble: additive increase. */
+    void
+    onCleanCheckpoint()
+    {
+        if (!adaptive_)
+            return;
+        target_ = std::min(target_ + params_.increment,
+                           params_.maxLength);
+    }
+
+    /**
+     * Trouble: an observed error or a pinned-line eviction attempt.
+     * @param observed_length actual length of the previous checkpoint
+     */
+    void
+    onReduction(unsigned observed_length)
+    {
+        if (!adaptive_)
+            return;
+        unsigned halved = target_ / 2;
+        unsigned next = std::min(halved, observed_length);
+        target_ = std::max(next, params_.minLength);
+    }
+
+    bool adaptive() const { return adaptive_; }
+
+  private:
+    CheckpointAimdParams params_;
+    bool adaptive_;
+    unsigned target_;
+};
+
+} // namespace core
+} // namespace paradox
+
+#endif // PARADOX_CORE_AIMD_HH

@@ -1,0 +1,203 @@
+#include "core/checker_replay.hh"
+
+#include "isa/executor.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+const char *
+detectReasonName(DetectReason reason)
+{
+    switch (reason) {
+      case DetectReason::None:               return "none";
+      case DetectReason::StoreMismatch:      return "store-mismatch";
+      case DetectReason::LoadEntryMismatch:  return "load-entry-mismatch";
+      case DetectReason::InvalidBehavior:    return "invalid-behavior";
+      case DetectReason::EntryCountMismatch: return "entry-count-mismatch";
+      case DetectReason::FinalStateMismatch: return "final-state-mismatch";
+      case DetectReason::Timeout:            return "timeout";
+      default:                               break;
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/**
+ * The checker's data path: a queue view over the segment's log
+ * entries.  Any skew between the checker's memory behaviour and the
+ * recorded stream is a divergence.
+ */
+class LogReplayMemory : public isa::MemIf
+{
+  public:
+    LogReplayMemory(const LogSegment &segment, faults::FaultPlan &plan,
+                    std::uint64_t *faults_injected)
+        : segment_(segment), plan_(plan),
+          faultsInjected_(faults_injected)
+    {}
+
+    std::uint64_t
+    read(Addr addr, unsigned size) override
+    {
+        const LogEntry *entry = next();
+        if (!entry || !entry->isLoad || entry->addr != addr ||
+            entry->size != size) {
+            diverged_ = true;
+            reason_ = DetectReason::LoadEntryMismatch;
+            return 0;
+        }
+        return corrupt(entry->value, true);
+    }
+
+    std::uint64_t
+    write(Addr addr, unsigned size, std::uint64_t value) override
+    {
+        const LogEntry *entry = next();
+        if (!entry || entry->isLoad || entry->addr != addr ||
+            entry->size != size) {
+            diverged_ = true;
+            reason_ = DetectReason::StoreMismatch;
+            return 0;
+        }
+        const std::uint64_t logged = corrupt(entry->value, false);
+        if (logged != value) {
+            diverged_ = true;
+            reason_ = DetectReason::StoreMismatch;
+        }
+        return entry->oldValue;
+    }
+
+    bool diverged() const { return diverged_; }
+    DetectReason reason() const { return reason_; }
+    std::size_t consumed() const { return index_; }
+
+  private:
+    const LogEntry *
+    next()
+    {
+        if (index_ >= segment_.entries().size())
+            return nullptr;
+        return &segment_.entries()[index_++];
+    }
+
+    std::uint64_t
+    corrupt(std::uint64_t value, bool is_load)
+    {
+        for (auto &injector : plan_.injectors()) {
+            faults::FaultHit hit = injector.onLogEntry(is_load);
+            if (hit.fires) {
+                value ^= std::uint64_t(1) << hit.bit;
+                ++*faultsInjected_;
+            }
+        }
+        return value;
+    }
+
+    const LogSegment &segment_;
+    faults::FaultPlan &plan_;
+    std::uint64_t *faultsInjected_;
+    std::size_t index_ = 0;
+    bool diverged_ = false;
+    DetectReason reason_ = DetectReason::None;
+};
+
+} // namespace
+
+ReplayOutcome
+replaySegment(const isa::Program &prog, const LogSegment &segment,
+              unsigned checker_id, cpu::CheckerTiming &timing,
+              faults::FaultPlan &plan, unsigned final_compare_cycles,
+              unsigned timeout_factor, Addr timing_offset)
+{
+    ReplayOutcome outcome;
+    isa::ArchState state = segment.startState();
+    LogReplayMemory log(segment, plan, &outcome.faultsInjected);
+
+    // Watchdog budget: a healthy replay retires roughly one
+    // instruction every few cycles; a corrupted one stuck in
+    // expensive wrong-path work (divide chains, I-cache thrash)
+    // blows well past this and is killed by the timer.
+    const Cycles watchdog =
+        timeout_factor == 0
+            ? ~Cycles(0)
+            : Cycles(timeout_factor) * (segment.instCount() + 16);
+
+    Cycles cycles = 0;
+    for (unsigned i = 0; i < segment.instCount(); ++i) {
+        if (cycles > watchdog) {
+            outcome.detected = true;
+            outcome.reason = DetectReason::Timeout;
+            break;
+        }
+        const isa::Instruction *inst = prog.fetch(state.pc());
+        if (!inst) {
+            // Wild fetch: invalid checker behaviour, caught by the
+            // hardware as an exception (paper figure 7).
+            outcome.detected = true;
+            outcome.reason = DetectReason::InvalidBehavior;
+            break;
+        }
+        cycles += timing.instCycles(checker_id,
+                                    state.pc() + timing_offset, *inst);
+
+        isa::ExecResult r = isa::step(prog, state, log);
+        ++outcome.instructionsExecuted;
+
+        if (log.diverged()) {
+            outcome.detected = true;
+            outcome.reason = log.reason();
+            break;
+        }
+        if (r.halted && i + 1 != segment.instCount()) {
+            outcome.detected = true;
+            outcome.reason = DetectReason::InvalidBehavior;
+            break;
+        }
+
+        // Architectural-state fault injection after the instruction.
+        for (auto &injector : plan.injectors()) {
+            faults::FaultHit hit =
+                injector.onInstruction(*inst, r.wroteInt || r.wroteFp);
+            if (!hit.fires)
+                continue;
+            ++outcome.faultsInjected;
+            if (injector.kind() == faults::FaultKind::FunctionalUnit) {
+                // Corrupt the register the instruction just wrote.
+                const std::uint64_t mask = std::uint64_t(1) << hit.bit;
+                if (r.wroteInt)
+                    state.writeX(r.rd, state.readX(r.rd) ^ mask);
+                else if (r.wroteFp)
+                    state.writeFBits(r.rd,
+                                     state.readFBits(r.rd) ^ mask);
+            } else {
+                state.flipBit(injector.config().targetCategory,
+                              hit.regIndex, hit.bit);
+            }
+        }
+    }
+
+    if (!outcome.detected) {
+        // End-of-segment checks: the entry stream must be exactly
+        // consumed and the architectural state must match the
+        // checkpoint the main core recorded.
+        cycles += final_compare_cycles;
+        if (log.consumed() != segment.entries().size()) {
+            outcome.detected = true;
+            outcome.reason = DetectReason::EntryCountMismatch;
+        } else if (!(state == segment.endState())) {
+            outcome.detected = true;
+            outcome.reason = DetectReason::FinalStateMismatch;
+        }
+    }
+
+    outcome.cyclesAtDetection = cycles;
+    outcome.totalCycles = cycles;
+    return outcome;
+}
+
+} // namespace core
+} // namespace paradox

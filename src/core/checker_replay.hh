@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Checker-core segment replay: functional re-execution against the
+ * load-store log, under fault injection (paper sections II-B, V-A).
+ *
+ * A checker starts from the segment's starting architectural state
+ * and re-executes exactly the committed instruction count.  Loads
+ * read the next log entry's value (never main memory); stores compare
+ * the computed value against the next entry.  Detection fires on:
+ *
+ *  - a store comparison mismatch (value, address or size),
+ *  - a load consuming a mismatched entry (address/size/kind skew),
+ *  - invalid checker behaviour (wild fetch, premature halt,
+ *    entry over/under-run) -- figure 7's exception case,
+ *  - a watchdog timeout ("any full lockup of a core is detected via
+ *    timeout", section II-B), and
+ *  - the final architectural-state comparison at segment end.
+ *
+ * Fault injection perturbs only this replay (checker side), exactly
+ * as in the paper's framework.
+ */
+
+#ifndef PARADOX_CORE_CHECKER_REPLAY_HH
+#define PARADOX_CORE_CHECKER_REPLAY_HH
+
+#include <cstdint>
+
+#include "core/lslog.hh"
+#include "cpu/checker_timing.hh"
+#include "faults/fault_model.hh"
+#include "isa/program.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+/** Why a replay reported a divergence. */
+enum class DetectReason : std::uint8_t
+{
+    None,
+    StoreMismatch,
+    LoadEntryMismatch,
+    InvalidBehavior,
+    EntryCountMismatch,
+    FinalStateMismatch,
+    Timeout,
+
+    NumReasons
+};
+
+/** Human-readable detection reason. */
+const char *detectReasonName(DetectReason reason);
+
+/** Result of replaying one segment on one checker core. */
+struct ReplayOutcome
+{
+    bool detected = false;
+    DetectReason reason = DetectReason::None;
+    /** Checker cycles from start to the detection signal. */
+    Cycles cyclesAtDetection = 0;
+    /** Total checker cycles (== cyclesAtDetection when detected). */
+    Cycles totalCycles = 0;
+    /** Instructions the checker executed before stopping. */
+    unsigned instructionsExecuted = 0;
+    /** Faults injected during this replay. */
+    std::uint64_t faultsInjected = 0;
+};
+
+/**
+ * Replay @p segment of @p prog on checker @p checker_id.
+ *
+ * @param timing   checker timing model (cycle accounting, L0 I-cache)
+ * @param plan     active fault injectors (may be empty)
+ * @param final_compare_cycles cost of the end-of-segment register
+ *        file comparison
+ * @param timeout_factor watchdog: detection fires if the replay
+ *        exceeds timeout_factor cycles per logged instruction (plus
+ *        a fixed grace allowance).  Sized so that the densest
+ *        legitimate segments (divide-heavy FP at ~6 cycles per
+ *        instruction, I-cache-thrashing code at ~8) sit far below
+ *        it, while corrupted wrong-path execution stuck in divide
+ *        chains (32+ cycles per instruction) trips it.  0 disables.
+ */
+ReplayOutcome replaySegment(const isa::Program &prog,
+                            const LogSegment &segment,
+                            unsigned checker_id,
+                            cpu::CheckerTiming &timing,
+                            faults::FaultPlan &plan,
+                            unsigned final_compare_cycles,
+                            unsigned timeout_factor = 24,
+                            Addr timing_offset = 0);
+
+} // namespace core
+} // namespace paradox
+
+#endif // PARADOX_CORE_CHECKER_REPLAY_HH

@@ -1,0 +1,63 @@
+#include "core/config.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::Baseline:      return "baseline";
+      case Mode::DetectionOnly: return "detection-only";
+      case Mode::ParaMedic:     return "paramedic";
+      case Mode::ParaDox:       return "paradox";
+    }
+    return "unknown";
+}
+
+SystemConfig
+SystemConfig::forMode(Mode mode)
+{
+    SystemConfig config;
+    config.mode = mode;
+    switch (mode) {
+      case Mode::Baseline:
+        config.adaptiveCheckpoints = false;
+        config.lineGranularityRollback = false;
+        config.lowestIdScheduling = false;
+        config.bufferUncheckedStores = false;
+        config.rollbackSupported = false;
+        config.dvfsEnabled = false;
+        break;
+      case Mode::DetectionOnly:
+        config.adaptiveCheckpoints = false;
+        config.lineGranularityRollback = false;
+        config.lowestIdScheduling = false;
+        config.bufferUncheckedStores = false;
+        config.rollbackSupported = false;
+        config.dvfsEnabled = false;
+        break;
+      case Mode::ParaMedic:
+        config.adaptiveCheckpoints = false;
+        config.lineGranularityRollback = false;
+        config.lowestIdScheduling = false;
+        config.bufferUncheckedStores = true;
+        config.rollbackSupported = true;
+        config.dvfsEnabled = false;
+        break;
+      case Mode::ParaDox:
+        config.adaptiveCheckpoints = true;
+        config.lineGranularityRollback = true;
+        config.lowestIdScheduling = true;
+        config.bufferUncheckedStores = true;
+        config.rollbackSupported = true;
+        config.dvfsEnabled = false;  // enabled explicitly where used
+        break;
+    }
+    return config;
+}
+
+} // namespace core
+} // namespace paradox

@@ -1,0 +1,92 @@
+#include "core/dvfs.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+VoltageController::VoltageController(const VoltageAimdParams &params)
+    : params_(params), target_(params.startVoltage)
+{
+}
+
+void
+VoltageController::onCleanCheckpoint()
+{
+    double step = params_.decreaseStep;
+    if (params_.dynamicDecrease && tideMark_ > 0.0 &&
+        target_ <= tideMark_) {
+        // Below the recorded highest-error voltage: proceed gingerly.
+        step /= params_.tideSlowFactor;
+    }
+    target_ = std::max(target_ - step, params_.vMinAllowed);
+}
+
+void
+VoltageController::onError(double v_at_error)
+{
+    ++totalErrors_;
+    ++errorsSinceReset_;
+
+    if (v_at_error > tideMark_)
+        tideMark_ = v_at_error;
+    if (v_at_error > highestErrorEver_)
+        highestErrorEver_ = v_at_error;
+
+    // Multiplicative recovery toward the known-safe voltage: shrink
+    // the (safe - current) gap by the recovery factor.
+    double gap = params_.vSafe - target_;
+    if (gap > 0.0)
+        target_ = params_.vSafe - gap * params_.recoveryFactor;
+
+    if (errorsSinceReset_ >= params_.tideResetErrors) {
+        // Become error-seeking again (phase may have changed).
+        errorsSinceReset_ = 0;
+        tideMark_ = 0.0;
+    }
+}
+
+Regulator::Regulator(double initial_volts, double slew_volts_per_us)
+    : current_(initial_volts), target_(initial_volts),
+      slewPerTick_(slew_volts_per_us / double(ticksPerUs))
+{
+}
+
+void
+Regulator::setTarget(double volts, Tick now)
+{
+    // Settle the supply up to now before changing course.
+    voltageAt(now);
+    target_ = volts;
+}
+
+double
+Regulator::voltageAt(Tick now)
+{
+    if (now > lastUpdate_) {
+        const double budget =
+            slewPerTick_ * double(now - lastUpdate_);
+        if (current_ < target_)
+            current_ = std::min(current_ + budget, target_);
+        else if (current_ > target_)
+            current_ = std::max(current_ - budget, target_);
+        lastUpdate_ = now;
+    }
+    return current_;
+}
+
+double
+compensatedFrequency(double f_nominal, double v_current,
+                     double v_target, double v_threshold)
+{
+    if (v_current >= v_target)
+        return f_nominal;
+    const double denom = v_target - v_threshold;
+    if (denom <= 0.0)
+        return f_nominal;
+    const double ratio = (v_current - v_threshold) / denom;
+    return f_nominal * std::max(ratio, 0.05);
+}
+
+} // namespace core
+} // namespace paradox

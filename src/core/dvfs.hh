@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Dynamic voltage adaptation (paper section IV-B, figure 11).
+ *
+ * Three cooperating pieces:
+ *
+ *  - VoltageController: AIMD on the main core's supply target.  Clean
+ *    checkpoints lower the target by a small step; an error moves the
+ *    target back toward the known-safe voltage by multiplying the
+ *    (safe - current) gap by 0.875.  A *tide mark* records the
+ *    highest voltage at which an error has been seen; below it the
+ *    downward step slows by 8x (ParaDox spends more time in
+ *    error-seeking regions before re-provoking errors).  The tide
+ *    mark resets every 100 errors so a phase change back to a more
+ *    tolerant region can be rediscovered.  The dynamic slowdown can
+ *    be disabled to model the "constant decrease" line of figure 11.
+ *
+ *  - Regulator: a slew-rate-limited supply that tracks the target;
+ *    sudden target jumps (after an error) become a ramp, avoiding
+ *    modelled voltage spikes.
+ *
+ *  - Frequency compensation: while the regulator's actual voltage is
+ *    below the controller target, the clock is scaled by
+ *    f = f_target * (v_current - v_th) / (v_target - v_th).
+ */
+
+#ifndef PARADOX_CORE_DVFS_HH
+#define PARADOX_CORE_DVFS_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/config.hh"
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+/** AIMD supply-voltage target controller. */
+class VoltageController
+{
+  public:
+    explicit VoltageController(const VoltageAimdParams &params);
+
+    /** Present target voltage. */
+    double target() const { return target_; }
+
+    /** Clean checkpoint: push the target downward. */
+    void onCleanCheckpoint();
+
+    /** An error was detected while running at @p v_at_error volts. */
+    void onError(double v_at_error);
+
+    /** Highest voltage at which an error has been seen (tide mark). */
+    double tideMark() const { return tideMark_; }
+
+    /** Errors seen since the last tide reset. */
+    unsigned errorsSinceReset() const { return errorsSinceReset_; }
+
+    /** Highest error voltage ever observed (figure 11 reference). */
+    double highestErrorVoltage() const { return highestErrorEver_; }
+
+    std::uint64_t totalErrors() const { return totalErrors_; }
+
+    const VoltageAimdParams &params() const { return params_; }
+
+  private:
+    VoltageAimdParams params_;
+    double target_;
+    double tideMark_ = 0.0;       //!< 0 = no tide recorded yet
+    double highestErrorEver_ = 0.0;
+    unsigned errorsSinceReset_ = 0;
+    std::uint64_t totalErrors_ = 0;
+};
+
+/** Slew-rate-limited voltage regulator. */
+class Regulator
+{
+  public:
+    Regulator(double initial_volts, double slew_volts_per_us);
+
+    /** Change the tracking target as of time @p now. */
+    void setTarget(double volts, Tick now);
+
+    /** Actual supply voltage at time @p now (advances state). */
+    double voltageAt(Tick now);
+
+    double targetVolts() const { return target_; }
+
+  private:
+    double current_;
+    double target_;
+    double slewPerTick_;
+    Tick lastUpdate_ = 0;
+};
+
+/**
+ * Frequency the core may run at right now: nominal when the supply
+ * has reached (or overshoots) the target, scaled down while the
+ * regulator is still below it.
+ */
+double compensatedFrequency(double f_nominal, double v_current,
+                            double v_target, double v_threshold);
+
+} // namespace core
+} // namespace paradox
+
+#endif // PARADOX_CORE_DVFS_HH

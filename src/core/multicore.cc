@@ -1,0 +1,75 @@
+#include "core/multicore.hh"
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+MulticoreSystem::MulticoreSystem(
+    const MulticoreParams &params,
+    const std::vector<const isa::Program *> &programs)
+    : params_(params),
+      uncore_(makeSharedUncore(params.config, params.sharedCheckers))
+{
+    if (programs.empty())
+        fatal("MulticoreSystem: need at least one program");
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        SystemConfig config = params_.config;
+        // Distinct seeds so per-core fault streams are independent.
+        config.seed = params_.config.seed + i * 0x9e3779b9ULL;
+        // Distinct physical pages per program (timing path only).
+        config.physicalOffset = Addr(i) << 34;
+        cores_.push_back(
+            std::make_unique<System>(config, *programs[i], &uncore_));
+    }
+}
+
+void
+MulticoreSystem::setFaultPlan(unsigned core, faults::FaultPlan plan)
+{
+    cores_.at(core)->setFaultPlan(std::move(plan));
+}
+
+void
+MulticoreSystem::enableDvfs(
+    unsigned core, const faults::UndervoltErrorModel::Params &model)
+{
+    cores_.at(core)->enableDvfs(model);
+}
+
+MulticoreResult
+MulticoreSystem::run(const RunLimits &limits)
+{
+    for (auto &core : cores_)
+        core->beginRun(limits);
+
+    // Min-time-first interleave: always advance the core whose local
+    // clock is furthest behind, so shared-resource accesses occur in
+    // simulated-time order.
+    for (;;) {
+        System *next = nullptr;
+        for (auto &core : cores_) {
+            if (core->phase() == System::Phase::Done)
+                continue;
+            if (!next || core->now() < next->now())
+                next = core.get();
+        }
+        if (!next)
+            break;
+        next->stepOnce();
+    }
+
+    MulticoreResult result;
+    result.allHalted = true;
+    for (auto &core : cores_) {
+        result.cores.push_back(core->collectResult());
+        result.time = std::max(result.time, result.cores.back().time);
+        result.allHalted &= result.cores.back().halted;
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace paradox

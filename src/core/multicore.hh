@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Multicore composition: several main cores (each with private L1s,
+ * load-store log and ParaDox machinery) over a shared L2 and DRAM,
+ * running a multiprogrammed workload mix.
+ *
+ * The paper models multicore ParaMedic's dominant cost -- buffering
+ * unchecked stores in each core's private L1 -- but evaluates single
+ * cores; it *suggests* (section VI-D) that because typical checker
+ * demand is well under sixteen, "this could be reduced by half
+ * through sharing checker cores between multiple main cores, without
+ * affecting performance."  MulticoreSystem makes that suggestion
+ * executable: cores can keep private sixteen-checker complexes or
+ * draw from one shared pool.
+ *
+ * Cores are interleaved min-time-first, so accesses to the shared
+ * uncore (and allocations from a shared checker pool) happen in
+ * simulated-time order.
+ */
+
+#ifndef PARADOX_CORE_MULTICORE_HH
+#define PARADOX_CORE_MULTICORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+/** Multicore configuration. */
+struct MulticoreParams
+{
+    SystemConfig config;        //!< per-core configuration
+    /** Shared checker-pool size; 0 keeps private per-core pools. */
+    unsigned sharedCheckers = 0;
+};
+
+/** Per-run summary for the whole chip. */
+struct MulticoreResult
+{
+    std::vector<RunResult> cores;
+    Tick time = 0;              //!< latest core-finish time
+    bool allHalted = false;
+};
+
+/** N main cores over one shared uncore. */
+class MulticoreSystem
+{
+  public:
+    /**
+     * @param params chip configuration
+     * @param programs one program per core (defines the core count)
+     */
+    MulticoreSystem(const MulticoreParams &params,
+                    const std::vector<const isa::Program *> &programs);
+
+    /** Install a fault plan on core @p core. */
+    void setFaultPlan(unsigned core, faults::FaultPlan plan);
+
+    /** Enable DVFS on core @p core (per-core voltage islands). */
+    void enableDvfs(unsigned core,
+                    const faults::UndervoltErrorModel::Params &model);
+
+    /** Run every core to completion (or its limits). */
+    MulticoreResult run(const RunLimits &limits = RunLimits{});
+
+    /** Core access for inspection. */
+    System &core(unsigned i) { return *cores_[i]; }
+    unsigned coreCount() const { return unsigned(cores_.size()); }
+
+    /** The shared checker pool, if configured. */
+    const CheckerScheduler *sharedCheckers() const
+    {
+        return uncore_.checkers.get();
+    }
+
+  private:
+    MulticoreParams params_;
+    SharedUncore uncore_;
+    std::vector<std::unique_ptr<System>> cores_;
+};
+
+} // namespace core
+} // namespace paradox
+
+#endif // PARADOX_CORE_MULTICORE_HH

@@ -1,0 +1,40 @@
+#include "core/result_json.hh"
+
+#include <sstream>
+
+namespace paradox
+{
+namespace core
+{
+
+std::string
+toJson(const RunResult &result)
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"halted\":" << (result.halted ? "true" : "false");
+    os << ",\"instructions\":" << result.instructions;
+    os << ",\"executed\":" << result.executed;
+    os << ",\"time_fs\":" << result.time;
+    os << ",\"seconds\":" << result.seconds();
+    os << ",\"checkpoints\":" << result.checkpoints;
+    os << ",\"errors_detected\":" << result.errorsDetected;
+    os << ",\"rollbacks\":" << result.rollbacks;
+    os << ",\"faults_injected\":" << result.faultsInjected;
+    os << ",\"avg_voltage\":" << result.avgVoltage;
+    os << ",\"avg_power\":" << result.avgPower;
+    os << ",\"avg_checkers_awake\":" << result.avgCheckersAwake;
+    os << ",\"memory_fingerprint\":\"0x" << std::hex
+       << result.memoryFingerprint << std::dec << "\"";
+    os << ",\"wake_rates\":[";
+    for (std::size_t i = 0; i < result.wakeRates.size(); ++i) {
+        if (i)
+            os << ",";
+        os << result.wakeRates[i];
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace core
+} // namespace paradox

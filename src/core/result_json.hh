@@ -1,0 +1,24 @@
+/**
+ * @file
+ * JSON serialization of run results, for scripted figure plotting.
+ */
+
+#ifndef PARADOX_CORE_RESULT_JSON_HH
+#define PARADOX_CORE_RESULT_JSON_HH
+
+#include <string>
+
+#include "core/system.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+/** Serialize @p result as a single JSON object (no trailing newline). */
+std::string toJson(const RunResult &result);
+
+} // namespace core
+} // namespace paradox
+
+#endif // PARADOX_CORE_RESULT_JSON_HH

@@ -1,0 +1,88 @@
+#include "core/scheduler.hh"
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+CheckerScheduler::CheckerScheduler(unsigned count, SchedPolicy policy,
+                                   std::uint64_t boot_seed)
+    : policy_(policy), rotation_(unsigned(boot_seed % count))
+{
+    if (count == 0)
+        fatal("CheckerScheduler: need at least one checker");
+    slots_.resize(count);
+    busyTicks_.assign(count, 0);
+    wakeEvents_.assign(count, 0);
+}
+
+int
+CheckerScheduler::allocate(Tick now)
+{
+    int chosen = -1;
+    if (policy_ == SchedPolicy::RoundRobin) {
+        // ParaMedic proceeds strictly in order: the next index must
+        // be free, otherwise the main core waits for it.  With
+        // in-order verification the next index is always the oldest.
+        if (!slots_[rrNext_].busy) {
+            chosen = int(rrNext_);
+            rrNext_ = (rrNext_ + 1) % slots_.size();
+        }
+    } else {
+        for (unsigned i = 0; i < slots_.size(); ++i) {
+            if (!slots_[i].busy) {
+                chosen = int(i);
+                break;
+            }
+        }
+    }
+    if (chosen >= 0) {
+        Slot &slot = slots_[unsigned(chosen)];
+        slot.busy = true;
+        slot.wakeAt = now;
+        ++wakeEvents_[unsigned(chosen)];
+        ++busyCount_;
+    }
+    return chosen;
+}
+
+void
+CheckerScheduler::release(unsigned id, Tick now)
+{
+    if (id >= slots_.size())
+        panic("CheckerScheduler::release: bad id");
+    Slot &slot = slots_[id];
+    if (!slot.busy)
+        panic("CheckerScheduler::release: double release");
+    slot.busy = false;
+    busyTicks_[id] += now > slot.wakeAt ? now - slot.wakeAt : 0;
+    --busyCount_;
+}
+
+std::vector<double>
+CheckerScheduler::wakeRates(Tick total) const
+{
+    std::vector<double> rates(slots_.size(), 0.0);
+    if (total == 0)
+        return rates;
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+        Tick busy = busyTicks_[i];
+        if (slots_[i].busy && total > slots_[i].wakeAt)
+            busy += total - slots_[i].wakeAt;
+        rates[i] = double(busy) / double(total);
+        if (rates[i] > 1.0)
+            rates[i] = 1.0;
+    }
+    return rates;
+}
+
+unsigned
+CheckerScheduler::physicalId(unsigned id) const
+{
+    return (id + rotation_) % unsigned(slots_.size());
+}
+
+} // namespace core
+} // namespace paradox

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Checker-core allocation and power-gating accounting (section IV-C,
+ * figures 5 and 12).
+ *
+ * ParaMedic allocates checker cores round-robin, keeping all sixteen
+ * (and their log segments) powered.  ParaDox instead allocates the
+ * lowest-indexed free checker, concentrating work on low IDs so that
+ * high-ID checkers -- and their logs and L0 I-caches -- can be power
+ * gated when demand is low.  To avoid uneven ageing, the identity of
+ * "index 0" is rotated at boot (seed-derived here).
+ *
+ * The scheduler also keeps the per-checker busy-time ledger the
+ * power model and figure 12 consume: a checker is "awake" from the
+ * moment its slot starts filling until its segment verifies or rolls
+ * back.
+ */
+
+#ifndef PARADOX_CORE_SCHEDULER_HH
+#define PARADOX_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+/** Allocation policy. */
+enum class SchedPolicy : std::uint8_t
+{
+    RoundRobin,    //!< ParaMedic
+    LowestFreeId,  //!< ParaDox
+};
+
+/** Checker-core allocator with wake/busy accounting. */
+class CheckerScheduler
+{
+  public:
+    CheckerScheduler(unsigned count, SchedPolicy policy,
+                     std::uint64_t boot_seed);
+
+    /**
+     * Allocate a checker at time @p now.
+     * @return logical checker id, or -1 if none is available.
+     */
+    int allocate(Tick now);
+
+    /** Release checker @p id at time @p now. */
+    void release(unsigned id, Tick now);
+
+    /** Number of currently allocated checkers. */
+    unsigned busyCount() const { return busyCount_; }
+
+    unsigned count() const { return unsigned(slots_.size()); }
+
+    bool anyFree() const { return busyCount_ < slots_.size(); }
+
+    /**
+     * Fraction of [0, @p total) each checker spent awake.  Open
+     * intervals are counted up to @p total.
+     */
+    std::vector<double> wakeRates(Tick total) const;
+
+    /** Wake (power-up) transitions per checker. */
+    const std::vector<std::uint64_t> &wakeEvents() const
+    {
+        return wakeEvents_;
+    }
+
+    SchedPolicy policy() const { return policy_; }
+
+    /** Physical index of logical checker @p id (ageing rotation). */
+    unsigned physicalId(unsigned id) const;
+
+  private:
+    struct Slot
+    {
+        bool busy = false;
+        Tick wakeAt = 0;
+    };
+
+    SchedPolicy policy_;
+    std::vector<Slot> slots_;
+    std::vector<Tick> busyTicks_;
+    std::vector<std::uint64_t> wakeEvents_;
+    unsigned busyCount_ = 0;
+    unsigned rrNext_ = 0;
+    unsigned rotation_;
+};
+
+} // namespace core
+} // namespace paradox
+
+#endif // PARADOX_CORE_SCHEDULER_HH

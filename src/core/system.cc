@@ -1,0 +1,794 @@
+#include "core/system.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+System::System(const SystemConfig &config, const isa::Program &program)
+    : System(config, program, nullptr)
+{
+}
+
+System::System(const SystemConfig &config, const isa::Program &program,
+               SharedUncore *uncore)
+    : config_(config), program_(program), mainClock_(config.mainFreqHz),
+      ckptCtrl_(config.checkpointAimd, config.adaptiveCheckpoints),
+      powerModel_(power::PowerModel::Params{
+          config.voltage.vSafe, config.mainFreqHz, 0.85, 0.05,
+          config.checkers.count, 0.02}),
+      fvModel_(power::FrequencyVoltageModel::Params{
+          config.mainFreqHz, config.voltage.vSafe, 0.45}),
+      energy_(powerModel_),
+      statGroup_("system")
+{
+    if (uncore) {
+        hierarchy_ = std::make_unique<mem::CacheHierarchy>(
+            config_.hierarchy, mainClock_, uncore->l2.get(),
+            uncore->dram.get());
+    } else {
+        hierarchy_ = std::make_unique<mem::CacheHierarchy>(
+            config_.hierarchy, mainClock_);
+    }
+    dtlb_ = std::make_unique<mem::Tlb>(mem::TlbParams{},
+                                       config_.physicalOffset);
+    itlb_ = std::make_unique<mem::Tlb>(mem::TlbParams{},
+                                       config_.physicalOffset);
+    mainCore_ = std::make_unique<cpu::MainCore>(config_.mainCore,
+                                                mainClock_, *hierarchy_);
+    if (uncore && uncore->checkers) {
+        schedPtr_ = uncore->checkers.get();
+        checkerTimingPtr_ = uncore->checkerTiming.get();
+    } else {
+        checkerTiming_ =
+            std::make_unique<cpu::CheckerTiming>(config_.checkers);
+        sched_ = std::make_unique<CheckerScheduler>(
+            config_.checkers.count,
+            config_.lowestIdScheduling ? SchedPolicy::LowestFreeId
+                                       : SchedPolicy::RoundRobin,
+            config_.seed);
+        schedPtr_ = sched_.get();
+        checkerTimingPtr_ = checkerTiming_.get();
+    }
+    voltCtrl_ = std::make_unique<VoltageController>(config_.voltage);
+    regulator_ = std::make_unique<Regulator>(
+        config_.voltage.startVoltage,
+        config_.voltage.regulatorSlewVoltsPerUs);
+
+    currentVoltage_ = config_.voltage.vSafe;
+    currentFreq_ = config_.mainFreqHz;
+    eccRng_.seed(config_.seed ^ 0xecc0ecc0ecc0ecc0ULL);
+    eccGap_ = eccRng_.geometric(config_.memoryEccFaultRate);
+
+    rollbackNs_ = &statGroup_.add<stats::Distribution>(
+        "rollbackNs", "memory rollback time per recovery (ns)");
+    wastedNs_ = &statGroup_.add<stats::Distribution>(
+        "wastedExecNs", "execution wasted per recovery (ns)");
+    ckptLen_ = &statGroup_.add<stats::Distribution>(
+        "checkpointLength", "instructions per checkpoint");
+    ckptHist_ = &statGroup_.add<stats::Histogram>(
+        "checkpointLengthHist",
+        "distribution of instructions per checkpoint", 0.0, 5000.0,
+        50);
+    evictionCuts_ = &statGroup_.add<stats::Counter>(
+        "evictionCuts", "checkpoints cut by pinned-line evictions");
+    capacityCuts_ = &statGroup_.add<stats::Counter>(
+        "capacityCuts", "checkpoints cut by log capacity");
+    targetCuts_ = &statGroup_.add<stats::Counter>(
+        "targetCuts", "checkpoints cut by reaching the AIMD target");
+    checkerWaitStalls_ = &statGroup_.add<stats::Counter>(
+        "checkerWaitStalls", "stalls waiting for a free checker");
+    voltTrace_ = &statGroup_.add<stats::TimeSeries>(
+        "voltage", "main-core supply voltage over time", 200000);
+
+    mainCore_->setPinnedStallResolver([this](Tick now) -> Tick {
+        // An eviction attempt on a fully pinned set: the paper cuts
+        // the checkpoint, reduces the AIMD target, and waits for a
+        // check to complete (sections II-B, IV-A).
+        ++*evictionCuts_;
+        if (config_.adaptiveCheckpoints)
+            ckptCtrl_.onReduction(std::max(instsInSegment_, 1u));
+        if (filling_ && instsInSegment_ > 0)
+            closeSegmentAndDispatch();
+        Tick t = std::max(now, mainCore_->now());
+        if (!pending_.empty()) {
+            t = std::max(t, waitForOldestRelease(t));
+            if (!pending_.empty() && pending_.front().detected) {
+                // The completing check *failed*: rollback happens as
+                // soon as control returns to the run loop; free the
+                // pins now so the stalled access can proceed (its
+                // effects are logged and will be undone).
+                hierarchy_->rollbackFrom(pending_.front().segment->id());
+            }
+        }
+        retireVerifiedUpTo(t);
+        return t;
+    });
+}
+
+void
+System::setFaultPlan(faults::FaultPlan plan)
+{
+    faultPlan_ = std::move(plan);
+}
+
+void
+System::setMainCoreFaultPlan(faults::FaultPlan plan)
+{
+    mainCoreFaultPlan_ = std::move(plan);
+}
+
+void
+System::maybeMainCoreFault(const isa::Instruction &inst,
+                           const isa::ExecResult &r)
+{
+    if (mainCoreFaultPlan_.empty())
+        return;
+    for (auto &injector : mainCoreFaultPlan_.injectors()) {
+        faults::FaultHit hit =
+            injector.onInstruction(inst, r.wroteInt || r.wroteFp);
+        if (!hit.fires)
+            continue;
+        ++faultsInjectedTotal_;
+        if (injector.kind() == faults::FaultKind::FunctionalUnit) {
+            const std::uint64_t mask = std::uint64_t(1) << hit.bit;
+            if (r.wroteInt)
+                archState_.writeX(r.rd, archState_.readX(r.rd) ^ mask);
+            else if (r.wroteFp)
+                archState_.writeFBits(
+                    r.rd, archState_.readFBits(r.rd) ^ mask);
+        } else {
+            archState_.flipBit(injector.config().targetCategory,
+                               hit.regIndex, hit.bit);
+        }
+    }
+}
+
+void
+System::enableDvfs(const faults::UndervoltErrorModel::Params &model)
+{
+    config_.dvfsEnabled = true;
+    undervoltModel_.emplace(model);
+    faultPlan_ = faults::uniformPlan(0.0, config_.seed);
+    currentVoltage_ = config_.voltage.startVoltage;
+}
+
+std::size_t
+System::bytesNeeded(const isa::ExecResult &r) const
+{
+    const LogParams &log = config_.log;
+    std::size_t bytes = 0;
+    if (r.isLoad) {
+        bytes += log.loadEntryBytes;
+    } else if (r.isStore) {
+        bytes += log.storeEntryBytes;
+        if (config_.lineGranularityRollback) {
+            const unsigned lb = hierarchy_->lineBytes();
+            Addr first = r.memAddr & ~Addr(lb - 1);
+            Addr last = (r.memAddr + r.memSize - 1) & ~Addr(lb - 1);
+            for (Addr line = first; line <= last; line += lb) {
+                if (!linesCopiedThisCkpt_.count(line))
+                    bytes += log.lineCopyBytes;
+            }
+        } else if (config_.rollbackSupported) {
+            bytes += log.storeOldValueBytes;
+        }
+    }
+    return bytes;
+}
+
+void
+System::captureLineCopies(const isa::ExecResult &r)
+{
+    const unsigned lb = hierarchy_->lineBytes();
+    Addr first = r.memAddr & ~Addr(lb - 1);
+    Addr last = (r.memAddr + r.memSize - 1) & ~Addr(lb - 1);
+    for (Addr line = first; line <= last; line += lb) {
+        if (linesCopiedThisCkpt_.count(line))
+            continue;
+        // Reconstruct the pre-store line image: memory already holds
+        // the post-store bytes, so splice the overwritten value back
+        // in where the store touched this line.
+        std::vector<std::uint8_t> bytes(lb);
+        memory_.readBlock(line, bytes.data(), lb);
+        for (unsigned i = 0; i < r.memSize; ++i) {
+            Addr byte_addr = r.memAddr + i;
+            if (byte_addr >= line && byte_addr < line + lb)
+                bytes[byte_addr - line] =
+                    std::uint8_t(r.storeOld >> (8 * i));
+        }
+        // The rollback side is addressed physically, "to allow
+        // rollback without translation" (section IV-D).
+        filling_->appendLineCopy(dtlb_->physical(line), bytes,
+                                 config_.log.lineCopyBytes);
+        linesCopiedThisCkpt_.insert(line);
+    }
+}
+
+void
+System::logResult(const isa::ExecResult &r)
+{
+    const LogParams &log = config_.log;
+    if (r.isLoad) {
+        filling_->appendLoad(r.memAddr, r.memSize, r.loadValue,
+                             log.loadEntryBytes);
+    } else if (r.isStore) {
+        if (config_.lineGranularityRollback) {
+            captureLineCopies(r);
+            filling_->appendStore(r.memAddr, r.memSize, r.storeValue,
+                                  r.storeOld, log.storeEntryBytes);
+        } else {
+            unsigned entry = log.storeEntryBytes;
+            if (config_.rollbackSupported)
+                entry += log.storeOldValueBytes;
+            filling_->appendStore(r.memAddr, r.memSize, r.storeValue,
+                                  r.storeOld, entry);
+        }
+    }
+}
+
+bool
+System::openSegment()
+{
+    for (;;) {
+        retireVerifiedUpTo(mainCore_->now());
+        int id = sched()->allocate(mainCore_->now());
+        if (id >= 0) {
+            fillingChecker_ = id;
+            filling_ = std::make_unique<LogSegment>();
+            filling_->open(segSeq_++, archState_, netIndex_,
+                           mainCore_->now());
+            instsInSegment_ = 0;
+            linesCopiedThisCkpt_.clear();
+            // Continuity: record the next segment's checker in the
+            // previously filled segment (section IV-C).
+            if (!pending_.empty())
+                pending_.back().segment->setNextCheckerId(id);
+            return true;
+        }
+        ++*checkerWaitStalls_;
+        if (pending_.empty()) {
+            // A shared checker pool exhausted by *other* cores: idle
+            // a short quantum and yield so the interleaver can run
+            // them (their releases free the pool).  Cannot happen
+            // with a private pool -- our own segments would hold it.
+            mainCore_->stallUntil(mainCore_->now() +
+                                  mainClock_.cyclesToTicks(64));
+            return false;
+        }
+        Tick t = waitForOldestRelease(mainCore_->now());
+        mainCore_->stallUntil(t);
+        if (processDetections(mainCore_->now())) {
+            // Rolled back; checkers freed, loop re-allocates.
+            continue;
+        }
+    }
+}
+
+void
+System::closeSegmentAndDispatch()
+{
+    filling_->close(archState_, instsInSegment_, mainCore_->now());
+    // Taking the register checkpoint blocks commit (Table I).
+    mainCore_->blockCommit(config_.regCheckpointCycles);
+    Tick dispatch = mainCore_->now();
+
+    ReplayOutcome out = replaySegment(
+        program_, *filling_, unsigned(fillingChecker_), *checkerTiming(),
+        faultPlan_, config_.rollback.finalCompareCycles,
+        /*timeout_factor=*/24, config_.physicalOffset);
+    checkerInstructions_ += out.instructionsExecuted;
+    faultsInjectedTotal_ += out.faultsInjected;
+
+    PendingCheck pc;
+    pc.segment = std::move(filling_);
+    pc.checkerId = unsigned(fillingChecker_);
+    pc.startTick = dispatch;
+    pc.finishTick =
+        dispatch + checkerTiming()->cyclesToTicks(out.totalCycles);
+    pc.detected = out.detected;
+    pc.detectTick =
+        dispatch + checkerTiming()->cyclesToTicks(out.cyclesAtDetection);
+    pc.reason = out.reason;
+
+    ckptLen_->sample(double(pc.segment->instCount()));
+    ckptHist_->sample(double(pc.segment->instCount()));
+    ++checkpoints_;
+
+    if (!out.detected) {
+        ckptCtrl_.onCleanCheckpoint();
+        if (config_.dvfsEnabled)
+            voltCtrl_->onCleanCheckpoint();
+    }
+    pending_.push_back(std::move(pc));
+
+    fillingChecker_ = -1;
+    instsInSegment_ = 0;
+    linesCopiedThisCkpt_.clear();
+
+    checkpointHousekeeping();
+}
+
+bool
+System::drainChecks()
+{
+    while (!pending_.empty()) {
+        Tick t = waitForOldestRelease(mainCore_->now());
+        mainCore_->stallUntil(t);
+        if (processDetections(mainCore_->now()))
+            return true;
+    }
+    return false;
+}
+
+void
+System::maybeEccEvent(const isa::ExecResult &r)
+{
+    if (!r.isLoad ||
+        eccGap_ == std::numeric_limits<std::uint64_t>::max())
+        return;
+    if (--eccGap_ > 0)
+        return;
+    eccGap_ = eccRng_.geometric(config_.memoryEccFaultRate);
+    // A single-bit upset in an ECC-protected word: encode the loaded
+    // value, flip one codeword bit, and let SECDED repair it.  The
+    // corrected data is what the core consumed, so nothing propagates
+    // (paper section IV-E's division of labour).
+    mem::EccWord word = mem::Secded::encode(r.loadValue);
+    mem::Secded::flipBit(word,
+                         unsigned(eccRng_.nextBounded(
+                             mem::Secded::codeBits)));
+    mem::EccDecode decoded = mem::Secded::decode(word);
+    if (decoded.status != mem::EccStatus::Corrected ||
+        decoded.data != r.loadValue)
+        panic("SECDED failed to repair a single-bit memory upset");
+    ++eccCorrected_;
+}
+
+Tick
+System::waitForOldestRelease(Tick now)
+{
+    PendingCheck &front = pending_.front();
+    if (front.detected) {
+        // The check completes by *failing*; the caller handles the
+        // rollback once control returns to the run loop.
+        return std::max(now, front.detectTick);
+    }
+    Tick done = std::max(now, front.finishTick);
+    hierarchy_->segmentVerified(front.segment->id());
+    sched()->release(front.checkerId, done);
+    if (config_.lowestIdScheduling)
+        checkerTiming()->powerGated(front.checkerId);
+    pending_.pop_front();
+    return done;
+}
+
+void
+System::retireVerifiedUpTo(Tick now)
+{
+    while (!pending_.empty()) {
+        PendingCheck &front = pending_.front();
+        if (front.detected || front.finishTick > now)
+            break;
+        hierarchy_->segmentVerified(front.segment->id());
+        sched()->release(front.checkerId, front.finishTick);
+        if (config_.lowestIdScheduling)
+            checkerTiming()->powerGated(front.checkerId);
+        pending_.pop_front();
+    }
+}
+
+std::uint64_t
+System::undoSegmentMemory(const LogSegment &segment)
+{
+    std::uint64_t ops = 0;
+    if (config_.lineGranularityRollback) {
+        for (auto it = segment.lineCopies().rbegin();
+             it != segment.lineCopies().rend(); ++it) {
+            // Restore through the stored ECC words: the copy carries
+            // the line's protection bits, decoded on the way back.
+            // Line copies hold physical addresses; the backing store
+            // is virtual, so invert the (linear) mapping.
+            Addr addr = it->lineAddr - config_.physicalOffset;
+            for (const mem::EccWord &word : it->ecc) {
+                mem::EccDecode decoded = mem::Secded::decode(word);
+                memory_.write(addr, 8, decoded.data);
+                addr += 8;
+            }
+            ++ops;
+        }
+    } else {
+        for (auto it = segment.entries().rbegin();
+             it != segment.entries().rend(); ++it) {
+            if (!it->isLoad) {
+                memory_.write(it->addr, it->size, it->oldValue);
+                ++ops;
+            }
+        }
+    }
+    return ops;
+}
+
+bool
+System::processDetections(Tick now)
+{
+    bool any = false;
+    for (;;) {
+        std::size_t best = pending_.size();
+        Tick best_tick = maxTick;
+        for (std::size_t i = 0; i < pending_.size(); ++i) {
+            if (pending_[i].detected &&
+                pending_[i].detectTick <= now &&
+                pending_[i].detectTick < best_tick) {
+                best = i;
+                best_tick = pending_[i].detectTick;
+            }
+        }
+        if (best == pending_.size())
+            break;
+        performRollback(best, std::max(now, best_tick));
+        any = true;
+        now = mainCore_->now();
+    }
+    return any;
+}
+
+void
+System::performRollback(std::size_t idx, Tick stop)
+{
+    if (!config_.rollbackSupported)
+        panic("detection fired but rollback is unsupported in this mode");
+
+    accumulatePower(stop);
+
+    PendingCheck &pc = pending_[idx];
+    LogSegment &seg = *pc.segment;
+
+    ++detections_;
+    ++rollbacks_;
+    ++reasonCounts_[static_cast<std::size_t>(pc.reason)];
+    wastedNs_->sample(ticksToNs(stop > seg.startTick()
+                                    ? stop - seg.startTick()
+                                    : 0));
+
+    // Undo memory newest-first: the filling segment, then every
+    // dispatched segment back to (and including) the faulty one.
+    std::uint64_t ops = 0;
+    if (filling_)
+        ops += undoSegmentMemory(*filling_);
+    for (std::size_t j = pending_.size(); j-- > idx;)
+        ops += undoSegmentMemory(*pending_[j].segment);
+
+    const unsigned per_op = config_.lineGranularityRollback
+                                ? config_.rollback.cyclesPerLineRestore
+                                : config_.rollback.cyclesPerWordUndo;
+    Tick cost = mainClock_.cyclesToTicks(Cycles(ops) * per_op);
+    rollbackNs_->sample(ticksToNs(cost));
+
+    // Restore architectural state and cache pins.
+    archState_ = seg.startState();
+    netIndex_ = seg.startInstIndex();
+    hierarchy_->rollbackFrom(seg.id());
+
+    // Controllers.
+    ckptCtrl_.onReduction(std::max(seg.instCount(), 1u));
+    if (config_.dvfsEnabled)
+        voltCtrl_->onError(regulator_->voltageAt(stop));
+
+    // Release the filling slot and every slot from the faulty
+    // segment onward (their data is now dead).
+    if (filling_) {
+        sched()->release(unsigned(fillingChecker_), stop);
+        if (config_.lowestIdScheduling)
+            checkerTiming()->powerGated(unsigned(fillingChecker_));
+        filling_.reset();
+        fillingChecker_ = -1;
+        instsInSegment_ = 0;
+        linesCopiedThisCkpt_.clear();
+    }
+    for (std::size_t j = idx; j < pending_.size(); ++j) {
+        sched()->release(pending_[j].checkerId,
+                        std::min(stop, pending_[j].finishTick));
+        if (config_.lowestIdScheduling)
+            checkerTiming()->powerGated(pending_[j].checkerId);
+    }
+    pending_.erase(pending_.begin() + std::ptrdiff_t(idx),
+                   pending_.end());
+
+    Tick resume = stop + cost;
+    mainCore_->resetPipeline(resume);
+    applyOperatingPoint(resume);
+    voltTrace_->sample(resume, currentVoltage_);
+}
+
+void
+System::applyOperatingPoint(Tick now)
+{
+    if (!config_.dvfsEnabled)
+        return;
+    regulator_->setTarget(voltCtrl_->target(), now);
+    currentVoltage_ = regulator_->voltageAt(now);
+    currentFreq_ = compensatedFrequency(
+        config_.mainFreqHz, currentVoltage_, voltCtrl_->target(),
+        fvModel_.params().vThreshold);
+    mainClock_.setFrequency(currentFreq_);
+    if (undervoltModel_) {
+        faultPlan_.setAllRates(
+            undervoltModel_->perInstructionRate(currentVoltage_));
+    }
+}
+
+void
+System::accumulatePower(Tick now)
+{
+    if (now <= lastPowerTick_)
+        return;
+    const Tick dt = now - lastPowerTick_;
+
+    double checker_power = 0.0;
+    if (config_.mode != Mode::Baseline) {
+        const unsigned n = sched()->count();
+        const unsigned awake =
+            config_.lowestIdScheduling ? sched()->busyCount() : n;
+        const double per_core =
+            powerModel_.params().checkerComplexFraction / n;
+        checker_power =
+            per_core * (awake +
+                        (n - awake) * powerModel_.params().gatedResidual);
+        awakeTickSum_ += double(awake) * double(dt);
+    }
+    energy_.addInterval(dt, currentVoltage_, currentFreq_,
+                        checker_power);
+    lastPowerTick_ = now;
+}
+
+void
+System::checkpointHousekeeping()
+{
+    Tick now = mainCore_->now();
+    accumulatePower(now);
+    applyOperatingPoint(now);
+    if (config_.dvfsEnabled)
+        voltTrace_->sample(now, currentVoltage_);
+}
+
+RunResult
+System::run(const RunLimits &limits)
+{
+    beginRun(limits);
+    while (stepOnce()) {
+    }
+    return collectResult();
+}
+
+void
+System::beginRun(const RunLimits &limits)
+{
+    isa::loadProgram(program_, archState_, memory_);
+    limits_ = limits;
+    halted_ = false;
+    phase_ = Phase::Running;
+}
+
+bool
+System::stepOnce()
+{
+    switch (phase_) {
+      case Phase::Running:
+        stepInstruction();
+        break;
+      case Phase::Draining:
+        stepDrain();
+        break;
+      default:
+        break;
+    }
+    return phase_ != Phase::Done && phase_ != Phase::Idle;
+}
+
+void
+System::stepInstruction()
+{
+    if (netIndex_ >= limits_.maxInstructions ||
+        executed_ >= limits_.maxExecuted ||
+        mainCore_->now() >= limits_.maxTicks) {
+        phase_ = Phase::Done;  // limit stop: no drain, partial result
+        return;
+    }
+
+    if (config_.mode != Mode::Baseline) {
+        retireVerifiedUpTo(mainCore_->now());
+        if (!filling_ && !openSegment())
+            return;  // shared pool busy: retry on the next step
+        if (instsInSegment_ >= ckptCtrl_.target()) {
+            ++*targetCuts_;
+            closeSegmentAndDispatch();
+            if (!openSegment())
+                return;
+        }
+    }
+
+    const isa::Instruction *inst = program_.fetch(archState_.pc());
+    if (!inst) {
+        // Only an injected main-core PC corruption can take fetch
+        // outside the image.  The corrupted pc is part of the
+        // recorded checkpoint, so the clean checker replay is
+        // guaranteed to mismatch: cut the segment and let the checks
+        // run -- the resulting rollback restores a sane pc.
+        if (mainCoreFaultPlan_.empty() || config_.mode == Mode::Baseline)
+            panic("System: main core fetched outside the image");
+        if (filling_ && instsInSegment_ > 0)
+            closeSegmentAndDispatch();
+        if (!drainChecks())
+            panic("System: wild main-core pc survived checking");
+        return;
+    }
+
+    isa::ArchState prev = archState_;
+    isa::ExecResult r = isa::step(program_, archState_, memory_);
+
+    if (config_.mode != Mode::Baseline) {
+        std::size_t need = bytesNeeded(r);
+        if (filling_->wouldOverflow(need, config_.log.segmentBytes)) {
+            // Undo this instruction, cut the segment at the
+            // boundary, and re-execute into the new segment.
+            archState_ = prev;
+            if (r.isStore)
+                memory_.write(r.memAddr, r.memSize, r.storeOld);
+            ++*capacityCuts_;
+            closeSegmentAndDispatch();
+            if (!openSegment())
+                return;  // instruction undone; retried next step
+            r = isa::step(program_, archState_, memory_);
+        }
+        logResult(r);
+        ++instsInSegment_;
+    }
+
+    ++executed_;
+    ++netIndex_;
+    maybeEccEvent(r);
+    // Main-core corruption lands *after* commit: subsequent
+    // instructions, the log, and the recorded end-of-segment
+    // checkpoint all see it, exactly as a latch upset would.
+    maybeMainCoreFault(*inst, r);
+
+    const bool mmio_store = r.isStore && isMmio(r.memAddr);
+    const std::uint64_t pin_seg =
+        (config_.bufferUncheckedStores && filling_ && !mmio_store)
+            ? filling_->id()
+            : mem::noPin;
+    const std::uint64_t stamp = filling_ ? filling_->id() : 0;
+    {
+        // The main core translates redundantly (section IV-D): the
+        // timing path runs on physical addresses, and TLB-miss walks
+        // stall the pipeline.  Checkers replay the log's virtual
+        // addresses untranslated.
+        isa::ExecResult tr = r;
+        mem::Translation ifetch = itlb_->translate(r.pc);
+        tr.pc = ifetch.paddr;
+        tr.nextPc += config_.physicalOffset;
+        unsigned walk_cycles = ifetch.extraCycles;
+        if (tr.isLoad || tr.isStore) {
+            mem::Translation data = dtlb_->translate(r.memAddr);
+            tr.memAddr = data.paddr;
+            walk_cycles += data.extraCycles;
+        }
+        if (walk_cycles > 0)
+            mainCore_->stallUntil(mainCore_->now() +
+                                  mainClock_.cyclesToTicks(walk_cycles));
+        mainCore_->advance(*inst, tr, pin_seg, stamp);
+    }
+
+    if (config_.mode != Mode::Baseline) {
+        if (mmio_store) {
+            // Uncacheable stores update external state and must be
+            // checked before they proceed: cut the checkpoint here
+            // and drain every outstanding check.  If one fails, the
+            // rollback rewinds past this store and it re-executes.
+            ++mmioDrains_;
+            if (filling_ && instsInSegment_ > 0)
+                closeSegmentAndDispatch();
+            drainChecks();
+        } else {
+            processDetections(mainCore_->now());
+        }
+    }
+
+    if (r.halted) {
+        if (config_.mode == Mode::Baseline) {
+            halted_ = true;
+            phase_ = Phase::Done;
+            return;
+        }
+        // Close (or return) the trailing segment, then wait out the
+        // in-flight checks one completion at a time.
+        if (filling_ && instsInSegment_ > 0) {
+            closeSegmentAndDispatch();
+        } else if (filling_) {
+            sched()->release(unsigned(fillingChecker_),
+                             mainCore_->now());
+            if (config_.lowestIdScheduling)
+                checkerTiming()->powerGated(unsigned(fillingChecker_));
+            filling_.reset();
+            fillingChecker_ = -1;
+        }
+        phase_ = Phase::Draining;
+    }
+}
+
+void
+System::stepDrain()
+{
+    if (pending_.empty()) {
+        halted_ = true;
+        phase_ = Phase::Done;
+        return;
+    }
+    Tick t = waitForOldestRelease(mainCore_->now());
+    mainCore_->stallUntil(t);
+    if (processDetections(mainCore_->now())) {
+        // A late detection rolled execution back before the HALT:
+        // resume the main loop from the restored state.
+        phase_ = Phase::Running;
+    }
+}
+
+RunResult
+System::collectResult()
+{
+    Tick end = mainCore_->now();
+    accumulatePower(end);
+
+    RunResult result;
+    result.halted = halted_;
+    result.instructions = netIndex_;
+    result.executed = executed_;
+    result.time = end;
+    result.checkpoints = checkpoints_;
+    result.errorsDetected = detections_;
+    result.rollbacks = rollbacks_;
+    result.faultsInjected = faultsInjectedTotal_;
+    result.avgVoltage = energy_.averageVoltage();
+    result.avgPower = energy_.averagePower();
+    result.avgCheckersAwake =
+        end > 0 ? awakeTickSum_ / double(end) : 0.0;
+    result.wakeRates = sched()->wakeRates(end);
+    result.finalState = archState_;
+    result.memoryFingerprint = memory_.fingerprint();
+    return result;
+}
+
+SharedUncore
+makeSharedUncore(const SystemConfig &config, unsigned shared_checkers)
+{
+    SharedUncore uncore;
+    uncore.l2 = std::make_unique<mem::Cache>(config.hierarchy.l2);
+    uncore.dram = std::make_unique<mem::Dram>(config.hierarchy.dram);
+    if (shared_checkers > 0) {
+        cpu::CheckerParams checker_params = config.checkers;
+        checker_params.count = shared_checkers;
+        uncore.checkerTiming =
+            std::make_unique<cpu::CheckerTiming>(checker_params);
+        uncore.checkers = std::make_unique<CheckerScheduler>(
+            shared_checkers,
+            config.lowestIdScheduling ? SchedPolicy::LowestFreeId
+                                      : SchedPolicy::RoundRobin,
+            config.seed);
+    }
+    return uncore;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    statGroup_.dump(os);
+}
+
+} // namespace core
+} // namespace paradox

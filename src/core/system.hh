@@ -1,0 +1,376 @@
+/**
+ * @file
+ * The full heterogeneous fault-tolerant system: one out-of-order main
+ * core plus sixteen checker cores, the segmented load-store log,
+ * checkpointing, detection, rollback, and (for ParaDox) the adaptive
+ * checkpoint-length and voltage controllers.
+ *
+ * The System executes a program functionally on the main core while
+ * accounting timing through the cpu/ and mem/ models; segments are
+ * dispatched to checker cores which re-execute them against the log
+ * under fault injection.  Detected errors trigger genuine rollback:
+ * memory is restored through the log, the architectural state returns
+ * to the faulty segment's checkpoint, and the main core re-executes
+ * -- so recovery cost is *paid*, not estimated, and the end state of
+ * any run is provably the fault-free result (the property the test
+ * suite checks).
+ */
+
+#ifndef PARADOX_CORE_SYSTEM_HH
+#define PARADOX_CORE_SYSTEM_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+#include "core/aimd.hh"
+#include "core/checker_replay.hh"
+#include "core/config.hh"
+#include "core/dvfs.hh"
+#include "core/lslog.hh"
+#include "core/scheduler.hh"
+#include "cpu/checker_timing.hh"
+#include "cpu/main_core.hh"
+#include "faults/fault_model.hh"
+#include "faults/undervolt_model.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+#include "mem/hierarchy.hh"
+#include "mem/memory.hh"
+#include "mem/tlb.hh"
+#include "power/power_model.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace paradox
+{
+namespace core
+{
+
+/** Bounds on one run. */
+struct RunLimits
+{
+    /** Net committed (program-order) instruction bound. */
+    std::uint64_t maxInstructions = ~std::uint64_t(0);
+    /** Gross executed bound, including rolled-back re-runs. */
+    std::uint64_t maxExecuted = ~std::uint64_t(0);
+    /** Wall-clock (simulated) bound. */
+    Tick maxTicks = maxTick;
+};
+
+/** Summary of one run. */
+struct RunResult
+{
+    bool halted = false;          //!< program ran to completion
+    std::uint64_t instructions = 0; //!< net committed
+    std::uint64_t executed = 0;     //!< gross, incl. re-runs
+    Tick time = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t errorsDetected = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t faultsInjected = 0;
+    double avgVoltage = 0.0;      //!< time-weighted supply voltage
+    double avgPower = 0.0;        //!< normalized (1.0 = baseline nom.)
+    double avgCheckersAwake = 0.0;
+    std::vector<double> wakeRates;
+    isa::ArchState finalState;
+    std::uint64_t memoryFingerprint = 0;
+
+    double seconds() const { return ticksToSeconds(time); }
+};
+
+/**
+ * Resources shared between the cores of a multicore system: the L2,
+ * DRAM, and (optionally, the paper's section VI-D suggestion) a
+ * checker-core pool serving several main cores.
+ */
+struct SharedUncore
+{
+    std::unique_ptr<mem::Cache> l2;
+    std::unique_ptr<mem::Dram> dram;
+    std::unique_ptr<CheckerScheduler> checkers;      //!< optional
+    std::unique_ptr<cpu::CheckerTiming> checkerTiming;
+};
+
+/**
+ * Build a shared uncore from @p config.
+ * @param shared_checkers size of a shared checker pool (0 = each
+ *        core keeps its private sixteen)
+ */
+SharedUncore makeSharedUncore(const SystemConfig &config,
+                              unsigned shared_checkers = 0);
+
+/** The complete modelled system. */
+class System
+{
+  public:
+    System(const SystemConfig &config, const isa::Program &program);
+
+    /**
+     * Multicore form: private core/L1s/log over @p uncore's shared
+     * L2 + DRAM (and shared checker pool when present).  @p uncore
+     * must outlive the System.
+     */
+    System(const SystemConfig &config, const isa::Program &program,
+           SharedUncore *uncore);
+
+    /** Install fixed-rate fault injectors (figures 8/9). */
+    void setFaultPlan(faults::FaultPlan plan);
+
+    /**
+     * Install fault injectors on the *main core* itself: bits flip in
+     * its architectural state as it commits, corrupting subsequent
+     * execution, the log, and the recorded checkpoints.  The paper
+     * injects into checkers only as a simulation convenience, arguing
+     * detection is symmetric; this path makes that argument
+     * executable -- clean checker replays catch the corrupted main
+     * core and rollback re-executes from the last verified state.
+     */
+    void setMainCoreFaultPlan(faults::FaultPlan plan);
+
+    /**
+     * Enable dynamic voltage adaptation: the controller undervolts
+     * the main core and the injection rate follows @p model
+     * (figures 10, 11, 13).  Installs a uniform injector pair whose
+     * rate is retuned at every checkpoint.
+     */
+    void enableDvfs(const faults::UndervoltErrorModel::Params &model);
+
+    /** Execute until HALT or a limit. */
+    RunResult run(const RunLimits &limits = RunLimits{});
+
+    /** @{ Incremental execution (multicore interleaving). */
+    enum class Phase : std::uint8_t
+    {
+        Idle,     //!< beginRun() not called yet
+        Running,  //!< executing instructions
+        Draining, //!< HALT reached; waiting out in-flight checks
+        Done,
+    };
+
+    /** Reset run state and arm the limits. */
+    void beginRun(const RunLimits &limits = RunLimits{});
+
+    /**
+     * Advance by one instruction (Running) or one check completion
+     * (Draining).  @return false once Done.
+     */
+    bool stepOnce();
+
+    Phase phase() const { return phase_; }
+
+    /** Current main-core time (interleaving key). */
+    Tick now() const { return mainCore_->now(); }
+
+    /** Summarize the finished (or stopped) run. */
+    RunResult collectResult();
+    /** @} */
+
+    /** @{ Introspection for tests and figure harnesses. */
+    const stats::Distribution &rollbackTimesNs() const
+    {
+        return *rollbackNs_;
+    }
+    const stats::Distribution &wastedExecNs() const
+    {
+        return *wastedNs_;
+    }
+    const stats::Distribution &checkpointLengths() const
+    {
+        return *ckptLen_;
+    }
+    const stats::Histogram &checkpointLengthHistogram() const
+    {
+        return *ckptHist_;
+    }
+    const stats::TimeSeries &voltageTrace() const { return *voltTrace_; }
+    const VoltageController &voltageController() const
+    {
+        return *voltCtrl_;
+    }
+    const CheckerScheduler &checkerScheduler() const { return *sched(); }
+    const cpu::MainCore &mainCore() const { return *mainCore_; }
+    mem::CacheHierarchy &hierarchy() { return *hierarchy_; }
+    mem::SimpleMemory &memory() { return memory_; }
+    const SystemConfig &config() const { return config_; }
+    const power::PowerModel &powerModel() const { return powerModel_; }
+    /** Detections attributed to @p reason so far. */
+    std::uint64_t
+    detectionCount(DetectReason reason) const
+    {
+        return reasonCounts_[static_cast<std::size_t>(reason)];
+    }
+    /** Checked-before-proceed drains forced by uncacheable stores. */
+    std::uint64_t mmioDrains() const { return mmioDrains_; }
+    /** Data-TLB statistics (the redundant main-core translation). */
+    const mem::Tlb &dtlb() const { return *dtlb_; }
+    /** Memory soft errors transparently corrected by SECDED. */
+    std::uint64_t eccCorrected() const { return eccCorrected_; }
+    /** @} */
+
+    /** Dump all registered statistics. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    /** A dispatched segment awaiting (in-order) verification. */
+    struct PendingCheck
+    {
+        std::unique_ptr<LogSegment> segment;
+        unsigned checkerId = 0;
+        Tick startTick = 0;    //!< checker began executing
+        Tick finishTick = 0;   //!< checker done (or detection signal)
+        bool detected = false;
+        Tick detectTick = 0;
+        DetectReason reason = DetectReason::None;
+    };
+
+    /** @{ Segment lifecycle. */
+    bool openSegment();          //!< returns false if it had to stall
+    void closeSegmentAndDispatch();
+    Tick waitForOldestRelease(Tick now);
+    void retireVerifiedUpTo(Tick now);
+    /**
+     * Stall until every outstanding check completes.  Stops early on
+     * a failed check (performing the rollback).
+     * @return true if a rollback occurred.
+     */
+    bool drainChecks();
+    /** @} */
+
+    /** True if @p addr falls in the uncacheable window. */
+    bool
+    isMmio(Addr addr) const
+    {
+        return config_.mmioSize != 0 && addr >= config_.mmioBase &&
+               addr < config_.mmioBase + config_.mmioSize;
+    }
+
+    /** Model a SECDED-corrected soft error on a loaded value. */
+    void maybeEccEvent(const isa::ExecResult &r);
+
+    /** Apply main-core fault injection after a committed result. */
+    void maybeMainCoreFault(const isa::Instruction &inst,
+                            const isa::ExecResult &r);
+
+    /** @{ Resolve possibly-shared checker resources. */
+    CheckerScheduler *sched() { return schedPtr_; }
+    const CheckerScheduler *sched() const { return schedPtr_; }
+    cpu::CheckerTiming *checkerTiming() { return checkerTimingPtr_; }
+    /** @} */
+
+    /** Shared ctor body. */
+    void init(SharedUncore *uncore);
+
+    /** One Running-phase instruction; updates phase_. */
+    void stepInstruction();
+
+    /** One Draining-phase wait; updates phase_. */
+    void stepDrain();
+
+    /** Append @p r's memory activity to the filling segment. */
+    void logResult(const isa::ExecResult &r);
+
+    /** Log bytes instruction result @p r will consume. */
+    std::size_t bytesNeeded(const isa::ExecResult &r) const;
+
+    /** Capture pre-store line images for line-granularity rollback. */
+    void captureLineCopies(const isa::ExecResult &r);
+
+    /** Handle any detection due at or before @p now. */
+    bool processDetections(Tick now);
+
+    /** Roll back to the start of pending index @p idx at @p now. */
+    void performRollback(std::size_t idx, Tick now);
+
+    /** Undo one segment's memory writes; returns undo operations. */
+    std::uint64_t undoSegmentMemory(const LogSegment &segment);
+
+    /** Per-checkpoint DVFS + power-integration hook. */
+    void checkpointHousekeeping();
+
+    /** Integrate power up to @p now at the current operating point. */
+    void accumulatePower(Tick now);
+
+    /** Apply controller voltage/frequency at @p now. */
+    void applyOperatingPoint(Tick now);
+
+    SystemConfig config_;
+    const isa::Program &program_;
+
+    mem::SimpleMemory memory_;
+    isa::ArchState archState_;
+    ClockDomain mainClock_;
+    std::unique_ptr<mem::CacheHierarchy> hierarchy_;
+    std::unique_ptr<mem::Tlb> dtlb_;
+    std::unique_ptr<mem::Tlb> itlb_;
+    std::unique_ptr<cpu::MainCore> mainCore_;
+    std::unique_ptr<cpu::CheckerTiming> checkerTiming_;
+    std::unique_ptr<CheckerScheduler> sched_;
+    cpu::CheckerTiming *checkerTimingPtr_ = nullptr;
+    CheckerScheduler *schedPtr_ = nullptr;
+    CheckpointLengthController ckptCtrl_;
+    std::unique_ptr<VoltageController> voltCtrl_;
+    std::unique_ptr<Regulator> regulator_;
+    faults::FaultPlan faultPlan_;
+    faults::FaultPlan mainCoreFaultPlan_;
+    std::optional<faults::UndervoltErrorModel> undervoltModel_;
+    power::PowerModel powerModel_;
+    power::FrequencyVoltageModel fvModel_;
+    power::EnergyAccumulator energy_;
+
+    // Filling segment.
+    std::unique_ptr<LogSegment> filling_;
+    int fillingChecker_ = -1;
+    unsigned instsInSegment_ = 0;
+    std::unordered_set<Addr> linesCopiedThisCkpt_;
+
+    // Dispatched segments, oldest first.
+    std::deque<PendingCheck> pending_;
+
+    // Run-scoped counters.
+    std::uint64_t segSeq_ = 1;
+    std::uint64_t netIndex_ = 0;
+    std::uint64_t executed_ = 0;
+    std::uint64_t checkpoints_ = 0;
+    std::uint64_t rollbacks_ = 0;
+    std::uint64_t detections_ = 0;
+    std::uint64_t checkerInstructions_ = 0;
+    std::uint64_t faultsInjectedTotal_ = 0;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(DetectReason::NumReasons)>
+        reasonCounts_{};
+    double awakeTickSum_ = 0.0;
+    std::uint64_t mmioDrains_ = 0;
+    std::uint64_t eccCorrected_ = 0;
+    std::uint64_t eccGap_ = 0;
+    Rng eccRng_{0};
+    Tick lastPowerTick_ = 0;
+    double currentVoltage_;
+    double currentFreq_;
+
+    // Incremental-run state.
+    Phase phase_ = Phase::Idle;
+    RunLimits limits_{};
+    bool halted_ = false;
+
+    // Statistics.
+    stats::StatGroup statGroup_;
+    stats::Distribution *rollbackNs_;
+    stats::Distribution *wastedNs_;
+    stats::Distribution *ckptLen_;
+    stats::Histogram *ckptHist_;
+    stats::Counter *evictionCuts_;
+    stats::Counter *capacityCuts_;
+    stats::Counter *targetCuts_;
+    stats::Counter *checkerWaitStalls_;
+    stats::TimeSeries *voltTrace_;
+};
+
+} // namespace core
+} // namespace paradox
+
+#endif // PARADOX_CORE_SYSTEM_HH

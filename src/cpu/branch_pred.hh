@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tournament branch predictor (Table I): 2048-entry local predictor,
+ * 8192-entry global predictor, 2048-entry chooser, 2048-entry BTB and
+ * a 16-entry return-address stack.
+ */
+
+#ifndef PARADOX_CPU_BRANCH_PRED_HH
+#define PARADOX_CPU_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace cpu
+{
+
+/** Alpha-21264-style tournament predictor. */
+class TournamentPredictor
+{
+  public:
+    struct Params
+    {
+        unsigned localEntries = 2048;   //!< local history + counters
+        unsigned globalEntries = 8192;  //!< global 2-bit counters
+        unsigned chooserEntries = 2048; //!< 2-bit chooser counters
+        unsigned btbEntries = 2048;
+        unsigned rasEntries = 16;
+        unsigned localHistoryBits = 11;
+        unsigned globalHistoryBits = 13;
+    };
+
+    TournamentPredictor() : TournamentPredictor(Params{}) {}
+    explicit TournamentPredictor(const Params &params);
+
+    /** One direction/target prediction. */
+    struct Prediction
+    {
+        bool taken = false;
+        Addr target = 0;
+        bool targetKnown = false;  //!< BTB or RAS supplied a target
+    };
+
+    /**
+     * Predict the instruction at @p pc.  Jumps predict taken; their
+     * targets come from the RAS (returns) or BTB (everything else).
+     */
+    Prediction predict(Addr pc, const isa::Instruction &inst);
+
+    /**
+     * Train with the resolved outcome and repair speculative state.
+     * @return true if the prediction was wrong (direction or target).
+     */
+    bool update(Addr pc, const isa::Instruction &inst, bool taken,
+                Addr target);
+
+    /** @{ Statistics. */
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    /** @} */
+
+    /** Drop all learned state. */
+    void reset();
+
+  private:
+    static bool counterTaken(std::uint8_t c, std::uint8_t max);
+    static void train(std::uint8_t &c, bool taken, std::uint8_t max);
+
+    unsigned localIndex(Addr pc) const;
+    unsigned globalIndex() const;
+    unsigned chooserIndex(Addr pc) const;
+    unsigned btbIndex(Addr pc) const;
+
+    bool isCall(const isa::Instruction &inst) const;
+    bool isReturn(const isa::Instruction &inst) const;
+
+    Params params_;
+    std::vector<std::uint16_t> localHistory_;
+    std::vector<std::uint8_t> localCounters_;   //!< 3-bit
+    std::vector<std::uint8_t> globalCounters_;  //!< 2-bit
+    std::vector<std::uint8_t> chooser_;         //!< 2-bit
+    struct BtbEntry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+    };
+    std::vector<BtbEntry> btb_;
+    std::vector<Addr> ras_;
+    std::size_t rasTop_ = 0;
+    std::uint64_t globalHistory_ = 0;
+
+    // Saved at predict() for the matching update().
+    Prediction lastPrediction_;
+    bool lastChoseGlobal_ = false;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace cpu
+} // namespace paradox
+
+#endif // PARADOX_CPU_BRANCH_PRED_HH

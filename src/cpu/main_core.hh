@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Timing model of the out-of-order superscalar main core (Table I:
+ * 3-wide, 40-entry ROB, 32-entry IQ, 16-entry LQ/SQ, 3 int ALUs,
+ * 2 FP ALUs, 1 mult/div ALU, tournament predictor, 3.2 GHz).
+ *
+ * The model is an instruction-granularity out-of-order approximation:
+ * each committed instruction flows through fetch (bandwidth-limited,
+ * through the real L1I), a fixed-depth frontend, dispatch (bounded by
+ * ROB/IQ/LQ/SQ occupancy rings), issue (operand ready-times + FU
+ * availability), execution (class latencies; memory through the real
+ * hierarchy), and in-order, width-limited commit.  Branches train the
+ * real tournament predictor and redirect fetch on a mispredict.  This
+ * captures the relative main-vs-checker throughput, cache, and stall
+ * behaviour the ParaDox evaluation depends on, without simulating a
+ * full wrong-path pipeline.
+ */
+
+#ifndef PARADOX_CPU_MAIN_CORE_HH
+#define PARADOX_CPU_MAIN_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/branch_pred.hh"
+#include "isa/executor.hh"
+#include "mem/hierarchy.hh"
+#include "sim/clock.hh"
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace cpu
+{
+
+/** Structural and latency parameters of the main core. */
+struct MainCoreParams
+{
+    unsigned width = 3;            //!< fetch/commit width
+    unsigned robEntries = 40;
+    unsigned iqEntries = 32;
+    unsigned lqEntries = 16;
+    unsigned sqEntries = 16;
+    unsigned intAlus = 3;
+    unsigned fpAlus = 2;
+    unsigned multDivAlus = 1;      //!< shared int/FP mult+div unit
+    unsigned frontendCycles = 6;   //!< decode/rename depth
+    unsigned redirectCycles = 2;   //!< extra cycles on a mispredict
+
+    unsigned intAluLat = 1;
+    unsigned intMultLat = 3;
+    unsigned intDivLat = 18;       //!< unpipelined
+    unsigned fpAluLat = 4;
+    unsigned fpMultLat = 5;
+    unsigned fpDivLat = 18;        //!< unpipelined
+
+    TournamentPredictor::Params predictor{};
+};
+
+/** Per-instruction timing outcome. */
+struct CommitTiming
+{
+    Tick commitAt = 0;        //!< tick this instruction committed
+    bool l1dHit = false;
+    bool mispredicted = false;
+    bool needsLineCopy = false; //!< first write to line this checkpoint
+};
+
+/**
+ * The out-of-order main core timing model.
+ *
+ * The functional result of each instruction is computed first (by
+ * core::System); advance() then accounts its timing.  When a memory
+ * access cannot allocate in the L1D because every way of its set is
+ * pinned by unchecked segments, the supplied pinned-stall resolver is
+ * invoked: it must make progress (verify the oldest segment) and
+ * return the tick at which the access may retry.
+ */
+class MainCore
+{
+  public:
+    /** Resolver invoked on a pinned-set stall; returns retry tick. */
+    using PinnedStallResolver = std::function<Tick(Tick)>;
+
+    MainCore(const MainCoreParams &params, ClockDomain &clock,
+             mem::CacheHierarchy &hierarchy);
+
+    /**
+     * Account timing for one committed instruction.
+     * @param inst the decoded instruction (source-register indices)
+     * @param r functional result (already executed)
+     * @param pin_seg segment id to pin written lines under (mem::noPin
+     *        to disable unchecked-store buffering)
+     * @param stamp checkpoint id for line-granularity rollback copies
+     */
+    CommitTiming advance(const isa::Instruction &inst,
+                         const isa::ExecResult &r, std::uint64_t pin_seg,
+                         std::uint64_t stamp);
+
+    /** Set the handler for pinned-set stalls. */
+    void setPinnedStallResolver(PinnedStallResolver resolver)
+    {
+        resolver_ = std::move(resolver);
+    }
+
+    /** Commit tick of the most recent instruction. */
+    Tick now() const { return lastCommit_; }
+
+    /** Stall the whole pipeline until @p t (checker-wait stalls). */
+    void stallUntil(Tick t);
+
+    /**
+     * Block commit for @p n cycles (the 16-cycle register checkpoint
+     * of Table I).
+     */
+    void blockCommit(Cycles n);
+
+    /**
+     * Squash and restart the pipeline at @p at (after rollback): all
+     * in-flight state is discarded and fetch restarts cold.
+     */
+    void resetPipeline(Tick at);
+
+    /** @{ Statistics. */
+    std::uint64_t committed() const { return committed_; }
+    const TournamentPredictor &predictor() const { return predictor_; }
+    TournamentPredictor &predictor() { return predictor_; }
+    /** @} */
+
+  private:
+    Tick cycles(unsigned n) const { return clock_.cyclesToTicks(n); }
+    Tick slotTicks() const { return clock_.period() / params_.width; }
+
+    /** Ready tick of an instruction's source registers. */
+    Tick sourceReady(const isa::Instruction &inst) const;
+
+    /** Issue through a functional-unit group; returns complete tick. */
+    Tick useFu(std::vector<Tick> &group, Tick ready, unsigned latency,
+               bool pipelined);
+
+    MainCoreParams params_;
+    ClockDomain &clock_;
+    mem::CacheHierarchy &hierarchy_;
+    TournamentPredictor predictor_;
+    PinnedStallResolver resolver_;
+
+    Tick fetchReadyAt_ = 0;
+    Tick nextFetchSlot_ = 0;
+    Tick nextCommitSlot_ = 0;
+    Tick lastCommit_ = 0;
+
+    std::vector<Tick> regReadyX_;
+    std::vector<Tick> regReadyF_;
+    std::vector<Tick> robRing_;
+    std::vector<Tick> iqRing_;
+    std::vector<Tick> lqRing_;
+    std::vector<Tick> sqRing_;
+    std::size_t robHead_ = 0, iqHead_ = 0, lqHead_ = 0, sqHead_ = 0;
+
+    std::vector<Tick> intAluBusy_;
+    std::vector<Tick> fpAluBusy_;
+    std::vector<Tick> multDivBusy_;
+
+    std::uint64_t committed_ = 0;
+};
+
+} // namespace cpu
+} // namespace paradox
+
+#endif // PARADOX_CPU_MAIN_CORE_HH

@@ -1,0 +1,148 @@
+#include "faults/fault_model.hh"
+
+#include <limits>
+
+namespace paradox
+{
+namespace faults
+{
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    resample();
+}
+
+void
+FaultInjector::resample()
+{
+    gap_ = rng_.geometric(config_.rate);
+}
+
+void
+FaultInjector::setRate(double rate)
+{
+    if (rate == config_.rate)
+        return;
+    config_.rate = rate;
+    resample();
+}
+
+void
+FaultInjector::reset()
+{
+    rng_.seed(config_.seed);
+    fired_ = 0;
+    resample();
+}
+
+bool
+FaultInjector::consumeEvent()
+{
+    if (gap_ == std::numeric_limits<std::uint64_t>::max())
+        return false;
+    if (--gap_ > 0)
+        return false;
+    ++fired_;
+    resample();
+    return true;
+}
+
+FaultHit
+FaultInjector::onLogEntry(bool is_load)
+{
+    FaultHit hit;
+    if (config_.kind != FaultKind::LogBitFlip)
+        return hit;
+    if (is_load ? !config_.targetLoads : !config_.targetStores)
+        return hit;
+    if (!consumeEvent())
+        return hit;
+    hit.fires = true;
+    hit.bit = unsigned(rng_.nextBounded(64));
+    return hit;
+}
+
+FaultHit
+FaultInjector::onInstruction(const isa::Instruction &inst, bool wrote_reg)
+{
+    FaultHit hit;
+    switch (config_.kind) {
+      case FaultKind::FunctionalUnit:
+        if (inst.info().cls != config_.targetClass)
+            return hit;
+        if (!consumeEvent())
+            return hit;
+        // "An instruction that has no effect is indistinguishable
+        // from a discarded instruction: no error is injected if no
+        // register is touched."
+        if (!wrote_reg)
+            return hit;
+        hit.fires = true;
+        hit.bit = unsigned(rng_.nextBounded(64));
+        return hit;
+
+      case FaultKind::RegisterBitFlip:
+        if (!consumeEvent())
+            return hit;
+        hit.fires = true;
+        hit.bit = unsigned(rng_.nextBounded(64));
+        hit.regIndex = unsigned(rng_.nextBounded(isa::numIntRegs));
+        return hit;
+
+      default:
+        return hit;
+    }
+}
+
+std::size_t
+FaultPlan::add(const FaultConfig &config)
+{
+    injectors_.emplace_back(config);
+    return injectors_.size() - 1;
+}
+
+void
+FaultPlan::setAllRates(double rate)
+{
+    for (auto &injector : injectors_)
+        injector.setRate(rate);
+}
+
+std::uint64_t
+FaultPlan::totalFired() const
+{
+    std::uint64_t total = 0;
+    for (const auto &injector : injectors_)
+        total += injector.fired();
+    return total;
+}
+
+void
+FaultPlan::reset()
+{
+    for (auto &injector : injectors_)
+        injector.reset();
+}
+
+FaultPlan
+uniformPlan(double rate, std::uint64_t seed)
+{
+    FaultPlan plan;
+    FaultConfig reg;
+    reg.kind = FaultKind::RegisterBitFlip;
+    reg.rate = rate;
+    reg.targetCategory = isa::RegCategory::Integer;
+    reg.seed = seed;
+    plan.add(reg);
+
+    FaultConfig log;
+    log.kind = FaultKind::LogBitFlip;
+    log.rate = rate;
+    log.seed = seed ^ 0xabcdef0123456789ULL;
+    plan.add(log);
+    return plan;
+}
+
+} // namespace faults
+} // namespace paradox

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Error-injection framework (paper section V-A, figure 7).
+ *
+ * Faults are injected into checker cores only, as in the paper:
+ * detection is symmetric (a mismatch never says which side erred), so
+ * restricting injection to one side leaves recovery behaviour
+ * unchanged while giving the simulation a trustworthy oracle.
+ *
+ * Three fault models approximate the variety of hardware faults:
+ *
+ *  - LogBitFlip: "memory faults" -- one bit of the data carried by a
+ *    load-store-log entry flips; the geometric gap counts targeted
+ *    memory operations (loads or stores).
+ *
+ *  - FunctionalUnit: "combinational faults from a defect in a
+ *    particular functional unit" -- when an instruction of the
+ *    targeted class writes a register, the written value is
+ *    corrupted; instructions that touch no register are skipped.
+ *
+ *  - RegisterBitFlip: "combinational faults of unknown origin" --
+ *    a single bit flips in a register chosen at random within a
+ *    category (integer, float, flags, misc); the gap counts executed
+ *    instructions.
+ *
+ * Inter-arrival gaps are geometric, modelling independent errors.
+ */
+
+#ifndef PARADOX_FAULTS_FAULT_MODEL_HH
+#define PARADOX_FAULTS_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/arch_state.hh"
+#include "isa/instruction.hh"
+#include "sim/rng.hh"
+
+namespace paradox
+{
+namespace faults
+{
+
+/** The three injected fault families. */
+enum class FaultKind : std::uint8_t
+{
+    LogBitFlip,
+    FunctionalUnit,
+    RegisterBitFlip,
+};
+
+/** Configuration of one injector. */
+struct FaultConfig
+{
+    FaultKind kind = FaultKind::RegisterBitFlip;
+    /** Per-targeted-event probability (geometric gap parameter). */
+    double rate = 0.0;
+    /** LogBitFlip: target loads, stores, or both. */
+    bool targetLoads = true;
+    bool targetStores = true;
+    /** FunctionalUnit: the defective unit. */
+    isa::InstClass targetClass = isa::InstClass::IntAlu;
+    /** RegisterBitFlip: the targeted register category. */
+    isa::RegCategory targetCategory = isa::RegCategory::Integer;
+    std::uint64_t seed = 1;
+};
+
+/** A decision returned by an injector when it fires. */
+struct FaultHit
+{
+    bool fires = false;
+    unsigned bit = 0;      //!< bit position to flip
+    unsigned regIndex = 0; //!< target register (RegisterBitFlip)
+};
+
+/**
+ * One geometric-gap fault source.
+ *
+ * The owner calls the event hook matching the injector's kind; other
+ * hooks return no-fire immediately.  Rates may be retuned at run time
+ * (the dynamic-voltage path drives rate from the undervolt model);
+ * retuning resamples the gap.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config);
+
+    /** Change the per-event probability (resamples the gap). */
+    void setRate(double rate);
+
+    double rate() const { return config_.rate; }
+    FaultKind kind() const { return config_.kind; }
+    const FaultConfig &config() const { return config_; }
+
+    /** A checker consumed a load-store-log data value. */
+    FaultHit onLogEntry(bool is_load);
+
+    /**
+     * A checker executed @p inst, writing a register iff @p wrote_reg.
+     * Fires for FunctionalUnit (matching class, register written) and
+     * RegisterBitFlip (any instruction).
+     */
+    FaultHit onInstruction(const isa::Instruction &inst, bool wrote_reg);
+
+    /** Total number of faults this injector has fired. */
+    std::uint64_t fired() const { return fired_; }
+
+    /** Restart the gap sequence (between independent runs). */
+    void reset();
+
+  private:
+    bool consumeEvent();
+    void resample();
+
+    FaultConfig config_;
+    Rng rng_;
+    std::uint64_t gap_ = 0;
+    std::uint64_t fired_ = 0;
+};
+
+/** A set of concurrently active injectors. */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /** Add an injector; returns its index. */
+    std::size_t add(const FaultConfig &config);
+
+    /** Retune every injector to @p rate (voltage-driven operation). */
+    void setAllRates(double rate);
+
+    std::vector<FaultInjector> &injectors() { return injectors_; }
+    const std::vector<FaultInjector> &injectors() const
+    {
+        return injectors_;
+    }
+
+    bool empty() const { return injectors_.empty(); }
+
+    std::uint64_t totalFired() const;
+
+    void reset();
+
+  private:
+    std::vector<FaultInjector> injectors_;
+};
+
+/**
+ * Convenience: the "uniform" plan used for the figure 8/9 sweeps --
+ * one RegisterBitFlip source over all instructions and one LogBitFlip
+ * source over all memory operations, both at @p rate.
+ */
+FaultPlan uniformPlan(double rate, std::uint64_t seed);
+
+} // namespace faults
+} // namespace paradox
+
+#endif // PARADOX_FAULTS_FAULT_MODEL_HH

@@ -1,0 +1,31 @@
+#include "faults/undervolt_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paradox
+{
+namespace faults
+{
+
+double
+UndervoltErrorModel::perInstructionRate(double v) const
+{
+    if (v <= params_.vFloor)
+        return 1.0;
+    double p = std::exp(-params_.slope * (v - params_.vFloor));
+    return std::min(p, 1.0);
+}
+
+double
+UndervoltErrorModel::voltageForRate(double rate) const
+{
+    if (rate >= 1.0)
+        return params_.vFloor;
+    if (rate <= 0.0)
+        return params_.vNominal;
+    return params_.vFloor - std::log(rate) / params_.slope;
+}
+
+} // namespace faults
+} // namespace paradox

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Exponential undervolting error-rate model (Tan et al., IPDPS'15).
+ *
+ * The paper generates undervolting-induced errors "using an
+ * exponential model following the formula from Tan et al.", with
+ * parameters for the Intel Itanium II 9560 (nominal 1.1 V), chosen
+ * because no equivalent error-rate-vs-voltage study exists for Arm
+ * parts.  Only the exponential *shape* matters: the per-instruction
+ * error probability rises exponentially as supply voltage drops
+ * below the safe margin,
+ *
+ *     p(V) = clamp(exp(-slope * (V - vFloor)), 1)
+ *
+ * with p(vFloor) = 1 (every instruction faults) and p(vNominal)
+ * negligible.  Error onset under
+ * undervolting is a sharp cliff (orders of magnitude within tens of
+ * millivolts), so the slope is steep: first observable errors appear
+ * around 0.87-0.89 V and rates become heavy below 0.85 V, matching
+ * the operating region of figure 11.
+ */
+
+#ifndef PARADOX_FAULTS_UNDERVOLT_MODEL_HH
+#define PARADOX_FAULTS_UNDERVOLT_MODEL_HH
+
+namespace paradox
+{
+namespace faults
+{
+
+/** Voltage -> per-instruction error probability. */
+class UndervoltErrorModel
+{
+  public:
+    struct Params
+    {
+        double vNominal = 1.1;  //!< margined supply (Itanium II 9560)
+        double vFloor = 0.82;   //!< p == 1 at and below this voltage
+        double slope = 290.0;   //!< exponential steepness, 1/volt
+    };
+
+    UndervoltErrorModel() : UndervoltErrorModel(Params{}) {}
+    explicit UndervoltErrorModel(const Params &params) : params_(params)
+    {}
+
+    /** Per-instruction error probability at supply voltage @p v. */
+    double perInstructionRate(double v) const;
+
+    /**
+     * Voltage at which the per-instruction rate equals @p rate
+     * (inverse of perInstructionRate; useful for calibration).
+     */
+    double voltageForRate(double rate) const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+};
+
+} // namespace faults
+} // namespace paradox
+
+#endif // PARADOX_FAULTS_UNDERVOLT_MODEL_HH

@@ -1,0 +1,231 @@
+#include "isa/builder.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace isa
+{
+
+ProgramBuilder &
+ProgramBuilder::emit(Opcode op, unsigned rd, unsigned rs1, unsigned rs2,
+                     std::int64_t imm)
+{
+    if (rd >= numIntRegs || rs1 >= numIntRegs || rs2 >= numIntRegs)
+        fatal("ProgramBuilder: register index out of range");
+    Instruction inst;
+    inst.op = op;
+    inst.rd = std::uint8_t(rd);
+    inst.rs1 = std::uint8_t(rs1);
+    inst.rs2 = std::uint8_t(rs2);
+    inst.imm = imm;
+    code_.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Opcode op, unsigned rs1, unsigned rs2,
+                           const std::string &target)
+{
+    fixups_.push_back({code_.size(), target});
+    return emit(op, 0, rs1, rs2, 0);
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("ProgramBuilder: duplicate label '" + name + "'");
+    labels_[name] = code_.size();
+    return *this;
+}
+
+// Integer register-register.
+ProgramBuilder &ProgramBuilder::add(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::ADD, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::sub(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::SUB, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::and_(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::AND_, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::or_(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::OR_, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::xor_(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::XOR_, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::sll(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::SLL, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::srl(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::SRL, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::sra(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::SRA, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::slt(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::SLT, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::sltu(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::SLTU, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::mul(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::MUL, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::mulh(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::MULH, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::div(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::DIV, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::divu(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::DIVU, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::rem(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::REM, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::remu(XReg rd, XReg a, XReg b)
+{ return emit(Opcode::REMU, rd.idx, a.idx, b.idx, 0); }
+
+// Integer register-immediate.
+ProgramBuilder &ProgramBuilder::addi(XReg rd, XReg a, std::int64_t imm)
+{ return emit(Opcode::ADDI, rd.idx, a.idx, 0, imm); }
+ProgramBuilder &ProgramBuilder::andi(XReg rd, XReg a, std::int64_t imm)
+{ return emit(Opcode::ANDI, rd.idx, a.idx, 0, imm); }
+ProgramBuilder &ProgramBuilder::ori(XReg rd, XReg a, std::int64_t imm)
+{ return emit(Opcode::ORI, rd.idx, a.idx, 0, imm); }
+ProgramBuilder &ProgramBuilder::xori(XReg rd, XReg a, std::int64_t imm)
+{ return emit(Opcode::XORI, rd.idx, a.idx, 0, imm); }
+ProgramBuilder &ProgramBuilder::slli(XReg rd, XReg a, unsigned sh)
+{ return emit(Opcode::SLLI, rd.idx, a.idx, 0, std::int64_t(sh & 63)); }
+ProgramBuilder &ProgramBuilder::srli(XReg rd, XReg a, unsigned sh)
+{ return emit(Opcode::SRLI, rd.idx, a.idx, 0, std::int64_t(sh & 63)); }
+ProgramBuilder &ProgramBuilder::srai(XReg rd, XReg a, unsigned sh)
+{ return emit(Opcode::SRAI, rd.idx, a.idx, 0, std::int64_t(sh & 63)); }
+ProgramBuilder &ProgramBuilder::slti(XReg rd, XReg a, std::int64_t imm)
+{ return emit(Opcode::SLTI, rd.idx, a.idx, 0, imm); }
+
+ProgramBuilder &ProgramBuilder::ldi(XReg rd, std::uint64_t imm)
+{ return emit(Opcode::LDI, rd.idx, 0, 0, std::int64_t(imm)); }
+ProgramBuilder &ProgramBuilder::mv(XReg rd, XReg rs)
+{ return addi(rd, rs, 0); }
+
+// Loads and stores.
+ProgramBuilder &ProgramBuilder::lb(XReg rd, XReg base, std::int64_t off)
+{ return emit(Opcode::LB, rd.idx, base.idx, 0, off); }
+ProgramBuilder &ProgramBuilder::lbu(XReg rd, XReg base, std::int64_t off)
+{ return emit(Opcode::LBU, rd.idx, base.idx, 0, off); }
+ProgramBuilder &ProgramBuilder::lh(XReg rd, XReg base, std::int64_t off)
+{ return emit(Opcode::LH, rd.idx, base.idx, 0, off); }
+ProgramBuilder &ProgramBuilder::lhu(XReg rd, XReg base, std::int64_t off)
+{ return emit(Opcode::LHU, rd.idx, base.idx, 0, off); }
+ProgramBuilder &ProgramBuilder::lw(XReg rd, XReg base, std::int64_t off)
+{ return emit(Opcode::LW, rd.idx, base.idx, 0, off); }
+ProgramBuilder &ProgramBuilder::lwu(XReg rd, XReg base, std::int64_t off)
+{ return emit(Opcode::LWU, rd.idx, base.idx, 0, off); }
+ProgramBuilder &ProgramBuilder::ld(XReg rd, XReg base, std::int64_t off)
+{ return emit(Opcode::LD, rd.idx, base.idx, 0, off); }
+ProgramBuilder &ProgramBuilder::sb(XReg src, XReg base, std::int64_t off)
+{ return emit(Opcode::SB, 0, base.idx, src.idx, off); }
+ProgramBuilder &ProgramBuilder::sh(XReg src, XReg base, std::int64_t off)
+{ return emit(Opcode::SH, 0, base.idx, src.idx, off); }
+ProgramBuilder &ProgramBuilder::sw(XReg src, XReg base, std::int64_t off)
+{ return emit(Opcode::SW, 0, base.idx, src.idx, off); }
+ProgramBuilder &ProgramBuilder::sd(XReg src, XReg base, std::int64_t off)
+{ return emit(Opcode::SD, 0, base.idx, src.idx, off); }
+ProgramBuilder &ProgramBuilder::fld(FReg rd, XReg base, std::int64_t off)
+{ return emit(Opcode::FLD, rd.idx, base.idx, 0, off); }
+ProgramBuilder &ProgramBuilder::fsd(FReg src, XReg base, std::int64_t off)
+{ return emit(Opcode::FSD, 0, base.idx, src.idx, off); }
+
+// Branches.
+ProgramBuilder &ProgramBuilder::beq(XReg a, XReg b, const std::string &t)
+{ return emitBranch(Opcode::BEQ, a.idx, b.idx, t); }
+ProgramBuilder &ProgramBuilder::bne(XReg a, XReg b, const std::string &t)
+{ return emitBranch(Opcode::BNE, a.idx, b.idx, t); }
+ProgramBuilder &ProgramBuilder::blt(XReg a, XReg b, const std::string &t)
+{ return emitBranch(Opcode::BLT, a.idx, b.idx, t); }
+ProgramBuilder &ProgramBuilder::bge(XReg a, XReg b, const std::string &t)
+{ return emitBranch(Opcode::BGE, a.idx, b.idx, t); }
+ProgramBuilder &ProgramBuilder::bltu(XReg a, XReg b, const std::string &t)
+{ return emitBranch(Opcode::BLTU, a.idx, b.idx, t); }
+ProgramBuilder &ProgramBuilder::bgeu(XReg a, XReg b, const std::string &t)
+{ return emitBranch(Opcode::BGEU, a.idx, b.idx, t); }
+
+ProgramBuilder &
+ProgramBuilder::jal(XReg rd, const std::string &target)
+{
+    fixups_.push_back({code_.size(), target});
+    return emit(Opcode::JAL, rd.idx, 0, 0, 0);
+}
+
+ProgramBuilder &ProgramBuilder::j(const std::string &target)
+{ return jal(xzero, target); }
+ProgramBuilder &ProgramBuilder::jalr(XReg rd, XReg base, std::int64_t off)
+{ return emit(Opcode::JALR, rd.idx, base.idx, 0, off); }
+ProgramBuilder &ProgramBuilder::ret(XReg link)
+{ return jalr(xzero, link, 0); }
+
+// Floating point.
+ProgramBuilder &ProgramBuilder::fadd(FReg rd, FReg a, FReg b)
+{ return emit(Opcode::FADD, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::fsub(FReg rd, FReg a, FReg b)
+{ return emit(Opcode::FSUB, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::fmul(FReg rd, FReg a, FReg b)
+{ return emit(Opcode::FMUL, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::fdiv(FReg rd, FReg a, FReg b)
+{ return emit(Opcode::FDIV, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::fsqrt(FReg rd, FReg a)
+{ return emit(Opcode::FSQRT, rd.idx, a.idx, 0, 0); }
+ProgramBuilder &ProgramBuilder::fmin(FReg rd, FReg a, FReg b)
+{ return emit(Opcode::FMIN, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::fmax(FReg rd, FReg a, FReg b)
+{ return emit(Opcode::FMAX, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::fneg(FReg rd, FReg a)
+{ return emit(Opcode::FNEG, rd.idx, a.idx, 0, 0); }
+ProgramBuilder &ProgramBuilder::fabs_(FReg rd, FReg a)
+{ return emit(Opcode::FABS, rd.idx, a.idx, 0, 0); }
+ProgramBuilder &ProgramBuilder::fmadd(FReg rd, FReg a, FReg b)
+{ return emit(Opcode::FMADD, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::fcvtDL(FReg rd, XReg a)
+{ return emit(Opcode::FCVT_D_L, rd.idx, a.idx, 0, 0); }
+ProgramBuilder &ProgramBuilder::fcvtLD(XReg rd, FReg a)
+{ return emit(Opcode::FCVT_L_D, rd.idx, a.idx, 0, 0); }
+ProgramBuilder &ProgramBuilder::fmvXD(XReg rd, FReg a)
+{ return emit(Opcode::FMV_X_D, rd.idx, a.idx, 0, 0); }
+ProgramBuilder &ProgramBuilder::fmvDX(FReg rd, XReg a)
+{ return emit(Opcode::FMV_D_X, rd.idx, a.idx, 0, 0); }
+ProgramBuilder &ProgramBuilder::feq(XReg rd, FReg a, FReg b)
+{ return emit(Opcode::FEQ, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::flt(XReg rd, FReg a, FReg b)
+{ return emit(Opcode::FLT_, rd.idx, a.idx, b.idx, 0); }
+ProgramBuilder &ProgramBuilder::fle(XReg rd, FReg a, FReg b)
+{ return emit(Opcode::FLE, rd.idx, a.idx, b.idx, 0); }
+
+// Miscellaneous.
+ProgramBuilder &ProgramBuilder::nop()
+{ return emit(Opcode::NOP, 0, 0, 0, 0); }
+ProgramBuilder &ProgramBuilder::syscall(XReg rd, XReg arg)
+{ return emit(Opcode::SYSCALL, rd.idx, arg.idx, 0, 0); }
+ProgramBuilder &ProgramBuilder::halt()
+{ return emit(Opcode::HALT, 0, 0, 0, 0); }
+
+ProgramBuilder &
+ProgramBuilder::data64(Addr addr, std::uint64_t value)
+{
+    data_.push_back({addr, value});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::dataF64(Addr addr, double value)
+{
+    return data64(addr, std::bit_cast<std::uint64_t>(value));
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (const auto &fixup : fixups_) {
+        auto it = labels_.find(fixup.target);
+        if (it == labels_.end())
+            fatal("ProgramBuilder: undefined label '" + fixup.target +
+                  "' in " + name_);
+        code_[fixup.index].imm =
+            std::int64_t(it->second * instBytes);
+    }
+    fixups_.clear();
+    return Program(name_, code_, data_);
+}
+
+} // namespace isa
+} // namespace paradox

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * ProgramBuilder: an in-process assembler for PDX64.
+ *
+ * Workloads are written against this fluent API; labels are resolved
+ * to absolute byte targets at build() time.  The builder is the only
+ * producer of Program images, so it also performs the static checks
+ * (defined labels, register ranges) that a real assembler would.
+ */
+
+#ifndef PARADOX_ISA_BUILDER_HH
+#define PARADOX_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace paradox
+{
+namespace isa
+{
+
+/** Assembler-style builder of Program images. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+    /** Define @p name at the current code position. */
+    ProgramBuilder &label(const std::string &name);
+
+    /** @{ Integer register-register ALU operations. */
+    ProgramBuilder &add(XReg rd, XReg a, XReg b);
+    ProgramBuilder &sub(XReg rd, XReg a, XReg b);
+    ProgramBuilder &and_(XReg rd, XReg a, XReg b);
+    ProgramBuilder &or_(XReg rd, XReg a, XReg b);
+    ProgramBuilder &xor_(XReg rd, XReg a, XReg b);
+    ProgramBuilder &sll(XReg rd, XReg a, XReg b);
+    ProgramBuilder &srl(XReg rd, XReg a, XReg b);
+    ProgramBuilder &sra(XReg rd, XReg a, XReg b);
+    ProgramBuilder &slt(XReg rd, XReg a, XReg b);
+    ProgramBuilder &sltu(XReg rd, XReg a, XReg b);
+    ProgramBuilder &mul(XReg rd, XReg a, XReg b);
+    ProgramBuilder &mulh(XReg rd, XReg a, XReg b);
+    ProgramBuilder &div(XReg rd, XReg a, XReg b);
+    ProgramBuilder &divu(XReg rd, XReg a, XReg b);
+    ProgramBuilder &rem(XReg rd, XReg a, XReg b);
+    ProgramBuilder &remu(XReg rd, XReg a, XReg b);
+    /** @} */
+
+    /** @{ Integer register-immediate ALU operations. */
+    ProgramBuilder &addi(XReg rd, XReg a, std::int64_t imm);
+    ProgramBuilder &andi(XReg rd, XReg a, std::int64_t imm);
+    ProgramBuilder &ori(XReg rd, XReg a, std::int64_t imm);
+    ProgramBuilder &xori(XReg rd, XReg a, std::int64_t imm);
+    ProgramBuilder &slli(XReg rd, XReg a, unsigned sh);
+    ProgramBuilder &srli(XReg rd, XReg a, unsigned sh);
+    ProgramBuilder &srai(XReg rd, XReg a, unsigned sh);
+    ProgramBuilder &slti(XReg rd, XReg a, std::int64_t imm);
+    /** @} */
+
+    /** Load a full 64-bit immediate. */
+    ProgramBuilder &ldi(XReg rd, std::uint64_t imm);
+    /** Copy a register (pseudo-op: addi rd, rs, 0). */
+    ProgramBuilder &mv(XReg rd, XReg rs);
+
+    /** @{ Loads and stores: address is x[base] + offset. */
+    ProgramBuilder &lb(XReg rd, XReg base, std::int64_t off);
+    ProgramBuilder &lbu(XReg rd, XReg base, std::int64_t off);
+    ProgramBuilder &lh(XReg rd, XReg base, std::int64_t off);
+    ProgramBuilder &lhu(XReg rd, XReg base, std::int64_t off);
+    ProgramBuilder &lw(XReg rd, XReg base, std::int64_t off);
+    ProgramBuilder &lwu(XReg rd, XReg base, std::int64_t off);
+    ProgramBuilder &ld(XReg rd, XReg base, std::int64_t off);
+    ProgramBuilder &sb(XReg src, XReg base, std::int64_t off);
+    ProgramBuilder &sh(XReg src, XReg base, std::int64_t off);
+    ProgramBuilder &sw(XReg src, XReg base, std::int64_t off);
+    ProgramBuilder &sd(XReg src, XReg base, std::int64_t off);
+    ProgramBuilder &fld(FReg rd, XReg base, std::int64_t off);
+    ProgramBuilder &fsd(FReg src, XReg base, std::int64_t off);
+    /** @} */
+
+    /** @{ Conditional branches to a label. */
+    ProgramBuilder &beq(XReg a, XReg b, const std::string &target);
+    ProgramBuilder &bne(XReg a, XReg b, const std::string &target);
+    ProgramBuilder &blt(XReg a, XReg b, const std::string &target);
+    ProgramBuilder &bge(XReg a, XReg b, const std::string &target);
+    ProgramBuilder &bltu(XReg a, XReg b, const std::string &target);
+    ProgramBuilder &bgeu(XReg a, XReg b, const std::string &target);
+    /** @} */
+
+    /** @{ Unconditional control flow. */
+    ProgramBuilder &jal(XReg rd, const std::string &target);
+    ProgramBuilder &j(const std::string &target);  //!< jal x0, target
+    ProgramBuilder &jalr(XReg rd, XReg base, std::int64_t off);
+    ProgramBuilder &ret(XReg link);                //!< jalr x0, link, 0
+    /** @} */
+
+    /** @{ Double-precision floating point. */
+    ProgramBuilder &fadd(FReg rd, FReg a, FReg b);
+    ProgramBuilder &fsub(FReg rd, FReg a, FReg b);
+    ProgramBuilder &fmul(FReg rd, FReg a, FReg b);
+    ProgramBuilder &fdiv(FReg rd, FReg a, FReg b);
+    ProgramBuilder &fsqrt(FReg rd, FReg a);
+    ProgramBuilder &fmin(FReg rd, FReg a, FReg b);
+    ProgramBuilder &fmax(FReg rd, FReg a, FReg b);
+    ProgramBuilder &fneg(FReg rd, FReg a);
+    ProgramBuilder &fabs_(FReg rd, FReg a);
+    /** rd <- a * b + rd. */
+    ProgramBuilder &fmadd(FReg rd, FReg a, FReg b);
+    ProgramBuilder &fcvtDL(FReg rd, XReg a);   //!< int -> double
+    ProgramBuilder &fcvtLD(XReg rd, FReg a);   //!< double -> int
+    ProgramBuilder &fmvXD(XReg rd, FReg a);    //!< raw bits fp -> int
+    ProgramBuilder &fmvDX(FReg rd, XReg a);    //!< raw bits int -> fp
+    ProgramBuilder &feq(XReg rd, FReg a, FReg b);
+    ProgramBuilder &flt(XReg rd, FReg a, FReg b);
+    ProgramBuilder &fle(XReg rd, FReg a, FReg b);
+    /** @} */
+
+    /** @{ Miscellaneous. */
+    ProgramBuilder &nop();
+    ProgramBuilder &syscall(XReg rd, XReg arg);
+    ProgramBuilder &halt();
+    /** @} */
+
+    /** @{ Initial data image. */
+    ProgramBuilder &data64(Addr addr, std::uint64_t value);
+    ProgramBuilder &dataF64(Addr addr, double value);
+    /** @} */
+
+    /** Current instruction count (for code-size shaping). */
+    std::size_t codeSize() const { return code_.size(); }
+
+    /**
+     * Resolve all label references and produce the immutable image.
+     * Calls fatal() on undefined labels.
+     */
+    Program build();
+
+  private:
+    ProgramBuilder &emit(Opcode op, unsigned rd, unsigned rs1,
+                         unsigned rs2, std::int64_t imm);
+    ProgramBuilder &emitBranch(Opcode op, unsigned rs1, unsigned rs2,
+                               const std::string &target);
+
+    struct Fixup
+    {
+        std::size_t index;
+        std::string target;
+    };
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<DataInit> data_;
+    std::map<std::string, std::size_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace isa
+} // namespace paradox
+
+#endif // PARADOX_ISA_BUILDER_HH

@@ -1,0 +1,37 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace paradox
+{
+namespace isa
+{
+
+std::string
+Instruction::toString() const
+{
+    const InstInfo &ii = info();
+    std::ostringstream os;
+    os << ii.mnemonic;
+    const char *dpfx = ii.writesFpReg ? " f" : " x";
+    const char *spfx = ii.readsFp ? " f" : " x";
+    if (ii.writesIntReg || ii.writesFpReg)
+        os << dpfx << unsigned(rd) << ",";
+    if (ii.isLoad || ii.isStore) {
+        if (ii.isStore)
+            os << spfx << unsigned(rs2) << ",";
+        os << " " << imm << "(x" << unsigned(rs1) << ")";
+    } else if (ii.isBranch) {
+        os << " x" << unsigned(rs1) << ", x" << unsigned(rs2)
+           << ", @" << imm;
+    } else if (ii.isJump) {
+        os << " @" << imm;
+    } else {
+        os << spfx << unsigned(rs1) << "," << spfx << unsigned(rs2)
+           << ", " << imm;
+    }
+    return os.str();
+}
+
+} // namespace isa
+} // namespace paradox

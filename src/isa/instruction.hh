@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The PDX64 instruction word and typed register handles.
+ */
+
+#ifndef PARADOX_ISA_INSTRUCTION_HH
+#define PARADOX_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+
+namespace paradox
+{
+namespace isa
+{
+
+/** Number of integer registers (x0 is hard-wired to zero). */
+constexpr unsigned numIntRegs = 32;
+
+/** Number of double-precision FP registers. */
+constexpr unsigned numFpRegs = 32;
+
+/** Bytes occupied by one encoded instruction (for I-cache modelling). */
+constexpr unsigned instBytes = 4;
+
+/** Typed handle for an integer register, for builder type safety. */
+struct XReg
+{
+    std::uint8_t idx;
+    constexpr explicit XReg(unsigned i = 0) : idx(std::uint8_t(i)) {}
+    constexpr bool operator==(const XReg &) const = default;
+};
+
+/** Typed handle for a floating-point register. */
+struct FReg
+{
+    std::uint8_t idx;
+    constexpr explicit FReg(unsigned i = 0) : idx(std::uint8_t(i)) {}
+    constexpr bool operator==(const FReg &) const = default;
+};
+
+/** The always-zero integer register. */
+constexpr XReg xzero{0};
+
+/**
+ * One decoded instruction.
+ *
+ * Register fields index either the integer or the FP file depending
+ * on the opcode's semantics; @c imm carries immediates, shift
+ * amounts, and branch displacements (in instructions).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int64_t imm = 0;
+
+    /** Static properties of this instruction's opcode. */
+    const InstInfo &info() const { return instInfo(op); }
+
+    /** Render for diagnostics, e.g. "add x3, x1, x2". */
+    std::string toString() const;
+};
+
+} // namespace isa
+} // namespace paradox
+
+#endif // PARADOX_ISA_INSTRUCTION_HH

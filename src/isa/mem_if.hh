@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The data-memory interface the functional executor runs against.
+ *
+ * The main core implements it with real backing memory (through the
+ * cache hierarchy for timing); the checker core implements it with a
+ * load-store-log replay adapter, which is exactly how ParaMedic
+ * separates the two cores' data paths (paper section II-B).
+ */
+
+#ifndef PARADOX_ISA_MEM_IF_HH
+#define PARADOX_ISA_MEM_IF_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace isa
+{
+
+/** Abstract byte-addressed data memory. */
+class MemIf
+{
+  public:
+    virtual ~MemIf() = default;
+
+    /** Read @p size bytes (1/2/4/8) at @p addr, zero-extended. */
+    virtual std::uint64_t read(Addr addr, unsigned size) = 0;
+
+    /**
+     * Write the low @p size bytes of @p value at @p addr.
+     * @return the previous value of those bytes (zero-extended); the
+     *         load-store log records this for rollback.
+     */
+    virtual std::uint64_t write(Addr addr, unsigned size,
+                                std::uint64_t value) = 0;
+};
+
+} // namespace isa
+} // namespace paradox
+
+#endif // PARADOX_ISA_MEM_IF_HH

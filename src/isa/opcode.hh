@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Opcodes and instruction classes for the PDX64 ISA.
+ *
+ * PDX64 is a 64-bit RISC-style ISA, deliberately close to a subset of
+ * ARMv8/RISC-V in spirit: 31 general integer registers plus a
+ * hard-wired zero, 32 double-precision FP registers, byte-addressed
+ * loads/stores of 1/2/4/8 bytes, and compare-and-branch control flow.
+ * The paper's evaluation ran ARMv8 binaries under gem5; PDX64 plays
+ * the same role here as the architectural substrate that workloads
+ * are written in and that both main and checker cores execute.
+ */
+
+#ifndef PARADOX_ISA_OPCODE_HH
+#define PARADOX_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace paradox
+{
+namespace isa
+{
+
+/** Every PDX64 operation. */
+enum class Opcode : std::uint8_t
+{
+    // Integer register-register.
+    ADD, SUB, AND_, OR_, XOR_, SLL, SRL, SRA, SLT, SLTU,
+    MUL, MULH, DIV, DIVU, REM, REMU,
+    // Integer register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+    // 64-bit immediate load (simulator-level pseudo-op).
+    LDI,
+    // Loads (sign- and zero-extending) and stores.
+    LB, LBU, LH, LHU, LW, LWU, LD,
+    SB, SH, SW, SD,
+    FLD, FSD,
+    // Control flow.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    JAL, JALR,
+    // Double-precision floating point.
+    FADD, FSUB, FMUL, FDIV, FSQRT, FMIN, FMAX,
+    FNEG, FABS, FMADD,
+    FCVT_D_L,   //!< int64 -> double
+    FCVT_L_D,   //!< double -> int64 (truncating)
+    FMV_X_D,    //!< move raw bits fp -> int
+    FMV_D_X,    //!< move raw bits int -> fp
+    FEQ, FLT_, FLE,  //!< FP compares writing an integer register
+    // Miscellaneous.
+    NOP,
+    SYSCALL,    //!< modelled as a rollback-able internal operation
+    HALT,
+
+    NumOpcodes
+};
+
+/**
+ * Functional-unit / timing class of an instruction.  The main core
+ * maps classes to its FU pool (3 int ALUs, 2 FP ALUs, 1 mult/div,
+ * Table I); the checker core maps them to its in-order pipe; the
+ * fault injector uses them to target specific units (section V-A,
+ * combinational faults).
+ */
+enum class InstClass : std::uint8_t
+{
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FpAlu,
+    FpMult,
+    FpDiv,
+    Load,
+    Store,
+    Branch,
+    Jump,
+    Other,
+
+    NumClasses
+};
+
+/** Static properties of one opcode. */
+struct InstInfo
+{
+    const char *mnemonic;
+    InstClass cls;
+    bool writesIntReg;   //!< destination is an integer register
+    bool writesFpReg;    //!< destination is an FP register
+    bool readsFp;        //!< sources include FP registers
+    bool isLoad;
+    bool isStore;
+    bool isBranch;       //!< conditional control flow
+    bool isJump;         //!< unconditional control flow
+    std::uint8_t memSize; //!< access width in bytes (0 if not memory)
+};
+
+/** Look up the static properties of @p op. */
+const InstInfo &instInfo(Opcode op);
+
+/** Human-readable mnemonic of @p op. */
+const char *mnemonic(Opcode op);
+
+/** Human-readable name of an instruction class. */
+const char *className(InstClass cls);
+
+} // namespace isa
+} // namespace paradox
+
+#endif // PARADOX_ISA_OPCODE_HH

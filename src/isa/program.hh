@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A loaded PDX64 program: code image plus initial data image.
+ */
+
+#ifndef PARADOX_ISA_PROGRAM_HH
+#define PARADOX_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace isa
+{
+
+/** A (address, 64-bit value) initial-data cell. */
+struct DataInit
+{
+    Addr addr;
+    std::uint64_t value;
+};
+
+/**
+ * An immutable program image.
+ *
+ * Code lives at byte address 0 upward, @c instBytes per instruction;
+ * data initializers are applied to the simulated memory before the
+ * run.  Programs are produced by ProgramBuilder.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::string name, std::vector<Instruction> code,
+            std::vector<DataInit> data)
+        : name_(std::move(name)), code_(std::move(code)),
+          data_(std::move(data))
+    {}
+
+    const std::string &name() const { return name_; }
+
+    /** Number of instructions in the image. */
+    std::size_t size() const { return code_.size(); }
+
+    /** Code footprint in bytes (drives I-cache behaviour). */
+    std::size_t codeBytes() const { return code_.size() * instBytes; }
+
+    /**
+     * Fetch the instruction at byte address @p pc.
+     * @return nullptr when @p pc is outside the image (a wild jump).
+     */
+    const Instruction *
+    fetch(Addr pc) const
+    {
+        std::size_t idx = pc / instBytes;
+        if (pc % instBytes != 0 || idx >= code_.size())
+            return nullptr;
+        return &code_[idx];
+    }
+
+    /** All instructions, for static analyses and I-cache warm-up. */
+    const std::vector<Instruction> &code() const { return code_; }
+
+    /** Initial data image. */
+    const std::vector<DataInit> &data() const { return data_; }
+
+  private:
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<DataInit> data_;
+};
+
+} // namespace isa
+} // namespace paradox
+
+#endif // PARADOX_ISA_PROGRAM_HH

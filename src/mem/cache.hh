@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Set-associative write-back timing cache.
+ *
+ * Data correctness lives in SimpleMemory; caches model tags and
+ * latency only.  Two ParaMedic/ParaDox-specific features live here:
+ *
+ *  - line *pinning*: L1 data-cache lines dirtied by a not-yet-checked
+ *    segment may not be evicted until that segment verifies (paper
+ *    section II-B / IV-A).  A miss whose set is entirely pinned
+ *    reports BlockedPinned instead of evicting.
+ *
+ *  - per-line *timestamps*: each line records the id of the last
+ *    checkpoint that copied its old contents into the load-store log,
+ *    which is how ParaDox takes at most one rollback copy per line
+ *    per checkpoint (section IV-D).
+ */
+
+#ifndef PARADOX_MEM_CACHE_HH
+#define PARADOX_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace mem
+{
+
+/** Static geometry and timing of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+    unsigned hitCycles = 2;      //!< hit latency, in owning-clock cycles
+    unsigned mshrs = 6;          //!< outstanding-miss limit
+    bool allowPinning = false;   //!< L1D unchecked-line buffering
+};
+
+/** Sentinel for "not pinned". */
+constexpr std::uint64_t noPin = ~std::uint64_t(0);
+
+/** How an access resolved. */
+enum class CacheOutcome : std::uint8_t
+{
+    Hit,
+    Miss,
+    BlockedPinned,  //!< miss, but every way in the set is pinned
+};
+
+/** Everything the hierarchy needs to know about one access. */
+struct CacheAccessResult
+{
+    CacheOutcome outcome = CacheOutcome::Miss;
+    bool writebackDirty = false;  //!< a dirty victim was evicted
+    Addr writebackAddr = 0;       //!< line address of that victim
+    bool lineStampMatched = false; //!< line timestamp == access stamp
+};
+
+/** A set-associative, LRU, write-back, write-allocate timing cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Access @p addr at time @p now.
+     *
+     * On a miss, a victim way is allocated (possibly reporting a
+     * dirty writeback); on BlockedPinned nothing changes.  When
+     * @p pin_seg != noPin and this is a write, the line is pinned by
+     * that segment (pins take the max: a line stays pinned until its
+     * youngest writer verifies).  @p stamp sets/compares the per-line
+     * checkpoint timestamp used by line-granularity rollback.
+     */
+    CacheAccessResult access(Addr addr, bool is_write, Tick now,
+                             std::uint64_t pin_seg = noPin,
+                             std::uint64_t stamp = 0);
+
+    /** Install a line without demand semantics (prefetch fill). */
+    void fill(Addr addr, Tick now);
+
+    /** True if the line containing @p addr is present. */
+    bool contains(Addr addr) const;
+
+    /** Unpin every line pinned by a segment <= @p seg. */
+    void unpinUpTo(std::uint64_t seg);
+
+    /** Unpin every line pinned by a segment >= @p seg (rollback). */
+    void unpinFrom(std::uint64_t seg);
+
+    /** Drop all content (used between independent runs). */
+    void invalidateAll();
+
+    /**
+     * Delay @p start until an MSHR is free, then occupy one until
+     * @p completion.  Models the outstanding-miss limit.
+     */
+    Tick reserveMshr(Tick start, Tick completion);
+
+    /** Hit latency in owning-clock cycles. */
+    unsigned hitCycles() const { return params_.hitCycles; }
+
+    const CacheParams &params() const { return params_; }
+
+    /** @{ Statistics. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t pinnedBlocks() const { return pinnedBlocks_; }
+    std::uint64_t pinnedLineCount() const;
+    /** @} */
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        Tick lastUsed = 0;
+        std::uint64_t pinSeg = noPin;
+        std::uint64_t stamp = ~std::uint64_t(0);
+    };
+
+    std::uint64_t tagOf(Addr addr) const;
+    std::size_t setOf(Addr addr) const;
+    Addr lineAddr(std::uint64_t tag, std::size_t set) const;
+
+    CacheParams params_;
+    std::size_t numSets_;
+    std::vector<Line> lines_;   //!< numSets_ * assoc, set-major
+    std::vector<Tick> mshrBusy_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t pinnedBlocks_ = 0;
+};
+
+} // namespace mem
+} // namespace paradox
+
+#endif // PARADOX_MEM_CACHE_HH

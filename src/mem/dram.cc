@@ -1,0 +1,72 @@
+#include "mem/dram.hh"
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace mem
+{
+
+Dram::Dram(const DramParams &params) : params_(params)
+{
+    if (params_.banks == 0 || params_.banks > banks_.size())
+        fatal("Dram: unsupported bank count");
+    period_ = static_cast<Tick>(
+        static_cast<double>(ticksPerSecond) / params_.clockHz + 0.5);
+}
+
+Tick
+Dram::rowHitLatency() const
+{
+    return cycles(params_.tCL + params_.burstCycles);
+}
+
+Tick
+Dram::rowConflictLatency() const
+{
+    return cycles(params_.tRP + params_.tRCD + params_.tCL +
+                  params_.burstCycles);
+}
+
+Tick
+Dram::access(Addr addr, bool is_write, Tick now)
+{
+    const std::uint64_t row_index = addr / params_.rowBytes;
+    // XOR-fold higher address bits into the bank index, as real
+    // controllers do, so power-of-two-strided streams (e.g. arrays
+    // allocated a row-multiple apart) spread across banks instead of
+    // serializing on one.
+    const std::uint64_t folded =
+        row_index ^ (row_index / params_.banks) ^
+        (row_index / (params_.banks * params_.banks));
+    const unsigned bank_index = folded % params_.banks;
+    const std::uint64_t row = row_index / params_.banks;
+    Bank &bank = banks_[bank_index];
+
+    Tick start = now > bank.readyAt ? now : bank.readyAt;
+    Tick latency;
+
+    if (bank.open && bank.row == row) {
+        ++rowHits_;
+        latency = cycles(params_.tCL + params_.burstCycles);
+    } else if (!bank.open) {
+        ++rowMisses_;
+        latency = cycles(params_.tRCD + params_.tCL +
+                         params_.burstCycles);
+    } else {
+        ++rowConflicts_;
+        latency = cycles(params_.tRP + params_.tRCD + params_.tCL +
+                         params_.burstCycles);
+    }
+
+    bank.open = true;
+    bank.row = row;
+    // The bank is occupied for the access itself; writes also hold it
+    // for the write-recovery-ish burst but the caller does not wait.
+    bank.readyAt = start + latency + (is_write ? cycles(2) : 0);
+
+    return start + latency;
+}
+
+} // namespace mem
+} // namespace paradox

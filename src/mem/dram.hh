@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DDR3-1600 11-11-11-28 timing model (Table I).
+ *
+ * A deliberately compact open-page model: 8 banks, one open row per
+ * bank, tCL/tRCD/tRP/tRAS timing in 800 MHz DRAM-clock cycles, and
+ * per-bank occupancy so back-to-back conflicts serialize.  This gives
+ * the three-way latency split (row hit / closed bank / row conflict)
+ * that makes the memory-bound workloads in the evaluation behave
+ * differently from the compute-bound ones.
+ */
+
+#ifndef PARADOX_MEM_DRAM_HH
+#define PARADOX_MEM_DRAM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace mem
+{
+
+/** DDR3 device timing parameters, in DRAM clock cycles. */
+struct DramParams
+{
+    double clockHz = 800e6;  //!< DDR3-1600: 800 MHz bus clock
+    unsigned tCL = 11;       //!< CAS latency
+    unsigned tRCD = 11;      //!< RAS-to-CAS delay
+    unsigned tRP = 11;       //!< row precharge
+    unsigned tRAS = 28;      //!< row active time
+    unsigned burstCycles = 4; //!< BL8 data transfer
+    unsigned banks = 8;
+    unsigned rowBytes = 8192; //!< row-buffer (page) size
+};
+
+/** Open-page DDR3 bank/row timing model. */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params = DramParams{});
+
+    /**
+     * Account one access beginning no earlier than @p now.
+     * @param addr physical address
+     * @param is_write write accesses occupy the bank but the caller
+     *        usually does not wait on them (write-backs)
+     * @param now earliest start tick
+     * @return tick at which the data is available
+     */
+    Tick access(Addr addr, bool is_write, Tick now);
+
+    /** Row-hit latency in ticks (useful for calibration and tests). */
+    Tick rowHitLatency() const;
+
+    /** Row-conflict latency in ticks. */
+    Tick rowConflictLatency() const;
+
+    const DramParams &params() const { return params_; }
+
+    /** @{ Access statistics. */
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowConflicts() const { return rowConflicts_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+    /** @} */
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        Tick readyAt = 0;  //!< earliest next activity
+    };
+
+    Tick cycles(unsigned n) const { return n * period_; }
+
+    DramParams params_;
+    Tick period_;
+    std::array<Bank, 16> banks_;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowConflicts_ = 0;
+    std::uint64_t rowMisses_ = 0;
+};
+
+} // namespace mem
+} // namespace paradox
+
+#endif // PARADOX_MEM_DRAM_HH

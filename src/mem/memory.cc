@@ -1,0 +1,97 @@
+#include "mem/memory.hh"
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace mem
+{
+
+SimpleMemory::Page *
+SimpleMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / pageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SimpleMemory::Page &
+SimpleMemory::touchPage(Addr addr)
+{
+    auto &slot = pages_[addr / pageBytes];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    return *slot;
+}
+
+std::uint64_t
+SimpleMemory::read(Addr addr, unsigned size)
+{
+    if (size == 0 || size > 8)
+        panic("SimpleMemory::read: bad size");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= std::uint64_t(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+SimpleMemory::write(Addr addr, unsigned size, std::uint64_t value)
+{
+    if (size == 0 || size > 8)
+        panic("SimpleMemory::write: bad size");
+    std::uint64_t old = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        old |= std::uint64_t(readByte(addr + i)) << (8 * i);
+        writeByte(addr + i, std::uint8_t(value >> (8 * i)));
+    }
+    return old;
+}
+
+std::uint8_t
+SimpleMemory::readByte(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr % pageBytes] : 0;
+}
+
+void
+SimpleMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    touchPage(addr)[addr % pageBytes] = value;
+}
+
+void
+SimpleMemory::readBlock(Addr addr, std::uint8_t *out, std::size_t n) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = readByte(addr + i);
+}
+
+void
+SimpleMemory::writeBlock(Addr addr, const std::uint8_t *in, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        writeByte(addr + i, in[i]);
+}
+
+std::uint64_t
+SimpleMemory::fingerprint() const
+{
+    std::uint64_t acc = 0;
+    for (const auto &[pageNum, page] : pages_) {
+        std::uint64_t h = 0xcbf29ce484222325ULL ^ pageNum;
+        bool nonZero = false;
+        for (std::uint8_t byte : *page) {
+            nonZero |= byte != 0;
+            h = (h ^ byte) * 0x100000001b3ULL;
+        }
+        // All-zero pages contribute nothing: content equality must
+        // not depend on which pages happen to be materialized.
+        if (nonZero)
+            acc += h;
+    }
+    return acc;
+}
+
+} // namespace mem
+} // namespace paradox

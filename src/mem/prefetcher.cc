@@ -1,0 +1,51 @@
+#include "mem/prefetcher.hh"
+
+namespace paradox
+{
+namespace mem
+{
+
+StridePrefetcher::StridePrefetcher(const Params &params) : params_(params)
+{
+    table_.resize(params_.tableEntries);
+}
+
+std::optional<Addr>
+StridePrefetcher::observe(Addr pc, Addr addr)
+{
+    Entry &entry = table_[(pc / 4) % table_.size()];
+
+    if (!entry.valid || entry.pc != pc) {
+        entry = Entry{};
+        entry.valid = true;
+        entry.pc = pc;
+        entry.lastAddr = addr;
+        return std::nullopt;
+    }
+
+    const std::int64_t stride =
+        std::int64_t(addr) - std::int64_t(entry.lastAddr);
+    entry.lastAddr = addr;
+
+    if (stride == 0)
+        return std::nullopt;
+
+    if (stride == entry.stride) {
+        if (entry.confidence < params_.confidenceMax)
+            ++entry.confidence;
+    } else {
+        entry.stride = stride;
+        entry.confidence = entry.confidence > 0 ? entry.confidence - 1 : 0;
+        return std::nullopt;
+    }
+
+    if (entry.confidence < params_.confidenceThreshold)
+        return std::nullopt;
+
+    ++issued_;
+    return Addr(std::int64_t(addr) +
+                stride * std::int64_t(params_.degree));
+}
+
+} // namespace mem
+} // namespace paradox

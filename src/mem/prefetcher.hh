@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher (the L2 "stride prefetcher" of
+ * Table I).
+ */
+
+#ifndef PARADOX_MEM_PREFETCHER_HH
+#define PARADOX_MEM_PREFETCHER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace mem
+{
+
+/**
+ * Classic reference-prediction-table stride prefetcher: one entry per
+ * load/store PC, a confirmed stride issues a prefetch @p degree lines
+ * ahead.
+ */
+class StridePrefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned tableEntries = 64;
+        unsigned degree = 2;          //!< lines of lookahead
+        unsigned confidenceMax = 3;
+        unsigned confidenceThreshold = 2;
+        unsigned lineBytes = 64;
+    };
+
+    StridePrefetcher() : StridePrefetcher(Params{}) {}
+    explicit StridePrefetcher(const Params &params);
+
+    /**
+     * Observe a demand access by @p pc to @p addr.
+     * @return the address to prefetch, if the stride is confirmed.
+     */
+    std::optional<Addr> observe(Addr pc, Addr addr);
+
+    std::uint64_t issued() const { return issued_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+    };
+
+    Params params_;
+    std::vector<Entry> table_;
+    std::uint64_t issued_ = 0;
+};
+
+} // namespace mem
+} // namespace paradox
+
+#endif // PARADOX_MEM_PREFETCHER_HH

@@ -1,0 +1,151 @@
+#include "mem/secded.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace mem
+{
+
+namespace
+{
+
+// Hamming positions run 1..71; the seven powers of two hold parity,
+// the remaining 64 positions hold data (in increasing order).  Bit 71
+// of the codeword is the overall parity of everything else.
+constexpr unsigned hammingPositions = 71;
+
+constexpr bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+struct Layout
+{
+    // dataPos[i]: Hamming position of data bit i.
+    std::array<unsigned, 64> dataPos{};
+    // parityPos[j]: Hamming position of parity bit j (2^j).
+    std::array<unsigned, 7> parityPos{};
+    // posKind[p]: data index + 1, or 0 for parity positions.
+    std::array<unsigned, hammingPositions + 1> posToData{};
+
+    constexpr Layout()
+    {
+        unsigned d = 0, p = 0;
+        for (unsigned pos = 1; pos <= hammingPositions; ++pos) {
+            if (isPowerOfTwo(pos)) {
+                parityPos[p++] = pos;
+                posToData[pos] = 0;
+            } else {
+                dataPos[d] = pos;
+                posToData[pos] = d + 1;
+                ++d;
+            }
+        }
+    }
+};
+
+constexpr Layout layout{};
+
+/** Expand an EccWord into codeword bits indexed by Hamming position. */
+std::array<bool, hammingPositions + 1>
+expand(const EccWord &w)
+{
+    std::array<bool, hammingPositions + 1> bits{};
+    for (unsigned i = 0; i < 64; ++i)
+        bits[layout.dataPos[i]] = (w.data >> i) & 1;
+    for (unsigned j = 0; j < 7; ++j)
+        bits[layout.parityPos[j]] = (w.check >> j) & 1;
+    return bits;
+}
+
+} // namespace
+
+EccWord
+Secded::encode(std::uint64_t data)
+{
+    EccWord w{data, 0};
+    // Parity bit j covers all positions with bit j set in their index.
+    for (unsigned j = 0; j < 7; ++j) {
+        bool parity = false;
+        for (unsigned i = 0; i < 64; ++i) {
+            if (layout.dataPos[i] & (1u << j))
+                parity ^= (data >> i) & 1;
+        }
+        w.check |= std::uint8_t(parity) << j;
+    }
+    // Overall parity over all 71 Hamming bits.
+    bool overall = false;
+    auto bits = expand(w);
+    for (unsigned pos = 1; pos <= hammingPositions; ++pos)
+        overall ^= bits[pos];
+    w.check |= std::uint8_t(overall) << 7;
+    return w;
+}
+
+EccDecode
+Secded::decode(const EccWord &word)
+{
+    auto bits = expand(word);
+
+    unsigned syndrome = 0;
+    bool overall = (word.check >> 7) & 1;
+    for (unsigned pos = 1; pos <= hammingPositions; ++pos) {
+        if (bits[pos]) {
+            syndrome ^= pos;
+            overall ^= true;
+        }
+    }
+    // 'overall' is now the parity of all 72 bits: 0 for even weight.
+
+    EccDecode result{word.data, EccStatus::Ok, 0};
+
+    if (syndrome == 0 && !overall)
+        return result;  // clean
+
+    if (syndrome == 0 && overall) {
+        // The overall parity bit itself flipped; data is intact.
+        result.status = EccStatus::Corrected;
+        result.flippedBit = 71;
+        return result;
+    }
+
+    if (!overall || syndrome > hammingPositions) {
+        // Even total weight error with a non-zero syndrome, or a
+        // syndrome pointing outside the codeword: >= 2 bit flips.
+        result.status = EccStatus::Uncorrectable;
+        return result;
+    }
+
+    // Single-bit error at Hamming position 'syndrome'.
+    result.status = EccStatus::Corrected;
+    unsigned data_idx = layout.posToData[syndrome];
+    if (data_idx != 0) {
+        result.data = word.data ^ (std::uint64_t(1) << (data_idx - 1));
+        result.flippedBit = data_idx - 1;
+    } else {
+        // A parity bit flipped; data is intact.
+        for (unsigned j = 0; j < 7; ++j) {
+            if (layout.parityPos[j] == syndrome)
+                result.flippedBit = 64 + j;
+        }
+    }
+    return result;
+}
+
+void
+Secded::flipBit(EccWord &word, unsigned bit)
+{
+    if (bit < 64)
+        word.data ^= std::uint64_t(1) << bit;
+    else if (bit < codeBits)
+        word.check ^= std::uint8_t(1) << (bit - 64);
+    else
+        panic("Secded::flipBit: bit out of range");
+}
+
+} // namespace mem
+} // namespace paradox

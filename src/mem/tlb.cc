@@ -1,0 +1,66 @@
+#include "mem/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace mem
+{
+
+Tlb::Tlb(const TlbParams &params, Addr physical_base)
+    : params_(params), base_(physical_base)
+{
+    if (params_.assoc == 0 || params_.entries % params_.assoc != 0)
+        fatal("Tlb: entries must be a multiple of associativity");
+    sets_ = params_.entries / params_.assoc;
+    if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0)
+        fatal("Tlb: set count must be a power of two");
+    entries_.resize(params_.entries);
+}
+
+Translation
+Tlb::translate(Addr vaddr)
+{
+    ++clock_;
+    Translation result;
+    result.paddr = vaddr + base_;
+
+    const std::uint64_t vpn = vaddr / params_.pageBytes;
+    Entry *set = &entries_[(vpn % sets_) * params_.assoc];
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (set[w].valid && set[w].vpn == vpn) {
+            set[w].lastUsed = clock_;
+            ++hits_;
+            return result;
+        }
+    }
+
+    // Miss: walk, then install over the LRU way.
+    ++misses_;
+    result.tlbHit = false;
+    result.extraCycles = params_.walkCycles;
+    Entry *victim = &set[0];
+    for (unsigned w = 1; w < params_.assoc; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUsed < victim->lastUsed)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUsed = clock_;
+    return result;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+}
+
+} // namespace mem
+} // namespace paradox

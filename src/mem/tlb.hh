@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Address translation: a flat page mapping with a TLB timing model.
+ *
+ * The load-store log's two sides are addressed differently in the
+ * paper (section IV-D): detection entries carry *virtual* addresses,
+ * "to avoid translation on checker-core execution, with the original
+ * translation on the main core implemented redundantly", while
+ * rollback cache-line copies carry *physical* addresses "to allow
+ * rollback without translation".  Modelling translation makes that
+ * distinction real: the main core pays TLB-miss walks, checkers
+ * replay purely in virtual space, and rollback writes physical lines
+ * straight back.
+ *
+ * The mapping itself is a single linear offset per address space
+ * (virtual -> physical = va + base), which is all a single-program
+ * core needs while still exercising the full translate/miss/walk
+ * path; the multicore uses it to give each program distinct physical
+ * pages.
+ */
+
+#ifndef PARADOX_MEM_TLB_HH
+#define PARADOX_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace mem
+{
+
+/** TLB geometry and timing. */
+struct TlbParams
+{
+    unsigned entries = 64;        //!< fully pinned-latency, set-assoc
+    unsigned assoc = 4;
+    unsigned pageBytes = 4096;
+    unsigned walkCycles = 30;     //!< page-table walk on a miss
+};
+
+/** Result of one translation. */
+struct Translation
+{
+    Addr paddr = 0;
+    bool tlbHit = true;
+    unsigned extraCycles = 0;     //!< walk cost when tlbHit is false
+};
+
+/**
+ * A set-associative TLB over a linear virtual->physical mapping.
+ */
+class Tlb
+{
+  public:
+    Tlb(const TlbParams &params, Addr physical_base);
+
+    /** Translate @p vaddr, updating TLB state and statistics. */
+    Translation translate(Addr vaddr);
+
+    /** Translation without timing side effects (rollback path). */
+    Addr physical(Addr vaddr) const { return vaddr + base_; }
+
+    /** Flush all entries (context switch / power gating). */
+    void flush();
+
+    /** @{ Statistics. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    /** @} */
+
+    const TlbParams &params() const { return params_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t vpn = 0;
+        std::uint64_t lastUsed = 0;
+    };
+
+    TlbParams params_;
+    Addr base_;
+    std::size_t sets_;
+    std::vector<Entry> entries_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace mem
+} // namespace paradox
+
+#endif // PARADOX_MEM_TLB_HH

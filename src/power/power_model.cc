@@ -1,0 +1,108 @@
+#include "power/power_model.hh"
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace power
+{
+
+double
+FrequencyVoltageModel::frequencyAt(double v) const
+{
+    double headroom = v - params_.vThreshold;
+    if (headroom <= 0.0)
+        return 0.0;
+    return params_.fNominal * headroom /
+           (params_.vNominal - params_.vThreshold);
+}
+
+double
+FrequencyVoltageModel::voltageFor(double f) const
+{
+    return params_.vThreshold +
+           (f / params_.fNominal) *
+               (params_.vNominal - params_.vThreshold);
+}
+
+double
+PowerModel::corePower(double v, double f) const
+{
+    const double vr = v / params_.vNominal;
+    const double fr = f / params_.fNominal;
+    const double dynamic = params_.dynamicFraction * vr * vr * fr;
+    const double leakage = (1.0 - params_.dynamicFraction) * vr;
+    return dynamic + leakage;
+}
+
+double
+PowerModel::checkerPower(const double *wake_rates, unsigned n) const
+{
+    if (n == 0)
+        return 0.0;
+    const double per_core =
+        params_.checkerComplexFraction / params_.checkerCount;
+    double total = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        double wake = wake_rates[i];
+        total += per_core *
+                 (wake + (1.0 - wake) * params_.gatedResidual);
+    }
+    return total;
+}
+
+double
+PowerModel::checkerPowerAllAwake() const
+{
+    return params_.checkerComplexFraction;
+}
+
+void
+EnergyAccumulator::addInterval(Tick dt, double v, double f,
+                               double checker_power)
+{
+    const double seconds = ticksToSeconds(dt);
+    energy_ += (model_.corePower(v, f) + checker_power) * seconds;
+    voltSeconds_ += v * seconds;
+    elapsed_ += dt;
+}
+
+double
+EnergyAccumulator::averagePower() const
+{
+    const double seconds = ticksToSeconds(elapsed_);
+    return seconds > 0.0 ? energy_ / seconds : 0.0;
+}
+
+double
+EnergyAccumulator::averageVoltage() const
+{
+    const double seconds = ticksToSeconds(elapsed_);
+    return seconds > 0.0 ? voltSeconds_ / seconds : 0.0;
+}
+
+void
+EnergyAccumulator::reset()
+{
+    energy_ = 0.0;
+    voltSeconds_ = 0.0;
+    elapsed_ = 0;
+}
+
+double
+edp(double average_power, Tick elapsed)
+{
+    const double t = ticksToSeconds(elapsed);
+    return average_power * t * t;
+}
+
+double
+edpRatio(double p, Tick t, double p0, Tick t0)
+{
+    if (p0 <= 0.0 || t0 == 0)
+        panic("edpRatio: invalid baseline");
+    return edp(p, t) / edp(p0, t0);
+}
+
+} // namespace power
+} // namespace paradox

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Power, energy and EDP models (paper sections VI-E, figure 13).
+ *
+ * Conventions follow the paper's own analysis: dynamic power is
+ * proportional to V^2 f, attainable frequency is proportional to
+ * V - Vt (Borkar & Chien), and the checker-core complex costs at most
+ * ~5% of main-core power when fully awake (16 RISC-V-rocket-class
+ * cores scaled to the X-Gene 3's 16 nm process).  All powers are
+ * normalized to the main core's margined nominal operating point, so
+ * figure 13's "Normalized Ratios" fall out directly.
+ */
+
+#ifndef PARADOX_POWER_POWER_MODEL_HH
+#define PARADOX_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace power
+{
+
+/** f proportional to (V - Vt) frequency/voltage relation. */
+class FrequencyVoltageModel
+{
+  public:
+    struct Params
+    {
+        double fNominal = 3.2e9;  //!< Hz at the nominal voltage
+        double vNominal = 0.980;  //!< margined supply, volts
+        double vThreshold = 0.45; //!< transistor threshold, volts
+    };
+
+    FrequencyVoltageModel() : FrequencyVoltageModel(Params{}) {}
+    explicit FrequencyVoltageModel(const Params &params)
+        : params_(params)
+    {}
+
+    /** Highest safe frequency at supply @p v. */
+    double frequencyAt(double v) const;
+
+    /** Voltage needed to sustain frequency @p f. */
+    double voltageFor(double f) const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+};
+
+/** Main-core + checker-complex power model, normalized units. */
+class PowerModel
+{
+  public:
+    struct Params
+    {
+        double vNominal = 0.980;    //!< margined supply, volts
+        double fNominal = 3.2e9;    //!< nominal clock, Hz
+        /** Dynamic share of nominal core power; server-class cores
+         * running flat out are strongly dynamic-dominated. */
+        double dynamicFraction = 0.85;
+        /**
+         * Whole checker complex (16 cores + logs + I-caches), fully
+         * awake, as a fraction of nominal main-core power ("never
+         * more than 5%").
+         */
+        double checkerComplexFraction = 0.05;
+        unsigned checkerCount = 16;
+        /** Residual power of a power-gated checker (leakage). */
+        double gatedResidual = 0.02;
+    };
+
+    PowerModel() : PowerModel(Params{}) {}
+    explicit PowerModel(const Params &params) : params_(params) {}
+
+    /**
+     * Main-core power at (@p v, @p f), as a fraction of its nominal
+     * power: dynamic V^2 f scaling plus V-proportional leakage.
+     */
+    double corePower(double v, double f) const;
+
+    /**
+     * Checker-complex power given each core's duty cycle.
+     * @param wake_rates per-core fraction of time awake (size
+     *        checkerCount); gated time costs only leakage.
+     */
+    double checkerPower(const double *wake_rates, unsigned n) const;
+
+    /** Checker-complex power with every core always awake. */
+    double checkerPowerAllAwake() const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+};
+
+/**
+ * Time-integrated energy over a run with piecewise-constant
+ * voltage/frequency intervals.
+ */
+class EnergyAccumulator
+{
+  public:
+    explicit EnergyAccumulator(const PowerModel &model) : model_(model)
+    {}
+
+    /** Account @p dt ticks at supply @p v, clock @p f, plus
+     * @p checker_power (normalized). */
+    void addInterval(Tick dt, double v, double f, double checker_power);
+
+    /** Total normalized energy (power x seconds). */
+    double energy() const { return energy_; }
+
+    /** Time-weighted average normalized power. */
+    double averagePower() const;
+
+    /** Time-weighted average voltage. */
+    double averageVoltage() const;
+
+    Tick elapsed() const { return elapsed_; }
+
+    void reset();
+
+  private:
+    const PowerModel &model_;
+    double energy_ = 0.0;
+    double voltSeconds_ = 0.0;
+    Tick elapsed_ = 0;
+};
+
+/** Energy-delay product of a run: averagePower x time^2, normalized
+ * against a baseline via edpRatio(). */
+double edp(double average_power, Tick elapsed);
+
+/** EDP of (p, t) relative to a baseline (p0, t0). */
+double edpRatio(double p, Tick t, double p0, Tick t0);
+
+} // namespace power
+} // namespace paradox
+
+#endif // PARADOX_POWER_POWER_MODEL_HH

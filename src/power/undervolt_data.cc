@@ -1,0 +1,74 @@
+#include "power/undervolt_data.hh"
+
+#include <cmath>
+#include <map>
+
+namespace paradox
+{
+namespace power
+{
+
+namespace
+{
+
+// Synthetic per-workload profiles (see file comment and DESIGN.md).
+// Undervolting error onset is a sharp cliff: published sweeps show
+// error rates climbing orders of magnitude within tens of mV, so the
+// exponential slopes are steep (~270-295 /V) and the floors sit just
+// below the X-Gene 3's measured 0.872 V safe-undervolt point: at
+// vFirstError = floor + 0.071 the per-instruction rate is ~1e-9
+// (about one error per simulated second), i.e. the first observable
+// error appears just under the measured error-free undervolt level.
+// FP-heavy workloads stress longer timing paths and error a little
+// earlier (higher vFirstError / floor).
+const std::map<std::string, VoltageProfile> profiles = {
+    // SPEC CPU2006 integer.
+    {"bzip2",      {0.798, 0.869, 290.0}},
+    {"gcc",        {0.800, 0.871, 288.0}},
+    {"mcf",        {0.792, 0.863, 295.0}},
+    {"gobmk",      {0.802, 0.873, 285.0}},
+    {"sjeng",      {0.803, 0.874, 284.0}},
+    {"h264ref",    {0.804, 0.875, 282.0}},
+    {"omnetpp",    {0.796, 0.867, 292.0}},
+    {"astar",      {0.794, 0.865, 294.0}},
+    {"xalancbmk",  {0.799, 0.870, 289.0}},
+    // SPEC CPU2006 floating point.
+    {"bwaves",     {0.812, 0.883, 275.0}},
+    {"milc",       {0.815, 0.886, 272.0}},
+    {"cactusADM",  {0.816, 0.887, 271.0}},
+    {"leslie3d",   {0.813, 0.884, 274.0}},
+    {"namd",       {0.811, 0.882, 276.0}},
+    {"povray",     {0.808, 0.879, 278.0}},
+    {"calculix",   {0.817, 0.888, 270.0}},
+    {"GemsFDTD",   {0.818, 0.889, 269.0}},
+    {"tonto",      {0.810, 0.881, 277.0}},
+    {"lbm",        {0.807, 0.878, 279.0}},
+    // Design-space-exploration workloads.
+    {"bitcount",   {0.798, 0.869, 290.0}},
+    {"stream",     {0.811, 0.882, 276.0}},
+};
+
+const VoltageProfile genericProfile{0.805, 0.876, 282.0};
+
+} // namespace
+
+VoltageProfile
+voltageProfile(const std::string &workload)
+{
+    auto it = profiles.find(workload);
+    return it == profiles.end() ? genericProfile : it->second;
+}
+
+faults::UndervoltErrorModel::Params
+errorModelParams(const std::string &workload)
+{
+    const VoltageProfile profile = voltageProfile(workload);
+    faults::UndervoltErrorModel::Params params;
+    params.vNominal = vNominalMargined;
+    params.vFloor = profile.vFloor;
+    params.slope = profile.slope;
+    return params;
+}
+
+} // namespace power
+} // namespace paradox

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-workload undervolting profiles.
+ *
+ * The paper's figure 13 combines *measured* X-Gene 3 undervolting
+ * power data (Papadimitriou et al., HPCA'19) with simulated
+ * slowdowns.  Those raw measurements are not redistributable, so this
+ * table is a documented synthetic substitution (see DESIGN.md): each
+ * workload gets a voltage floor (where errors become dense -- the
+ * paper notes different workloads stress different units and so hit
+ * timing limits at different voltages, section IV-B) and a
+ * first-error voltage.  The values are synthesized to reproduce the
+ * published aggregates: a ~22% mean power reduction from undervolting
+ * at ~0.87 V against a 0.98 V margined baseline, with FP-heavy
+ * workloads erroring slightly earlier than integer-heavy ones.
+ */
+
+#ifndef PARADOX_POWER_UNDERVOLT_DATA_HH
+#define PARADOX_POWER_UNDERVOLT_DATA_HH
+
+#include <string>
+
+#include "faults/undervolt_model.hh"
+
+namespace paradox
+{
+namespace power
+{
+
+/** Undervolting character of one workload. */
+struct VoltageProfile
+{
+    /** Voltage below which errors are dense (model floor). */
+    double vFloor;
+    /** Highest voltage at which any error appears in practice. */
+    double vFirstError;
+    /** Exponential steepness between the two, 1/volt. */
+    double slope;
+};
+
+/**
+ * Look up the profile for @p workload (falls back to a generic
+ * profile for unknown names, so user workloads still run).
+ */
+VoltageProfile voltageProfile(const std::string &workload);
+
+/** Build the per-workload undervolt error model from its profile. */
+faults::UndervoltErrorModel::Params
+errorModelParams(const std::string &workload);
+
+/** The margined nominal supply voltage of the modelled system. */
+constexpr double vNominalMargined = 0.980;
+
+/** Safe undervolted supply at nominal frequency (paper: 0.872 V). */
+constexpr double vSafeUndervolted = 0.872;
+
+} // namespace power
+} // namespace paradox
+
+#endif // PARADOX_POWER_UNDERVOLT_DATA_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Clock and voltage domains.
+ *
+ * ParaDox assigns each main core its own voltage island whose supply
+ * can be moved below the nominal margin, while each group of checker
+ * cores shares a separate, margined island (paper section IV-B).  A
+ * ClockDomain converts between cycles and ticks at its current
+ * frequency; frequency may change at run time (DVFS), so conversions
+ * are only valid incrementally -- callers advance time cycle-by-cycle
+ * or in bounded bursts between frequency changes.
+ */
+
+#ifndef PARADOX_SIM_CLOCK_HH
+#define PARADOX_SIM_CLOCK_HH
+
+#include "sim/types.hh"
+
+namespace paradox
+{
+
+/** A supply-voltage island. */
+class VoltageDomain
+{
+  public:
+    /** @param nominal Nominal (margined) supply voltage in volts. */
+    explicit VoltageDomain(double nominal = 1.0)
+        : nominal_(nominal), current_(nominal)
+    {}
+
+    /** Nominal, margined voltage in volts. */
+    double nominal() const { return nominal_; }
+
+    /** Present supply voltage in volts. */
+    double voltage() const { return current_; }
+
+    /** Set the present supply voltage in volts. */
+    void setVoltage(double v) { current_ = v; }
+
+  private:
+    double nominal_;
+    double current_;
+};
+
+/**
+ * A clock whose frequency may be retuned at run time.
+ *
+ * Internally the domain stores the period in ticks (femtoseconds), so
+ * all frequencies of interest are exactly representable.
+ */
+class ClockDomain
+{
+  public:
+    /** @param freq_hz Initial clock frequency in hertz. */
+    explicit ClockDomain(double freq_hz = 1e9) { setFrequency(freq_hz); }
+
+    /** Present frequency in hertz. */
+    double frequency() const { return frequency_; }
+
+    /** Present clock period in ticks. */
+    Tick period() const { return period_; }
+
+    /** Retune the clock to @p freq_hz hertz. */
+    void
+    setFrequency(double freq_hz)
+    {
+        frequency_ = freq_hz;
+        period_ = static_cast<Tick>(
+            static_cast<double>(ticksPerSecond) / freq_hz + 0.5);
+        if (period_ == 0)
+            period_ = 1;
+    }
+
+    /** Duration of @p n cycles at the present frequency. */
+    Tick cyclesToTicks(Cycles n) const { return n * period_; }
+
+    /**
+     * Number of whole cycles covered by @p t ticks at the present
+     * frequency (rounding up: a partial cycle still occupies a slot).
+     */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return (t + period_ - 1) / period_;
+    }
+
+  private:
+    double frequency_;
+    Tick period_;
+};
+
+} // namespace paradox
+
+#endif // PARADOX_SIM_CLOCK_HH

@@ -1,0 +1,84 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback fn)
+{
+    if (when < now_)
+        panic("EventQueue: scheduling into the past");
+    EventId id = nextId_++;
+    heap_.push(Entry{when, id, std::move(fn)});
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleIn(Tick delta, Callback fn)
+{
+    return schedule(now_ + delta, std::move(fn));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= nextId_)
+        return false;
+    if (std::find(dead_.begin(), dead_.end(), id) != dead_.end())
+        return false;
+    dead_.push_back(id);
+    ++cancelled_;
+    return true;
+}
+
+bool
+EventQueue::fireNext()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        auto it = std::find(dead_.begin(), dead_.end(), e.id);
+        if (it != dead_.end()) {
+            dead_.erase(it);
+            --cancelled_;
+            continue;
+        }
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!heap_.empty() && heap_.top().when <= until) {
+        if (!fireNext())
+            break;
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t fired = 0;
+    while (fired < max_events && fireNext())
+        ++fired;
+    return fired;
+}
+
+void
+EventQueue::advanceTo(Tick t)
+{
+    if (t > now_)
+        now_ = t;
+}
+
+} // namespace paradox

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A minimal discrete-event kernel.
+ *
+ * The ParaDox system model is mostly instruction-driven, but several
+ * components (the voltage regulator, power-gating bookkeeping, and
+ * directed tests) want classical scheduled callbacks.  EventQueue
+ * provides deterministic execution: events at equal ticks fire in
+ * insertion order.
+ */
+
+#ifndef PARADOX_SIM_EVENT_QUEUE_HH
+#define PARADOX_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace paradox
+{
+
+/** Deterministic discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+    using EventId = std::uint64_t;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events waiting to fire. */
+    std::size_t pending() const { return heap_.size() - cancelled_; }
+
+    /** True when no live events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /**
+     * Schedule @p fn at absolute time @p when (>= now).
+     * @return an id usable with cancel().
+     */
+    EventId schedule(Tick when, Callback fn);
+
+    /** Schedule @p fn @p delta ticks from now. */
+    EventId scheduleIn(Tick delta, Callback fn);
+
+    /** Cancel a scheduled event; returns false if already fired. */
+    bool cancel(EventId id);
+
+    /** Run all events with tick <= @p until, advancing now(). */
+    void runUntil(Tick until);
+
+    /** Run until the queue drains (or @p max_events fire). */
+    std::uint64_t runAll(std::uint64_t max_events = ~std::uint64_t(0));
+
+    /** Advance now() without running events (instruction-driven use). */
+    void advanceTo(Tick t);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            // Equal ticks resolve by insertion order (smaller id first).
+            return a.when != b.when ? a.when > b.when : a.id > b.id;
+        }
+    };
+
+    bool fireNext();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<EventId> dead_;
+    std::size_t cancelled_ = 0;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+};
+
+} // namespace paradox
+
+#endif // PARADOX_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (simulator bugs), fatal()
+ * for user-caused conditions the simulation cannot continue from, and
+ * warn()/inform() for non-fatal notices.
+ */
+
+#ifndef PARADOX_SIM_LOGGING_HH
+#define PARADOX_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace paradox
+{
+
+/**
+ * Report an internal invariant violation and abort. Use only for
+ * conditions that indicate a bug in the simulator itself.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable, user-caused error (bad configuration,
+ * invalid arguments) and exit with a failure code.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Report a suspicious but survivable condition. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Report an informational status message. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** Abort with a message if @p cond does not hold. */
+inline void
+simAssert(bool cond, const char *msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace paradox
+
+#endif // PARADOX_SIM_LOGGING_HH

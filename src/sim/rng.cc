@@ -1,0 +1,119 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace paradox
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // A state of all zeros is the one forbidden xoshiro state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p <= 0.0)
+        return std::numeric_limits<std::uint64_t>::max();
+    if (p >= 1.0)
+        return 1;
+    // Inverse-CDF method: ceil(ln(U) / ln(1-p)), clamped to >= 1.
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double gap = std::ceil(std::log(u) / std::log1p(-p));
+    if (gap < 1.0)
+        gap = 1.0;
+    if (gap >= 1.8e19)
+        return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(gap);
+}
+
+double
+Rng::exponential(double lambda)
+{
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -std::log(u) / lambda;
+}
+
+} // namespace paradox

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in the simulator (fault inter-arrival
+ * times, fault sites, boot-time checker rotation) draws from Rng so
+ * that a run is exactly reproducible from its seed.  The core
+ * generator is xoshiro256**, which is small, fast, and has no
+ * observable bias for the distributions used here.
+ */
+
+#ifndef PARADOX_SIM_RNG_HH
+#define PARADOX_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace paradox
+{
+
+/** Seedable xoshiro256** generator with distribution helpers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Reseed, returning the generator to a known stream. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p);
+
+    /**
+     * Geometric gap: number of trials until (and including) the first
+     * success, for per-trial probability @p p.  Used for fault
+     * inter-arrival sampling; returns a huge gap for p <= 0.
+     */
+    std::uint64_t geometric(double p);
+
+    /** Exponential variate with rate @p lambda (mean 1/lambda). */
+    double exponential(double lambda);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace paradox
+
+#endif // PARADOX_SIM_RNG_HH

@@ -1,0 +1,171 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+namespace paradox
+{
+namespace stats
+{
+
+void
+Counter::print(std::ostream &os) const
+{
+    os << name() << " " << value_ << " # " << description() << "\n";
+}
+
+void
+Scalar::print(std::ostream &os) const
+{
+    os << name() << " " << value_ << " # " << description() << "\n";
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = static_cast<double>(count_);
+    double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    os << name() << " count=" << count_ << " mean=" << mean()
+       << " min=" << min() << " max=" << max()
+       << " stddev=" << stddev() << " # " << description() << "\n";
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = sumSq_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(std::string name, std::string desc, double min,
+                     double max, std::size_t buckets)
+    : Stat(std::move(name), std::move(desc)), min_(min), max_(max),
+      width_((max - min) / double(buckets))
+{
+    buckets_.assign(buckets, 0);
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    if (v < min_) {
+        ++underflow_;
+    } else if (v >= max_) {
+        ++overflow_;
+    } else {
+        ++buckets_[std::size_t((v - min_) / width_)];
+    }
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return min_;
+    const double target = p * double(count_);
+    double seen = double(underflow_);
+    if (seen >= target)
+        return min_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += double(buckets_[i]);
+        if (seen >= target)
+            return bucketLow(i) + width_;
+    }
+    return max_;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << name() << " count=" << count_ << " under=" << underflow_
+       << " over=" << overflow_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i])
+            os << " [" << bucketLow(i) << ")=" << buckets_[i];
+    }
+    os << " # " << description() << "\n";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = underflow_ = overflow_ = 0;
+}
+
+void
+TimeSeries::sample(Tick when, double value)
+{
+    ++seen_;
+    if ((seen_ - 1) % keepInterval_ != 0)
+        return;
+    data_.emplace_back(when, value);
+    if (capacity_ && data_.size() > capacity_) {
+        // Thin in place: keep every other retained sample, and halve
+        // the future acceptance rate accordingly.
+        std::vector<std::pair<Tick, double>> kept;
+        kept.reserve(data_.size() / 2 + 1);
+        for (std::size_t i = 0; i < data_.size(); i += 2)
+            kept.push_back(data_[i]);
+        data_.swap(kept);
+        keepInterval_ *= 2;
+    }
+}
+
+void
+TimeSeries::print(std::ostream &os) const
+{
+    os << name() << " samples=" << data_.size() << " # "
+       << description() << "\n";
+}
+
+void
+TimeSeries::reset()
+{
+    data_.clear();
+    keepInterval_ = 1;
+    seen_ = 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &stat : stats_)
+        stat->print(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (const auto &stat : stats_)
+        stat->reset();
+}
+
+} // namespace stats
+} // namespace paradox

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Statistics package.
+ *
+ * Modelled loosely on gem5's stats: every model component owns named
+ * statistics registered in a StatGroup, and the harness dumps them at
+ * the end of a run.  Four kinds cover everything the ParaDox
+ * evaluation needs: Counter (monotonic event counts), Scalar
+ * (settable values), Distribution (running mean/min/max/stddev used
+ * for e.g. rollback and wasted-execution times in figure 9), and
+ * TimeSeries (tick-stamped samples used for the voltage trace in
+ * figure 11).
+ */
+
+#ifndef PARADOX_SIM_STATS_HH
+#define PARADOX_SIM_STATS_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace stats
+{
+
+/** Common naming for all statistic kinds. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+
+    /** Render one dump line (or several) to @p os. */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Clear back to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonically increasing event count. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A settable scalar value. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator=(double v) { value_ = v; return *this; }
+    double value() const { return value_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running distribution: count, mean, min, max, sample stddev. */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double total() const { return sum_; }
+    /** Sample standard deviation (0 for fewer than two samples). */
+    double stddev() const;
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [min, max) with underflow/overflow
+ * bins; the evaluation uses it for checkpoint-length and
+ * recovery-time distributions.
+ */
+class Histogram : public Stat
+{
+  public:
+    Histogram(std::string name, std::string desc, double min,
+              double max, std::size_t buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLow(std::size_t i) const
+    {
+        return min_ + double(i) * width_;
+    }
+    /** Smallest value v such that >= p of samples are <= v. */
+    double percentile(double p) const;
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    double min_;
+    double max_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/**
+ * Tick-stamped sample trace with optional decimation.
+ *
+ * If a capacity is given, samples beyond it are thinned by doubling
+ * the keep-interval, so long runs keep a bounded, uniformly spaced
+ * trace (sufficient for plotting figure 11).
+ */
+class TimeSeries : public Stat
+{
+  public:
+    TimeSeries(std::string name, std::string desc,
+               std::size_t capacity = 0)
+        : Stat(std::move(name), std::move(desc)), capacity_(capacity)
+    {}
+
+    /** Record @p value at time @p when. */
+    void sample(Tick when, double value);
+
+    const std::vector<std::pair<Tick, double>> &samples() const
+    {
+        return data_;
+    }
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::pair<Tick, double>> data_;
+    std::size_t capacity_;
+    std::uint64_t keepInterval_ = 1;
+    std::uint64_t seen_ = 0;
+};
+
+/** A registry of statistics owned by one model component. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix = "") : prefix_(std::move(prefix))
+    {}
+
+    /** Create and register a statistic of kind @p S. */
+    template <typename S, typename... Args>
+    S &
+    add(const std::string &name, const std::string &desc, Args &&...args)
+    {
+        auto stat = new S(prefix_.empty() ? name : prefix_ + "." + name,
+                          desc, std::forward<Args>(args)...);
+        stats_.emplace_back(stat);
+        return *stat;
+    }
+
+    /** Dump every registered statistic to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered statistic. */
+    void resetAll();
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    std::string prefix_;
+    std::vector<std::unique_ptr<Stat>> stats_;
+};
+
+} // namespace stats
+} // namespace paradox
+
+#endif // PARADOX_SIM_STATS_HH

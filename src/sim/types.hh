@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles and conversions.
+ *
+ * A Tick is one femtosecond. Using femtoseconds keeps the periods of
+ * every clock used in the ParaDox evaluation (3.2 GHz main cores,
+ * 1 GHz checker cores, 800 MHz DRAM) exactly representable as
+ * integers, so cycle <-> tick conversions never accumulate rounding
+ * error over a run.
+ */
+
+#ifndef PARADOX_SIM_TYPES_HH
+#define PARADOX_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace paradox
+{
+
+/** Simulated time, in femtoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Ticks per second: 1e15 femtoseconds. */
+constexpr Tick ticksPerSecond = 1'000'000'000'000'000ULL;
+
+/** Ticks per nanosecond. */
+constexpr Tick ticksPerNs = 1'000'000ULL;
+
+/** Ticks per microsecond. */
+constexpr Tick ticksPerUs = 1'000'000'000ULL;
+
+/** Ticks per millisecond. */
+constexpr Tick ticksPerMs = 1'000'000'000'000ULL;
+
+/** A tick value that compares later than any reachable time. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Convert a tick count to (double) nanoseconds, for reporting. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerNs);
+}
+
+/** Convert a tick count to (double) seconds, for reporting. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerSecond);
+}
+
+/** Memory address within the simulated physical address space. */
+using Addr = std::uint64_t;
+
+} // namespace paradox
+
+#endif // PARADOX_SIM_TYPES_HH

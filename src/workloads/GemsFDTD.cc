@@ -1,0 +1,158 @@
+/**
+ * @file
+ * SPEC CPU2006 459.GemsFDTD proxy: coupled E/H field updates on a 2D
+ * Yee-style grid (finite-difference time domain), two dependent
+ * sweeps per timestep.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr long NX = 64, NY = 64;
+constexpr std::size_t cells = std::size_t(NX * NY);
+constexpr double ce = 0.4, ch = 0.3;
+
+std::uint64_t
+reference(std::vector<double> e, unsigned steps)
+{
+    std::vector<double> h(cells, 0.0);
+    auto idx = [](long x, long y) { return std::size_t(y * NX + x); };
+    for (unsigned s = 0; s < steps; ++s) {
+        for (long y = 0; y < NY - 1; ++y)
+            for (long x = 0; x < NX - 1; ++x)
+                h[idx(x, y)] = h[idx(x, y)] -
+                               ch * ((e[idx(x + 1, y)] - e[idx(x, y)]) +
+                                     (e[idx(x, y + 1)] - e[idx(x, y)]));
+        for (long y = 1; y < NY; ++y)
+            for (long x = 1; x < NX; ++x)
+                e[idx(x, y)] = e[idx(x, y)] +
+                               ce * ((h[idx(x, y)] - h[idx(x - 1, y)]) +
+                                     (h[idx(x, y)] - h[idx(x, y - 1)]));
+    }
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < cells; i += 3)
+        acc = mixDouble(acc, e[i]);
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildGemsFDTD(unsigned scale)
+{
+    const unsigned steps = 6 * scale;
+    const auto e0 = randomDoubles(cells, 0x6e35);
+    const Addr eBase = dataBase;
+    const Addr hBase = dataBase + cells * 8 + 64;
+    const Addr cBase = hBase + cells * 8 + 64;
+
+    isa::ProgramBuilder b("GemsFDTD");
+    emitDataF(b, eBase, e0);
+    b.dataF64(cBase, ce);
+    b.dataF64(cBase + 8, ch);
+
+    constexpr long sx = 8, sy = NX * 8;
+
+    b.ldi(x1, cBase);
+    b.fld(f10, x1, 0);   // ce
+    b.fld(f11, x1, 8);   // ch
+    b.ldi(x21, eBase);
+    b.ldi(x22, hBase);
+    b.ldi(x15, steps);
+
+    b.label("step");
+    // H sweep: y in [0, NY-2], x in [0, NX-2].
+    b.ldi(x3, 0);
+    b.label("hy");
+    b.ldi(x5, NX);
+    b.mul(x6, x3, x5);
+    b.slli(x6, x6, 3);
+    b.add(x7, x6, x21);       // &e[0,y]
+    b.add(x8, x6, x22);       // &h[0,y]
+    b.ldi(x4, NX - 1);
+    b.label("hx");
+    b.fld(f1, x7, 0);         // e[x,y]
+    b.fld(f2, x7, sx);        // e[x+1,y]
+    b.fld(f3, x7, sy);        // e[x,y+1]
+    b.fsub(f2, f2, f1);
+    b.fsub(f3, f3, f1);
+    b.fadd(f2, f2, f3);
+    b.fmul(f2, f11, f2);
+    b.fld(f4, x8, 0);
+    b.fsub(f4, f4, f2);
+    b.fsd(f4, x8, 0);
+    b.addi(x7, x7, 8);
+    b.addi(x8, x8, 8);
+    b.addi(x4, x4, -1);
+    b.bne(x4, x0, "hx");
+    b.addi(x3, x3, 1);
+    b.ldi(x5, NY - 1);
+    b.bne(x3, x5, "hy");
+
+    // E sweep: y in [1, NY-1], x in [1, NX-1].
+    b.ldi(x3, 1);
+    b.label("ey");
+    b.ldi(x5, NX);
+    b.mul(x6, x3, x5);
+    b.addi(x6, x6, 1);
+    b.slli(x6, x6, 3);
+    b.add(x7, x6, x21);
+    b.add(x8, x6, x22);
+    b.ldi(x4, NX - 1);
+    b.label("ex");
+    b.fld(f1, x8, 0);         // h[x,y]
+    b.fld(f2, x8, -sx);
+    b.fld(f3, x8, -sy);
+    b.fsub(f2, f1, f2);
+    b.fsub(f3, f1, f3);
+    b.fadd(f2, f2, f3);
+    b.fmul(f2, f10, f2);
+    b.fld(f4, x7, 0);
+    b.fadd(f4, f4, f2);
+    b.fsd(f4, x7, 0);
+    b.addi(x7, x7, 8);
+    b.addi(x8, x8, 8);
+    b.addi(x4, x4, -1);
+    b.bne(x4, x0, "ex");
+    b.addi(x3, x3, 1);
+    b.ldi(x5, NY);
+    b.bne(x3, x5, "ey");
+
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "step");
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x7, eBase);
+    b.ldi(x2, 0);
+    b.ldi(x3, cells);
+    b.label("sum");
+    b.fld(f1, x7, 0);
+    b.fmvXD(x9, f1);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+    b.addi(x7, x7, 24);
+    b.addi(x2, x2, 3);
+    b.blt(x2, x3, "sum");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "GemsFDTD";
+    w.description = "GemsFDTD proxy: coupled E/H Yee-grid sweeps";
+    w.program = b.build();
+    w.expectedResult = reference(e0, steps);
+    w.fpHeavy = true;
+    w.memoryBound = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

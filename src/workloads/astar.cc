@@ -1,0 +1,148 @@
+/**
+ * @file
+ * SPEC CPU2006 473.astar proxy: grid path-cost relaxation sweeps.
+ * The distance grid uses a 4 KiB row pitch and is walked column-
+ * major, so the unchecked-store buffer concentrates dirty lines in a
+ * handful of L1 sets -- reproducing the buffered-write conflict
+ * misses that make astar the EDP outlier of figure 13.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr long N = 64;           // grid dimension
+constexpr long pitchBytes = 4096; // distance-grid row pitch
+
+std::uint64_t
+reference(const std::vector<std::uint64_t> &cost, unsigned sweeps)
+{
+    auto costAt = [&cost](long x, long y) {
+        return (cost[std::size_t(y * N + x) / 8] >>
+                (8 * (std::size_t(y * N + x) % 8))) & 0xff;
+    };
+    std::vector<std::uint64_t> dist(std::size_t(N * N),
+                                    0x3fffffffffffffffULL);
+    dist[0] = 0;
+    std::uint64_t acc = 0;
+    for (unsigned s = 0; s < sweeps; ++s) {
+        // Column-major relaxation from the left/top neighbours.
+        for (long x = 1; x < N; ++x) {
+            for (long y = 1; y < N; ++y) {
+                std::uint64_t left = dist[std::size_t(y * N + x - 1)];
+                std::uint64_t up = dist[std::size_t((y - 1) * N + x)];
+                std::uint64_t best = left < up ? left : up;
+                std::uint64_t v = best + costAt(x, y) + s;
+                if (v < dist[std::size_t(y * N + x)])
+                    dist[std::size_t(y * N + x)] = v;
+            }
+        }
+        acc = mixInt(acc, dist[std::size_t(N * N - 1)]);
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildAstar(unsigned scale)
+{
+    const unsigned sweeps = 12 * scale;
+    const auto cost = randomWords(std::size_t(N * N) / 8, 0xa57a4);
+    const Addr costBase = dataBase;
+    const Addr distBase = 0x400000;  // pitched: row y at + y*4096
+
+    isa::ProgramBuilder b("astar");
+    emitData(b, costBase, cost);
+    // Distance grid initialization: large sentinel everywhere, 0 at
+    // the origin.  (Initialized by code so the pitched layout does
+    // not blow up the data image.)
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x21, distBase);
+    b.ldi(x22, costBase);
+    b.ldi(x18, N);
+    b.ldi(x19, 0x3fffffffffffffffULL);
+
+    // init: for y, for x: dist[y][x] = sentinel; dist[0][0] = 0.
+    b.ldi(x2, 0);
+    b.label("iy");
+    b.ldi(x5, pitchBytes);
+    b.mul(x6, x2, x5);
+    b.add(x6, x6, x21);
+    b.ldi(x3, N);
+    b.label("ix");
+    b.sd(x19, x6, 0);
+    b.addi(x6, x6, 8);
+    b.addi(x3, x3, -1);
+    b.bne(x3, x0, "ix");
+    b.addi(x2, x2, 1);
+    b.bne(x2, x18, "iy");
+    b.sd(x0, x21, 0);
+
+    b.ldi(x15, 0);                 // sweep counter s
+    b.ldi(x16, sweeps);
+    b.label("sweep");
+    b.ldi(x2, 1);                  // x (column-major outer)
+    b.label("xloop");
+    b.ldi(x3, 1);                  // y
+    b.label("yloop");
+    // &dist[y][x] = distBase + y*pitch + x*8.
+    b.ldi(x5, pitchBytes);
+    b.mul(x6, x3, x5);
+    b.add(x6, x6, x21);
+    b.slli(x7, x2, 3);
+    b.add(x6, x6, x7);
+    b.ld(x8, x6, -8);              // left
+    b.ldi(x5, pitchBytes);
+    b.sub(x9, x6, x5);
+    b.ld(x9, x9, 0);               // up
+    b.bltu(x8, x9, "useleft");
+    b.mv(x8, x9);
+    b.label("useleft");
+    // cost byte at y*N + x.
+    b.mul(x10, x3, x18);
+    b.add(x10, x10, x2);
+    b.add(x10, x10, x22);
+    b.lbu(x10, x10, 0);
+    b.add(x8, x8, x10);
+    b.add(x8, x8, x15);            // + s
+    b.ld(x11, x6, 0);
+    b.bgeu(x8, x11, "nokeep");
+    b.sd(x8, x6, 0);
+    b.label("nokeep");
+    b.addi(x3, x3, 1);
+    b.bne(x3, x18, "yloop");
+    b.addi(x2, x2, 1);
+    b.bne(x2, x18, "xloop");
+    // Fold dist[N-1][N-1].
+    b.ldi(x5, pitchBytes);
+    b.ldi(x6, N - 1);
+    b.mul(x5, x5, x6);
+    b.add(x5, x5, x21);
+    b.ld(x7, x5, (N - 1) * 8);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x7);
+    b.addi(x15, x15, 1);
+    b.bne(x15, x16, "sweep");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "astar";
+    w.description = "astar proxy: pitched-grid path relaxation";
+    w.program = b.build();
+    w.expectedResult = reference(cost, sweeps);
+    w.memoryBound = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

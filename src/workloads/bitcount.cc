@@ -1,0 +1,129 @@
+/**
+ * @file
+ * MiBench bitcount proxy (compute-bound; the paper's worst case for
+ * overly long checkpoints, figures 8, 9 and 11).
+ *
+ * For each input word the kernel runs two counting strategies --
+ * Kernighan's data-dependent clear-lowest-bit loop, and a branchless
+ * SWAR popcount -- and folds both results into an FNV-style checksum.
+ * Almost no memory traffic: one load per ~150 committed instructions,
+ * so checkpoints are bounded by the AIMD target, not log capacity.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+std::uint64_t
+reference(const std::vector<std::uint64_t> &words)
+{
+    std::uint64_t acc = 0;
+    std::vector<std::uint64_t> counts(words.size(), 0);
+    std::size_t i = 0;
+    for (std::uint64_t w : words) {
+        // Kernighan.
+        std::uint64_t kern = 0;
+        for (std::uint64_t v = w; v != 0; v &= v - 1)
+            ++kern;
+        // SWAR.
+        std::uint64_t x = w;
+        x = x - ((x >> 1) & 0x5555555555555555ULL);
+        x = (x & 0x3333333333333333ULL) +
+            ((x >> 2) & 0x3333333333333333ULL);
+        x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+        std::uint64_t swar = (x * 0x0101010101010101ULL) >> 56;
+        counts[i++] = kern + 3 * swar;  // per-word result table
+        acc = mixInt(acc, kern + 3 * swar);
+    }
+    return mixInt(acc, counts[words.size() / 2]);
+}
+
+} // namespace
+
+Workload
+buildBitcount(unsigned scale)
+{
+    const std::size_t n = 2048 * scale;
+    const auto words = randomWords(n, 0xb17c0417);
+
+    isa::ProgramBuilder b("bitcount");
+    emitData(b, dataBase, words);
+    const Addr countBase = dataBase + n * 8 + 64;
+
+    b.ldi(x1, dataBase);
+    b.ldi(x2, countBase);
+    b.ldi(x3, n);
+    b.ldi(x31, 0);                          // checksum accumulator
+    b.ldi(x20, 1099511628211ULL);           // FNV prime
+    b.ldi(x16, 0x5555555555555555ULL);
+    b.ldi(x17, 0x3333333333333333ULL);
+    b.ldi(x18, 0x0f0f0f0f0f0f0f0fULL);
+    b.ldi(x19, 0x0101010101010101ULL);
+
+    b.label("word");
+    b.ld(x5, x1, 0);                        // w
+
+    // Kernighan count into x7.
+    b.mv(x6, x5);
+    b.ldi(x7, 0);
+    b.label("kern");
+    b.beq(x6, x0, "kern_done");
+    b.addi(x8, x6, -1);
+    b.and_(x6, x6, x8);
+    b.addi(x7, x7, 1);
+    b.j("kern");
+    b.label("kern_done");
+
+    // SWAR count into x9.
+    b.srli(x9, x5, 1);
+    b.and_(x9, x9, x16);
+    b.sub(x9, x5, x9);
+    b.and_(x10, x9, x17);
+    b.srli(x9, x9, 2);
+    b.and_(x9, x9, x17);
+    b.add(x9, x9, x10);
+    b.srli(x10, x9, 4);
+    b.add(x9, x9, x10);
+    b.and_(x9, x9, x18);
+    b.mul(x9, x9, x19);
+    b.srli(x9, x9, 56);
+
+    // counts[i] = kern + 3 * swar; acc = acc * prime + counts[i].
+    b.slli(x10, x9, 1);
+    b.add(x10, x10, x9);
+    b.add(x10, x10, x7);
+    b.sd(x10, x2, 0);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x10);
+
+    b.addi(x1, x1, 8);
+    b.addi(x2, x2, 8);
+    b.addi(x3, x3, -1);
+    b.bne(x3, x0, "word");
+
+    // Fold one table entry back in, so the stores are live outputs.
+    b.ldi(x2, countBase + (n / 2) * 8);
+    b.ld(x10, x2, 0);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x10);
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "bitcount";
+    w.description = "MiBench bitcount: dual-strategy population counts";
+    w.program = b.build();
+    w.expectedResult = reference(words);
+    w.fpHeavy = false;
+    w.memoryBound = false;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * SPEC CPU2006 410.bwaves proxy: 7-point 3D stencil sweeps over a
+ * ping-pong pair of grids -- blast-wave CFD's regular, memory-heavy
+ * FP pattern with long unit-stride streams.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr long NX = 32, NY = 32, NZ = 8;
+constexpr std::size_t cells = std::size_t(NX * NY * NZ);
+constexpr double c0 = 0.4, c1 = 0.1;
+
+std::uint64_t
+reference(std::vector<double> grid, unsigned iters)
+{
+    std::vector<double> other(cells, 0.0);
+    auto idx = [](long x, long y, long z) {
+        return std::size_t((z * NY + y) * NX + x);
+    };
+    std::vector<double> *src = &grid, *dst = &other;
+    for (unsigned it = 0; it < iters; ++it) {
+        for (long z = 1; z < NZ - 1; ++z) {
+            for (long y = 1; y < NY - 1; ++y) {
+                for (long x = 1; x < NX - 1; ++x) {
+                    const std::vector<double> &s = *src;
+                    // Pairwise grouping matches the PDX64 kernel's
+                    // FP evaluation order exactly (bit-for-bit).
+                    double nb =
+                        ((s[idx(x - 1, y, z)] + s[idx(x + 1, y, z)]) +
+                         (s[idx(x, y - 1, z)] + s[idx(x, y + 1, z)])) +
+                        (s[idx(x, y, z - 1)] + s[idx(x, y, z + 1)]);
+                    double v = c0 * s[idx(x, y, z)] + c1 * nb;
+                    (*dst)[idx(x, y, z)] = v;
+                }
+            }
+        }
+        std::swap(src, dst);
+    }
+    std::uint64_t acc = 0;
+    for (long z = 1; z < NZ - 1; ++z)
+        for (long y = 1; y < NY - 1; ++y)
+            for (long x = 1; x < NX - 1; ++x)
+                acc = mixDouble(acc, (*src)[idx(x, y, z)]);
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildBwaves(unsigned scale)
+{
+    const unsigned iters = 3 * scale;
+    const auto grid = randomDoubles(cells, 0xb3a7e5);
+    const Addr aBase = dataBase;
+    const Addr bBase = dataBase + cells * 8 + 64;
+    const Addr cBase = bBase + cells * 8 + 64;  // coefficients
+
+    isa::ProgramBuilder b("bwaves");
+    emitDataF(b, aBase, grid);
+    b.dataF64(cBase, c0);
+    b.dataF64(cBase + 8, c1);
+
+    constexpr long sx = 8, sy = NX * 8, sz = NX * NY * 8;
+
+    b.ldi(x1, cBase);
+    b.fld(f10, x1, 0);   // c0
+    b.fld(f11, x1, 8);   // c1
+    b.ldi(x21, aBase);   // src
+    b.ldi(x22, bBase);   // dst
+    b.ldi(x15, iters);
+
+    b.label("iter");
+    b.ldi(x2, 1);                 // z
+    b.label("zloop");
+    b.ldi(x3, 1);                 // y
+    b.label("yloop");
+    // p = src + idx(1, y, z)*8; q = dst + same
+    b.ldi(x5, NX);
+    b.mul(x6, x2, x5);            // z*NX (used as z*NY since NX==NY)
+    b.add(x6, x6, x3);
+    b.mul(x6, x6, x5);
+    b.addi(x6, x6, 1);
+    b.slli(x6, x6, 3);
+    b.add(x7, x6, x21);           // p
+    b.add(x8, x6, x22);           // q
+    b.ldi(x4, NX - 2);            // x count
+    b.label("xloop");
+    b.fld(f1, x7, 0);
+    b.fld(f2, x7, -sx);
+    b.fld(f3, x7, sx);
+    b.fld(f4, x7, -sy);
+    b.fld(f5, x7, sy);
+    b.fld(f6, x7, -sz);
+    b.fld(f7, x7, sz);
+    b.fadd(f2, f2, f3);
+    b.fadd(f4, f4, f5);
+    b.fadd(f6, f6, f7);
+    b.fadd(f2, f2, f4);
+    b.fadd(f2, f2, f6);
+    b.fmul(f1, f10, f1);
+    b.fmul(f2, f11, f2);
+    b.fadd(f1, f1, f2);
+    b.fsd(f1, x8, 0);
+    b.addi(x7, x7, 8);
+    b.addi(x8, x8, 8);
+    b.addi(x4, x4, -1);
+    b.bne(x4, x0, "xloop");
+    b.addi(x3, x3, 1);
+    b.ldi(x5, NY - 1);
+    b.bne(x3, x5, "yloop");
+    b.addi(x2, x2, 1);
+    b.ldi(x5, NZ - 1);
+    b.bne(x2, x5, "zloop");
+    // swap src/dst
+    b.mv(x5, x21);
+    b.mv(x21, x22);
+    b.mv(x22, x5);
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "iter");
+
+    // Checksum over the interior of src.
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x2, 1);
+    b.label("cz");
+    b.ldi(x3, 1);
+    b.label("cy");
+    b.ldi(x5, NX);
+    b.mul(x6, x2, x5);
+    b.add(x6, x6, x3);
+    b.mul(x6, x6, x5);
+    b.addi(x6, x6, 1);
+    b.slli(x6, x6, 3);
+    b.add(x7, x6, x21);
+    b.ldi(x4, NX - 2);
+    b.label("cx");
+    b.fld(f1, x7, 0);
+    b.fmvXD(x9, f1);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+    b.addi(x7, x7, 8);
+    b.addi(x4, x4, -1);
+    b.bne(x4, x0, "cx");
+    b.addi(x3, x3, 1);
+    b.ldi(x5, NY - 1);
+    b.bne(x3, x5, "cy");
+    b.addi(x2, x2, 1);
+    b.ldi(x5, NZ - 1);
+    b.bne(x2, x5, "cz");
+
+    storeResultAndHalt(b, x31);
+
+    // The stencil reads the x/y/z faces of the untouched grid, so the
+    // reference must see the same zero-initialized ghost cells the
+    // simulated memory provides -- both start from the same image.
+    Workload w;
+    w.name = "bwaves";
+    w.description = "bwaves proxy: 7-point 3D stencil ping-pong";
+    w.program = b.build();
+    w.expectedResult = reference(grid, iters);
+    w.fpHeavy = true;
+    w.memoryBound = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

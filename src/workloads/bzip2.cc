@@ -1,0 +1,146 @@
+/**
+ * @file
+ * SPEC CPU2006 401.bzip2 proxy: move-to-front transform plus run-
+ * length folding over a byte stream with realistic run structure --
+ * the branchy, table-shuffling integer character of bzip2's entropy
+ * stages.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+std::vector<std::uint64_t>
+makeInput(std::size_t n_bytes, std::uint64_t seed)
+{
+    // Byte stream with runs (70% chance of repeating), packed into
+    // 64-bit little-endian words for the data image.
+    Rng rng(seed);
+    std::vector<std::uint64_t> words((n_bytes + 7) / 8, 0);
+    std::uint8_t prev = 0;
+    for (std::size_t i = 0; i < n_bytes; ++i) {
+        std::uint8_t byte =
+            rng.chance(0.7) ? prev : std::uint8_t(rng.nextBounded(64));
+        prev = byte;
+        words[i / 8] |= std::uint64_t(byte) << (8 * (i % 8));
+    }
+    return words;
+}
+
+std::uint64_t
+reference(const std::vector<std::uint64_t> &words, std::size_t n_bytes)
+{
+    std::uint8_t table[256];
+    for (unsigned i = 0; i < 256; ++i)
+        table[i] = std::uint8_t(i);
+
+    std::uint64_t acc = 0;
+    std::uint64_t prev_j = 257, run = 0;
+    for (std::size_t i = 0; i < n_bytes; ++i) {
+        std::uint8_t byte =
+            std::uint8_t(words[i / 8] >> (8 * (i % 8)));
+        unsigned j = 0;
+        while (table[j] != byte)
+            ++j;
+        for (unsigned k = j; k > 0; --k)
+            table[k] = table[k - 1];
+        table[0] = byte;
+        acc = mixInt(acc, j);
+        if (j == prev_j) {
+            ++run;
+        } else {
+            acc = mixInt(acc, run);
+            prev_j = j;
+            run = 1;
+        }
+    }
+    return mixInt(acc, run);
+}
+
+} // namespace
+
+Workload
+buildBzip2(unsigned scale)
+{
+    const std::size_t n_bytes = 2048 * scale;
+    const auto words = makeInput(n_bytes, 0xb21b2);
+    const Addr inBase = dataBase;
+    const Addr tableBase = dataBase + words.size() * 8 + 64;
+
+    isa::ProgramBuilder b("bzip2");
+    emitData(b, inBase, words);
+    // MTF table initialized 0..255, packed bytes.
+    for (unsigned w = 0; w < 32; ++w) {
+        std::uint64_t word = 0;
+        for (unsigned k = 0; k < 8; ++k)
+            word |= std::uint64_t(w * 8 + k) << (8 * k);
+        b.data64(tableBase + w * 8, word);
+    }
+
+    b.ldi(x1, inBase);
+    b.ldi(x2, n_bytes);
+    b.ldi(x3, tableBase);
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x21, 257);                 // prev MTF index (none)
+    b.ldi(x22, 0);                   // run length
+
+    b.label("byte");
+    b.lbu(x5, x1, 0);
+    // Linear MTF scan for x5.
+    b.mv(x6, x3);
+    b.ldi(x7, 0);
+    b.label("scan");
+    b.lbu(x8, x6, 0);
+    b.beq(x8, x5, "found");
+    b.addi(x6, x6, 1);
+    b.addi(x7, x7, 1);
+    b.j("scan");
+    b.label("found");
+    // Shift table[0..j-1] up one place.
+    b.label("shift");
+    b.beq(x6, x3, "shift_done");
+    b.lbu(x9, x6, -1);
+    b.sb(x9, x6, 0);
+    b.addi(x6, x6, -1);
+    b.j("shift");
+    b.label("shift_done");
+    b.sb(x5, x3, 0);
+    // acc = acc * prime + j.
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x7);
+    // Run-length fold on the MTF index stream.
+    b.beq(x7, x21, "same_run");
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x22);
+    b.mv(x21, x7);
+    b.ldi(x22, 1);
+    b.j("run_done");
+    b.label("same_run");
+    b.addi(x22, x22, 1);
+    b.label("run_done");
+
+    b.addi(x1, x1, 1);
+    b.addi(x2, x2, -1);
+    b.bne(x2, x0, "byte");
+
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x22);
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "bzip2";
+    w.description = "bzip2 proxy: move-to-front + run-length folding";
+    w.program = b.build();
+    w.expectedResult = reference(words, n_bytes);
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

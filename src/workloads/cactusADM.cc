@@ -1,0 +1,153 @@
+/**
+ * @file
+ * SPEC CPU2006 436.cactusADM proxy: Einstein-solver-flavoured dense
+ * 3D stencil with a nonlinear source term -- more arithmetic per
+ * point than bwaves, stressing checkpoint-register costs rather than
+ * checker throughput (figure 10 notes its checkpointing overhead).
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr long NX = 24, NY = 24, NZ = 8;
+constexpr std::size_t cells = std::size_t(NX * NY * NZ);
+constexpr double k = 0.05, q = 0.01;
+
+std::uint64_t
+reference(std::vector<double> grid, unsigned iters)
+{
+    auto idx = [](long x, long y, long z) {
+        return std::size_t((z * NY + y) * NX + x);
+    };
+    for (unsigned it = 0; it < iters; ++it) {
+        for (long z = 1; z < NZ - 1; ++z) {
+            for (long y = 1; y < NY - 1; ++y) {
+                for (long x = 1; x < NX - 1; ++x) {
+                    double c = grid[idx(x, y, z)];
+                    double lap = grid[idx(x - 1, y, z)] +
+                                 grid[idx(x + 1, y, z)] +
+                                 grid[idx(x, y - 1, z)] +
+                                 grid[idx(x, y + 1, z)] +
+                                 grid[idx(x, y, z - 1)] +
+                                 grid[idx(x, y, z + 1)] - 6.0 * c;
+                    double src = q * (c * c) * (1.0 - c);
+                    grid[idx(x, y, z)] = c + k * lap + src;
+                }
+            }
+        }
+    }
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < cells; i += 5)
+        acc = mixDouble(acc, grid[i]);
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildCactusADM(unsigned scale)
+{
+    const unsigned iters = 8 * scale;
+    const auto grid = randomDoubles(cells, 0xcac705);
+    const Addr base = dataBase;
+    const Addr cBase = dataBase + cells * 8 + 64;
+
+    isa::ProgramBuilder b("cactusADM");
+    emitDataF(b, base, grid);
+    b.dataF64(cBase, k);
+    b.dataF64(cBase + 8, q);
+    b.dataF64(cBase + 16, 6.0);
+    b.dataF64(cBase + 24, 1.0);
+
+    constexpr long sx = 8, sy = NX * 8, sz = NX * NY * 8;
+
+    b.ldi(x1, cBase);
+    b.fld(f10, x1, 0);   // k
+    b.fld(f11, x1, 8);   // q
+    b.fld(f12, x1, 16);  // 6.0
+    b.fld(f13, x1, 24);  // 1.0
+    b.ldi(x21, base);
+    b.ldi(x15, iters);
+
+    b.label("iter");
+    b.ldi(x2, 1);
+    b.label("zloop");
+    b.ldi(x3, 1);
+    b.label("yloop");
+    b.ldi(x5, NX);
+    b.mul(x6, x2, x5);
+    b.add(x6, x6, x3);
+    b.mul(x6, x6, x5);
+    b.addi(x6, x6, 1);
+    b.slli(x6, x6, 3);
+    b.add(x7, x6, x21);
+    b.ldi(x4, NX - 2);
+    b.label("xloop");
+    b.fld(f1, x7, 0);            // c
+    b.fld(f2, x7, -sx);
+    b.fld(f3, x7, sx);
+    b.fadd(f2, f2, f3);
+    b.fld(f3, x7, -sy);
+    b.fadd(f2, f2, f3);
+    b.fld(f3, x7, sy);
+    b.fadd(f2, f2, f3);
+    b.fld(f3, x7, -sz);
+    b.fadd(f2, f2, f3);
+    b.fld(f3, x7, sz);
+    b.fadd(f2, f2, f3);
+    b.fmul(f3, f12, f1);
+    b.fsub(f2, f2, f3);          // lap
+    b.fmul(f4, f1, f1);
+    b.fmul(f4, f11, f4);
+    b.fsub(f5, f13, f1);
+    b.fmul(f4, f4, f5);          // src
+    b.fmul(f2, f10, f2);
+    b.fadd(f1, f1, f2);
+    b.fadd(f1, f1, f4);
+    b.fsd(f1, x7, 0);
+    b.addi(x7, x7, 8);
+    b.addi(x4, x4, -1);
+    b.bne(x4, x0, "xloop");
+    b.addi(x3, x3, 1);
+    b.ldi(x5, NY - 1);
+    b.bne(x3, x5, "yloop");
+    b.addi(x2, x2, 1);
+    b.ldi(x5, NZ - 1);
+    b.bne(x2, x5, "zloop");
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "iter");
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x7, base);
+    b.ldi(x2, 0);
+    b.ldi(x3, cells);
+    b.label("sum");
+    b.fld(f1, x7, 0);
+    b.fmvXD(x9, f1);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+    b.addi(x7, x7, 40);
+    b.addi(x2, x2, 5);
+    b.blt(x2, x3, "sum");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "cactusADM";
+    w.description = "cactusADM proxy: nonlinear 3D stencil";
+    w.program = b.build();
+    w.expectedResult = reference(grid, iters);
+    w.fpHeavy = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

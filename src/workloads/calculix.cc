@@ -1,0 +1,158 @@
+/**
+ * @file
+ * SPEC CPU2006 454.calculix proxy: repeated dense LU-style forward
+ * elimination on a small matrix -- pivot divides feeding multiply-
+ * subtract row updates, the solver kernel of finite-element codes.
+ */
+
+#include "workloads/common.hh"
+
+#include <cmath>
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr long M = 20;
+
+std::uint64_t
+reference(const std::vector<double> &a0, unsigned rounds)
+{
+    std::uint64_t acc = 0;
+    std::vector<double> a(a0);
+    for (unsigned r = 0; r < rounds; ++r) {
+        // Re-perturb so every round does fresh work.
+        for (long i = 0; i < M; ++i)
+            a[std::size_t(i * M + i)] =
+                a[std::size_t(i * M + i)] + 4.0;
+        for (long k = 0; k < M - 1; ++k) {
+            double pivot = a[std::size_t(k * M + k)];
+            for (long i = k + 1; i < M; ++i) {
+                double factor = a[std::size_t(i * M + k)] / pivot;
+                a[std::size_t(i * M + k)] = factor;
+                for (long j = k + 1; j < M; ++j) {
+                    a[std::size_t(i * M + j)] =
+                        a[std::size_t(i * M + j)] -
+                        factor * a[std::size_t(k * M + j)];
+                }
+            }
+        }
+        for (long i = 0; i < M; ++i)
+            acc = mixDouble(acc, a[std::size_t(i * M + i)]);
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildCalculix(unsigned scale)
+{
+    const unsigned rounds = 24 * scale;
+    const auto a0 = randomDoubles(std::size_t(M * M), 0xca1c);
+    const Addr base = dataBase;
+    const Addr cBase = dataBase + a0.size() * 8 + 64;
+
+    isa::ProgramBuilder b("calculix");
+    emitDataF(b, base, a0);
+    b.dataF64(cBase, 4.0);
+
+    constexpr long rowBytes = M * 8;
+
+    b.ldi(x1, cBase);
+    b.fld(f10, x1, 0);    // 4.0
+    b.ldi(x21, base);
+    b.ldi(x15, rounds);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x31, 0);
+    b.ldi(x18, M);
+
+    b.label("round");
+    // Diagonal perturbation.
+    b.mv(x2, x21);
+    b.ldi(x3, M);
+    b.label("diag");
+    b.fld(f1, x2, 0);
+    b.fadd(f1, f1, f10);
+    b.fsd(f1, x2, 0);
+    b.addi(x2, x2, rowBytes + 8);
+    b.addi(x3, x3, -1);
+    b.bne(x3, x0, "diag");
+
+    // Forward elimination.
+    b.ldi(x2, 0);                    // k
+    b.label("kloop");
+    // pivot = a[k][k]
+    b.ldi(x5, rowBytes + 8);
+    b.mul(x6, x2, x5);
+    b.add(x6, x6, x21);              // &a[k][k]
+    b.fld(f1, x6, 0);                // pivot
+    b.addi(x3, x2, 1);               // i
+    b.label("iloop");
+    // &a[i][k]
+    b.ldi(x5, rowBytes);
+    b.mul(x7, x3, x5);
+    b.add(x7, x7, x21);
+    b.slli(x8, x2, 3);
+    b.add(x7, x7, x8);               // &a[i][k]
+    b.fld(f2, x7, 0);
+    b.fdiv(f2, f2, f1);              // factor
+    b.fsd(f2, x7, 0);
+    // j loop: a[i][j] -= factor * a[k][j], j = k+1..M-1
+    b.addi(x9, x7, 8);               // &a[i][j]
+    b.ldi(x5, rowBytes + 8);
+    b.mul(x10, x2, x5);
+    b.add(x10, x10, x21);
+    b.addi(x10, x10, 8);             // &a[k][k+1]
+    b.sub(x11, x18, x2);
+    b.addi(x11, x11, -1);            // M - 1 - k iterations
+    b.beq(x11, x0, "jdone");
+    b.label("jloop");
+    b.fld(f3, x10, 0);
+    b.fmul(f3, f2, f3);
+    b.fld(f4, x9, 0);
+    b.fsub(f4, f4, f3);
+    b.fsd(f4, x9, 0);
+    b.addi(x9, x9, 8);
+    b.addi(x10, x10, 8);
+    b.addi(x11, x11, -1);
+    b.bne(x11, x0, "jloop");
+    b.label("jdone");
+    b.addi(x3, x3, 1);
+    b.blt(x3, x18, "iloop");
+    b.addi(x2, x2, 1);
+    b.ldi(x5, M - 1);
+    b.blt(x2, x5, "kloop");
+
+    // Fold the diagonal.
+    b.mv(x2, x21);
+    b.ldi(x3, M);
+    b.label("fold");
+    b.fld(f1, x2, 0);
+    b.fmvXD(x9, f1);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+    b.addi(x2, x2, rowBytes + 8);
+    b.addi(x3, x3, -1);
+    b.bne(x3, x0, "fold");
+
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "round");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "calculix";
+    w.description = "calculix proxy: dense LU forward elimination";
+    w.program = b.build();
+    w.expectedResult = reference(a0, rounds);
+    w.fpHeavy = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared conventions and helpers for workload construction.
+ *
+ * Register conventions (by agreement, not hardware enforcement):
+ * x1-x4 address/loop registers, x5-x15 temporaries, x28-x31
+ * accumulators.  Every kernel ends by storing its checksum register
+ * to workloads::resultAddr and halting.
+ */
+
+#ifndef PARADOX_WORKLOADS_COMMON_HH
+#define PARADOX_WORKLOADS_COMMON_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "isa/builder.hh"
+#include "sim/rng.hh"
+#include "workloads/workload.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+/** @{ Conventional register names. */
+constexpr isa::XReg x0{0}, x1{1}, x2{2}, x3{3}, x4{4}, x5{5}, x6{6},
+    x7{7}, x8{8}, x9{9}, x10{10}, x11{11}, x12{12}, x13{13}, x14{14},
+    x15{15}, x16{16}, x17{17}, x18{18}, x19{19}, x20{20}, x21{21},
+    x22{22}, x28{28}, x29{29}, x30{30}, x31{31};
+constexpr isa::FReg f0{0}, f1{1}, f2{2}, f3{3}, f4{4}, f5{5}, f6{6},
+    f7{7}, f8{8}, f9{9}, f10{10}, f11{11}, f12{12}, f13{13}, f14{14},
+    f15{15}, f28{28}, f29{29}, f30{30}, f31{31};
+/** @} */
+
+/** Base address of the first data array; leave room below. */
+constexpr Addr dataBase = 0x100000;
+
+/** Generate @p n pseudo-random 64-bit words from @p seed. */
+inline std::vector<std::uint64_t>
+randomWords(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> words(n);
+    for (auto &word : words)
+        word = rng.next();
+    return words;
+}
+
+/** Generate @p n doubles in (-1, 1) from @p seed. */
+inline std::vector<double>
+randomDoubles(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> values(n);
+    for (auto &value : values)
+        value = rng.nextDouble() * 2.0 - 1.0;
+    return values;
+}
+
+/** Emit @p words as 64-bit data cells starting at @p base. */
+inline void
+emitData(isa::ProgramBuilder &b, Addr base,
+         const std::vector<std::uint64_t> &words)
+{
+    for (std::size_t i = 0; i < words.size(); ++i)
+        b.data64(base + i * 8, words[i]);
+}
+
+/** Emit @p values as doubles starting at @p base. */
+inline void
+emitDataF(isa::ProgramBuilder &b, Addr base,
+          const std::vector<double> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        b.dataF64(base + i * 8, values[i]);
+}
+
+/** Store checksum register @p acc to resultAddr and halt. */
+inline void
+storeResultAndHalt(isa::ProgramBuilder &b, isa::XReg acc)
+{
+    b.ldi(x1, resultAddr);
+    b.sd(acc, x1, 0);
+    b.halt();
+}
+
+/** Fold a double into a running 64-bit checksum (reference side). */
+inline std::uint64_t
+mixDouble(std::uint64_t acc, double v)
+{
+    return acc * 1099511628211ULL + std::bit_cast<std::uint64_t>(v);
+}
+
+/** Fold an integer into a running 64-bit checksum (reference side). */
+inline std::uint64_t
+mixInt(std::uint64_t acc, std::uint64_t v)
+{
+    return acc * 1099511628211ULL + v;
+}
+
+/** @{ Individual workload factories (one translation unit each). */
+Workload buildBitcount(unsigned scale);
+Workload buildStream(unsigned scale);
+Workload buildBzip2(unsigned scale);
+Workload buildBwaves(unsigned scale);
+Workload buildGcc(unsigned scale);
+Workload buildMcf(unsigned scale);
+Workload buildMilc(unsigned scale);
+Workload buildCactusADM(unsigned scale);
+Workload buildLeslie3d(unsigned scale);
+Workload buildNamd(unsigned scale);
+Workload buildGobmk(unsigned scale);
+Workload buildPovray(unsigned scale);
+Workload buildCalculix(unsigned scale);
+Workload buildSjeng(unsigned scale);
+Workload buildGemsFDTD(unsigned scale);
+Workload buildH264ref(unsigned scale);
+Workload buildTonto(unsigned scale);
+Workload buildLbm(unsigned scale);
+Workload buildOmnetpp(unsigned scale);
+Workload buildAstar(unsigned scale);
+Workload buildXalancbmk(unsigned scale);
+/** @} */
+
+} // namespace workloads
+} // namespace paradox
+
+#endif // PARADOX_WORKLOADS_COMMON_HH

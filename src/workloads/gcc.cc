@@ -1,0 +1,185 @@
+/**
+ * @file
+ * SPEC CPU2006 403.gcc proxy: an IR constant-propagation pass.
+ * A DAG of expression nodes is repeatedly evaluated with per-opcode
+ * dispatch through a compare chain -- gcc's irregular, branch-heavy
+ * integer behaviour with data-dependent control flow and scattered
+ * node accesses.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+struct Node
+{
+    std::uint64_t op;   // 0..7
+    std::uint64_t lhs;  // node index
+    std::uint64_t rhs;  // node index
+    std::uint64_t value;
+};
+
+std::vector<Node>
+makeGraph(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Node> nodes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        nodes[i].op = rng.nextBounded(8);
+        nodes[i].lhs = i == 0 ? 0 : rng.nextBounded(i);
+        nodes[i].rhs = i == 0 ? 0 : rng.nextBounded(i);
+        nodes[i].value = rng.next() & 0xffff;
+    }
+    return nodes;
+}
+
+std::uint64_t
+evalOp(std::uint64_t op, std::uint64_t a, std::uint64_t b,
+       std::uint64_t old)
+{
+    switch (op) {
+      case 0: return a + b;
+      case 1: return a - b;
+      case 2: return a ^ b;
+      case 3: return a & b;
+      case 4: return a | b;
+      case 5: return (a << (b & 15)) + old;
+      case 6: return a < b ? a : b;
+      default: return a * 3 + b;
+    }
+}
+
+std::uint64_t
+reference(std::vector<Node> nodes, unsigned passes)
+{
+    std::uint64_t acc = 0;
+    for (unsigned p = 0; p < passes; ++p) {
+        for (std::size_t i = 1; i < nodes.size(); ++i) {
+            Node &node = nodes[i];
+            std::uint64_t a = nodes[node.lhs].value;
+            std::uint64_t b = nodes[node.rhs].value;
+            node.value = evalOp(node.op, a, b, node.value);
+            acc = mixInt(acc, node.value);
+        }
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildGcc(unsigned scale)
+{
+    const std::size_t n = 1024;
+    const unsigned passes = 6 * scale;
+    const auto nodes = makeGraph(n, 0x9cc);
+    const Addr base = dataBase;  // node i at base + 32*i
+
+    isa::ProgramBuilder b("gcc");
+    for (std::size_t i = 0; i < n; ++i) {
+        b.data64(base + 32 * i + 0, nodes[i].op);
+        b.data64(base + 32 * i + 8, nodes[i].lhs);
+        b.data64(base + 32 * i + 16, nodes[i].rhs);
+        b.data64(base + 32 * i + 24, nodes[i].value);
+    }
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x21, base);
+    b.ldi(x22, passes);
+
+    b.label("pass");
+    b.ldi(x2, 1);                       // node index i
+    b.ldi(x3, n);
+    b.label("node");
+    // x4 = &node[i]
+    b.slli(x4, x2, 5);
+    b.add(x4, x4, x21);
+    b.ld(x5, x4, 0);                    // op
+    b.ld(x6, x4, 8);                    // lhs index
+    b.ld(x7, x4, 16);                   // rhs index
+    // a = node[lhs].value, b = node[rhs].value
+    b.slli(x6, x6, 5);
+    b.add(x6, x6, x21);
+    b.ld(x8, x6, 24);
+    b.slli(x7, x7, 5);
+    b.add(x7, x7, x21);
+    b.ld(x9, x7, 24);
+    b.ld(x10, x4, 24);                  // old value
+
+    // Dispatch on op through a compare chain.
+    b.ldi(x11, 0);
+    b.beq(x5, x11, "op_add");
+    b.ldi(x11, 1);
+    b.beq(x5, x11, "op_sub");
+    b.ldi(x11, 2);
+    b.beq(x5, x11, "op_xor");
+    b.ldi(x11, 3);
+    b.beq(x5, x11, "op_and");
+    b.ldi(x11, 4);
+    b.beq(x5, x11, "op_or");
+    b.ldi(x11, 5);
+    b.beq(x5, x11, "op_shl");
+    b.ldi(x11, 6);
+    b.beq(x5, x11, "op_min");
+    // default: a * 3 + b
+    b.slli(x12, x8, 1);
+    b.add(x12, x12, x8);
+    b.add(x12, x12, x9);
+    b.j("write");
+    b.label("op_add");
+    b.add(x12, x8, x9);
+    b.j("write");
+    b.label("op_sub");
+    b.sub(x12, x8, x9);
+    b.j("write");
+    b.label("op_xor");
+    b.xor_(x12, x8, x9);
+    b.j("write");
+    b.label("op_and");
+    b.and_(x12, x8, x9);
+    b.j("write");
+    b.label("op_or");
+    b.or_(x12, x8, x9);
+    b.j("write");
+    b.label("op_shl");
+    b.andi(x13, x9, 15);
+    b.sll(x12, x8, x13);
+    b.add(x12, x12, x10);
+    b.j("write");
+    b.label("op_min");
+    b.bltu(x8, x9, "min_a");
+    b.mv(x12, x9);
+    b.j("write");
+    b.label("min_a");
+    b.mv(x12, x8);
+
+    b.label("write");
+    b.sd(x12, x4, 24);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x12);
+
+    b.addi(x2, x2, 1);
+    b.bne(x2, x3, "node");
+    b.addi(x22, x22, -1);
+    b.bne(x22, x0, "pass");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "gcc";
+    w.description = "gcc proxy: IR constant propagation with opcode "
+                    "dispatch";
+    w.program = b.build();
+    w.expectedResult = reference(nodes, passes);
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

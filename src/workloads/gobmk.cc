@@ -1,0 +1,150 @@
+/**
+ * @file
+ * SPEC CPU2006 445.gobmk proxy: Go-board pattern evaluation with a
+ * fully unrolled pattern library.  128 distinct pattern blocks give a
+ * hot code footprint well past the checker cores' 8 KiB L0 I-cache
+ * (gobmk leads figure 10's checker-I-cache-miss group) with a data-
+ * dependent branch per pattern.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr unsigned numPatterns = 144;
+constexpr long boardDim = 19;
+constexpr std::size_t boardCells = std::size_t(boardDim * boardDim);
+
+struct Pattern
+{
+    long o0, o1, o2;      //!< neighbour byte offsets
+    std::uint64_t k;      //!< multiplier
+    std::uint64_t w;      //!< weight
+};
+
+std::vector<Pattern>
+makePatterns(std::uint64_t seed)
+{
+    const long neigh[8] = {-boardDim - 1, -boardDim, -boardDim + 1,
+                           -1, 1, boardDim - 1, boardDim,
+                           boardDim + 1};
+    Rng rng(seed);
+    std::vector<Pattern> pats(numPatterns);
+    for (auto &p : pats) {
+        p.o0 = neigh[rng.nextBounded(8)];
+        p.o1 = neigh[rng.nextBounded(8)];
+        p.o2 = neigh[rng.nextBounded(8)];
+        p.k = 3 + rng.nextBounded(5);
+        p.w = rng.nextBounded(65536);
+    }
+    return pats;
+}
+
+std::vector<std::uint64_t>
+makeBoard(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> words((boardCells + 7) / 8, 0);
+    for (std::size_t i = 0; i < boardCells; ++i)
+        words[i / 8] |= rng.nextBounded(3) << (8 * (i % 8));
+    return words;
+}
+
+std::uint64_t
+reference(const std::vector<std::uint64_t> &board,
+          const std::vector<Pattern> &pats, unsigned iters)
+{
+    auto byteAt = [&board](long idx) {
+        return (board[std::size_t(idx) / 8] >>
+                (8 * (std::size_t(idx) % 8))) & 0xff;
+    };
+    std::uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        long pos = 40 + long((std::uint64_t(it) * 31 + 17) % 240);
+        for (const Pattern &p : pats) {
+            std::uint64_t a = byteAt(pos + p.o0);
+            std::uint64_t b = byteAt(pos + p.o1);
+            std::uint64_t c = byteAt(pos + p.o2);
+            std::uint64_t t = a * p.k + b;
+            if (t & 1)
+                acc = acc + t * p.w;
+            else
+                acc = acc ^ (p.w + c);
+        }
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildGobmk(unsigned scale)
+{
+    const unsigned iters = 200 * scale;
+    const auto board = makeBoard(0x60b3);
+    const auto pats = makePatterns(0x60b4);
+    const Addr boardBase = dataBase;
+
+    isa::ProgramBuilder b("gobmk");
+    emitData(b, boardBase, board);
+
+    b.ldi(x31, 0);
+    b.ldi(x15, 0);                   // iteration counter
+    b.ldi(x16, iters);
+    b.ldi(x17, 240);
+    b.ldi(x18, boardBase);
+
+    b.label("iter");
+    // pos = 40 + (it*31 + 17) % 240.
+    b.ldi(x5, 31);
+    b.mul(x6, x15, x5);
+    b.addi(x6, x6, 17);
+    b.remu(x6, x6, x17);
+    b.addi(x6, x6, 40);
+    b.add(x10, x6, x18);             // &board[pos]
+
+    for (unsigned p = 0; p < numPatterns; ++p) {
+        const Pattern &pat = pats[p];
+        const std::string els = "else_" + std::to_string(p);
+        const std::string end = "end_" + std::to_string(p);
+        b.lbu(x11, x10, pat.o0);
+        b.lbu(x12, x10, pat.o1);
+        b.lbu(x13, x10, pat.o2);
+        b.ldi(x14, pat.k);
+        b.mul(x11, x11, x14);
+        b.add(x11, x11, x12);
+        b.andi(x14, x11, 1);
+        b.beq(x14, x0, els);
+        b.ldi(x14, pat.w);
+        b.mul(x11, x11, x14);
+        b.add(x31, x31, x11);
+        b.j(end);
+        b.label(els);
+        b.ldi(x14, pat.w);
+        b.add(x14, x14, x13);
+        b.xor_(x31, x31, x14);
+        b.label(end);
+    }
+
+    b.addi(x15, x15, 1);
+    b.bne(x15, x16, "iter");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "gobmk";
+    w.description = "gobmk proxy: unrolled Go pattern evaluation";
+    w.program = b.build();
+    w.expectedResult = reference(board, pats, iters);
+    w.largeCode = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * SPEC CPU2006 464.h264ref proxy: sum-of-absolute-differences motion
+ * estimation.  All 25 candidate positions are unrolled with the
+ * 16-byte row SAD expanded inline, giving the >8 KiB hot code
+ * footprint that makes h264ref miss in the checker L0 I-cache
+ * (figure 10) -- integer-dominated with short dependent chains.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr long frameDim = 64;
+constexpr long blockDim = 16;
+constexpr long searchDim = 5;  // 5x5 candidate grid
+
+std::uint64_t
+byteAt(const std::vector<std::uint64_t> &img, long idx)
+{
+    return (img[std::size_t(idx) / 8] >> (8 * (std::size_t(idx) % 8))) &
+           0xff;
+}
+
+std::uint64_t
+reference(const std::vector<std::uint64_t> &frame,
+          const std::vector<std::uint64_t> &block, unsigned iters)
+{
+    std::uint64_t acc = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+        long bx = long((std::uint64_t(it) * 3) % 40);
+        long by = long((std::uint64_t(it) * 5) % 40);
+        std::uint64_t best = ~std::uint64_t(0);
+        for (long c = 0; c < searchDim * searchDim; ++c) {
+            long cx = bx + c % searchDim;
+            long cy = by + c / searchDim;
+            std::uint64_t sad = 0;
+            for (long r = 0; r < blockDim; ++r) {
+                long cur = r * blockDim;
+                long ref = (cy + r) * frameDim + cx;
+                for (long k = 0; k < blockDim; ++k) {
+                    std::int64_t d =
+                        std::int64_t(byteAt(block, cur + k)) -
+                        std::int64_t(byteAt(frame, ref + k));
+                    sad += std::uint64_t(d < 0 ? -d : d);
+                }
+            }
+            if (sad < best)
+                best = sad;
+        }
+        acc = mixInt(acc, best);
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildH264ref(unsigned scale)
+{
+    const unsigned iters = 8 * scale;
+    const auto frame =
+        randomWords(std::size_t(frameDim * frameDim) / 8, 0x264);
+    const auto block =
+        randomWords(std::size_t(blockDim * blockDim) / 8, 0x265);
+    const Addr frameBase = dataBase;
+    const Addr blockBase = dataBase + frame.size() * 8 + 64;
+
+    isa::ProgramBuilder b("h264ref");
+    emitData(b, frameBase, frame);
+    emitData(b, blockBase, block);
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x15, 0);                 // it
+    b.ldi(x16, iters);
+    b.ldi(x17, 40);
+    b.ldi(x18, frameBase);
+    b.ldi(x19, blockBase);
+
+    b.label("iter");
+    b.ldi(x5, 3);
+    b.mul(x1, x15, x5);
+    b.remu(x1, x1, x17);           // bx
+    b.ldi(x5, 5);
+    b.mul(x2, x15, x5);
+    b.remu(x2, x2, x17);           // by
+    b.ldi(x21, -1);                // best (max u64)
+
+    for (long c = 0; c < searchDim * searchDim; ++c) {
+        const long cxo = c % searchDim;
+        const long cyo = c / searchDim;
+        const std::string row = "row_" + std::to_string(c);
+        const std::string keep = "keep_" + std::to_string(c);
+        // x6 = &frame[(by+cyo)*64 + bx + cxo]; x7 = &block[0].
+        b.addi(x5, x2, cyo);
+        b.slli(x5, x5, 6);
+        b.add(x5, x5, x1);
+        b.addi(x5, x5, cxo);
+        b.add(x6, x5, x18);
+        b.mv(x7, x19);
+        b.ldi(x8, 0);              // sad
+        b.ldi(x9, blockDim);       // row counter
+        b.label(row);
+        for (long k = 0; k < blockDim; ++k) {
+            b.lbu(x10, x7, k);
+            b.lbu(x11, x6, k);
+            b.sub(x10, x10, x11);
+            b.srai(x11, x10, 63);
+            b.xor_(x10, x10, x11);
+            b.sub(x10, x10, x11);  // |d|
+            b.add(x8, x8, x10);
+        }
+        b.addi(x7, x7, blockDim);
+        b.addi(x6, x6, frameDim);
+        b.addi(x9, x9, -1);
+        b.bne(x9, x0, row);
+        b.bgeu(x8, x21, keep);
+        b.mv(x21, x8);
+        b.label(keep);
+    }
+
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x21);
+    b.addi(x15, x15, 1);
+    b.bne(x15, x16, "iter");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "h264ref";
+    w.description = "h264ref proxy: unrolled SAD motion search";
+    w.program = b.build();
+    w.expectedResult = reference(frame, block, iters);
+    w.largeCode = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SPEC CPU2006 470.lbm proxy: D2Q5 lattice-Boltzmann collide-and-
+ * stream over a ping-pong cell array -- wide loads/stores with
+ * scattered neighbour writes, lbm's bandwidth-bound FP profile.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr long NX = 48, NY = 48;
+constexpr std::size_t cells = std::size_t(NX * NY);
+constexpr unsigned Q = 5;  // center, +x, -x, +y, -y
+constexpr double omega = 0.6;
+const double weights[Q] = {0.4, 0.15, 0.15, 0.15, 0.15};
+
+std::uint64_t
+reference(std::vector<double> f, unsigned steps)
+{
+    std::vector<double> g(cells * Q, 0.0);
+    auto at = [](long x, long y, unsigned q) {
+        return std::size_t((y * NX + x) * Q + q);
+    };
+    const long dx[Q] = {0, 1, -1, 0, 0};
+    const long dy[Q] = {0, 0, 0, 1, -1};
+    std::vector<double> *src = &f, *dst = &g;
+    for (unsigned s = 0; s < steps; ++s) {
+        for (long y = 1; y < NY - 1; ++y) {
+            for (long x = 1; x < NX - 1; ++x) {
+                double rho = 0.0;
+                for (unsigned q = 0; q < Q; ++q)
+                    rho = rho + (*src)[at(x, y, q)];
+                for (unsigned q = 0; q < Q; ++q) {
+                    double fq = (*src)[at(x, y, q)];
+                    double eq = weights[q] * rho;
+                    double nq = fq + omega * (eq - fq);
+                    (*dst)[at(x + dx[q], y + dy[q], q)] = nq;
+                }
+            }
+        }
+        std::swap(src, dst);
+    }
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < cells * Q; i += 11)
+        acc = mixDouble(acc, (*src)[i]);
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildLbm(unsigned scale)
+{
+    const unsigned steps = 4 * scale;
+    const auto f0v = randomDoubles(cells * Q, 0x1b3);
+    const Addr fBase = dataBase;
+    const Addr gBase = dataBase + f0v.size() * 8 + 64;
+    const Addr cBase = gBase + f0v.size() * 8 + 64;
+
+    isa::ProgramBuilder b("lbm");
+    emitDataF(b, fBase, f0v);
+    b.dataF64(cBase, omega);
+    for (unsigned q = 0; q < Q; ++q)
+        b.dataF64(cBase + 8 + 8 * q, weights[q]);
+
+    constexpr long cellBytes = Q * 8;
+    constexpr long rowBytes = NX * cellBytes;
+    // Per-direction destination byte offsets relative to the cell.
+    const long dOff[Q] = {0, cellBytes, -cellBytes, rowBytes,
+                          -rowBytes};
+
+    b.ldi(x1, cBase);
+    b.fld(f10, x1, 0);                 // omega
+    for (unsigned q = 0; q < Q; ++q)
+        b.fld(isa::FReg(11 + q), x1, 8 + 8 * q);  // weights
+    b.ldi(x21, fBase);
+    b.ldi(x22, gBase);
+    b.ldi(x15, steps);
+
+    b.label("step");
+    b.ldi(x3, 1);                      // y
+    b.label("yloop");
+    b.ldi(x5, NX);
+    b.mul(x6, x3, x5);
+    b.addi(x6, x6, 1);
+    b.ldi(x5, cellBytes);
+    b.mul(x6, x6, x5);
+    b.add(x7, x6, x21);                // src cell
+    b.add(x8, x6, x22);                // dst cell
+    b.ldi(x4, NX - 2);
+    b.label("xloop");
+    // rho = sum f_q.
+    b.fld(f1, x7, 0);
+    b.fld(f2, x7, 8);
+    b.fld(f3, x7, 16);
+    b.fld(f4, x7, 24);
+    b.fld(f5, x7, 32);
+    b.fsub(f6, f0, f0);
+    b.fadd(f6, f6, f1);
+    b.fadd(f6, f6, f2);
+    b.fadd(f6, f6, f3);
+    b.fadd(f6, f6, f4);
+    b.fadd(f6, f6, f5);
+    // Collide + stream each direction.
+    for (unsigned q = 0; q < Q; ++q) {
+        isa::FReg fq{1 + q};
+        b.fmul(f7, isa::FReg(11 + q), f6);  // eq
+        b.fsub(f7, f7, fq);
+        b.fmul(f7, f10, f7);
+        b.fadd(f7, fq, f7);                 // nq
+        b.fsd(f7, x8, dOff[q] + 8 * long(q));
+    }
+    b.addi(x7, x7, cellBytes);
+    b.addi(x8, x8, cellBytes);
+    b.addi(x4, x4, -1);
+    b.bne(x4, x0, "xloop");
+    b.addi(x3, x3, 1);
+    b.ldi(x5, NY - 1);
+    b.bne(x3, x5, "yloop");
+    // swap
+    b.mv(x5, x21);
+    b.mv(x21, x22);
+    b.mv(x22, x5);
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "step");
+
+    // Strided checksum over src.
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.mv(x7, x21);
+    b.ldi(x2, 0);
+    b.ldi(x3, cells * Q);
+    b.label("sum");
+    b.fld(f1, x7, 0);
+    b.fmvXD(x9, f1);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+    b.addi(x7, x7, 88);
+    b.addi(x2, x2, 11);
+    b.blt(x2, x3, "sum");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "lbm";
+    w.description = "lbm proxy: D2Q5 collide-and-stream ping-pong";
+    w.program = b.build();
+    w.expectedResult = reference(f0v, steps);
+    w.fpHeavy = true;
+    w.memoryBound = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SPEC CPU2006 429.mcf proxy: network-simplex-style pointer chasing.
+ * A random Hamiltonian cycle of arc nodes is walked while updating
+ * node potentials -- dependent loads over a working set far larger
+ * than the L1, the latency-bound memory behaviour mcf is known for.
+ */
+
+#include "workloads/common.hh"
+
+#include <numeric>
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr std::size_t numNodes = 4096;
+constexpr unsigned nodeBytes = 32;
+
+std::vector<std::size_t>
+makeCycle(std::uint64_t seed)
+{
+    // Fisher-Yates shuffle, then link i -> perm[i+1] in a cycle.
+    Rng rng(seed);
+    std::vector<std::size_t> perm(numNodes);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = numNodes - 1; i > 0; --i) {
+        std::size_t j = rng.nextBounded(i + 1);
+        std::swap(perm[i], perm[j]);
+    }
+    std::vector<std::size_t> next(numNodes);
+    for (std::size_t i = 0; i < numNodes; ++i)
+        next[perm[i]] = perm[(i + 1) % numNodes];
+    return next;
+}
+
+std::uint64_t
+reference(const std::vector<std::size_t> &next,
+          const std::vector<std::uint64_t> &costs, std::uint64_t steps)
+{
+    std::vector<std::uint64_t> potential(numNodes, 0);
+    std::uint64_t acc = 0;
+    std::size_t cur = 0;
+    std::uint64_t carry = 1;
+    for (std::uint64_t s = 0; s < steps; ++s) {
+        std::uint64_t cost = costs[cur];
+        std::uint64_t pot = potential[cur] + cost + carry;
+        // Sparse write-back: only "improving" arcs update the node,
+        // as in network simplex where most arcs just get priced.
+        if ((pot & 15) == 0)
+            potential[cur] = pot;
+        if (pot & 1)
+            acc = mixInt(acc, pot);
+        carry = pot >> 63;
+        cur = next[cur];
+    }
+    return mixInt(acc, potential[0]);
+}
+
+} // namespace
+
+Workload
+buildMcf(unsigned scale)
+{
+    const std::uint64_t steps = 24000 * std::uint64_t(scale);
+    const auto next = makeCycle(0x3cf);
+    const auto costs = randomWords(numNodes, 0x3cf0c057);
+    const Addr base = dataBase;  // node i: {next addr, cost, potential}
+
+    isa::ProgramBuilder b("mcf");
+    for (std::size_t i = 0; i < numNodes; ++i) {
+        b.data64(base + nodeBytes * i + 0,
+                 base + nodeBytes * next[i]);
+        b.data64(base + nodeBytes * i + 8, costs[i]);
+        b.data64(base + nodeBytes * i + 16, 0);
+    }
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x1, base);            // current node pointer
+    b.ldi(x2, steps);
+    b.ldi(x21, 1);              // carry
+
+    b.label("step");
+    b.ld(x5, x1, 8);            // cost
+    b.ld(x6, x1, 16);           // potential
+    b.add(x6, x6, x5);
+    b.add(x6, x6, x21);
+    b.andi(x7, x6, 15);
+    b.bne(x7, x0, "nowrite");
+    b.sd(x6, x1, 16);
+    b.label("nowrite");
+    b.andi(x7, x6, 1);
+    b.beq(x7, x0, "even");
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x6);
+    b.label("even");
+    b.srli(x21, x6, 63);
+    b.ld(x1, x1, 0);            // chase
+    b.addi(x2, x2, -1);
+    b.bne(x2, x0, "step");
+
+    b.ldi(x1, base);
+    b.ld(x5, x1, 16);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x5);
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "mcf";
+    w.description = "mcf proxy: random-cycle pointer chase with "
+                    "potential updates";
+    w.program = b.build();
+    w.expectedResult = reference(next, costs, steps);
+    w.memoryBound = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * SPEC CPU2006 433.milc proxy: SU(3)-style complex 3x3 matrix times
+ * 3-vector products, chained site to site -- the dense FP multiply/
+ * add mix of lattice QCD.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr std::size_t numMatrices = 256;
+
+std::uint64_t
+reference(const std::vector<double> &mats, std::uint64_t sites)
+{
+    // Vector v: 3 complex components (re, im).
+    double v[6] = {1.0, 0.0, 0.5, -0.5, 0.25, 0.75};
+    std::uint64_t acc = 0;
+    for (std::uint64_t s = 0; s < sites; ++s) {
+        const double *m = &mats[(s % numMatrices) * 18];
+        double r[6];
+        for (int i = 0; i < 3; ++i) {
+            double re = 0.0, im = 0.0;
+            for (int j = 0; j < 3; ++j) {
+                double ar = m[(i * 3 + j) * 2];
+                double ai = m[(i * 3 + j) * 2 + 1];
+                double br = v[j * 2];
+                double bi = v[j * 2 + 1];
+                re = re + (ar * br - ai * bi);
+                im = im + (ar * bi + ai * br);
+            }
+            r[i * 2] = re;
+            r[i * 2 + 1] = im;
+        }
+        double norm = 0.0;
+        for (int i = 0; i < 6; ++i)
+            norm = norm + r[i] * r[i];
+        norm = norm + 1.0;
+        for (int i = 0; i < 6; ++i)
+            v[i] = r[i] / norm;
+        acc = mixDouble(acc, v[0]);
+        acc = mixDouble(acc, v[5]);
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildMilc(unsigned scale)
+{
+    const std::uint64_t sites = 1500 * std::uint64_t(scale);
+    const auto mats = randomDoubles(numMatrices * 18, 0x317c);
+    const Addr matBase = dataBase;
+    const Addr vBase = dataBase + mats.size() * 8 + 64;
+
+    isa::ProgramBuilder b("milc");
+    emitDataF(b, matBase, mats);
+    const double v0[6] = {1.0, 0.0, 0.5, -0.5, 0.25, 0.75};
+    for (int i = 0; i < 6; ++i)
+        b.dataF64(vBase + 8 * i, v0[i]);
+    b.dataF64(vBase + 64, 1.0);
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x2, sites);
+    b.ldi(x3, 0);                  // site counter s
+    b.ldi(x4, vBase);
+    b.ldi(x21, numMatrices - 1);   // mask (power of two count)
+    // v in f1..f6.
+    for (int i = 0; i < 6; ++i)
+        b.fld(isa::FReg(1 + i), x4, 8 * i);
+    b.fld(f15, x4, 64);            // 1.0
+
+    b.label("site");
+    // m = matBase + (s & mask) * 144.
+    b.and_(x5, x3, x21);
+    b.ldi(x6, 144);
+    b.mul(x5, x5, x6);
+    b.ldi(x6, matBase);
+    b.add(x5, x5, x6);
+
+    // r_i = sum_j M_ij * v_j (complex), r in f20..f25.
+    for (int i = 0; i < 3; ++i) {
+        isa::FReg re{20u + unsigned(i) * 2};
+        isa::FReg im{21u + unsigned(i) * 2};
+        b.fsub(re, f0, f0);        // 0.0 (f0 never written: stays 0)
+        b.fsub(im, f0, f0);
+        for (int j = 0; j < 3; ++j) {
+            const long off = (long(i) * 3 + j) * 16;
+            b.fld(f7, x5, off);        // ar
+            b.fld(f8, x5, off + 8);    // ai
+            isa::FReg br{1u + unsigned(j) * 2};
+            isa::FReg bi{2u + unsigned(j) * 2};
+            b.fmul(f9, f7, br);        // ar*br
+            b.fmul(f10, f8, bi);       // ai*bi
+            b.fsub(f9, f9, f10);
+            b.fadd(re, re, f9);
+            b.fmul(f9, f7, bi);        // ar*bi
+            b.fmul(f10, f8, br);       // ai*br
+            b.fadd(f9, f9, f10);
+            b.fadd(im, im, f9);
+        }
+    }
+    // norm = 1 + sum r_i^2; v = r / norm.
+    b.fsub(f11, f0, f0);
+    for (int i = 0; i < 6; ++i) {
+        isa::FReg r{20u + unsigned(i)};
+        b.fmul(f9, r, r);
+        b.fadd(f11, f11, f9);
+    }
+    b.fadd(f11, f11, f15);
+    for (int i = 0; i < 6; ++i) {
+        isa::FReg r{20u + unsigned(i)};
+        isa::FReg v{1u + unsigned(i)};
+        b.fdiv(v, r, f11);
+    }
+    b.fmvXD(x7, f1);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x7);
+    b.fmvXD(x7, f6);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x7);
+
+    b.addi(x3, x3, 1);
+    b.bne(x3, x2, "site");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "milc";
+    w.description = "milc proxy: chained complex 3x3 matrix-vector "
+                    "products";
+    w.program = b.build();
+    w.expectedResult = reference(mats, sites);
+    w.fpHeavy = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * SPEC CPU2006 444.namd proxy: pairwise particle force computation
+ * with a cutoff test -- branchy FP with divides and square roots,
+ * molecular-dynamics style.
+ */
+
+#include "workloads/common.hh"
+
+#include <cmath>
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr std::size_t numParticles = 96;
+constexpr double cutoff2 = 1.1;
+
+std::uint64_t
+reference(const std::vector<double> &pos, unsigned passes)
+{
+    // pos: x[i], y[i], z[i] concatenated.
+    const double *xs = pos.data();
+    const double *ys = pos.data() + numParticles;
+    const double *zs = pos.data() + 2 * numParticles;
+    std::vector<double> fx(numParticles, 0.0);
+    std::uint64_t acc = 0;
+    for (unsigned p = 0; p < passes; ++p) {
+        for (std::size_t i = 0; i < numParticles; ++i) {
+            for (std::size_t j = i + 1; j < numParticles; ++j) {
+                double dx = xs[i] - xs[j];
+                double dy = ys[i] - ys[j];
+                double dz = zs[i] - zs[j];
+                double r2 = (dx * dx + dy * dy) + dz * dz;
+                if (r2 < cutoff2) {
+                    double inv = 1.0 / r2;
+                    double s = std::sqrt(inv);
+                    double fr = inv * inv - 0.5 * (inv * s);
+                    fx[i] = fx[i] + fr * dx;
+                    fx[j] = fx[j] - fr * dx;
+                }
+            }
+            acc = mixDouble(acc, fx[i]);
+        }
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildNamd(unsigned scale)
+{
+    const unsigned passes = 2 * scale;
+    const auto pos = randomDoubles(3 * numParticles, 0xa4d);
+    const Addr posBase = dataBase;
+    const Addr fxBase = dataBase + pos.size() * 8 + 64;
+    const Addr cBase = fxBase + numParticles * 8 + 64;
+
+    isa::ProgramBuilder b("namd");
+    emitDataF(b, posBase, pos);
+    b.dataF64(cBase, cutoff2);
+    b.dataF64(cBase + 8, 1.0);
+    b.dataF64(cBase + 16, 0.5);
+
+    constexpr long ybytes = numParticles * 8;
+    constexpr long zbytes = 2 * ybytes;
+
+    b.ldi(x1, cBase);
+    b.fld(f10, x1, 0);  // cutoff2
+    b.fld(f11, x1, 8);  // 1.0
+    b.fld(f12, x1, 16); // 0.5
+    b.ldi(x21, posBase);
+    b.ldi(x22, fxBase);
+    b.ldi(x15, passes);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x31, 0);
+    b.ldi(x18, numParticles);
+
+    b.label("pass");
+    b.ldi(x2, 0);                 // i
+    b.label("iloop");
+    b.slli(x5, x2, 3);
+    b.add(x5, x5, x21);           // &x[i]
+    b.fld(f1, x5, 0);             // xi
+    b.fld(f2, x5, ybytes);        // yi
+    b.fld(f3, x5, zbytes);        // zi
+    b.addi(x3, x2, 1);            // j
+    b.bge(x3, x18, "inext");
+    b.label("jloop");
+    b.slli(x6, x3, 3);
+    b.add(x6, x6, x21);
+    b.fld(f4, x6, 0);
+    b.fld(f5, x6, ybytes);
+    b.fld(f6, x6, zbytes);
+    b.fsub(f4, f1, f4);           // dx
+    b.fsub(f5, f2, f5);           // dy
+    b.fsub(f6, f3, f6);           // dz
+    b.fmul(f7, f4, f4);
+    b.fmul(f8, f5, f5);
+    b.fadd(f7, f7, f8);
+    b.fmul(f8, f6, f6);
+    b.fadd(f7, f7, f8);           // r2
+    b.flt(x7, f7, f10);
+    b.beq(x7, x0, "jnext");
+    b.fdiv(f8, f11, f7);          // inv
+    b.fsqrt(f9, f8);              // s
+    b.fmul(f13, f8, f8);          // inv*inv
+    b.fmul(f14, f8, f9);          // inv*s
+    b.fmul(f14, f12, f14);        // 0.5*(inv*s)
+    b.fsub(f13, f13, f14);        // fr
+    b.fmul(f13, f13, f4);         // fr*dx
+    // fx[i] += fr*dx; fx[j] -= fr*dx
+    b.slli(x8, x2, 3);
+    b.add(x8, x8, x22);
+    b.fld(f14, x8, 0);
+    b.fadd(f14, f14, f13);
+    b.fsd(f14, x8, 0);
+    b.slli(x8, x3, 3);
+    b.add(x8, x8, x22);
+    b.fld(f14, x8, 0);
+    b.fsub(f14, f14, f13);
+    b.fsd(f14, x8, 0);
+    b.label("jnext");
+    b.addi(x3, x3, 1);
+    b.blt(x3, x18, "jloop");
+    b.label("inext");
+    // acc fold fx[i]
+    b.slli(x8, x2, 3);
+    b.add(x8, x8, x22);
+    b.fld(f14, x8, 0);
+    b.fmvXD(x9, f14);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+    b.addi(x2, x2, 1);
+    b.blt(x2, x18, "iloop");
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "pass");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "namd";
+    w.description = "namd proxy: cutoff pair forces with div/sqrt";
+    w.program = b.build();
+    w.expectedResult = reference(pos, passes);
+    w.fpHeavy = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * SPEC CPU2006 471.omnetpp proxy: discrete-event simulation over a
+ * binary-heap future-event set.  Pop-min / handler-dispatch /
+ * push-replacement with 64 distinct unrolled handlers -- the
+ * pointer-heavy, branchy, large-code profile of omnetpp (a figure 10
+ * checker-I-cache-miss workload).
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr std::size_t heapSize = 256;
+constexpr unsigned numHandlers = 64;
+
+/** Eight mix rounds per handler keep each one ~34 instructions,
+ * pushing the unrolled handler library past the 8 KiB checker L0. */
+constexpr unsigned mixRounds = 8;
+
+struct Handler
+{
+    std::uint64_t mult[mixRounds];
+    std::uint64_t add[mixRounds];
+    unsigned shift[mixRounds];
+};
+
+std::vector<Handler>
+makeHandlers(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Handler> handlers(numHandlers);
+    for (auto &h : handlers) {
+        for (unsigned r = 0; r < mixRounds; ++r) {
+            h.mult[r] = 3 + 2 * rng.nextBounded(8);  // odd multipliers
+            h.add[r] = 1 + rng.nextBounded(1U << 20);
+            h.shift[r] = 7 + unsigned(rng.nextBounded(40));
+        }
+    }
+    return handlers;
+}
+
+std::uint64_t
+runHandler(const Handler &h, std::uint64_t t)
+{
+    std::uint64_t x = t;
+    for (unsigned r = 0; r < mixRounds; ++r) {
+        x = x * h.mult[r] + h.add[r];
+        x = x ^ (x >> h.shift[r]);
+    }
+    return x;
+}
+
+std::uint64_t
+reference(std::vector<std::uint64_t> heap,
+          const std::vector<Handler> &handlers, unsigned steps)
+{
+    // heap is already a valid min-heap on entry.
+    std::uint64_t acc = 0;
+    for (unsigned s = 0; s < steps; ++s) {
+        std::uint64_t t = heap[0];
+        const Handler &h = handlers[t % numHandlers];
+        acc = mixInt(acc, t);
+        std::uint64_t next = runHandler(h, t);
+        // Replace the root and sift down.
+        heap[0] = next;
+        std::size_t i = 0;
+        for (;;) {
+            std::size_t l = 2 * i + 1;
+            if (l >= heapSize)
+                break;
+            std::size_t m = l;
+            std::size_t r = l + 1;
+            if (r < heapSize && heap[r] < heap[l])
+                m = r;
+            if (heap[m] >= heap[i])
+                break;
+            std::swap(heap[m], heap[i]);
+            i = m;
+        }
+    }
+    return acc;
+}
+
+std::vector<std::uint64_t>
+makeHeap(std::uint64_t seed)
+{
+    auto heap = randomWords(heapSize, seed);
+    // Heapify (sift-down from the last parent).
+    for (std::size_t start = heapSize / 2; start-- > 0;) {
+        std::size_t i = start;
+        for (;;) {
+            std::size_t l = 2 * i + 1;
+            if (l >= heapSize)
+                break;
+            std::size_t m = l;
+            if (l + 1 < heapSize && heap[l + 1] < heap[l])
+                m = l + 1;
+            if (heap[m] >= heap[i])
+                break;
+            std::swap(heap[m], heap[i]);
+            i = m;
+        }
+    }
+    return heap;
+}
+
+} // namespace
+
+Workload
+buildOmnetpp(unsigned scale)
+{
+    const unsigned steps = 1500 * scale;
+    const auto heap0 = makeHeap(0x03e7);
+    const auto handlers = makeHandlers(0x03e8);
+    const Addr heapBase = dataBase;
+
+    isa::ProgramBuilder b("omnetpp");
+    emitData(b, heapBase, heap0);
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x21, heapBase);
+    b.ldi(x15, steps);
+    b.ldi(x18, heapSize);
+    b.ldi(x19, numHandlers - 1);   // mask (power of two)
+
+    b.label("step");
+    b.ld(x5, x21, 0);              // t = heap[0]
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x5);
+    b.and_(x6, x5, x19);           // handler index
+
+    // Dispatch through a compare chain of unrolled handlers.
+    for (unsigned h = 0; h < numHandlers; ++h) {
+        const std::string lbl = "h_" + std::to_string(h);
+        b.ldi(x7, h);
+        b.beq(x6, x7, lbl);
+    }
+    b.j("h_0");
+    for (unsigned h = 0; h < numHandlers; ++h) {
+        b.label("h_" + std::to_string(h));
+        b.mv(x8, x5);
+        for (unsigned r = 0; r < mixRounds; ++r) {
+            b.ldi(x7, handlers[h].mult[r]);
+            b.mul(x8, x8, x7);
+            b.ldi(x7, handlers[h].add[r]);
+            b.add(x8, x8, x7);
+            b.srli(x7, x8, handlers[h].shift[r]);
+            b.xor_(x8, x8, x7);
+        }
+        b.j("dispatched");
+    }
+    b.label("dispatched");
+
+    // heap[0] = next; sift down.
+    b.sd(x8, x21, 0);
+    b.ldi(x2, 0);                  // i
+    b.label("sift");
+    b.slli(x3, x2, 1);
+    b.addi(x3, x3, 1);             // l
+    b.bge(x3, x18, "sift_done");
+    b.mv(x4, x3);                  // m = l
+    b.addi(x5, x3, 1);             // r
+    b.bge(x5, x18, "no_right");
+    b.slli(x6, x3, 3);
+    b.add(x6, x6, x21);
+    b.ld(x7, x6, 0);               // heap[l]
+    b.ld(x9, x6, 8);               // heap[r]
+    b.bgeu(x9, x7, "no_right");
+    b.mv(x4, x5);                  // m = r
+    b.label("no_right");
+    b.slli(x6, x4, 3);
+    b.add(x6, x6, x21);
+    b.ld(x7, x6, 0);               // heap[m]
+    b.slli(x9, x2, 3);
+    b.add(x9, x9, x21);
+    b.ld(x10, x9, 0);              // heap[i]
+    b.bgeu(x7, x10, "sift_done");
+    b.sd(x10, x6, 0);
+    b.sd(x7, x9, 0);
+    b.mv(x2, x4);
+    b.j("sift");
+    b.label("sift_done");
+
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "step");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "omnetpp";
+    w.description = "omnetpp proxy: heap-based event simulation with "
+                    "unrolled handlers";
+    w.program = b.build();
+    w.expectedResult = reference(heap0, handlers, steps);
+    w.largeCode = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

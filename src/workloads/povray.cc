@@ -1,0 +1,142 @@
+/**
+ * @file
+ * SPEC CPU2006 453.povray proxy: ray-sphere intersection over a
+ * fully unrolled sphere list.  The unrolled hot loop exceeds the
+ * checker cores' 8 KiB L0 I-cache -- povray is one of the workloads
+ * figure 10 attributes overhead to checker I-cache misses.
+ */
+
+#include "workloads/common.hh"
+
+#include <cmath>
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr std::size_t numSpheres = 112;  // unrolled: ~2.4k instructions
+
+std::uint64_t
+reference(const std::vector<double> &spheres, unsigned rays)
+{
+    std::uint64_t acc = 0;
+    double u = 0.1, v = 0.2;
+    for (unsigned r = 0; r < rays; ++r) {
+        u = u * 0.9 + 0.17;
+        v = v * 0.8 + 0.3;
+        double tmin = 1.0e9;
+        for (std::size_t s = 0; s < numSpheres; ++s) {
+            const double *sp = &spheres[s * 4];
+            double bq = (sp[0] * u + sp[1] * v) + sp[2];
+            double disc = bq * bq - sp[3];
+            if (disc > 0.0) {
+                double t = bq - std::sqrt(disc);
+                if (t > 0.0 && t < tmin)
+                    tmin = t;
+            }
+        }
+        acc = mixDouble(acc, tmin);
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildPovray(unsigned scale)
+{
+    const unsigned rays = 160 * scale;
+    // Sphere record: cx, cy, cz, k = |c|^2 - radius^2.
+    auto raw = randomDoubles(numSpheres * 4, 0x9047a);
+    for (std::size_t s = 0; s < numSpheres; ++s) {
+        double cx = raw[s * 4], cy = raw[s * 4 + 1],
+               cz = raw[s * 4 + 2];
+        double radius = 0.3 + 0.5 * std::fabs(raw[s * 4 + 3]);
+        raw[s * 4 + 3] =
+            ((cx * cx + cy * cy) + cz * cz) - radius * radius;
+    }
+    const Addr sBase = dataBase;
+    const Addr cBase = dataBase + raw.size() * 8 + 64;
+
+    isa::ProgramBuilder b("povray");
+    emitDataF(b, sBase, raw);
+    b.dataF64(cBase, 0.9);
+    b.dataF64(cBase + 8, 0.17);
+    b.dataF64(cBase + 16, 0.8);
+    b.dataF64(cBase + 24, 0.3);
+    b.dataF64(cBase + 32, 1.0e9);
+    b.dataF64(cBase + 40, 0.1);   // u0
+    b.dataF64(cBase + 48, 0.2);   // v0
+
+    b.ldi(x1, cBase);
+    b.fld(f10, x1, 0);
+    b.fld(f11, x1, 8);
+    b.fld(f12, x1, 16);
+    b.fld(f13, x1, 24);
+    b.fld(f14, x1, 32);   // big tmin seed
+    b.fld(f1, x1, 40);    // u
+    b.fld(f2, x1, 48);    // v
+    b.ldi(x21, sBase);
+    b.ldi(x15, rays);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x31, 0);
+
+    b.label("ray");
+    b.fmul(f1, f1, f10);
+    b.fadd(f1, f1, f11);  // u
+    b.fmul(f2, f2, f12);
+    b.fadd(f2, f2, f13);  // v
+    b.fadd(f3, f14, f0);  // tmin = 1e9 (f0 == 0)
+
+    // Fully unrolled sphere tests (large code footprint).
+    for (std::size_t s = 0; s < numSpheres; ++s) {
+        const long off = long(s) * 32;
+        const std::string hit = "miss_" + std::to_string(s);
+        const std::string skip = "skip_" + std::to_string(s);
+        b.fld(f4, x21, off);          // cx
+        b.fld(f5, x21, off + 8);      // cy
+        b.fld(f6, x21, off + 16);     // cz
+        b.fld(f7, x21, off + 24);     // k
+        b.fmul(f4, f4, f1);
+        b.fmul(f5, f5, f2);
+        b.fadd(f4, f4, f5);
+        b.fadd(f4, f4, f6);           // bq
+        b.fmul(f5, f4, f4);
+        b.fsub(f5, f5, f7);           // disc
+        b.fle(x5, f5, f0);            // disc <= 0 ?
+        b.bne(x5, x0, hit);
+        b.fsqrt(f5, f5);
+        b.fsub(f5, f4, f5);           // t
+        b.fle(x5, f5, f0);
+        b.bne(x5, x0, hit);
+        b.flt(x5, f5, f3);
+        b.beq(x5, x0, skip);
+        b.fadd(f3, f5, f0);           // tmin = t
+        b.label(skip);
+        b.label(hit);
+    }
+
+    b.fmvXD(x9, f3);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "ray");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "povray";
+    w.description = "povray proxy: unrolled ray-sphere intersections";
+    w.program = b.build();
+    w.expectedResult = reference(raw, rays);
+    w.fpHeavy = true;
+    w.largeCode = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

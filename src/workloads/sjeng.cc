@@ -1,0 +1,164 @@
+/**
+ * @file
+ * SPEC CPU2006 458.sjeng proxy: chess-engine bitboard manipulation --
+ * De Bruijn bit scans over occupancy boards, table-driven attack mask
+ * accumulation, SWAR popcounts and data-dependent board updates.
+ */
+
+#include "workloads/common.hh"
+
+#include <bit>
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr std::uint64_t debruijn = 0x03f79d71b4cb0a89ULL;
+
+/** Index table such that table[(lsb * debruijn) >> 58] == ctz. */
+std::vector<std::uint64_t>
+makeDebruijnTable()
+{
+    std::vector<std::uint64_t> table(64, 0);
+    for (unsigned i = 0; i < 64; ++i)
+        table[std::size_t(((std::uint64_t(1) << i) * debruijn) >> 58)] =
+            i;
+    return table;
+}
+
+std::uint64_t
+swarPopcount(std::uint64_t x)
+{
+    x = x - ((x >> 1) & 0x5555555555555555ULL);
+    x = (x & 0x3333333333333333ULL) +
+        ((x >> 2) & 0x3333333333333333ULL);
+    x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    return (x * 0x0101010101010101ULL) >> 56;
+}
+
+std::uint64_t
+reference(const std::vector<std::uint64_t> &masks, std::uint64_t occ0,
+          unsigned iters)
+{
+    std::uint64_t acc = 0;
+    std::uint64_t occ = occ0;
+    for (unsigned it = 0; it < iters; ++it) {
+        std::uint64_t attacks = 0;
+        for (std::uint64_t bb = occ; bb != 0; bb &= bb - 1) {
+            unsigned sq = unsigned(std::countr_zero(bb));
+            attacks |= masks[sq];
+        }
+        std::uint64_t score = swarPopcount(attacks ^ occ);
+        acc = mixInt(acc, score);
+        if (score & 1)
+            occ = ((occ << 7) | (occ >> 57)) ^ attacks;
+        else
+            occ = occ + 0x9e3779b97f4a7c15ULL;
+        if (occ == 0)
+            occ = occ0;
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildSjeng(unsigned scale)
+{
+    const unsigned iters = 1200 * scale;
+    const auto masks = randomWords(64, 0x53e46);
+    const auto dbTable = makeDebruijnTable();
+    const std::uint64_t occ0 = 0x123456789abcdef5ULL;
+    const Addr maskBase = dataBase;
+    const Addr dbBase = dataBase + 64 * 8;
+
+    isa::ProgramBuilder b("sjeng");
+    emitData(b, maskBase, masks);
+    emitData(b, dbBase, dbTable);
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x21, occ0);
+    b.ldi(x15, iters);
+    b.ldi(x16, 0x5555555555555555ULL);
+    b.ldi(x17, 0x3333333333333333ULL);
+    b.ldi(x18, 0x0f0f0f0f0f0f0f0fULL);
+    b.ldi(x19, 0x0101010101010101ULL);
+    b.ldi(x22, debruijn);
+    b.ldi(x1, maskBase);
+    b.ldi(x2, dbBase);
+
+    b.label("iter");
+    b.ldi(x5, 0);                  // attacks
+    b.mv(x6, x21);                 // bb
+    b.label("scan");
+    b.beq(x6, x0, "scan_done");
+    // sq = dbTable[((bb & -bb) * debruijn) >> 58].
+    b.sub(x7, x0, x6);
+    b.and_(x7, x7, x6);            // lsb
+    b.mul(x7, x7, x22);
+    b.srli(x7, x7, 58);
+    b.slli(x7, x7, 3);
+    b.add(x7, x7, x2);
+    b.ld(x7, x7, 0);               // sq
+    b.slli(x7, x7, 3);
+    b.add(x7, x7, x1);
+    b.ld(x7, x7, 0);               // mask
+    b.or_(x5, x5, x7);
+    b.addi(x8, x6, -1);
+    b.and_(x6, x6, x8);
+    b.j("scan");
+    b.label("scan_done");
+
+    // score = popcount(attacks ^ occ).
+    b.xor_(x9, x5, x21);
+    b.srli(x10, x9, 1);
+    b.and_(x10, x10, x16);
+    b.sub(x9, x9, x10);
+    b.and_(x10, x9, x17);
+    b.srli(x9, x9, 2);
+    b.and_(x9, x9, x17);
+    b.add(x9, x9, x10);
+    b.srli(x10, x9, 4);
+    b.add(x9, x9, x10);
+    b.and_(x9, x9, x18);
+    b.mul(x9, x9, x19);
+    b.srli(x9, x9, 56);            // score
+
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+
+    b.andi(x10, x9, 1);
+    b.beq(x10, x0, "even_path");
+    b.slli(x10, x21, 7);
+    b.srli(x11, x21, 57);
+    b.or_(x10, x10, x11);
+    b.xor_(x21, x10, x5);
+    b.j("next");
+    b.label("even_path");
+    b.ldi(x10, 0x9e3779b97f4a7c15ULL);
+    b.add(x21, x21, x10);
+    b.label("next");
+    b.bne(x21, x0, "nonzero");
+    b.ldi(x21, occ0);
+    b.label("nonzero");
+
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "iter");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "sjeng";
+    w.description = "sjeng proxy: bitboard scans and attack masks";
+    w.program = b.build();
+    w.expectedResult = reference(masks, occ0, iters);
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * HPCC STREAM proxy (memory-bound; the paper's best case for
+ * checkpoint overheads -- the load-store log fills quickly, so
+ * checkpoints are short regardless of the AIMD target).
+ *
+ * The classic four kernels over double arrays a, b, c:
+ *   copy:  c = a;  scale: b = s*c;  add: c = a+b;  triad: a = b+s*c
+ * followed by a checksum fold of a and c.  Roughly one memory
+ * operation per two committed instructions.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr double scaleFactor = 3.0;
+
+std::uint64_t
+reference(std::vector<double> a, std::size_t n)
+{
+    std::vector<double> b(n, 0.0), c(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        c[i] = a[i];
+    for (std::size_t i = 0; i < n; ++i)
+        b[i] = scaleFactor * c[i];
+    for (std::size_t i = 0; i < n; ++i)
+        c[i] = a[i] + b[i];
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] = b[i] + scaleFactor * c[i];
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc = mixDouble(acc, a[i]);
+        acc = mixDouble(acc, c[i]);
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildStream(unsigned scale)
+{
+    const std::size_t n = 8192 * scale;
+    const auto a = randomDoubles(n, 0x57e4a);
+
+    const Addr aBase = dataBase;
+    const Addr bBase = dataBase + n * 8;
+    const Addr cBase = dataBase + 2 * n * 8;
+
+    isa::ProgramBuilder b("stream");
+    emitDataF(b, aBase, a);
+
+    b.ldi(x20, n);                      // element count
+    b.dataF64(0x7f000, scaleFactor);
+    b.ldi(x1, 0x7f000);
+    b.fld(f10, x1, 0);                  // s
+
+    auto loop_header = [&](const char *name, Addr base1, Addr base2,
+                           Addr base3) {
+        b.ldi(x1, base1);
+        b.ldi(x2, base2);
+        if (base3)
+            b.ldi(x3, base3);
+        b.mv(x4, x20);
+        b.label(name);
+    };
+    auto loop_footer = [&](const char *name, bool three) {
+        b.addi(x1, x1, 8);
+        b.addi(x2, x2, 8);
+        if (three)
+            b.addi(x3, x3, 8);
+        b.addi(x4, x4, -1);
+        b.bne(x4, x0, name);
+    };
+
+    // copy: c = a
+    loop_header("copy", aBase, cBase, 0);
+    b.fld(f1, x1, 0);
+    b.fsd(f1, x2, 0);
+    loop_footer("copy", false);
+
+    // scale: b = s * c
+    loop_header("scale", cBase, bBase, 0);
+    b.fld(f1, x1, 0);
+    b.fmul(f2, f10, f1);
+    b.fsd(f2, x2, 0);
+    loop_footer("scale", false);
+
+    // add: c = a + b
+    loop_header("add", aBase, bBase, cBase);
+    b.fld(f1, x1, 0);
+    b.fld(f2, x2, 0);
+    b.fadd(f3, f1, f2);
+    b.fsd(f3, x3, 0);
+    loop_footer("add", true);
+
+    // triad: a = b + s * c
+    loop_header("triad", bBase, cBase, aBase);
+    b.fld(f1, x1, 0);
+    b.fld(f2, x2, 0);
+    b.fmul(f3, f10, f2);
+    b.fadd(f3, f1, f3);
+    b.fsd(f3, x3, 0);
+    loop_footer("triad", true);
+
+    // checksum of a and c
+    b.ldi(x31, 0);
+    b.ldi(x21, 1099511628211ULL);
+    loop_header("sum", aBase, cBase, 0);
+    b.fld(f1, x1, 0);
+    b.fmvXD(x5, f1);
+    b.mul(x31, x31, x21);
+    b.add(x31, x31, x5);
+    b.fld(f2, x2, 0);
+    b.fmvXD(x6, f2);
+    b.mul(x31, x31, x21);
+    b.add(x31, x31, x6);
+    loop_footer("sum", false);
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "stream";
+    w.description = "HPCC STREAM: copy/scale/add/triad over doubles";
+    w.program = b.build();
+    w.expectedResult = reference(a, n);
+    w.fpHeavy = true;
+    w.memoryBound = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * SPEC CPU2006 465.tonto proxy: quantum-chemistry-flavoured mix of
+ * polynomial (exponential-series) evaluations and small symmetric
+ * matrix-vector products.
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr long M = 12;
+constexpr unsigned polyTerms = 8;
+
+std::uint64_t
+reference(const std::vector<double> &mat, const std::vector<double> &xs,
+          unsigned rounds)
+{
+    std::uint64_t acc = 0;
+    std::vector<double> v(std::size_t(M), 0.0);
+    for (std::size_t i = 0; i < std::size_t(M); ++i)
+        v[i] = xs[i];
+    for (unsigned r = 0; r < rounds; ++r) {
+        // Horner series per element: p(x) = sum x^k / k! -ish.
+        for (std::size_t i = 0; i < std::size_t(M); ++i) {
+            double x = v[i] * 0.25;
+            double p = 1.0;
+            for (unsigned k = polyTerms; k > 0; --k)
+                p = p * (x / double(k)) + 1.0;
+            v[i] = p;
+        }
+        // w = A v (A symmetric M x M), then renormalize-ish.
+        std::vector<double> w(std::size_t(M), 0.0);
+        for (long i = 0; i < M; ++i) {
+            double sum = 0.0;
+            for (long j = 0; j < M; ++j)
+                sum = sum + mat[std::size_t(i * M + j)] *
+                                v[std::size_t(j)];
+            w[std::size_t(i)] = sum;
+        }
+        for (long i = 0; i < M; ++i) {
+            v[std::size_t(i)] = w[std::size_t(i)] /
+                                (1.0 + w[std::size_t(i)] *
+                                           w[std::size_t(i)]);
+            acc = mixDouble(acc, v[std::size_t(i)]);
+        }
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildTonto(unsigned scale)
+{
+    const unsigned rounds = 400 * scale;
+    const auto mat = randomDoubles(std::size_t(M * M), 0x707070);
+    const auto xs = randomDoubles(std::size_t(M), 0x707071);
+    const Addr matBase = dataBase;
+    const Addr vBase = matBase + mat.size() * 8 + 64;
+    const Addr wBase = vBase + std::size_t(M) * 8 + 64;
+    const Addr cBase = wBase + std::size_t(M) * 8 + 64;
+
+    isa::ProgramBuilder b("tonto");
+    emitDataF(b, matBase, mat);
+    emitDataF(b, vBase, xs);
+    b.dataF64(cBase, 0.25);
+    b.dataF64(cBase + 8, 1.0);
+    // Reciprocal-of-k table for the Horner loop (k = 1..polyTerms).
+    for (unsigned k = 1; k <= polyTerms; ++k)
+        b.dataF64(cBase + 16 + 8 * (k - 1), double(k));
+
+    b.ldi(x1, cBase);
+    b.fld(f10, x1, 0);    // 0.25
+    b.fld(f11, x1, 8);    // 1.0
+    b.ldi(x21, matBase);
+    b.ldi(x22, vBase);
+    b.ldi(x19, wBase);
+    b.ldi(x15, rounds);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x31, 0);
+    b.ldi(x18, M);
+
+    b.label("round");
+    // Polynomial pass over v.
+    b.mv(x2, x22);
+    b.ldi(x3, M);
+    b.label("poly");
+    b.fld(f1, x2, 0);
+    b.fmul(f1, f1, f10);           // x
+    b.fadd(f2, f11, f0);           // p = 1.0
+    b.ldi(x5, polyTerms);
+    b.ldi(x6, cBase + 16 + 8 * (polyTerms - 1));  // &k table top
+    b.label("horner");
+    b.fld(f3, x6, 0);              // k
+    b.fdiv(f4, f1, f3);            // x / k
+    b.fmul(f2, f2, f4);
+    b.fadd(f2, f2, f11);           // p = p*(x/k) + 1
+    b.addi(x6, x6, -8);
+    b.addi(x5, x5, -1);
+    b.bne(x5, x0, "horner");
+    b.fsd(f2, x2, 0);
+    b.addi(x2, x2, 8);
+    b.addi(x3, x3, -1);
+    b.bne(x3, x0, "poly");
+
+    // w = A v.
+    b.ldi(x2, 0);                  // i
+    b.label("mrow");
+    b.ldi(x5, M * 8);
+    b.mul(x6, x2, x5);
+    b.add(x6, x6, x21);            // &A[i][0]
+    b.mv(x7, x22);                 // &v[0]
+    b.fsub(f1, f0, f0);            // sum = 0
+    b.ldi(x4, M);
+    b.label("mcol");
+    b.fld(f2, x6, 0);
+    b.fld(f3, x7, 0);
+    b.fmul(f2, f2, f3);
+    b.fadd(f1, f1, f2);
+    b.addi(x6, x6, 8);
+    b.addi(x7, x7, 8);
+    b.addi(x4, x4, -1);
+    b.bne(x4, x0, "mcol");
+    b.slli(x5, x2, 3);
+    b.add(x5, x5, x19);
+    b.fsd(f1, x5, 0);
+    b.addi(x2, x2, 1);
+    b.blt(x2, x18, "mrow");
+
+    // v = w / (1 + w^2), fold.
+    b.ldi(x2, 0);
+    b.label("norm");
+    b.slli(x5, x2, 3);
+    b.add(x6, x5, x19);
+    b.fld(f1, x6, 0);              // w
+    b.fmul(f2, f1, f1);
+    b.fadd(f2, f11, f2);           // 1 + w^2
+    b.fdiv(f1, f1, f2);
+    b.add(x6, x5, x22);
+    b.fsd(f1, x6, 0);
+    b.fmvXD(x9, f1);
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+    b.addi(x2, x2, 1);
+    b.blt(x2, x18, "norm");
+
+    b.addi(x15, x15, -1);
+    b.bne(x15, x0, "round");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "tonto";
+    w.description = "tonto proxy: exponential series + small matvec";
+    w.program = b.build();
+    w.expectedResult = reference(mat, xs, rounds);
+    w.fpHeavy = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

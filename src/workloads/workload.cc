@@ -1,0 +1,80 @@
+#include "workloads/workload.hh"
+
+#include <map>
+
+#include "sim/logging.hh"
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+using Factory = Workload (*)(unsigned);
+
+// SPEC proxies in figure 10's left-to-right order.
+const std::vector<std::string> specOrder = {
+    "bzip2", "bwaves", "gcc", "mcf", "milc", "cactusADM", "leslie3d",
+    "namd", "gobmk", "povray", "calculix", "sjeng", "GemsFDTD",
+    "h264ref", "tonto", "lbm", "omnetpp", "astar", "xalancbmk",
+};
+
+const std::map<std::string, Factory> factories = {
+    {"bitcount", buildBitcount},
+    {"stream", buildStream},
+    {"bzip2", buildBzip2},
+    {"bwaves", buildBwaves},
+    {"gcc", buildGcc},
+    {"mcf", buildMcf},
+    {"milc", buildMilc},
+    {"cactusADM", buildCactusADM},
+    {"leslie3d", buildLeslie3d},
+    {"namd", buildNamd},
+    {"gobmk", buildGobmk},
+    {"povray", buildPovray},
+    {"calculix", buildCalculix},
+    {"sjeng", buildSjeng},
+    {"GemsFDTD", buildGemsFDTD},
+    {"h264ref", buildH264ref},
+    {"tonto", buildTonto},
+    {"lbm", buildLbm},
+    {"omnetpp", buildOmnetpp},
+    {"astar", buildAstar},
+    {"xalancbmk", buildXalancbmk},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+allNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v = {"bitcount", "stream"};
+        v.insert(v.end(), specOrder.begin(), specOrder.end());
+        return v;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+specNames()
+{
+    return specOrder;
+}
+
+Workload
+build(const std::string &name, unsigned scale)
+{
+    auto it = factories.find(name);
+    if (it == factories.end())
+        fatal("unknown workload '" + name + "'");
+    if (scale == 0)
+        scale = 1;
+    return it->second(scale);
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The workload suite: MiBench bitcount, HPCC stream, and nineteen
+ * SPEC CPU2006 proxy kernels.
+ *
+ * The paper evaluates on SPEC CPU2006 plus bitcount (compute-bound,
+ * worst case for long checkpoints) and stream (memory-bound, best
+ * case).  SPEC itself is not redistributable, so each benchmark is
+ * represented by a proxy kernel matching its documented character:
+ * integer vs floating point, compute- vs memory-bound, and -- for
+ * gobmk, povray, h264ref, omnetpp and xalancbmk -- a hot code
+ * footprint exceeding the checker cores' 8 KiB L0 I-cache (the
+ * workloads figure 10 singles out for checker I-cache misses).
+ *
+ * Every workload carries a golden checksum computed by an independent
+ * C++ reference implementation of the same algorithm; the PDX64
+ * program must reproduce it exactly, which is how the test suite
+ * pins functional correctness of the ISA, executor and system.
+ */
+
+#ifndef PARADOX_WORKLOADS_WORKLOAD_HH
+#define PARADOX_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/types.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+/** Address every workload stores its final checksum to. */
+constexpr Addr resultAddr = 0x80000;
+
+/** A ready-to-run workload. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    isa::Program program;
+    std::uint64_t expectedResult; //!< golden checksum (C++ reference)
+    bool fpHeavy = false;
+    bool memoryBound = false;
+    bool largeCode = false;       //!< hot footprint > checker L0
+};
+
+/** All workload names (bitcount, stream, then SPEC in paper order). */
+const std::vector<std::string> &allNames();
+
+/** The nineteen SPEC proxies, in figure 10's left-to-right order. */
+const std::vector<std::string> &specNames();
+
+/**
+ * Build @p name at @p scale (1 = benchmark size; tests use smaller).
+ * Calls fatal() for unknown names.
+ */
+Workload build(const std::string &name, unsigned scale = 1);
+
+} // namespace workloads
+} // namespace paradox
+
+#endif // PARADOX_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * SPEC CPU2006 483.xalancbmk proxy: XML-ish DOM traversal.  An
+ * explicit-stack depth-first walk over a pointer-linked node tree,
+ * hashing each node's name bytes with one of 48 unrolled hash
+ * variants chosen by name length -- pointer chasing, byte loads and
+ * a large branchy code footprint (a figure 10 I-cache-miss workload).
+ */
+
+#include "workloads/common.hh"
+
+namespace paradox
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr std::size_t numNodes = 600;
+constexpr unsigned numVariants = 96;
+constexpr unsigned nodeBytes = 32;  // firstChild, nextSibling, nameOfs, nameLen
+
+struct Variant
+{
+    std::uint64_t mult;
+    std::uint64_t xorc;
+    unsigned rot;
+    std::uint64_t pre1, pre2;  //!< constant pre-mix round
+    unsigned preRot;
+};
+
+std::vector<Variant>
+makeVariants(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Variant> variants(numVariants);
+    for (auto &v : variants) {
+        v.mult = 0x100000001b3ULL + 2 * rng.nextBounded(1 << 16);
+        v.xorc = rng.next();
+        v.rot = 1 + unsigned(rng.nextBounded(31));
+        v.pre1 = rng.next();
+        v.pre2 = 1 | rng.next();
+        v.preRot = 1 + unsigned(rng.nextBounded(31));
+    }
+    return variants;
+}
+
+std::uint64_t rotl(std::uint64_t x, unsigned k);
+
+/** Seed mix applied before the byte loop (mirrored in PDX64). */
+std::uint64_t
+variantSeed(const Variant &v, std::uint64_t wk)
+{
+    std::uint64_t h = v.xorc;
+    h = (h ^ v.pre1) * v.pre2;
+    h = rotl(h, v.preRot);
+    h = h + wk;
+    return h;
+}
+
+struct Tree
+{
+    std::vector<std::uint64_t> firstChild;  // node index + 1, 0 = none
+    std::vector<std::uint64_t> nextSibling;
+    std::vector<std::uint64_t> nameOfs;
+    std::vector<std::uint64_t> nameLen;
+    std::vector<std::uint64_t> nameWords;   // packed name bytes
+};
+
+Tree
+makeTree(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tree t;
+    t.firstChild.assign(numNodes, 0);
+    t.nextSibling.assign(numNodes, 0);
+    t.nameOfs.resize(numNodes);
+    t.nameLen.resize(numNodes);
+    std::vector<std::uint8_t> bytes;
+    // Random forest shape: node i's parent is a random earlier node.
+    std::vector<std::size_t> lastChild(numNodes, 0);
+    for (std::size_t i = 1; i < numNodes; ++i) {
+        std::size_t parent = rng.nextBounded(i);
+        if (t.firstChild[parent] == 0) {
+            t.firstChild[parent] = i + 1;
+        } else {
+            t.nextSibling[lastChild[parent]] = i + 1;
+        }
+        lastChild[parent] = i;
+    }
+    for (std::size_t i = 0; i < numNodes; ++i) {
+        std::size_t len = 3 + rng.nextBounded(12);
+        t.nameOfs[i] = bytes.size();
+        t.nameLen[i] = len;
+        for (std::size_t k = 0; k < len; ++k)
+            bytes.push_back(std::uint8_t('a' + rng.nextBounded(26)));
+    }
+    t.nameWords.assign((bytes.size() + 7) / 8, 0);
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        t.nameWords[i / 8] |= std::uint64_t(bytes[i]) << (8 * (i % 8));
+    return t;
+}
+
+std::uint64_t
+rotl(std::uint64_t x, unsigned k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+reference(const Tree &t, const std::vector<Variant> &variants,
+          unsigned walks)
+{
+    auto nameByte = [&t](std::uint64_t idx) {
+        return (t.nameWords[idx / 8] >> (8 * (idx % 8))) & 0xff;
+    };
+    std::uint64_t acc = 0;
+    for (unsigned wk = 0; wk < walks; ++wk) {
+        std::vector<std::uint64_t> stack = {1};  // root handle
+        while (!stack.empty()) {
+            std::uint64_t handle = stack.back();
+            stack.pop_back();
+            std::size_t node = std::size_t(handle - 1);
+            const Variant &v =
+                variants[(t.nameLen[node] + wk) % numVariants];
+            std::uint64_t h = variantSeed(v, wk);
+            for (std::uint64_t k = 0; k < t.nameLen[node]; ++k) {
+                h = (h ^ nameByte(t.nameOfs[node] + k)) * v.mult;
+                h = rotl(h, v.rot);
+            }
+            acc = mixInt(acc, h);
+            if (t.nextSibling[node])
+                stack.push_back(t.nextSibling[node]);
+            if (t.firstChild[node])
+                stack.push_back(t.firstChild[node]);
+        }
+    }
+    return acc;
+}
+
+} // namespace
+
+Workload
+buildXalancbmk(unsigned scale)
+{
+    const unsigned walks = 4 * scale;
+    const auto tree = makeTree(0xa1a);
+    const auto variants = makeVariants(0xa1b);
+
+    const Addr nodeBase = dataBase;  // 32 B per node
+    const Addr nameBase = nodeBase + numNodes * nodeBytes + 64;
+    const Addr stackBase = 0x600000;
+
+    isa::ProgramBuilder b("xalancbmk");
+    for (std::size_t i = 0; i < numNodes; ++i) {
+        b.data64(nodeBase + i * nodeBytes + 0, tree.firstChild[i]);
+        b.data64(nodeBase + i * nodeBytes + 8, tree.nextSibling[i]);
+        b.data64(nodeBase + i * nodeBytes + 16,
+                 nameBase + tree.nameOfs[i]);
+        b.data64(nodeBase + i * nodeBytes + 24, tree.nameLen[i]);
+    }
+    emitData(b, nameBase, tree.nameWords);
+
+    b.ldi(x31, 0);
+    b.ldi(x20, 1099511628211ULL);
+    b.ldi(x21, nodeBase);
+    b.ldi(x22, stackBase);
+    b.ldi(x19, numVariants);
+    b.ldi(x15, 0);                 // walk counter
+    b.ldi(x16, walks);
+
+    b.label("walk");
+    // stack = [1]
+    b.ldi(x5, 1);
+    b.sd(x5, x22, 0);
+    b.ldi(x2, 1);                  // stack depth
+
+    b.label("pop");
+    b.beq(x2, x0, "walk_done");
+    b.addi(x2, x2, -1);
+    b.slli(x5, x2, 3);
+    b.add(x5, x5, x22);
+    b.ld(x3, x5, 0);               // handle
+    b.addi(x3, x3, -1);            // node index
+    b.ldi(x5, nodeBytes);
+    b.mul(x3, x3, x5);
+    b.add(x3, x3, x21);            // &node
+
+    b.ld(x6, x3, 16);              // name pointer
+    b.ld(x7, x3, 24);              // name length
+    // variant index = (len + wk) % numVariants.
+    b.add(x8, x7, x15);
+    b.remu(x8, x8, x19);
+
+    for (unsigned v = 0; v < numVariants; ++v) {
+        const std::string lbl = "v_" + std::to_string(v);
+        b.ldi(x9, v);
+        b.beq(x8, x9, lbl);
+    }
+    b.j("v_0");
+    for (unsigned v = 0; v < numVariants; ++v) {
+        const Variant &var = variants[v];
+        b.label("v_" + std::to_string(v));
+        // Constant pre-mix (variantSeed in the reference).
+        b.ldi(x9, var.xorc);
+        b.ldi(x13, var.pre1);
+        b.xor_(x9, x9, x13);
+        b.ldi(x13, var.pre2);
+        b.mul(x9, x9, x13);
+        b.slli(x13, x9, var.preRot);
+        b.srli(x9, x9, 64 - var.preRot);
+        b.or_(x9, x9, x13);
+        b.add(x9, x9, x15);        // + walk index
+        b.mv(x10, x6);             // byte ptr
+        b.mv(x11, x7);             // remaining
+        const std::string loop = "vl_" + std::to_string(v);
+        const std::string done = "vd_" + std::to_string(v);
+        b.label(loop);
+        b.beq(x11, x0, done);
+        b.lbu(x12, x10, 0);
+        b.xor_(x9, x9, x12);
+        b.ldi(x13, var.mult);
+        b.mul(x9, x9, x13);
+        b.slli(x13, x9, var.rot);
+        b.srli(x9, x9, 64 - var.rot);
+        b.or_(x9, x9, x13);
+        b.addi(x10, x10, 1);
+        b.addi(x11, x11, -1);
+        b.j(loop);
+        b.label(done);
+        b.j("hashed");
+    }
+    b.label("hashed");
+
+    b.mul(x31, x31, x20);
+    b.add(x31, x31, x9);
+
+    // Push nextSibling then firstChild (if present).
+    b.ld(x6, x3, 8);
+    b.beq(x6, x0, "nosib");
+    b.slli(x5, x2, 3);
+    b.add(x5, x5, x22);
+    b.sd(x6, x5, 0);
+    b.addi(x2, x2, 1);
+    b.label("nosib");
+    b.ld(x6, x3, 0);
+    b.beq(x6, x0, "nochild");
+    b.slli(x5, x2, 3);
+    b.add(x5, x5, x22);
+    b.sd(x6, x5, 0);
+    b.addi(x2, x2, 1);
+    b.label("nochild");
+    b.j("pop");
+
+    b.label("walk_done");
+    b.addi(x15, x15, 1);
+    b.bne(x15, x16, "walk");
+
+    storeResultAndHalt(b, x31);
+
+    Workload w;
+    w.name = "xalancbmk";
+    w.description = "xalancbmk proxy: DOM walk with variant string "
+                    "hashing";
+    w.program = b.build();
+    w.expectedResult = reference(tree, variants, walks);
+    w.largeCode = true;
+    w.memoryBound = true;
+    return w;
+}
+
+} // namespace workloads
+} // namespace paradox

@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Core-component unit tests: the load-store log, AIMD checkpoint
+ * controller, voltage controller + regulator, checker scheduler and
+ * segment replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/aimd.hh"
+#include "core/checker_replay.hh"
+#include "core/dvfs.hh"
+#include "core/lslog.hh"
+#include "core/scheduler.hh"
+#include "core/system.hh"
+#include "isa/builder.hh"
+#include "isa/executor.hh"
+#include "mem/memory.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace paradox;
+using namespace paradox::core;
+
+TEST(LogSegment, TracksEntriesAndBytes)
+{
+    LogSegment seg;
+    isa::ArchState start;
+    seg.open(1, start, 0, 0);
+    seg.appendLoad(0x100, 8, 42, 16);
+    seg.appendStore(0x108, 8, 7, 3, 24);
+    EXPECT_EQ(seg.entries().size(), 2u);
+    EXPECT_EQ(seg.bytesUsed(), 40u);
+    EXPECT_TRUE(seg.entries()[0].isLoad);
+    EXPECT_FALSE(seg.entries()[1].isLoad);
+    EXPECT_EQ(seg.entries()[1].oldValue, 3u);
+    EXPECT_FALSE(seg.wouldOverflow(10, 64));
+    EXPECT_TRUE(seg.wouldOverflow(30, 64));
+}
+
+TEST(LogSegment, LineCopiesCarryDecodableEcc)
+{
+    LogSegment seg;
+    isa::ArchState start;
+    seg.open(2, start, 0, 0);
+    std::vector<std::uint8_t> bytes(64);
+    for (unsigned i = 0; i < 64; ++i)
+        bytes[i] = std::uint8_t(i ^ 0xa5);
+    seg.appendLineCopy(0x1000, bytes, 80);
+    ASSERT_EQ(seg.lineCopies().size(), 1u);
+    EXPECT_TRUE(seg.hasLineCopy(0x1000));
+    EXPECT_FALSE(seg.hasLineCopy(0x1040));
+    const LineCopy &copy = seg.lineCopies()[0];
+    ASSERT_EQ(copy.ecc.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        auto d = mem::Secded::decode(copy.ecc[i]);
+        EXPECT_EQ(d.status, mem::EccStatus::Ok);
+        std::uint64_t expect = 0;
+        for (unsigned k = 0; k < 8; ++k)
+            expect |= std::uint64_t(bytes[i * 8 + k]) << (8 * k);
+        EXPECT_EQ(d.data, expect);
+    }
+}
+
+TEST(LogSegment, ReopenClearsState)
+{
+    LogSegment seg;
+    isa::ArchState start;
+    seg.open(1, start, 0, 0);
+    seg.appendLoad(0x100, 8, 1, 16);
+    seg.open(2, start, 10, 100);
+    EXPECT_EQ(seg.entries().size(), 0u);
+    EXPECT_EQ(seg.bytesUsed(), 0u);
+    EXPECT_EQ(seg.id(), 2u);
+    EXPECT_EQ(seg.startInstIndex(), 10u);
+}
+
+TEST(CheckpointAimd, AdditiveIncreaseCapsAtMax)
+{
+    CheckpointAimdParams params;
+    CheckpointLengthController ctrl(params, true);
+    EXPECT_EQ(ctrl.target(), params.initial);
+    for (int i = 0; i < 1000; ++i)
+        ctrl.onCleanCheckpoint();
+    EXPECT_EQ(ctrl.target(), params.maxLength);
+}
+
+TEST(CheckpointAimd, ReductionTakesMinOfHalfAndObserved)
+{
+    CheckpointAimdParams params;
+    CheckpointLengthController ctrl(params, true);
+    // target 1000 -> halving wins when observed is larger.
+    ctrl.onReduction(5000);
+    EXPECT_EQ(ctrl.target(), 500u);
+    // Observed wins when smaller than half.
+    ctrl.onReduction(80);
+    EXPECT_EQ(ctrl.target(), 80u);
+    // Never below the floor.
+    for (int i = 0; i < 20; ++i)
+        ctrl.onReduction(1);
+    EXPECT_EQ(ctrl.target(), params.minLength);
+}
+
+TEST(CheckpointAimd, ParaMedicStaysFixed)
+{
+    CheckpointAimdParams params;
+    CheckpointLengthController ctrl(params, false);
+    EXPECT_EQ(ctrl.target(), params.maxLength);
+    ctrl.onReduction(10);
+    ctrl.onCleanCheckpoint();
+    EXPECT_EQ(ctrl.target(), params.maxLength);
+}
+
+TEST(VoltageController, DecreasesWhenClean)
+{
+    VoltageAimdParams params;
+    VoltageController ctrl(params);
+    double v0 = ctrl.target();
+    ctrl.onCleanCheckpoint();
+    EXPECT_DOUBLE_EQ(ctrl.target(), v0 - params.decreaseStep);
+}
+
+TEST(VoltageController, ErrorShrinksGapByRecoveryFactor)
+{
+    VoltageAimdParams params;
+    VoltageController ctrl(params);
+    for (int i = 0; i < 100; ++i)
+        ctrl.onCleanCheckpoint();
+    double v = ctrl.target();
+    double gap = params.vSafe - v;
+    ctrl.onError(v);
+    EXPECT_NEAR(params.vSafe - ctrl.target(),
+                gap * params.recoveryFactor, 1e-12);
+}
+
+TEST(VoltageController, TideMarkSlowsDescent)
+{
+    VoltageAimdParams params;
+    VoltageController ctrl(params);
+    for (int i = 0; i < 40; ++i)
+        ctrl.onCleanCheckpoint();
+    double v_err = ctrl.target();
+    ctrl.onError(v_err);
+    EXPECT_DOUBLE_EQ(ctrl.tideMark(), v_err);
+    // Descend back to the tide mark; below it the step shrinks 8x.
+    while (ctrl.target() > v_err)
+        ctrl.onCleanCheckpoint();
+    double before = ctrl.target();
+    ctrl.onCleanCheckpoint();
+    EXPECT_NEAR(before - ctrl.target(),
+                params.decreaseStep / params.tideSlowFactor, 1e-12);
+}
+
+TEST(VoltageController, ConstantModeIgnoresTideMark)
+{
+    VoltageAimdParams params;
+    params.dynamicDecrease = false;
+    VoltageController ctrl(params);
+    ctrl.onError(ctrl.target());
+    double before = ctrl.target();
+    ctrl.onCleanCheckpoint();
+    EXPECT_NEAR(before - ctrl.target(), params.decreaseStep, 1e-12);
+}
+
+TEST(VoltageController, TideResetsAfterConfiguredErrors)
+{
+    VoltageAimdParams params;
+    params.tideResetErrors = 5;
+    VoltageController ctrl(params);
+    for (int i = 0; i < 4; ++i)
+        ctrl.onError(0.9);
+    EXPECT_GT(ctrl.tideMark(), 0.0);
+    ctrl.onError(0.9);  // fifth error: reset
+    EXPECT_EQ(ctrl.tideMark(), 0.0);
+    EXPECT_EQ(ctrl.errorsSinceReset(), 0u);
+    EXPECT_EQ(ctrl.totalErrors(), 5u);
+}
+
+TEST(VoltageController, NeverBelowFloor)
+{
+    VoltageAimdParams params;
+    VoltageController ctrl(params);
+    for (int i = 0; i < 100000; ++i)
+        ctrl.onCleanCheckpoint();
+    EXPECT_GE(ctrl.target(), params.vMinAllowed);
+}
+
+TEST(Regulator, SlewLimitsTracking)
+{
+    Regulator reg(1.0, /*slew V/us=*/0.01);
+    reg.setTarget(0.9, 0);
+    // After 1 us only 0.01 V of the 0.1 V step is covered.
+    EXPECT_NEAR(reg.voltageAt(ticksPerUs), 0.99, 1e-9);
+    // After 10 us the target is reached and holds.
+    EXPECT_NEAR(reg.voltageAt(10 * ticksPerUs), 0.9, 1e-9);
+    EXPECT_NEAR(reg.voltageAt(20 * ticksPerUs), 0.9, 1e-9);
+}
+
+TEST(Regulator, TracksUpward)
+{
+    Regulator reg(0.8, 0.01);
+    reg.setTarget(0.95, 0);
+    EXPECT_NEAR(reg.voltageAt(5 * ticksPerUs), 0.85, 1e-9);
+    EXPECT_NEAR(reg.voltageAt(100 * ticksPerUs), 0.95, 1e-9);
+}
+
+TEST(Dvfs, CompensatedFrequencyScalesBelowTarget)
+{
+    // At target: nominal.  Below target: proportional to V - Vt.
+    EXPECT_DOUBLE_EQ(
+        compensatedFrequency(3.2e9, 0.9, 0.9, 0.45), 3.2e9);
+    EXPECT_DOUBLE_EQ(
+        compensatedFrequency(3.2e9, 0.95, 0.9, 0.45), 3.2e9);
+    double f = compensatedFrequency(3.2e9, 0.675, 0.9, 0.45);
+    EXPECT_NEAR(f, 3.2e9 * 0.5, 1e3);
+}
+
+TEST(Scheduler, LowestFreeIdConcentrates)
+{
+    CheckerScheduler sched(4, SchedPolicy::LowestFreeId, 0);
+    EXPECT_EQ(sched.allocate(0), 0);
+    EXPECT_EQ(sched.allocate(0), 1);
+    sched.release(0, 10);
+    EXPECT_EQ(sched.allocate(20), 0);  // reuses the lowest id
+    EXPECT_EQ(sched.busyCount(), 2u);
+}
+
+TEST(Scheduler, RoundRobinWaitsForNextInOrder)
+{
+    CheckerScheduler sched(3, SchedPolicy::RoundRobin, 0);
+    EXPECT_EQ(sched.allocate(0), 0);
+    EXPECT_EQ(sched.allocate(0), 1);
+    EXPECT_EQ(sched.allocate(0), 2);
+    EXPECT_EQ(sched.allocate(0), -1);   // full
+    sched.release(1, 5);
+    // Round-robin wants index 0 next; only index 1 is free.
+    EXPECT_EQ(sched.allocate(6), -1);
+    sched.release(0, 7);
+    EXPECT_EQ(sched.allocate(8), 0);
+}
+
+TEST(Scheduler, WakeRatesReflectBusyTime)
+{
+    CheckerScheduler sched(2, SchedPolicy::LowestFreeId, 0);
+    sched.allocate(0);       // checker 0 from t=0
+    sched.release(0, 500);
+    auto rates = sched.wakeRates(1000);
+    EXPECT_NEAR(rates[0], 0.5, 1e-9);
+    EXPECT_NEAR(rates[1], 0.0, 1e-9);
+    EXPECT_EQ(sched.wakeEvents()[0], 1u);
+}
+
+TEST(Scheduler, OpenIntervalCountsTowardWakeRate)
+{
+    CheckerScheduler sched(2, SchedPolicy::LowestFreeId, 0);
+    sched.allocate(200);
+    auto rates = sched.wakeRates(1000);
+    EXPECT_NEAR(rates[0], 0.8, 1e-9);
+}
+
+TEST(Scheduler, BootRotationDerangesPhysicalIds)
+{
+    CheckerScheduler a(16, SchedPolicy::LowestFreeId, 0);
+    CheckerScheduler b(16, SchedPolicy::LowestFreeId, 5);
+    EXPECT_EQ(a.physicalId(0), 0u);
+    EXPECT_EQ(b.physicalId(0), 5u);
+    EXPECT_EQ(b.physicalId(15), 4u);
+}
+
+/** Build a tiny program + segment pair for replay tests. */
+struct ReplayFixture
+{
+    isa::Program prog;
+    LogSegment seg;
+    cpu::CheckerTiming timing;
+    faults::FaultPlan emptyPlan;
+
+    ReplayFixture()
+    {
+        using namespace isa;
+        ProgramBuilder b("replay");
+        constexpr XReg r1{1}, r2{2};
+        b.ldi(r1, 0x1000);
+        b.ld(r2, r1, 0);
+        b.addi(r2, r2, 5);
+        b.sd(r2, r1, 8);
+        b.halt();
+        b.data64(0x1000, 37);
+        prog = b.build();
+
+        // Execute on the main side to fill the log + end state.
+        mem::SimpleMemory memory;
+        ArchState state;
+        loadProgram(prog, state, memory);
+        seg.open(1, state, 0, 0);
+        unsigned count = 0;
+        for (;;) {
+            ExecResult r = step(prog, state, memory);
+            ++count;
+            if (r.isLoad)
+                seg.appendLoad(r.memAddr, r.memSize, r.loadValue, 16);
+            if (r.isStore)
+                seg.appendStore(r.memAddr, r.memSize, r.storeValue,
+                                r.storeOld, 24);
+            if (r.halted)
+                break;
+        }
+        seg.close(state, count, 100);
+    }
+};
+
+TEST(Replay, CleanSegmentVerifies)
+{
+    ReplayFixture f;
+    auto out = replaySegment(f.prog, f.seg, 0, f.timing, f.emptyPlan,
+                             16);
+    EXPECT_FALSE(out.detected);
+    EXPECT_EQ(out.reason, DetectReason::None);
+    EXPECT_EQ(out.instructionsExecuted, f.seg.instCount());
+    EXPECT_GT(out.totalCycles, 0u);
+}
+
+TEST(Replay, CorruptedStoreEntryDetectsAtStore)
+{
+    ReplayFixture f;
+    // Flip a bit in the logged store value.
+    LogSegment bad;
+    bad.open(f.seg.id(), f.seg.startState(), 0, 0);
+    for (const LogEntry &e : f.seg.entries()) {
+        if (e.isLoad)
+            bad.appendLoad(e.addr, e.size, e.value, 16);
+        else
+            bad.appendStore(e.addr, e.size, e.value ^ 1, e.oldValue,
+                            24);
+    }
+    bad.close(f.seg.endState(), f.seg.instCount(), 100);
+    auto out = replaySegment(f.prog, bad, 0, f.timing, f.emptyPlan,
+                             16);
+    EXPECT_TRUE(out.detected);
+    EXPECT_EQ(out.reason, DetectReason::StoreMismatch);
+}
+
+TEST(Replay, CorruptedStartStateDetects)
+{
+    ReplayFixture f;
+    LogSegment bad;
+    isa::ArchState start = f.seg.startState();
+    // Flip x5: never rewritten by the program, so the corruption
+    // survives to the final state comparison.  (A flip in a register
+    // the program immediately overwrites is a *masked* fault and is
+    // legitimately undetectable.)
+    start.flipBit(isa::RegCategory::Integer, 4, 3);
+    bad.open(f.seg.id(), start, 0, 0);
+    for (const LogEntry &e : f.seg.entries()) {
+        if (e.isLoad)
+            bad.appendLoad(e.addr, e.size, e.value, 16);
+        else
+            bad.appendStore(e.addr, e.size, e.value, e.oldValue, 24);
+    }
+    bad.close(f.seg.endState(), f.seg.instCount(), 100);
+    auto out = replaySegment(f.prog, bad, 0, f.timing, f.emptyPlan,
+                             16);
+    EXPECT_TRUE(out.detected);
+}
+
+TEST(Replay, CorruptedEndStateDetectsAtFinalCompare)
+{
+    ReplayFixture f;
+    LogSegment bad;
+    bad.open(f.seg.id(), f.seg.startState(), 0, 0);
+    for (const LogEntry &e : f.seg.entries()) {
+        if (e.isLoad)
+            bad.appendLoad(e.addr, e.size, e.value, 16);
+        else
+            bad.appendStore(e.addr, e.size, e.value, e.oldValue, 24);
+    }
+    isa::ArchState end = f.seg.endState();
+    end.flipBit(isa::RegCategory::Float, 0, 0);
+    bad.close(end, f.seg.instCount(), 100);
+    auto out = replaySegment(f.prog, bad, 0, f.timing, f.emptyPlan,
+                             16);
+    EXPECT_TRUE(out.detected);
+    EXPECT_EQ(out.reason, DetectReason::FinalStateMismatch);
+}
+
+TEST(Replay, RegisterFaultInjectionIsDetected)
+{
+    ReplayFixture f;
+    faults::FaultConfig fc;
+    fc.kind = faults::FaultKind::RegisterBitFlip;
+    fc.rate = 1.0;  // every instruction
+    fc.targetCategory = isa::RegCategory::Integer;
+    faults::FaultPlan plan;
+    plan.add(fc);
+    auto out = replaySegment(f.prog, f.seg, 0, f.timing, plan, 16);
+    EXPECT_TRUE(out.detected);
+    EXPECT_GT(out.faultsInjected, 0u);
+}
+
+TEST(Replay, EveryArchBitFlipInStartStateIsDetected)
+{
+    // Property: any single corruption of the checker's starting
+    // integer register file that feeds the computation is caught.
+    ReplayFixture f;
+    for (unsigned bit = 0; bit < 16; ++bit) {
+        LogSegment bad;
+        isa::ArchState start = f.seg.startState();
+        start.flipBit(isa::RegCategory::Misc, 0, bit + 2);
+        bad.open(1, start, 0, 0);
+        for (const LogEntry &e : f.seg.entries()) {
+            if (e.isLoad)
+                bad.appendLoad(e.addr, e.size, e.value, 16);
+            else
+                bad.appendStore(e.addr, e.size, e.value, e.oldValue,
+                                24);
+        }
+        bad.close(f.seg.endState(), f.seg.instCount(), 100);
+        auto out = replaySegment(f.prog, bad, 0, f.timing,
+                                 f.emptyPlan, 16);
+        EXPECT_TRUE(out.detected) << "pc bit " << bit;
+    }
+}
+
+} // namespace
+
+namespace
+{
+
+using namespace paradox;
+using namespace paradox::core;
+
+TEST(LogSegment, ContinuityIdRecordsNextChecker)
+{
+    LogSegment seg;
+    isa::ArchState start;
+    seg.open(1, start, 0, 0);
+    EXPECT_EQ(seg.nextCheckerId(), -1);
+    seg.setNextCheckerId(5);
+    EXPECT_EQ(seg.nextCheckerId(), 5);
+}
+
+TEST(SystemStatsDump, ContainsEveryRegisteredStat)
+{
+    auto w = paradox::workloads::build("bitcount", 1);
+    SystemConfig config = SystemConfig::forMode(Mode::ParaDox);
+    System system(config, w.program);
+    system.setFaultPlan(paradox::faults::uniformPlan(1e-4, 3));
+    RunLimits limits;
+    limits.maxExecuted = 50'000'000;
+    system.run(limits);
+    std::ostringstream os;
+    system.dumpStats(os);
+    const std::string out = os.str();
+    for (const char *key :
+         {"system.rollbackNs", "system.wastedExecNs",
+          "system.checkpointLength", "system.checkpointLengthHist",
+          "system.evictionCuts", "system.capacityCuts",
+          "system.targetCuts", "system.checkerWaitStalls",
+          "system.voltage"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(SystemHistogram, CheckpointLengthsPopulated)
+{
+    auto w = paradox::workloads::build("stream", 1);
+    SystemConfig config = SystemConfig::forMode(Mode::ParaDox);
+    System system(config, w.program);
+    system.run();
+    const auto &hist = system.checkpointLengthHistogram();
+    EXPECT_GT(hist.count(), 0u);
+    // Stream's segments are log-capacity-bound: well under the cap.
+    EXPECT_LT(hist.percentile(0.99), 5000.0);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Fault-injection framework tests: geometric inter-arrival behaviour,
+ * per-kind event targeting, and the undervolt error-rate model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_model.hh"
+#include "faults/undervolt_model.hh"
+
+namespace
+{
+
+using namespace paradox;
+using namespace paradox::faults;
+
+isa::Instruction
+makeInst(isa::Opcode op)
+{
+    isa::Instruction inst;
+    inst.op = op;
+    inst.rd = 1;
+    return inst;
+}
+
+TEST(FaultInjector, ZeroRateNeverFires)
+{
+    FaultConfig fc;
+    fc.kind = FaultKind::RegisterBitFlip;
+    fc.rate = 0.0;
+    FaultInjector injector(fc);
+    auto inst = makeInst(isa::Opcode::ADD);
+    for (int i = 0; i < 100000; ++i)
+        EXPECT_FALSE(injector.onInstruction(inst, true).fires);
+    EXPECT_EQ(injector.fired(), 0u);
+}
+
+TEST(FaultInjector, RateOneFiresEveryEvent)
+{
+    FaultConfig fc;
+    fc.kind = FaultKind::RegisterBitFlip;
+    fc.rate = 1.0;
+    FaultInjector injector(fc);
+    auto inst = makeInst(isa::Opcode::ADD);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(injector.onInstruction(inst, true).fires);
+}
+
+TEST(FaultInjector, ObservedRateMatchesConfigured)
+{
+    FaultConfig fc;
+    fc.kind = FaultKind::RegisterBitFlip;
+    fc.rate = 0.01;
+    FaultInjector injector(fc);
+    auto inst = makeInst(isa::Opcode::ADD);
+    const int n = 200000;
+    int fires = 0;
+    for (int i = 0; i < n; ++i)
+        fires += injector.onInstruction(inst, true).fires;
+    EXPECT_NEAR(double(fires) / n, 0.01, 0.002);
+}
+
+TEST(FaultInjector, FunctionalUnitTargetsClassOnly)
+{
+    FaultConfig fc;
+    fc.kind = FaultKind::FunctionalUnit;
+    fc.targetClass = isa::InstClass::IntDiv;
+    fc.rate = 1.0;
+    FaultInjector injector(fc);
+    EXPECT_FALSE(
+        injector.onInstruction(makeInst(isa::Opcode::ADD), true).fires);
+    EXPECT_TRUE(
+        injector.onInstruction(makeInst(isa::Opcode::DIV), true).fires);
+}
+
+TEST(FaultInjector, FunctionalUnitSkipsDiscardedInstructions)
+{
+    FaultConfig fc;
+    fc.kind = FaultKind::FunctionalUnit;
+    fc.targetClass = isa::InstClass::IntAlu;
+    fc.rate = 1.0;
+    FaultInjector injector(fc);
+    // "No error is injected if no register is touched" -- but the
+    // event still consumes the gap.
+    auto hit = injector.onInstruction(makeInst(isa::Opcode::ADD),
+                                      /*wrote_reg=*/false);
+    EXPECT_FALSE(hit.fires);
+}
+
+TEST(FaultInjector, LogInjectorIgnoresInstructions)
+{
+    FaultConfig fc;
+    fc.kind = FaultKind::LogBitFlip;
+    fc.rate = 1.0;
+    FaultInjector injector(fc);
+    EXPECT_FALSE(
+        injector.onInstruction(makeInst(isa::Opcode::ADD), true).fires);
+    EXPECT_TRUE(injector.onLogEntry(true).fires);
+}
+
+TEST(FaultInjector, LogTargetingRespectsLoadStoreSelection)
+{
+    FaultConfig fc;
+    fc.kind = FaultKind::LogBitFlip;
+    fc.rate = 1.0;
+    fc.targetLoads = true;
+    fc.targetStores = false;
+    FaultInjector injector(fc);
+    EXPECT_TRUE(injector.onLogEntry(true).fires);
+    EXPECT_FALSE(injector.onLogEntry(false).fires);
+}
+
+TEST(FaultInjector, BitsCoverWholeWord)
+{
+    FaultConfig fc;
+    fc.kind = FaultKind::LogBitFlip;
+    fc.rate = 1.0;
+    FaultInjector injector(fc);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < 4000; ++i) {
+        auto hit = injector.onLogEntry(true);
+        ASSERT_TRUE(hit.fires);
+        ASSERT_LT(hit.bit, 64u);
+        seen |= std::uint64_t(1) << hit.bit;
+    }
+    EXPECT_EQ(seen, ~std::uint64_t(0));
+}
+
+TEST(FaultInjector, ResetReplaysIdenticalSequence)
+{
+    FaultConfig fc;
+    fc.kind = FaultKind::RegisterBitFlip;
+    fc.rate = 0.05;
+    FaultInjector a(fc);
+    auto inst = makeInst(isa::Opcode::ADD);
+    std::vector<bool> first;
+    for (int i = 0; i < 1000; ++i)
+        first.push_back(a.onInstruction(inst, true).fires);
+    a.reset();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.onInstruction(inst, true).fires, first[i]) << i;
+}
+
+TEST(FaultPlan, UniformPlanHasBothSources)
+{
+    FaultPlan plan = uniformPlan(1e-4, 9);
+    ASSERT_EQ(plan.injectors().size(), 2u);
+    EXPECT_EQ(plan.injectors()[0].kind(), FaultKind::RegisterBitFlip);
+    EXPECT_EQ(plan.injectors()[1].kind(), FaultKind::LogBitFlip);
+}
+
+TEST(FaultPlan, SetAllRatesRetunes)
+{
+    FaultPlan plan = uniformPlan(1e-4, 9);
+    plan.setAllRates(0.5);
+    for (const auto &injector : plan.injectors())
+        EXPECT_DOUBLE_EQ(injector.rate(), 0.5);
+}
+
+TEST(UndervoltModel, MonotoneDecreasingInVoltage)
+{
+    UndervoltErrorModel model;
+    double prev = 1.1;
+    for (double v = 0.70; v <= 1.10; v += 0.01) {
+        double rate = model.perInstructionRate(v);
+        EXPECT_LE(rate, prev);
+        prev = rate;
+    }
+}
+
+TEST(UndervoltModel, FloorSaturatesAtOne)
+{
+    UndervoltErrorModel model;
+    EXPECT_DOUBLE_EQ(model.perInstructionRate(0.70), 1.0);
+    EXPECT_DOUBLE_EQ(model.perInstructionRate(0.50), 1.0);
+}
+
+TEST(UndervoltModel, NominalIsNegligible)
+{
+    UndervoltErrorModel model;
+    EXPECT_LT(model.perInstructionRate(1.1), 1e-12);
+}
+
+TEST(UndervoltModel, InverseRoundTrips)
+{
+    UndervoltErrorModel model;
+    for (double rate : {1e-3, 1e-5, 1e-8}) {
+        double v = model.voltageForRate(rate);
+        EXPECT_NEAR(model.perInstructionRate(v), rate, rate * 1e-6);
+    }
+}
+
+} // namespace

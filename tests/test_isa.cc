@@ -1,0 +1,397 @@
+/**
+ * @file
+ * ISA unit tests: executor semantics per opcode family, the program
+ * builder, and architectural-state operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "isa/builder.hh"
+#include "isa/executor.hh"
+#include "mem/memory.hh"
+
+namespace
+{
+
+using namespace paradox;
+using namespace paradox::isa;
+
+constexpr XReg r1{1}, r2{2}, r3{3}, r4{4};
+constexpr FReg d1{1}, d2{2}, d3{3};
+
+/** Assemble, run to halt, return the final state. */
+ArchState
+runProgram(ProgramBuilder &b, mem::SimpleMemory &memory,
+           std::uint64_t max_steps = 100000)
+{
+    Program prog = b.build();
+    ArchState state;
+    loadProgram(prog, state, memory);
+    for (std::uint64_t i = 0; i < max_steps; ++i) {
+        ExecResult r = step(prog, state, memory);
+        EXPECT_TRUE(r.valid);
+        if (r.halted)
+            return state;
+    }
+    ADD_FAILURE() << "program did not halt";
+    return state;
+}
+
+ArchState
+runProgram(ProgramBuilder &b)
+{
+    mem::SimpleMemory memory;
+    return runProgram(b, memory);
+}
+
+TEST(Executor, IntegerArithmetic)
+{
+    ProgramBuilder b("t");
+    b.ldi(r1, 7).ldi(r2, 5);
+    b.add(r3, r1, r2);
+    b.sub(r4, r1, r2);
+    b.halt();
+    ArchState s = runProgram(b);
+    EXPECT_EQ(s.readX(3), 12u);
+    EXPECT_EQ(s.readX(4), 2u);
+}
+
+TEST(Executor, X0IsHardwiredZero)
+{
+    ProgramBuilder b("t");
+    b.ldi(r1, 99);
+    b.add(xzero, r1, r1);  // write attempt to x0
+    b.add(r2, xzero, xzero);
+    b.halt();
+    ArchState s = runProgram(b);
+    EXPECT_EQ(s.readX(0), 0u);
+    EXPECT_EQ(s.readX(2), 0u);
+}
+
+TEST(Executor, ShiftsSignedAndUnsigned)
+{
+    ProgramBuilder b("t");
+    b.ldi(r1, std::uint64_t(-16));
+    b.srai(r2, r1, 2);
+    b.srli(r3, r1, 2);
+    b.slli(r4, r1, 1);
+    b.halt();
+    ArchState s = runProgram(b);
+    EXPECT_EQ(std::int64_t(s.readX(2)), -4);
+    EXPECT_EQ(s.readX(3), std::uint64_t(-16) >> 2);
+    EXPECT_EQ(s.readX(4), std::uint64_t(-32));
+}
+
+TEST(Executor, DivisionEdgeCases)
+{
+    ProgramBuilder b("t");
+    b.ldi(r1, std::uint64_t(std::numeric_limits<std::int64_t>::min()));
+    b.ldi(r2, std::uint64_t(-1));
+    b.div(r3, r1, r2);   // overflow: INT64_MIN
+    b.rem(r4, r1, r2);   // overflow: 0
+    b.ldi(XReg{5}, 10);
+    b.div(XReg{6}, XReg{5}, xzero);   // div by zero: all ones
+    b.rem(XReg{7}, XReg{5}, xzero);   // rem by zero: dividend
+    b.halt();
+    ArchState s = runProgram(b);
+    EXPECT_EQ(std::int64_t(s.readX(3)),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(s.readX(4), 0u);
+    EXPECT_EQ(s.readX(6), ~std::uint64_t(0));
+    EXPECT_EQ(s.readX(7), 10u);
+}
+
+TEST(Executor, MulHigh)
+{
+    ProgramBuilder b("t");
+    b.ldi(r1, std::uint64_t(-2));
+    b.ldi(r2, 3);
+    b.mulh(r3, r1, r2);
+    b.halt();
+    ArchState s = runProgram(b);
+    // -2 * 3 = -6: high 64 bits of the signed product are all ones.
+    EXPECT_EQ(s.readX(3), ~std::uint64_t(0));
+}
+
+TEST(Executor, LoadSignAndZeroExtension)
+{
+    ProgramBuilder b("t");
+    b.data64(0x1000, 0x00000000000080ffULL);  // bytes: ff 80 ...
+    b.ldi(r1, 0x1000);
+    b.lb(r2, r1, 0);    // 0xff -> -1
+    b.lbu(r3, r1, 0);   // 0xff -> 255
+    b.lh(r4, r1, 0);    // 0x80ff -> sign extended
+    b.halt();
+    ArchState s = runProgram(b);
+    EXPECT_EQ(std::int64_t(s.readX(2)), -1);
+    EXPECT_EQ(s.readX(3), 255u);
+    EXPECT_EQ(std::int64_t(s.readX(4)),
+              std::int64_t(std::int16_t(0x80ff)));
+}
+
+TEST(Executor, StoreReturnsOldValue)
+{
+    ProgramBuilder b("t");
+    b.data64(0x2000, 0x1111111111111111ULL);
+    b.ldi(r1, 0x2000);
+    b.ldi(r2, 0x2222222222222222ULL);
+    b.sd(r2, r1, 0);
+    b.halt();
+    Program prog = b.build();
+    mem::SimpleMemory memory;
+    ArchState state;
+    loadProgram(prog, state, memory);
+    step(prog, state, memory);  // ldi
+    step(prog, state, memory);  // ldi
+    ExecResult r = step(prog, state, memory);
+    EXPECT_TRUE(r.isStore);
+    EXPECT_EQ(r.storeOld, 0x1111111111111111ULL);
+    EXPECT_EQ(r.storeValue, 0x2222222222222222ULL);
+    EXPECT_EQ(memory.read(0x2000, 8), 0x2222222222222222ULL);
+}
+
+TEST(Executor, PartialStorePreservesNeighbours)
+{
+    ProgramBuilder b("t");
+    b.data64(0x2000, 0xaaaaaaaaaaaaaaaaULL);
+    b.ldi(r1, 0x2000);
+    b.ldi(r2, 0x42);
+    b.sb(r2, r1, 3);
+    b.halt();
+    mem::SimpleMemory memory;
+    runProgram(b, memory);
+    EXPECT_EQ(memory.read(0x2000, 8), 0xaaaaaaaa42aaaaaaULL);
+}
+
+TEST(Executor, BranchesAndLoops)
+{
+    ProgramBuilder b("t");
+    b.ldi(r1, 10).ldi(r2, 0);
+    b.label("loop");
+    b.add(r2, r2, r1);
+    b.addi(r1, r1, -1);
+    b.bne(r1, xzero, "loop");
+    b.halt();
+    ArchState s = runProgram(b);
+    EXPECT_EQ(s.readX(2), 55u);  // 10+9+...+1
+}
+
+TEST(Executor, JalRecordsLinkAndJalrReturns)
+{
+    ProgramBuilder b("t");
+    b.ldi(r1, 5);
+    b.jal(r3, "func");
+    b.addi(r1, r1, 100);  // executed after return
+    b.halt();
+    b.label("func");
+    b.addi(r1, r1, 1);
+    b.ret(r3);
+    ArchState s = runProgram(b);
+    EXPECT_EQ(s.readX(1), 106u);
+    EXPECT_EQ(s.readX(3), 2u * instBytes);  // return address
+}
+
+TEST(Executor, FpArithmeticAndCompares)
+{
+    ProgramBuilder b("t");
+    b.dataF64(0x3000, 2.25);
+    b.dataF64(0x3008, 4.0);
+    b.ldi(r1, 0x3000);
+    b.fld(d1, r1, 0);
+    b.fld(d2, r1, 8);
+    b.fadd(d3, d1, d2);
+    b.fsd(d3, r1, 16);
+    b.fsqrt(FReg{4}, d2);
+    b.fsd(FReg{4}, r1, 24);
+    b.flt(r2, d1, d2);
+    b.fle(r3, d2, d1);
+    b.halt();
+    mem::SimpleMemory memory;
+    ArchState s = runProgram(b, memory);
+    EXPECT_EQ(std::bit_cast<double>(memory.read(0x3010, 8)), 6.25);
+    EXPECT_EQ(std::bit_cast<double>(memory.read(0x3018, 8)), 2.0);
+    EXPECT_EQ(s.readX(2), 1u);
+    EXPECT_EQ(s.readX(3), 0u);
+}
+
+TEST(Executor, FpExceptionFlags)
+{
+    ProgramBuilder b("t");
+    b.dataF64(0x3000, 1.0);
+    b.dataF64(0x3008, 0.0);
+    b.dataF64(0x3010, -4.0);
+    b.ldi(r1, 0x3000);
+    b.fld(d1, r1, 0);
+    b.fld(d2, r1, 8);
+    b.fld(d3, r1, 16);
+    b.fdiv(FReg{4}, d1, d2);   // 1/0 -> divzero flag
+    b.fsqrt(FReg{5}, d3);      // sqrt(-4) -> invalid flag
+    b.halt();
+    ArchState s = runProgram(b);
+    EXPECT_TRUE(s.fflags() & ArchState::flagDivZero);
+    EXPECT_TRUE(s.fflags() & ArchState::flagInvalid);
+}
+
+TEST(Executor, FcvtHandlesNaNAndClamps)
+{
+    ProgramBuilder b("t");
+    b.dataF64(0x3000, std::nan(""));
+    b.dataF64(0x3008, 1e30);
+    b.dataF64(0x3010, -1e30);
+    b.ldi(r1, 0x3000);
+    b.fld(d1, r1, 0);
+    b.fld(d2, r1, 8);
+    b.fld(d3, r1, 16);
+    b.fcvtLD(r2, d1);
+    b.fcvtLD(r3, d2);
+    b.fcvtLD(r4, d3);
+    b.halt();
+    ArchState s = runProgram(b);
+    EXPECT_EQ(s.readX(2), 0u);
+    EXPECT_EQ(std::int64_t(s.readX(3)),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(std::int64_t(s.readX(4)),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_TRUE(s.fflags() & ArchState::flagInvalid);
+}
+
+TEST(Executor, FmaddUsesDestinationAsAccumulator)
+{
+    ProgramBuilder b("t");
+    b.dataF64(0x3000, 3.0);
+    b.dataF64(0x3008, 4.0);
+    b.dataF64(0x3010, 10.0);
+    b.ldi(r1, 0x3000);
+    b.fld(d1, r1, 0);
+    b.fld(d2, r1, 8);
+    b.fld(d3, r1, 16);
+    b.fmadd(d3, d1, d2);  // d3 = 3*4 + 10
+    b.fsd(d3, r1, 24);
+    b.halt();
+    mem::SimpleMemory memory;
+    runProgram(b, memory);
+    EXPECT_EQ(std::bit_cast<double>(memory.read(0x3018, 8)), 22.0);
+}
+
+TEST(Executor, SyscallIsDeterministic)
+{
+    auto run_once = [] {
+        ProgramBuilder b("t");
+        b.ldi(r1, 0x1234);
+        b.syscall(r2, r1);
+        b.halt();
+        return runProgram(b).readX(2);
+    };
+    std::uint64_t a = run_once();
+    std::uint64_t b = run_once();
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, 0u);
+}
+
+TEST(Executor, WildFetchReportsInvalid)
+{
+    ProgramBuilder b("t");
+    b.halt();
+    Program prog = b.build();
+    ArchState state;
+    state.reset(0x9999000);  // far outside the image
+    mem::SimpleMemory memory;
+    ExecResult r = step(prog, state, memory);
+    EXPECT_FALSE(r.valid);
+    EXPECT_EQ(state.pc(), 0x9999000u);  // state untouched
+}
+
+TEST(Builder, LabelsResolveForwardAndBackward)
+{
+    ProgramBuilder b("t");
+    b.j("fwd");
+    b.label("back");
+    b.halt();
+    b.label("fwd");
+    b.j("back");
+    Program prog = b.build();
+    EXPECT_EQ(prog.code()[0].imm, std::int64_t(2 * instBytes));
+    EXPECT_EQ(prog.code()[2].imm, std::int64_t(1 * instBytes));
+}
+
+TEST(Builder, FetchOutsideImageReturnsNull)
+{
+    ProgramBuilder b("t");
+    b.halt();
+    Program prog = b.build();
+    EXPECT_NE(prog.fetch(0), nullptr);
+    EXPECT_EQ(prog.fetch(instBytes), nullptr);
+    EXPECT_EQ(prog.fetch(1), nullptr);  // misaligned
+}
+
+TEST(ArchState, FlipBitPerCategory)
+{
+    ArchState s;
+    s.writeX(5, 0);
+    ArchState before = s;
+
+    s.flipBit(RegCategory::Integer, 4, 3);  // x5 bit 3
+    EXPECT_NE(s, before);
+    EXPECT_EQ(s.readX(5), 8u);
+
+    ArchState t;
+    t.flipBit(RegCategory::Float, 2, 10);
+    EXPECT_EQ(t.readFBits(2), std::uint64_t(1) << 10);
+
+    ArchState u;
+    u.flipBit(RegCategory::Flags, 0, 1);
+    EXPECT_EQ(u.fflags(), 2u);
+
+    ArchState v;
+    v.setPc(0x100);
+    v.flipBit(RegCategory::Misc, 0, 4);
+    EXPECT_EQ(v.pc(), 0x110u);
+    EXPECT_EQ(v.pc() % instBytes, 0u);
+}
+
+TEST(ArchState, FlipBitNeverTouchesX0)
+{
+    for (unsigned idx = 0; idx < 64; ++idx) {
+        ArchState s;
+        s.flipBit(RegCategory::Integer, idx, 0);
+        EXPECT_EQ(s.readX(0), 0u);
+    }
+}
+
+TEST(ArchState, FingerprintSensitive)
+{
+    ArchState a, b;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.writeX(31, 1);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Instruction, ToStringMentionsMnemonic)
+{
+    Instruction inst;
+    inst.op = Opcode::ADD;
+    inst.rd = 3;
+    inst.rs1 = 1;
+    inst.rs2 = 2;
+    EXPECT_NE(inst.toString().find("add"), std::string::npos);
+}
+
+TEST(InstInfo, ClassesAreConsistent)
+{
+    EXPECT_EQ(instInfo(Opcode::LD).cls, InstClass::Load);
+    EXPECT_TRUE(instInfo(Opcode::LD).isLoad);
+    EXPECT_EQ(instInfo(Opcode::SD).cls, InstClass::Store);
+    EXPECT_TRUE(instInfo(Opcode::SD).isStore);
+    EXPECT_TRUE(instInfo(Opcode::BEQ).isBranch);
+    EXPECT_TRUE(instInfo(Opcode::JAL).isJump);
+    EXPECT_EQ(instInfo(Opcode::FDIV).cls, InstClass::FpDiv);
+    EXPECT_EQ(instInfo(Opcode::DIV).cls, InstClass::IntDiv);
+    EXPECT_TRUE(instInfo(Opcode::FADD).writesFpReg);
+    EXPECT_TRUE(instInfo(Opcode::FEQ).writesIntReg);
+    EXPECT_EQ(instInfo(Opcode::LW).memSize, 4u);
+}
+
+} // namespace

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Memory-system unit tests: backing memory, caches (LRU, write-back,
+ * pinning, timestamps, MSHRs), DRAM timing and the stride prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "mem/memory.hh"
+#include "mem/prefetcher.hh"
+#include "mem/tlb.hh"
+#include "sim/clock.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace paradox;
+using namespace paradox::mem;
+
+TEST(SimpleMemory, ReadWriteAllSizes)
+{
+    SimpleMemory memory;
+    memory.write(0x100, 8, 0x1122334455667788ULL);
+    EXPECT_EQ(memory.read(0x100, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(memory.read(0x100, 4), 0x55667788u);
+    EXPECT_EQ(memory.read(0x104, 4), 0x11223344u);
+    EXPECT_EQ(memory.read(0x100, 2), 0x7788u);
+    EXPECT_EQ(memory.read(0x100, 1), 0x88u);
+}
+
+TEST(SimpleMemory, CrossPageAccess)
+{
+    SimpleMemory memory;
+    Addr addr = SimpleMemory::pageBytes - 4;
+    memory.write(addr, 8, 0xaabbccddeeff0011ULL);
+    EXPECT_EQ(memory.read(addr, 8), 0xaabbccddeeff0011ULL);
+    EXPECT_EQ(memory.pageCount(), 2u);
+}
+
+TEST(SimpleMemory, UntouchedReadsZero)
+{
+    SimpleMemory memory;
+    EXPECT_EQ(memory.read(0xdead000, 8), 0u);
+}
+
+TEST(SimpleMemory, WriteReturnsPreviousValue)
+{
+    SimpleMemory memory;
+    EXPECT_EQ(memory.write(0x10, 8, 5), 0u);
+    EXPECT_EQ(memory.write(0x10, 8, 9), 5u);
+}
+
+TEST(SimpleMemory, FingerprintIgnoresZeroPages)
+{
+    SimpleMemory a, b;
+    a.write(0x100, 8, 42);
+    b.write(0x100, 8, 42);
+    b.read(0x999000, 8);           // no page materialized by read
+    b.write(0x555000, 8, 1);
+    b.write(0x555000, 8, 0);       // page exists but is all-zero
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.write(0x100, 1, 43);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(SimpleMemory, BlockCopyRoundTrip)
+{
+    SimpleMemory memory;
+    std::uint8_t in[64], out[64];
+    for (unsigned i = 0; i < 64; ++i)
+        in[i] = std::uint8_t(i * 3);
+    memory.writeBlock(0x1000, in, 64);
+    memory.readBlock(0x1000, out, 64);
+    EXPECT_EQ(std::memcmp(in, out, 64), 0);
+}
+
+CacheParams
+tinyCache(bool pinning = false)
+{
+    CacheParams p;
+    p.name = "tiny";
+    p.sizeBytes = 1024;  // 4 sets x 4 ways x 64 B
+    p.assoc = 4;
+    p.lineBytes = 64;
+    p.hitCycles = 2;
+    p.mshrs = 2;
+    p.allowPinning = pinning;
+    return p;
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache cache(tinyCache());
+    auto r1 = cache.access(0x1000, false, 1);
+    EXPECT_EQ(r1.outcome, CacheOutcome::Miss);
+    auto r2 = cache.access(0x1000, false, 2);
+    EXPECT_EQ(r2.outcome, CacheOutcome::Hit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentWordsHit)
+{
+    Cache cache(tinyCache());
+    cache.access(0x1000, false, 1);
+    EXPECT_EQ(cache.access(0x1038, false, 2).outcome,
+              CacheOutcome::Hit);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache cache(tinyCache());
+    // 4 sets: lines mapping to set 0 are multiples of 256.
+    cache.access(0x0000, false, 1);
+    cache.access(0x0100, false, 2);
+    cache.access(0x0200, false, 3);
+    cache.access(0x0300, false, 4);
+    cache.access(0x0000, false, 5);  // refresh first line
+    cache.access(0x0400, false, 6);  // evicts 0x0100 (oldest)
+    EXPECT_TRUE(cache.contains(0x0000));
+    EXPECT_FALSE(cache.contains(0x0100));
+}
+
+TEST(Cache, DirtyVictimReportsWriteback)
+{
+    Cache cache(tinyCache());
+    cache.access(0x0000, true, 1);
+    cache.access(0x0100, false, 2);
+    cache.access(0x0200, false, 3);
+    cache.access(0x0300, false, 4);
+    auto r = cache.access(0x0400, false, 5);
+    EXPECT_EQ(r.outcome, CacheOutcome::Miss);
+    EXPECT_TRUE(r.writebackDirty);
+    EXPECT_EQ(r.writebackAddr, 0x0000u);
+}
+
+TEST(Cache, FullyPinnedSetBlocks)
+{
+    Cache cache(tinyCache(true));
+    for (Addr a : {0x0000, 0x0100, 0x0200, 0x0300})
+        cache.access(a, true, 1, /*pin_seg=*/7);
+    auto r = cache.access(0x0400, false, 2);
+    EXPECT_EQ(r.outcome, CacheOutcome::BlockedPinned);
+    EXPECT_EQ(cache.pinnedBlocks(), 1u);
+    EXPECT_EQ(cache.pinnedLineCount(), 4u);
+
+    cache.unpinUpTo(7);
+    auto r2 = cache.access(0x0400, false, 3);
+    EXPECT_EQ(r2.outcome, CacheOutcome::Miss);
+}
+
+TEST(Cache, PinnedLinesSurviveEvictionPressure)
+{
+    Cache cache(tinyCache(true));
+    cache.access(0x0000, true, 1, 3);   // pinned by segment 3
+    cache.access(0x0100, false, 2);
+    cache.access(0x0200, false, 3);
+    cache.access(0x0300, false, 4);
+    cache.access(0x0400, false, 5);     // must evict an unpinned way
+    EXPECT_TRUE(cache.contains(0x0000));
+}
+
+TEST(Cache, PinTakesYoungestWriter)
+{
+    Cache cache(tinyCache(true));
+    cache.access(0x0000, true, 1, 3);
+    cache.access(0x0000, true, 2, 5);   // re-pinned by younger seg
+    cache.unpinUpTo(3);                 // seg 3 verified
+    // Still pinned by 5: filling the set then missing must block.
+    cache.access(0x0100, true, 3, 5);
+    cache.access(0x0200, true, 4, 5);
+    cache.access(0x0300, true, 5, 5);
+    EXPECT_EQ(cache.access(0x0400, false, 6).outcome,
+              CacheOutcome::BlockedPinned);
+    cache.unpinFrom(5);                 // rollback of segment 5
+    EXPECT_EQ(cache.access(0x0400, false, 7).outcome,
+              CacheOutcome::Miss);
+}
+
+TEST(Cache, LineStampTracksCheckpoint)
+{
+    Cache cache(tinyCache(true));
+    auto r1 = cache.access(0x0000, true, 1, noPin, /*stamp=*/10);
+    EXPECT_FALSE(r1.lineStampMatched);
+    auto r2 = cache.access(0x0000, true, 2, noPin, 10);
+    EXPECT_TRUE(r2.lineStampMatched);   // same checkpoint: no copy
+    auto r3 = cache.access(0x0000, true, 3, noPin, 11);
+    EXPECT_FALSE(r3.lineStampMatched);  // new checkpoint: copy again
+}
+
+TEST(Cache, MshrLimitsDelayBursts)
+{
+    Cache cache(tinyCache());
+    // Two MSHRs: the third overlapping miss must start later.
+    Tick t1 = cache.reserveMshr(100, 200);
+    Tick t2 = cache.reserveMshr(100, 200);
+    Tick t3 = cache.reserveMshr(100, 200);
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 100u);
+    EXPECT_EQ(t3, 200u);
+}
+
+TEST(Cache, FillInstallsWithoutDemandStats)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x1000, 5);
+    EXPECT_TRUE(cache.contains(0x1000));
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.access(0x1000, false, 6).outcome,
+              CacheOutcome::Hit);
+}
+
+TEST(Dram, RowHitIsCheaperThanConflict)
+{
+    Dram dram;
+    Tick first = dram.access(0x0, false, 0);        // row miss
+    Tick hit = dram.access(0x40, false, first) - first;  // same row
+    // Different row, same bank under the XOR-folded mapping:
+    // row_index 72 folds to (72 ^ 9 ^ 1) % 8 == 0, like row_index 0.
+    Tick start = dram.access(0x40, false, 0);
+    Tick conflict =
+        dram.access(Addr(72) * 8192, false, start) - start;
+    EXPECT_LT(hit, conflict);
+    EXPECT_GE(dram.rowHits(), 1u);
+    EXPECT_GE(dram.rowConflicts(), 1u);
+}
+
+TEST(Dram, LatencyValuesMatchTimingParameters)
+{
+    Dram dram;
+    // Row hit: tCL + burst at 800 MHz -> (11 + 4) * 1.25 ns.
+    EXPECT_EQ(dram.rowHitLatency(), Tick(15 * 1250000));
+    EXPECT_EQ(dram.rowConflictLatency(), Tick(37 * 1250000));
+}
+
+TEST(Dram, BankOccupancySerializes)
+{
+    Dram dram;
+    Tick a = dram.access(0x0, false, 0);
+    // Immediate second access to the same bank cannot start before
+    // the first completes.
+    Tick b = dram.access(0x40, false, 0);
+    EXPECT_GE(b, a);
+}
+
+TEST(Prefetcher, ConfirmedStrideIssues)
+{
+    StridePrefetcher pf;
+    Addr pc = 0x44;
+    EXPECT_FALSE(pf.observe(pc, 0x1000).has_value());
+    EXPECT_FALSE(pf.observe(pc, 0x1040).has_value());  // stride seen
+    auto p1 = pf.observe(pc, 0x1080);
+    auto p2 = pf.observe(pc, 0x10c0);
+    ASSERT_TRUE(p2.has_value());
+    EXPECT_EQ(*p2, 0x10c0u + 2 * 0x40u);
+    (void)p1;
+    EXPECT_GT(pf.issued(), 0u);
+}
+
+TEST(Prefetcher, IrregularPatternStaysQuiet)
+{
+    StridePrefetcher pf;
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_FALSE(pf.observe(0x44, rng.next() & 0xfffff)
+                         .has_value());
+}
+
+TEST(Hierarchy, L1HitFastL2SlowerDramSlowest)
+{
+    ClockDomain clock(3.2e9);
+    HierarchyParams params;
+    params.prefetchEnabled = false;
+    CacheHierarchy h(params, clock);
+
+    auto miss = h.dataAccess(0x10000, 0, false, 0);
+    EXPECT_FALSE(miss.l1Hit);
+    auto hit = h.dataAccess(0x10000, 0, false, miss.completeAt);
+    EXPECT_TRUE(hit.l1Hit);
+    Tick hit_lat = hit.completeAt - miss.completeAt;
+    Tick miss_lat = miss.completeAt;
+    EXPECT_LT(hit_lat, miss_lat);
+    EXPECT_EQ(hit_lat, clock.cyclesToTicks(2));
+}
+
+TEST(Hierarchy, SegmentVerifiedReleasesPins)
+{
+    ClockDomain clock(3.2e9);
+    HierarchyParams params;
+    // Shrink the L1D so one segment can pin a whole set.
+    params.l1d.sizeBytes = 1024;
+    params.l1d.assoc = 4;
+    CacheHierarchy h(params, clock);
+
+    // Pin all four ways of set 0 under segment 9.
+    for (Addr a : {0x0000, 0x0100, 0x0200, 0x0300})
+        h.dataAccess(a, 0, true, 0, /*pin_seg=*/9, /*stamp=*/9);
+    auto blocked = h.dataAccess(0x0400, 0, true, 10, 9, 9);
+    EXPECT_TRUE(blocked.blockedPinned);
+
+    h.segmentVerified(9);
+    auto ok = h.dataAccess(0x0400, 0, true, 20, 10, 10);
+    EXPECT_FALSE(ok.blockedPinned);
+}
+
+TEST(Hierarchy, NeedsLineCopyOncePerCheckpoint)
+{
+    ClockDomain clock(3.2e9);
+    CacheHierarchy h(HierarchyParams{}, clock);
+    auto w1 = h.dataAccess(0x5000, 0, true, 0, 1, /*stamp=*/1);
+    EXPECT_TRUE(w1.needsLineCopy);
+    auto w2 = h.dataAccess(0x5008, 0, true, 1, 1, 1);
+    EXPECT_FALSE(w2.needsLineCopy);   // same line, same checkpoint
+    auto w3 = h.dataAccess(0x5008, 0, true, 2, 2, 2);
+    EXPECT_TRUE(w3.needsLineCopy);    // next checkpoint
+}
+
+TEST(Hierarchy, InstFetchUsesL1I)
+{
+    ClockDomain clock(3.2e9);
+    CacheHierarchy h(HierarchyParams{}, clock);
+    Tick first = h.instFetch(0x0, 0);
+    Tick second = h.instFetch(0x4, first) - first;
+    EXPECT_LT(second, first);
+    EXPECT_EQ(second, clock.cyclesToTicks(1));
+}
+
+} // namespace
+
+namespace
+{
+
+using paradox::mem::Tlb;
+using paradox::mem::TlbParams;
+using paradox::mem::Translation;
+
+TEST(TlbTest, LinearMappingAndHitAfterMiss)
+{
+    Tlb tlb(TlbParams{}, 0x100000000ULL);
+    Translation first = tlb.translate(0x4000);
+    EXPECT_EQ(first.paddr, 0x100004000ULL);
+    EXPECT_FALSE(first.tlbHit);
+    EXPECT_EQ(first.extraCycles, tlb.params().walkCycles);
+
+    Translation second = tlb.translate(0x4008);  // same page
+    EXPECT_TRUE(second.tlbHit);
+    EXPECT_EQ(second.extraCycles, 0u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TlbTest, CapacityEvictsLru)
+{
+    TlbParams params;
+    params.entries = 8;
+    params.assoc = 2;  // 4 sets
+    Tlb tlb(params, 0);
+    // Three pages mapping to set 0 (vpn % 4 == 0): two fit, third
+    // evicts the least recently used.
+    tlb.translate(0 * 4096);
+    tlb.translate(4 * 4096);
+    tlb.translate(0 * 4096);            // refresh page 0
+    tlb.translate(8 * 4096);            // evicts page 4
+    EXPECT_TRUE(tlb.translate(0 * 4096).tlbHit);
+    EXPECT_FALSE(tlb.translate(4 * 4096).tlbHit);
+}
+
+TEST(TlbTest, FlushDropsEverything)
+{
+    Tlb tlb(TlbParams{}, 0);
+    tlb.translate(0x1000);
+    tlb.flush();
+    EXPECT_FALSE(tlb.translate(0x1000).tlbHit);
+}
+
+TEST(TlbTest, PhysicalIsSideEffectFree)
+{
+    Tlb tlb(TlbParams{}, 0x5000);
+    EXPECT_EQ(tlb.physical(0x1234), 0x6234u);
+    EXPECT_EQ(tlb.misses(), 0u);
+    EXPECT_EQ(tlb.hits(), 0u);
+}
+
+} // namespace

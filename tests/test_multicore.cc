@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Multicore tests: correctness of every core's result over the
+ * shared uncore, fault repair per core, checker-pool sharing, and
+ * contention sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/multicore.hh"
+#include "power/undervolt_data.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace paradox;
+using core::MulticoreParams;
+using core::MulticoreResult;
+using core::MulticoreSystem;
+
+std::uint64_t
+checksumOf(core::System &system)
+{
+    return system.memory().read(workloads::resultAddr, 8);
+}
+
+TEST(Multicore, TwoCoresBothCorrect)
+{
+    auto w1 = workloads::build("bitcount", 1);
+    auto w2 = workloads::build("stream", 1);
+    MulticoreParams params;
+    params.config = core::SystemConfig::forMode(core::Mode::ParaDox);
+    MulticoreSystem chip(params, {&w1.program, &w2.program});
+    MulticoreResult r = chip.run();
+    ASSERT_TRUE(r.allHalted);
+    EXPECT_EQ(checksumOf(chip.core(0)), w1.expectedResult);
+    EXPECT_EQ(checksumOf(chip.core(1)), w2.expectedResult);
+}
+
+TEST(Multicore, FourCoresUnderFaultsAllRepair)
+{
+    auto w1 = workloads::build("gcc", 1);
+    auto w2 = workloads::build("mcf", 1);
+    auto w3 = workloads::build("milc", 1);
+    auto w4 = workloads::build("sjeng", 1);
+    MulticoreParams params;
+    params.config = core::SystemConfig::forMode(core::Mode::ParaDox);
+    MulticoreSystem chip(params, {&w1.program, &w2.program,
+                                  &w3.program, &w4.program});
+    for (unsigned i = 0; i < 4; ++i)
+        chip.setFaultPlan(i, faults::uniformPlan(2e-4, 100 + i));
+    core::RunLimits limits;
+    limits.maxExecuted = 80'000'000;
+    MulticoreResult r = chip.run(limits);
+    ASSERT_TRUE(r.allHalted);
+    EXPECT_EQ(checksumOf(chip.core(0)), w1.expectedResult);
+    EXPECT_EQ(checksumOf(chip.core(1)), w2.expectedResult);
+    EXPECT_EQ(checksumOf(chip.core(2)), w3.expectedResult);
+    EXPECT_EQ(checksumOf(chip.core(3)), w4.expectedResult);
+    std::uint64_t rollbacks = 0;
+    for (const auto &core : r.cores)
+        rollbacks += core.rollbacks;
+    EXPECT_GT(rollbacks, 0u);
+}
+
+TEST(Multicore, SharedCheckerPoolStillCorrect)
+{
+    auto w1 = workloads::build("bitcount", 1);
+    auto w2 = workloads::build("gcc", 1);
+    MulticoreParams params;
+    params.config = core::SystemConfig::forMode(core::Mode::ParaDox);
+    params.sharedCheckers = 16;  // two cores share one 16-pool
+    MulticoreSystem chip(params, {&w1.program, &w2.program});
+    chip.setFaultPlan(0, faults::uniformPlan(2e-4, 7));
+    chip.setFaultPlan(1, faults::uniformPlan(2e-4, 8));
+    core::RunLimits limits;
+    limits.maxExecuted = 80'000'000;
+    MulticoreResult r = chip.run(limits);
+    ASSERT_TRUE(r.allHalted);
+    EXPECT_EQ(checksumOf(chip.core(0)), w1.expectedResult);
+    EXPECT_EQ(checksumOf(chip.core(1)), w2.expectedResult);
+    ASSERT_NE(chip.sharedCheckers(), nullptr);
+    EXPECT_EQ(chip.sharedCheckers()->count(), 16u);
+}
+
+TEST(Multicore, SharedPoolSlowerThanPrivateButBounded)
+{
+    // Section VI-D: halving checker hardware by sharing should not
+    // affect performance much for typical demand.
+    auto w1 = workloads::build("gcc", 1);
+    auto w2 = workloads::build("mcf", 1);
+
+    MulticoreParams priv;
+    priv.config = core::SystemConfig::forMode(core::Mode::ParaDox);
+    MulticoreSystem chip_private(priv, {&w1.program, &w2.program});
+    MulticoreResult rp = chip_private.run();
+    ASSERT_TRUE(rp.allHalted);
+
+    MulticoreParams shared = priv;
+    shared.sharedCheckers = 16;  // 16 for two cores vs 32 private
+    MulticoreSystem chip_shared(shared, {&w1.program, &w2.program});
+    MulticoreResult rs = chip_shared.run();
+    ASSERT_TRUE(rs.allHalted);
+
+    EXPECT_GE(rs.time, rp.time);
+    EXPECT_LT(double(rs.time), double(rp.time) * 1.35);
+}
+
+TEST(Multicore, ContentionSlowsSharedUncore)
+{
+    // A latency-bound core must slow down when a second core with a
+    // *disjoint* footprint competes for a small shared L2 and the
+    // DRAM banks.  mcf's dependent pointer chase cannot be hidden by
+    // the prefetcher, so its L2 capacity loss shows up directly.
+    auto mcf = workloads::build("mcf", 1);
+    auto lbm = workloads::build("lbm", 1);
+
+    MulticoreParams params;
+    params.config = core::SystemConfig::forMode(core::Mode::Baseline);
+    params.config.hierarchy.l2.sizeBytes = 128 * 1024;
+    params.config.hierarchy.l2.assoc = 8;
+
+    MulticoreSystem chip_solo(params, {&mcf.program});
+    Tick t_solo = chip_solo.run().cores[0].time;
+
+    MulticoreSystem chip_duo(params, {&mcf.program, &lbm.program});
+    Tick t_contended = chip_duo.run().cores[0].time;
+
+    EXPECT_GT(t_contended, t_solo);
+}
+
+TEST(Multicore, PerCoreDvfsIslands)
+{
+    auto w1 = workloads::build("bitcount", 2);
+    auto w2 = workloads::build("stream", 2);
+    MulticoreParams params;
+    params.config = core::SystemConfig::forMode(core::Mode::ParaDox);
+    MulticoreSystem chip(params, {&w1.program, &w2.program});
+    chip.enableDvfs(0, power::errorModelParams("bitcount"));
+    chip.enableDvfs(1, power::errorModelParams("stream"));
+    core::RunLimits limits;
+    limits.maxExecuted = 120'000'000;
+    MulticoreResult r = chip.run(limits);
+    ASSERT_TRUE(r.allHalted);
+    EXPECT_EQ(checksumOf(chip.core(0)), w1.expectedResult);
+    EXPECT_EQ(checksumOf(chip.core(1)), w2.expectedResult);
+    // Each island undervolted independently.
+    EXPECT_LT(r.cores[0].avgVoltage, params.config.voltage.vSafe);
+    EXPECT_LT(r.cores[1].avgVoltage, params.config.voltage.vSafe);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Power/energy model tests: V^2 f scaling, checker gating, energy
+ * integration, EDP, frequency-voltage relation and the per-workload
+ * undervolt profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+#include "power/undervolt_data.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace paradox;
+using namespace paradox::power;
+
+TEST(PowerModel, NominalPointIsUnity)
+{
+    PowerModel model;
+    EXPECT_NEAR(model.corePower(model.params().vNominal,
+                                model.params().fNominal),
+                1.0, 1e-12);
+}
+
+TEST(PowerModel, DynamicScalesWithVSquaredF)
+{
+    PowerModel model;
+    const auto &p = model.params();
+    double half_f = model.corePower(p.vNominal, p.fNominal / 2);
+    // Halving f halves only the dynamic fraction.
+    EXPECT_NEAR(half_f,
+                p.dynamicFraction / 2 + (1 - p.dynamicFraction),
+                1e-12);
+    double low_v = model.corePower(p.vNominal * 0.9, p.fNominal);
+    EXPECT_NEAR(low_v,
+                p.dynamicFraction * 0.81 +
+                    (1 - p.dynamicFraction) * 0.9,
+                1e-12);
+}
+
+TEST(PowerModel, UndervoltSavesRoughlyTwentyPercent)
+{
+    // The paper's operating point: ~0.87 V vs a 0.98 V margined
+    // baseline should save on the order of 20% of core power.
+    PowerModel model;
+    double saved = 1.0 - model.corePower(0.872, model.params().fNominal);
+    EXPECT_GT(saved, 0.15);
+    EXPECT_LT(saved, 0.30);
+}
+
+TEST(PowerModel, CheckerComplexBoundedByFivePercent)
+{
+    PowerModel model;
+    EXPECT_DOUBLE_EQ(model.checkerPowerAllAwake(), 0.05);
+    std::vector<double> all_awake(16, 1.0);
+    EXPECT_NEAR(model.checkerPower(all_awake.data(), 16), 0.05,
+                1e-12);
+}
+
+TEST(PowerModel, GatedCheckersCostOnlyResidual)
+{
+    PowerModel model;
+    std::vector<double> gated(16, 0.0);
+    double p = model.checkerPower(gated.data(), 16);
+    EXPECT_NEAR(p, 0.05 * model.params().gatedResidual, 1e-12);
+    std::vector<double> half(16, 0.0);
+    for (int i = 0; i < 8; ++i)
+        half[i] = 1.0;
+    double ph = model.checkerPower(half.data(), 16);
+    EXPECT_GT(ph, p);
+    EXPECT_LT(ph, 0.05);
+}
+
+TEST(EnergyAccumulator, IntegratesPiecewise)
+{
+    PowerModel model;
+    EnergyAccumulator acc(model);
+    const auto &p = model.params();
+    acc.addInterval(ticksPerMs, p.vNominal, p.fNominal, 0.0);
+    EXPECT_NEAR(acc.energy(), 1.0 * 1e-3, 1e-12);
+    EXPECT_NEAR(acc.averagePower(), 1.0, 1e-9);
+    EXPECT_NEAR(acc.averageVoltage(), p.vNominal, 1e-12);
+
+    acc.addInterval(ticksPerMs, 0.8, p.fNominal, 0.0);
+    EXPECT_LT(acc.averagePower(), 1.0);
+    EXPECT_LT(acc.averageVoltage(), p.vNominal);
+    EXPECT_EQ(acc.elapsed(), 2 * ticksPerMs);
+}
+
+TEST(Edp, RatioBehaves)
+{
+    // Same power, double the time: EDP x4.
+    EXPECT_NEAR(edpRatio(1.0, 2 * ticksPerMs, 1.0, ticksPerMs), 4.0,
+                1e-9);
+    // 20% less power at 5% more time: EDP ~0.88.
+    double r = edpRatio(0.8, Tick(1.05 * ticksPerMs), 1.0, ticksPerMs);
+    EXPECT_NEAR(r, 0.8 * 1.05 * 1.05, 1e-9);
+}
+
+TEST(FrequencyVoltage, LinearInHeadroom)
+{
+    FrequencyVoltageModel model;
+    const auto &p = model.params();
+    EXPECT_NEAR(model.frequencyAt(p.vNominal), p.fNominal, 1.0);
+    EXPECT_NEAR(model.voltageFor(p.fNominal), p.vNominal, 1e-12);
+    // Paper section VI-E: a 4.5% frequency increase needs ~0.019 V
+    // above 0.872 V (threshold 0.45 V).
+    double v_needed =
+        model.voltageFor(model.frequencyAt(0.872) * 1.045) - 0.872;
+    EXPECT_NEAR(v_needed, 0.019, 0.002);
+}
+
+TEST(UndervoltData, AllWorkloadsHaveProfiles)
+{
+    for (const auto &name : workloads::allNames()) {
+        VoltageProfile profile = voltageProfile(name);
+        EXPECT_GT(profile.vFloor, 0.6) << name;
+        EXPECT_LT(profile.vFloor, profile.vFirstError) << name;
+        EXPECT_LT(profile.vFirstError, vNominalMargined) << name;
+    }
+}
+
+TEST(UndervoltData, UnknownWorkloadGetsGenericProfile)
+{
+    VoltageProfile profile = voltageProfile("no-such-workload");
+    EXPECT_GT(profile.vFloor, 0.6);
+}
+
+TEST(UndervoltData, FpWorkloadsErrorEarlier)
+{
+    // FP-heavy workloads stress longer paths: higher first-error V.
+    double fp = voltageProfile("milc").vFirstError;
+    double integer = voltageProfile("mcf").vFirstError;
+    EXPECT_GT(fp, integer);
+}
+
+TEST(UndervoltData, ErrorModelParamsMatchProfile)
+{
+    auto params = errorModelParams("bitcount");
+    auto profile = voltageProfile("bitcount");
+    EXPECT_DOUBLE_EQ(params.vFloor, profile.vFloor);
+    EXPECT_DOUBLE_EQ(params.slope, profile.slope);
+    EXPECT_DOUBLE_EQ(params.vNominal, vNominalMargined);
+}
+
+} // namespace

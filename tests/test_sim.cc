@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Simulation-kernel unit tests: RNG distributions, the event queue,
+ * clock domains and the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/clock.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace paradox;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, GeometricMeanMatchesRate)
+{
+    Rng rng(77);
+    const double p = 0.01;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += double(rng.geometric(p));
+    double mean = sum / n;
+    EXPECT_NEAR(mean, 1.0 / p, 0.05 / p);
+}
+
+TEST(Rng, GeometricZeroRateNeverFires)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.geometric(0.0),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Rng, GeometricCertainFiresImmediately)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(101);
+    const double lambda = 4.0;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(lambda);
+    EXPECT_NEAR(sum / n, 1.0 / lambda, 0.02);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, EqualTicksFireInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(50, [&order, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    bool fired = false;
+    auto id = q.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // double cancel fails
+    q.runAll();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] { ++count; });
+    q.schedule(20, [&] { ++count; });
+    q.schedule(30, [&] { ++count; });
+    q.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] {
+        ++fired;
+        q.scheduleIn(5, [&] { ++fired; });
+    });
+    q.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 15u);
+}
+
+TEST(ClockDomain, MainCoreFrequencyExact)
+{
+    ClockDomain clock(3.2e9);
+    // 3.2 GHz divides the femtosecond tick exactly: 312500 fs.
+    EXPECT_EQ(clock.period(), 312500u);
+    EXPECT_EQ(clock.cyclesToTicks(3'200'000'000ULL), ticksPerSecond);
+}
+
+TEST(ClockDomain, CheckerFrequencyExact)
+{
+    ClockDomain clock(1e9);
+    EXPECT_EQ(clock.period(), 1'000'000u);
+}
+
+TEST(ClockDomain, RetuneChangesPeriod)
+{
+    ClockDomain clock(3.2e9);
+    Tick before = clock.period();
+    clock.setFrequency(1.6e9);
+    EXPECT_EQ(clock.period(), before * 2);
+}
+
+TEST(ClockDomain, TicksToCyclesRoundsUp)
+{
+    ClockDomain clock(1e9);
+    EXPECT_EQ(clock.ticksToCycles(1), 1u);
+    EXPECT_EQ(clock.ticksToCycles(1'000'000), 1u);
+    EXPECT_EQ(clock.ticksToCycles(1'000'001), 2u);
+}
+
+TEST(VoltageDomain, TracksVoltage)
+{
+    VoltageDomain domain(0.98);
+    EXPECT_DOUBLE_EQ(domain.nominal(), 0.98);
+    domain.setVoltage(0.85);
+    EXPECT_DOUBLE_EQ(domain.voltage(), 0.85);
+    EXPECT_DOUBLE_EQ(domain.nominal(), 0.98);
+}
+
+TEST(Stats, CounterAccumulates)
+{
+    stats::Counter counter("c", "test");
+    ++counter;
+    counter += 5;
+    EXPECT_EQ(counter.value(), 6u);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Distribution dist("d", "test");
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        dist.sample(v);
+    EXPECT_EQ(dist.count(), 8u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(dist.min(), 2.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 9.0);
+    EXPECT_NEAR(dist.stddev(), 2.138, 0.001);
+}
+
+TEST(Stats, DistributionEmpty)
+{
+    stats::Distribution dist("d", "test");
+    EXPECT_EQ(dist.count(), 0u);
+    EXPECT_EQ(dist.mean(), 0.0);
+    EXPECT_EQ(dist.stddev(), 0.0);
+}
+
+TEST(Stats, TimeSeriesDecimationKeepsBound)
+{
+    stats::TimeSeries series("t", "test", 100);
+    for (Tick i = 0; i < 100000; ++i)
+        series.sample(i, double(i));
+    EXPECT_LE(series.samples().size(), 100u);
+    EXPECT_GE(series.samples().size(), 25u);
+    // Retained samples stay time-ordered.
+    for (std::size_t i = 1; i < series.samples().size(); ++i)
+        EXPECT_LT(series.samples()[i - 1].first,
+                  series.samples()[i].first);
+}
+
+TEST(Stats, GroupDumpContainsPrefix)
+{
+    stats::StatGroup group("sys");
+    auto &counter = group.add<stats::Counter>("events", "event count");
+    counter += 3;
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("sys.events 3"), std::string::npos);
+    group.resetAll();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+} // namespace
+
+namespace
+{
+
+using paradox::stats::Histogram;
+
+TEST(Stats, HistogramBucketsAndEdges)
+{
+    Histogram hist("h", "test", 0.0, 100.0, 10);
+    for (double v : {5.0, 15.0, 15.5, 99.9, -1.0, 100.0, 250.0})
+        hist.sample(v);
+    EXPECT_EQ(hist.count(), 7u);
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.overflow(), 2u);
+    EXPECT_EQ(hist.buckets()[0], 1u);   // 5.0
+    EXPECT_EQ(hist.buckets()[1], 2u);   // 15.0, 15.5
+    EXPECT_EQ(hist.buckets()[9], 1u);   // 99.9
+    EXPECT_DOUBLE_EQ(hist.bucketLow(3), 30.0);
+}
+
+TEST(Stats, HistogramPercentile)
+{
+    Histogram hist("h", "test", 0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        hist.sample(double(i) + 0.5);
+    // Median of 0.5..99.5 falls in the 49-50 region.
+    EXPECT_NEAR(hist.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(hist.percentile(0.9), 90.0, 1.5);
+}
+
+TEST(Stats, HistogramReset)
+{
+    Histogram hist("h", "test", 0.0, 10.0, 5);
+    hist.sample(3.0);
+    hist.reset();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.buckets()[1], 0u);
+}
+
+} // namespace
+
+#include "core/result_json.hh"
+
+namespace
+{
+
+TEST(ResultJson, WellFormedAndComplete)
+{
+    paradox::core::RunResult r;
+    r.halted = true;
+    r.instructions = 42;
+    r.time = 1000;
+    r.wakeRates = {0.5, 0.25};
+    std::string json = paradox::core::toJson(r);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"halted\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"instructions\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"wake_rates\":[0.5,0.25]"),
+              std::string::npos);
+    // Balanced braces/brackets.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+} // namespace

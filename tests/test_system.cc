@@ -1,0 +1,287 @@
+/**
+ * @file
+ * End-to-end system tests: the full ParaMedic/ParaDox pipeline on
+ * real workloads, including the paper's headline invariant -- under
+ * any injected fault rate and model, the run completes with exactly
+ * the fault-free architectural result.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace paradox;
+using core::Mode;
+using core::RunResult;
+using core::System;
+using core::SystemConfig;
+
+workloads::Workload
+smallWorkload(const std::string &name = "bitcount")
+{
+    return workloads::build(name, 1);
+}
+
+RunResult
+runMode(Mode mode, const workloads::Workload &w,
+        double fault_rate = 0.0, std::uint64_t seed = 7)
+{
+    SystemConfig config = SystemConfig::forMode(mode);
+    config.seed = seed;
+    System system(config, w.program);
+    if (fault_rate > 0.0)
+        system.setFaultPlan(faults::uniformPlan(fault_rate, seed));
+    core::RunLimits limits;
+    limits.maxExecuted = 80'000'000;
+    limits.maxTicks = ticksPerMs * 400;
+    return system.run(limits);
+}
+
+std::uint64_t
+resultChecksum(System &system)
+{
+    return system.memory().read(workloads::resultAddr, 8);
+}
+
+TEST(SystemBaseline, RunsToCompletion)
+{
+    auto w = smallWorkload();
+    SystemConfig config = SystemConfig::forMode(Mode::Baseline);
+    System system(config, w.program);
+    RunResult r = system.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(resultChecksum(system), w.expectedResult);
+    EXPECT_GT(r.time, 0u);
+    EXPECT_EQ(r.errorsDetected, 0u);
+}
+
+TEST(SystemFaultFree, AllModesProduceCorrectResultAndNoErrors)
+{
+    auto w = smallWorkload();
+    for (Mode mode : {Mode::Baseline, Mode::DetectionOnly,
+                      Mode::ParaMedic, Mode::ParaDox}) {
+        SystemConfig config = SystemConfig::forMode(mode);
+        System system(config, w.program);
+        RunResult r = system.run();
+        EXPECT_TRUE(r.halted) << core::modeName(mode);
+        EXPECT_EQ(resultChecksum(system), w.expectedResult)
+            << core::modeName(mode);
+        EXPECT_EQ(r.errorsDetected, 0u) << core::modeName(mode);
+    }
+}
+
+TEST(SystemFaultFree, FaultToleranceCostsTime)
+{
+    auto w = smallWorkload();
+    RunResult base = runMode(Mode::Baseline, w);
+    RunResult pdox = runMode(Mode::ParaDox, w);
+    EXPECT_TRUE(base.halted);
+    EXPECT_TRUE(pdox.halted);
+    // Checkpointing costs something but must stay moderate when
+    // error-free (figure 10's overheads are < 15%).
+    EXPECT_GE(pdox.time, base.time);
+    EXPECT_LT(double(pdox.time), double(base.time) * 1.6);
+    EXPECT_GT(pdox.checkpoints, 0u);
+}
+
+/** The headline invariant: injected faults never corrupt results. */
+class FaultedRun
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>>
+{
+};
+
+TEST_P(FaultedRun, ParaDoxRepairsEverything)
+{
+    auto [rate, seed] = GetParam();
+    auto w = smallWorkload();
+    SystemConfig config = SystemConfig::forMode(Mode::ParaDox);
+    config.seed = seed;
+    System system(config, w.program);
+    system.setFaultPlan(faults::uniformPlan(rate, seed));
+    core::RunLimits limits;
+    limits.maxExecuted = 100'000'000;
+    RunResult r = system.run(limits);
+    ASSERT_TRUE(r.halted) << "rate=" << rate << " seed=" << seed;
+    EXPECT_EQ(resultChecksum(system), w.expectedResult)
+        << "rate=" << rate << " seed=" << seed;
+    if (rate >= 1e-4) {
+        EXPECT_GT(r.errorsDetected, 0u);
+        EXPECT_GT(r.rollbacks, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateSweep, FaultedRun,
+    ::testing::Combine(::testing::Values(1e-6, 1e-5, 1e-4, 1e-3),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(FaultedRunModes, ParaMedicAlsoRepairs)
+{
+    auto w = smallWorkload();
+    SystemConfig config = SystemConfig::forMode(Mode::ParaMedic);
+    System system(config, w.program);
+    system.setFaultPlan(faults::uniformPlan(1e-4, 11));
+    core::RunLimits limits;
+    limits.maxExecuted = 200'000'000;
+    RunResult r = system.run(limits);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(resultChecksum(system), w.expectedResult);
+    EXPECT_GT(r.rollbacks, 0u);
+}
+
+TEST(FaultedRunModes, EveryFaultKindIsRepaired)
+{
+    auto w = smallWorkload();
+    using faults::FaultConfig;
+    using faults::FaultKind;
+
+    std::vector<FaultConfig> configs;
+    FaultConfig log_faults;
+    log_faults.kind = FaultKind::LogBitFlip;
+    log_faults.rate = 3e-4;
+    configs.push_back(log_faults);
+
+    FaultConfig fu_faults;
+    fu_faults.kind = FaultKind::FunctionalUnit;
+    fu_faults.targetClass = isa::InstClass::IntAlu;
+    fu_faults.rate = 3e-4;
+    configs.push_back(fu_faults);
+
+    for (auto category :
+         {isa::RegCategory::Integer, isa::RegCategory::Float,
+          isa::RegCategory::Flags, isa::RegCategory::Misc}) {
+        FaultConfig reg_faults;
+        reg_faults.kind = FaultKind::RegisterBitFlip;
+        reg_faults.targetCategory = category;
+        reg_faults.rate = 3e-4;
+        configs.push_back(reg_faults);
+    }
+
+    for (const auto &fc : configs) {
+        SystemConfig config = SystemConfig::forMode(Mode::ParaDox);
+        System system(config, w.program);
+        faults::FaultPlan plan;
+        plan.add(fc);
+        system.setFaultPlan(std::move(plan));
+        core::RunLimits limits;
+        limits.maxExecuted = 100'000'000;
+        RunResult r = system.run(limits);
+        ASSERT_TRUE(r.halted) << "kind=" << int(fc.kind);
+        EXPECT_EQ(resultChecksum(system), w.expectedResult)
+            << "kind=" << int(fc.kind) << " cat="
+            << int(fc.targetCategory);
+    }
+}
+
+TEST(SystemAdaptation, ParaDoxShrinksCheckpointsUnderErrors)
+{
+    auto w = smallWorkload();
+    RunResult clean = runMode(Mode::ParaDox, w, 0.0);
+    RunResult faulty = runMode(Mode::ParaDox, w, 1e-3);
+    ASSERT_TRUE(clean.halted);
+    ASSERT_TRUE(faulty.halted);
+    EXPECT_GT(faulty.checkpoints, clean.checkpoints);
+}
+
+TEST(SystemAdaptation, ParaDoxBeatsParaMedicAtHighErrorRates)
+{
+    auto w = smallWorkload();
+    RunResult medic = runMode(Mode::ParaMedic, w, 2e-3);
+    RunResult dox = runMode(Mode::ParaDox, w, 2e-3);
+    ASSERT_TRUE(dox.halted);
+    // ParaMedic may not even finish inside the execution budget
+    // (livelock); if it does, ParaDox must still be faster.
+    if (medic.halted) {
+        EXPECT_LT(dox.time, medic.time);
+    }
+}
+
+TEST(SystemMemoryState, FaultedRunLeavesExactFaultFreeMemoryImage)
+{
+    auto w = workloads::build("bzip2", 1);
+    RunResult clean = runMode(Mode::ParaDox, w, 0.0, 5);
+    RunResult faulty = runMode(Mode::ParaDox, w, 5e-4, 5);
+    ASSERT_TRUE(clean.halted);
+    ASSERT_TRUE(faulty.halted);
+    EXPECT_GT(faulty.rollbacks, 0u);
+    EXPECT_EQ(clean.memoryFingerprint, faulty.memoryFingerprint);
+    EXPECT_EQ(clean.finalState, faulty.finalState);
+}
+
+TEST(SystemDvfs, UndervoltsAndRecovers)
+{
+    auto w = smallWorkload();
+    SystemConfig config = SystemConfig::forMode(Mode::ParaDox);
+    System system(config, w.program);
+    system.enableDvfs(faults::UndervoltErrorModel::Params{});
+    core::RunLimits limits;
+    limits.maxExecuted = 100'000'000;
+    RunResult r = system.run(limits);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(resultChecksum(system), w.expectedResult);
+    // The controller must actually have undervolted.
+    EXPECT_LT(r.avgVoltage, config.voltage.vSafe);
+    EXPECT_LT(r.avgPower, 1.05);
+}
+
+TEST(SystemScheduling, ParaDoxConcentratesCheckersOnLowIds)
+{
+    auto w = smallWorkload();
+    RunResult r = runMode(Mode::ParaDox, w);
+    ASSERT_TRUE(r.halted);
+    ASSERT_EQ(r.wakeRates.size(), 16u);
+    // Lowest-free-ID scheduling: low IDs are the busiest (a small
+    // tolerance absorbs release-timing jitter among the saturated
+    // low IDs), and high-ID checkers stay nearly idle.
+    for (std::size_t i = 1; i < r.wakeRates.size(); ++i)
+        EXPECT_LE(r.wakeRates[i], r.wakeRates[0] + 0.05) << i;
+    EXPECT_LT(r.wakeRates[15], 0.05);
+    EXPECT_GT(r.wakeRates[0], r.wakeRates[15]);
+}
+
+TEST(SystemScheduling, ParaMedicUsesAllCheckersEvenly)
+{
+    auto w = smallWorkload();
+    RunResult r = runMode(Mode::ParaMedic, w);
+    ASSERT_TRUE(r.halted);
+    double min_rate = 1.0, max_rate = 0.0;
+    for (double rate : r.wakeRates) {
+        min_rate = std::min(min_rate, rate);
+        max_rate = std::max(max_rate, rate);
+    }
+    EXPECT_GT(min_rate, 0.0);
+    EXPECT_LT(max_rate - min_rate, 0.2);
+}
+
+TEST(SystemDeterminism, SameSeedSameResult)
+{
+    auto w = smallWorkload();
+    RunResult a = runMode(Mode::ParaDox, w, 1e-4, 42);
+    RunResult b = runMode(Mode::ParaDox, w, 1e-4, 42);
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.errorsDetected, b.errorsDetected);
+    EXPECT_EQ(a.executed, b.executed);
+    EXPECT_EQ(a.memoryFingerprint, b.memoryFingerprint);
+}
+
+TEST(SystemStats, RecoveryCostsAreRecorded)
+{
+    auto w = smallWorkload();
+    SystemConfig config = SystemConfig::forMode(Mode::ParaDox);
+    System system(config, w.program);
+    system.setFaultPlan(faults::uniformPlan(1e-4, 3));
+    core::RunLimits limits;
+    limits.maxExecuted = 100'000'000;
+    RunResult r = system.run(limits);
+    ASSERT_TRUE(r.halted);
+    ASSERT_GT(r.rollbacks, 0u);
+    EXPECT_EQ(system.rollbackTimesNs().count(), r.rollbacks);
+    EXPECT_EQ(system.wastedExecNs().count(), r.rollbacks);
+    EXPECT_GT(system.wastedExecNs().mean(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * paradox_sim: command-line driver for the full system.
+ *
+ *   paradox_sim [options]
+ *     --workload NAME     one of the 21 built-in kernels (bitcount)
+ *     --scale N           workload size multiplier (4)
+ *     --mode M            baseline | detect | paramedic | paradox
+ *     --rate P            fixed per-event fault rate on the checkers
+ *     --main-rate P       fault rate on the *main core* itself
+ *     --dvfs              error-seeking undervolting (per-workload
+ *                         exponential model)
+ *     --checkers N        checker-core count (16)
+ *     --max-ckpt N        AIMD cap / fixed window (5000)
+ *     --seed S            RNG seed (12345)
+ *     --ecc-rate P        SECDED-corrected memory upsets per load
+ *     --stats             dump the full statistics group
+ *     --list              list workloads and exit
+ *
+ * Exit status 0 iff the run completed with the golden checksum.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/result_json.hh"
+#include "core/system.hh"
+#include "power/undervolt_data.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace paradox;
+
+struct Options
+{
+    std::string workload = "bitcount";
+    unsigned scale = 4;
+    core::Mode mode = core::Mode::ParaDox;
+    double rate = 0.0;
+    double mainRate = 0.0;
+    bool dvfs = false;
+    unsigned checkers = 16;
+    unsigned maxCkpt = 5000;
+    std::uint64_t seed = 12345;
+    double eccRate = 0.0;
+    bool stats = false;
+    bool json = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME] [--scale N] [--mode M]\n"
+                 "          [--rate P] [--main-rate P] [--dvfs]\n"
+                 "          [--checkers N] [--max-ckpt N] [--seed S]\n"
+                 "          [--ecc-rate P] [--stats] [--list]\n",
+                 argv0);
+    std::exit(2);
+}
+
+core::Mode
+parseMode(const std::string &name)
+{
+    if (name == "baseline")
+        return core::Mode::Baseline;
+    if (name == "detect")
+        return core::Mode::DetectionOnly;
+    if (name == "paramedic")
+        return core::Mode::ParaMedic;
+    if (name == "paradox")
+        return core::Mode::ParaDox;
+    std::fprintf(stderr, "unknown mode '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--workload"))
+            opt.workload = need("--workload");
+        else if (!std::strcmp(argv[i], "--scale"))
+            opt.scale = unsigned(std::atoi(need("--scale")));
+        else if (!std::strcmp(argv[i], "--mode"))
+            opt.mode = parseMode(need("--mode"));
+        else if (!std::strcmp(argv[i], "--rate"))
+            opt.rate = std::atof(need("--rate"));
+        else if (!std::strcmp(argv[i], "--main-rate"))
+            opt.mainRate = std::atof(need("--main-rate"));
+        else if (!std::strcmp(argv[i], "--dvfs"))
+            opt.dvfs = true;
+        else if (!std::strcmp(argv[i], "--checkers"))
+            opt.checkers = unsigned(std::atoi(need("--checkers")));
+        else if (!std::strcmp(argv[i], "--max-ckpt"))
+            opt.maxCkpt = unsigned(std::atoi(need("--max-ckpt")));
+        else if (!std::strcmp(argv[i], "--seed"))
+            opt.seed = std::strtoull(need("--seed"), nullptr, 0);
+        else if (!std::strcmp(argv[i], "--ecc-rate"))
+            opt.eccRate = std::atof(need("--ecc-rate"));
+        else if (!std::strcmp(argv[i], "--stats"))
+            opt.stats = true;
+        else if (!std::strcmp(argv[i], "--json"))
+            opt.json = true;
+        else if (!std::strcmp(argv[i], "--list")) {
+            for (const auto &name : workloads::allNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    workloads::Workload w = workloads::build(opt.workload, opt.scale);
+
+    core::SystemConfig config = core::SystemConfig::forMode(opt.mode);
+    config.seed = opt.seed;
+    config.checkers.count = opt.checkers;
+    config.checkpointAimd.maxLength = opt.maxCkpt;
+    config.checkpointAimd.initial =
+        std::min(config.checkpointAimd.initial, opt.maxCkpt);
+    config.memoryEccFaultRate = opt.eccRate;
+
+    core::System system(config, w.program);
+    if (opt.dvfs)
+        system.enableDvfs(power::errorModelParams(opt.workload));
+    else if (opt.rate > 0.0)
+        system.setFaultPlan(faults::uniformPlan(opt.rate, opt.seed));
+    if (opt.mainRate > 0.0) {
+        faults::FaultConfig fc;
+        fc.kind = faults::FaultKind::RegisterBitFlip;
+        fc.rate = opt.mainRate;
+        fc.seed = opt.seed * 31 + 7;
+        faults::FaultPlan plan;
+        plan.add(fc);
+        system.setMainCoreFaultPlan(std::move(plan));
+    }
+
+    core::RunLimits limits;
+    limits.maxExecuted = 2'000'000'000ULL;
+    limits.maxTicks = ticksPerMs * 30000;
+    core::RunResult r = system.run(limits);
+
+    std::uint64_t got = system.memory().read(workloads::resultAddr, 8);
+    bool correct = r.halted && got == w.expectedResult;
+
+    if (opt.json) {
+        std::printf("%s\n", core::toJson(r).c_str());
+        return correct ? 0 : 1;
+    }
+
+    std::printf("workload       %s (scale %u, %s)\n", w.name.c_str(),
+                opt.scale, core::modeName(opt.mode));
+    std::printf("result         %s\n",
+                correct ? "CORRECT"
+                        : (r.halted ? "WRONG" : "DID NOT FINISH"));
+    std::printf("instructions   %llu net, %llu executed\n",
+                (unsigned long long)r.instructions,
+                (unsigned long long)r.executed);
+    std::printf("time           %.3f ms simulated\n",
+                r.seconds() * 1e3);
+    std::printf("checkpoints    %llu\n",
+                (unsigned long long)r.checkpoints);
+    std::printf("errors         %llu detected, %llu faults injected\n",
+                (unsigned long long)r.errorsDetected,
+                (unsigned long long)r.faultsInjected);
+    if (opt.dvfs) {
+        std::printf("voltage        %.4f V average\n", r.avgVoltage);
+        std::printf("power          %.3f of nominal\n", r.avgPower);
+    }
+    if (opt.eccRate > 0.0)
+        std::printf("ecc corrected  %llu memory upsets\n",
+                    (unsigned long long)system.eccCorrected());
+    std::printf("checkers awake %.2f of %u average\n",
+                r.avgCheckersAwake, opt.checkers);
+
+    if (opt.stats) {
+        std::ostringstream os;
+        system.dumpStats(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    return correct ? 0 : 1;
+}
