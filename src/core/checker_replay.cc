@@ -115,6 +115,10 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
 {
     ReplayOutcome outcome;
     isa::ArchState state = segment.startState();
+    // Attribute injected events to this checker so per-checker
+    // (pinned permanent/intermittent) fault sources fire only when
+    // the defective core is the one replaying.
+    plan.setActiveChecker(int(checker_id));
     LogReplayMemory log(segment, plan, &outcome.faultsInjected);
 
     // Watchdog budget: a healthy replay retires roughly one

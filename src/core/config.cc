@@ -1,5 +1,7 @@
 #include "core/config.hh"
 
+#include "sim/logging.hh"
+
 namespace paradox
 {
 namespace core
@@ -57,6 +59,60 @@ SystemConfig::forMode(Mode mode)
         break;
     }
     return config;
+}
+
+void
+SystemConfig::enableEscalation()
+{
+    escalation.retryVerify = true;
+    escalation.quarantineEnabled = true;
+    escalation.panicRollbackThreshold = 8;
+    escalation.progressWatchdogUs = 50.0;
+}
+
+void
+SystemConfig::validate() const
+{
+    if (checkers.count == 0)
+        fatal("SystemConfig: checkers.count must be at least 1");
+    if (mainFreqHz <= 0.0 || checkers.freqHz <= 0.0)
+        fatal("SystemConfig: core frequencies must be positive");
+    if (checkpointAimd.minLength == 0 ||
+        checkpointAimd.minLength > checkpointAimd.maxLength)
+        fatal("SystemConfig: need 0 < checkpoint minLength <= "
+              "maxLength");
+    if (checkpointAimd.initial > checkpointAimd.maxLength)
+        fatal("SystemConfig: checkpoint initial exceeds maxLength");
+    if (log.segmentBytes < log.loadEntryBytes ||
+        log.segmentBytes < log.storeEntryBytes + log.storeOldValueBytes)
+        fatal("SystemConfig: log segment too small for one entry");
+    if (voltage.vMinAllowed > voltage.vSafe)
+        fatal("SystemConfig: voltage floor above vSafe");
+    if (voltage.startVoltage > voltage.vSafe ||
+        voltage.startVoltage < voltage.vMinAllowed)
+        fatal("SystemConfig: startVoltage outside [vMinAllowed, "
+              "vSafe]");
+    if (memoryEccFaultRate < 0.0 || memoryEccFaultRate > 1.0 ||
+        memoryEccDueRate < 0.0 || memoryEccDueRate > 1.0)
+        fatal("SystemConfig: ECC fault rates must be in [0, 1]");
+    if (memoryEccDueRate > 0.0 && !rollbackSupported)
+        fatal("SystemConfig: the DUE machine-check path needs "
+              "rollback support");
+    if (escalation.quarantineEnabled) {
+        if (escalation.strikesToQuarantine == 0)
+            fatal("SystemConfig: strikesToQuarantine must be >= 1");
+        if (escalation.strikeWindow < escalation.strikesToQuarantine ||
+            escalation.strikeWindow > 32)
+            fatal("SystemConfig: strikeWindow must be in "
+                  "[strikesToQuarantine, 32]");
+    }
+    if (escalation.panicRollbackThreshold != 0 &&
+        (escalation.backoffUs <= 0.0 ||
+         escalation.backoffMaxUs < escalation.backoffUs))
+        fatal("SystemConfig: panic backoff needs 0 < backoffUs <= "
+              "backoffMaxUs");
+    if (escalation.progressWatchdogUs < 0.0)
+        fatal("SystemConfig: progressWatchdogUs cannot be negative");
 }
 
 } // namespace core

@@ -94,6 +94,56 @@ struct RollbackParams
     unsigned finalCompareCycles = 16;  //!< register-file comparison
 };
 
+/**
+ * Fault-escalation ladder (robustness layer above the paper's
+ * transient-only recovery).  Each rung handles the failure class the
+ * rung below cannot:
+ *
+ *  1. retryVerify -- a flagged segment is re-verified on a *second*
+ *     checker before paying rollback.  Detection is symmetric: a
+ *     clean second replay proves the log and checkpoints were fine
+ *     and the first checker erred, so the segment retires without
+ *     rollback.  Sound because any main-core corruption inside the
+ *     segment makes every clean replay diverge from the recorded
+ *     log/end state.
+ *  2. quarantine -- checkers whose detections cluster (K strikes in
+ *     a sliding window of their replays) are retired from the pool;
+ *     the pool degrades gracefully down to one checker.  Handles
+ *     intermittent/permanent per-core defects that would otherwise
+ *     livelock lowest-free-ID scheduling.
+ *  3. panic reset -- a run of consecutive rollbacks with no clean
+ *     checkpoint in between means the operating point itself is
+ *     unsustainable: snap the voltage island back to v_safe and hold
+ *     it there for an (exponentially growing) backoff interval
+ *     before the AIMD controller may undervolt again.
+ *  4. forward-progress watchdog -- no segment *verified* in a whole
+ *     watchdog interval escalates straight to rung 3, catching
+ *     livelock shapes the rollback counter cannot see.
+ */
+struct EscalationParams
+{
+    /** Rung 1: re-verify flagged segments on a second checker. */
+    bool retryVerify = false;
+
+    /** @{ Rung 2: per-checker health tracking. */
+    bool quarantineEnabled = false;
+    unsigned strikesToQuarantine = 3;  //!< K strikes...
+    unsigned strikeWindow = 8;         //!< ...within this many replays
+    /** @} */
+
+    /** @{ Rung 3: voltage panic reset. */
+    /** Consecutive rollbacks (no clean checkpoint between) that
+     * trigger a panic reset.  0 disables the rung. */
+    unsigned panicRollbackThreshold = 0;
+    double backoffUs = 5.0;      //!< initial hold at v_safe
+    double backoffMaxUs = 320.0; //!< cap for the exponential growth
+    /** @} */
+
+    /** Rung 4: forward-progress watchdog interval in microseconds
+     * (no verified segment for this long escalates).  0 disables. */
+    double progressWatchdogUs = 0.0;
+};
+
 /** The complete system configuration. */
 struct SystemConfig
 {
@@ -106,7 +156,16 @@ struct SystemConfig
     CheckpointAimdParams checkpointAimd{};
     VoltageAimdParams voltage{};
     RollbackParams rollback{};
+    EscalationParams escalation{};
     unsigned regCheckpointCycles = 16;  //!< Table I
+    /**
+     * Checker-replay watchdog: detection fires once a replay exceeds
+     * this many cycles per logged instruction (plus a fixed grace
+     * allowance).  Sized so the densest legitimate segments sit far
+     * below it while corrupted wrong-path execution trips it.
+     * 0 disables the watchdog.
+     */
+    unsigned checkerTimeoutFactor = 24;
     std::uint64_t seed = 12345;
 
     /**
@@ -129,6 +188,17 @@ struct SystemConfig
     double memoryEccFaultRate = 0.0;
 
     /**
+     * Per-load probability of a *double-bit* (detected-but-
+     * uncorrectable, DUE) upset in ECC-protected memory.  SECDED
+     * flags but cannot repair these; instead of being impossible by
+     * construction they take a machine-check-style path: the open
+     * segment rolls back to its checkpoint and memory is re-written
+     * through the log, scrubbing the poisoned word.  Requires
+     * rollback support; 0 disables.
+     */
+    double memoryEccDueRate = 0.0;
+
+    /**
      * Physical-address offset applied on the *timing* path (caches,
      * DRAM, checker I-caches).  In a multicore, each core's program
      * occupies distinct physical pages; without this, co-scheduled
@@ -148,6 +218,20 @@ struct SystemConfig
 
     /** Apply the canonical toggle set for @p mode. */
     static SystemConfig forMode(Mode mode);
+
+    /**
+     * Enable the full escalation ladder with its default tuning
+     * (retry-verify, quarantine, panic reset, progress watchdog).
+     */
+    void enableEscalation();
+
+    /**
+     * Sanity-check the configuration, calling fatal() with a
+     * description of the first violated constraint.  The System
+     * constructor runs this; tools building configs by hand should
+     * too.
+     */
+    void validate() const;
 };
 
 } // namespace core

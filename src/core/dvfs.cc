@@ -46,6 +46,19 @@ VoltageController::onError(double v_at_error)
     }
 }
 
+void
+VoltageController::panicReset()
+{
+    ++panicResets_;
+    // Record where sustained trouble started: the tide mark keeps
+    // the controller cautious as it descends back toward this point.
+    if (target_ > tideMark_)
+        tideMark_ = target_;
+    if (target_ > highestErrorEver_)
+        highestErrorEver_ = target_;
+    target_ = params_.vSafe;
+}
+
 Regulator::Regulator(double initial_volts, double slew_volts_per_us)
     : current_(initial_volts), target_(initial_volts),
       slewPerTick_(slew_volts_per_us / double(ticksPerUs))

@@ -53,6 +53,17 @@ class VoltageController
     /** An error was detected while running at @p v_at_error volts. */
     void onError(double v_at_error);
 
+    /**
+     * Escalation-ladder panic: snap the target back to the known-
+     * safe margined voltage (the island re-undervolts from scratch
+     * once the caller's backoff expires).  Counts as an error for
+     * the tide-mark bookkeeping at the present target.
+     */
+    void panicReset();
+
+    /** Panic resets performed so far. */
+    std::uint64_t panicResets() const { return panicResets_; }
+
     /** Highest voltage at which an error has been seen (tide mark). */
     double tideMark() const { return tideMark_; }
 
@@ -73,6 +84,7 @@ class VoltageController
     double highestErrorEver_ = 0.0;
     unsigned errorsSinceReset_ = 0;
     std::uint64_t totalErrors_ = 0;
+    std::uint64_t panicResets_ = 0;
 };
 
 /** Slew-rate-limited voltage regulator. */

@@ -21,6 +21,13 @@ toJson(const RunResult &result)
     os << ",\"errors_detected\":" << result.errorsDetected;
     os << ",\"rollbacks\":" << result.rollbacks;
     os << ",\"faults_injected\":" << result.faultsInjected;
+    os << ",\"retry_verifies\":" << result.retryVerifies;
+    os << ",\"retry_saves\":" << result.retrySaves;
+    os << ",\"quarantines\":" << result.quarantines;
+    os << ",\"panic_resets\":" << result.panicResets;
+    os << ",\"watchdog_trips\":" << result.watchdogTrips;
+    os << ",\"due_rollbacks\":" << result.dueRollbacks;
+    os << ",\"healthy_checkers\":" << result.healthyCheckers;
     os << ",\"avg_voltage\":" << result.avgVoltage;
     os << ",\"avg_power\":" << result.avgPower;
     os << ",\"avg_checkers_awake\":" << result.avgCheckersAwake;

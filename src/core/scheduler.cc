@@ -1,5 +1,7 @@
 #include "core/scheduler.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace paradox
@@ -26,13 +28,18 @@ CheckerScheduler::allocate(Tick now)
         // ParaMedic proceeds strictly in order: the next index must
         // be free, otherwise the main core waits for it.  With
         // in-order verification the next index is always the oldest.
-        if (!slots_[rrNext_].busy) {
+        // Quarantined indices drop out of the rotation entirely.
+        for (unsigned hops = 0;
+             hops < slots_.size() && slots_[rrNext_].quarantined;
+             ++hops)
+            rrNext_ = (rrNext_ + 1) % slots_.size();
+        if (!slots_[rrNext_].quarantined && !slots_[rrNext_].busy) {
             chosen = int(rrNext_);
             rrNext_ = (rrNext_ + 1) % slots_.size();
         }
     } else {
         for (unsigned i = 0; i < slots_.size(); ++i) {
-            if (!slots_[i].busy) {
+            if (!slots_[i].busy && !slots_[i].quarantined) {
                 chosen = int(i);
                 break;
             }
@@ -59,6 +66,65 @@ CheckerScheduler::release(unsigned id, Tick now)
     slot.busy = false;
     busyTicks_[id] += now > slot.wakeAt ? now - slot.wakeAt : 0;
     --busyCount_;
+}
+
+bool
+CheckerScheduler::recordOutcome(unsigned id, bool detected)
+{
+    if (id >= slots_.size())
+        panic("CheckerScheduler::recordOutcome: bad id");
+    Slot &slot = slots_[id];
+    if (slot.quarantined)
+        return false;
+
+    slot.history = (slot.history << 1) | (detected ? 1u : 0u);
+    if (slot.historyLen < health_.strikeWindow)
+        ++slot.historyLen;
+    const std::uint32_t window_mask =
+        health_.strikeWindow >= 32
+            ? ~std::uint32_t(0)
+            : ((std::uint32_t(1) << health_.strikeWindow) - 1);
+    slot.history &= window_mask;
+
+    if (!health_.quarantineEnabled || !detected)
+        return false;
+    if (unsigned(std::popcount(slot.history)) <
+        health_.strikesToQuarantine)
+        return false;
+    // Never retire the last healthy checker: with the pool down to
+    // one, checking (and livelock detection via the ladder above the
+    // scheduler) must continue on whatever is left.
+    if (healthyCount() <= 1)
+        return false;
+    slot.quarantined = true;
+    ++quarantinedCount_;
+    return true;
+}
+
+bool
+CheckerScheduler::quarantined(unsigned id) const
+{
+    if (id >= slots_.size())
+        panic("CheckerScheduler::quarantined: bad id");
+    return slots_[id].quarantined;
+}
+
+unsigned
+CheckerScheduler::strikeCount(unsigned id) const
+{
+    if (id >= slots_.size())
+        panic("CheckerScheduler::strikeCount: bad id");
+    return unsigned(std::popcount(slots_[id].history));
+}
+
+bool
+CheckerScheduler::anyFree() const
+{
+    for (const Slot &slot : slots_) {
+        if (!slot.busy && !slot.quarantined)
+            return true;
+    }
+    return false;
 }
 
 std::vector<double>

@@ -14,6 +14,16 @@
  * power model and figure 12 consume: a checker is "awake" from the
  * moment its slot starts filling until its segment verifies or rolls
  * back.
+ *
+ * For the fault-escalation ladder the scheduler additionally keeps a
+ * per-checker *health* record: every replay outcome attributed to a
+ * checker is pushed into a small sliding window, and a checker whose
+ * detections cluster (K strikes within the window) is *quarantined*
+ * -- retired from the pool, never allocated again.  Real undervolted
+ * SRAM faults recur at fixed locations (look permanent), so a
+ * checker that keeps flagging divergences is most plausibly the
+ * defective side.  The pool degrades gracefully: the last healthy
+ * checker can never be quarantined.
  */
 
 #ifndef PARADOX_CORE_SCHEDULER_HH
@@ -36,15 +46,33 @@ enum class SchedPolicy : std::uint8_t
     LowestFreeId,  //!< ParaDox
 };
 
-/** Checker-core allocator with wake/busy accounting. */
+/** Per-checker health-tracking policy (escalation ladder). */
+struct HealthParams
+{
+    /** Master switch: false records outcomes but never quarantines. */
+    bool quarantineEnabled = false;
+    /** Strikes within the window that retire a checker. */
+    unsigned strikesToQuarantine = 3;
+    /** Sliding window length, in replays on that checker. */
+    unsigned strikeWindow = 8;
+};
+
+/** Checker-core allocator with wake/busy and health accounting. */
 class CheckerScheduler
 {
   public:
     CheckerScheduler(unsigned count, SchedPolicy policy,
                      std::uint64_t boot_seed);
 
+    /** Install the health/quarantine policy (default: disabled). */
+    void setHealthParams(const HealthParams &params)
+    {
+        health_ = params;
+    }
+
     /**
-     * Allocate a checker at time @p now.
+     * Allocate a checker at time @p now.  Quarantined checkers are
+     * never returned.
      * @return logical checker id, or -1 if none is available.
      */
     int allocate(Tick now);
@@ -52,12 +80,36 @@ class CheckerScheduler
     /** Release checker @p id at time @p now. */
     void release(unsigned id, Tick now);
 
+    /**
+     * Record the outcome of one replay attributed to checker @p id
+     * (true = the replay flagged a divergence).  May quarantine the
+     * checker under the installed policy.
+     * @return true iff this outcome caused a quarantine.
+     */
+    bool recordOutcome(unsigned id, bool detected);
+
+    /** Checker @p id has been retired from the pool. */
+    bool quarantined(unsigned id) const;
+
+    /** Checkers retired so far. */
+    unsigned quarantinedCount() const { return quarantinedCount_; }
+
+    /** Pool size still in service. */
+    unsigned healthyCount() const
+    {
+        return unsigned(slots_.size()) - quarantinedCount_;
+    }
+
+    /** Detection strikes currently in checker @p id's window. */
+    unsigned strikeCount(unsigned id) const;
+
     /** Number of currently allocated checkers. */
     unsigned busyCount() const { return busyCount_; }
 
     unsigned count() const { return unsigned(slots_.size()); }
 
-    bool anyFree() const { return busyCount_ < slots_.size(); }
+    /** A checker is free iff neither busy nor quarantined. */
+    bool anyFree() const;
 
     /**
      * Fraction of [0, @p total) each checker spent awake.  Open
@@ -80,14 +132,20 @@ class CheckerScheduler
     struct Slot
     {
         bool busy = false;
+        bool quarantined = false;
         Tick wakeAt = 0;
+        /** Sliding outcome window, LSB = most recent replay. */
+        std::uint32_t history = 0;
+        unsigned historyLen = 0;
     };
 
     SchedPolicy policy_;
     std::vector<Slot> slots_;
     std::vector<Tick> busyTicks_;
     std::vector<std::uint64_t> wakeEvents_;
+    HealthParams health_{};
     unsigned busyCount_ = 0;
+    unsigned quarantinedCount_ = 0;
     unsigned rrNext_ = 0;
     unsigned rotation_;
 };

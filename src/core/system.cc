@@ -27,6 +27,7 @@ System::System(const SystemConfig &config, const isa::Program &program,
       energy_(powerModel_),
       statGroup_("system")
 {
+    config_.validate();
     if (uncore) {
         hierarchy_ = std::make_unique<mem::CacheHierarchy>(
             config_.hierarchy, mainClock_, uncore->l2.get(),
@@ -52,6 +53,10 @@ System::System(const SystemConfig &config, const isa::Program &program,
             config_.lowestIdScheduling ? SchedPolicy::LowestFreeId
                                        : SchedPolicy::RoundRobin,
             config_.seed);
+        sched_->setHealthParams(
+            HealthParams{config_.escalation.quarantineEnabled,
+                         config_.escalation.strikesToQuarantine,
+                         config_.escalation.strikeWindow});
         schedPtr_ = sched_.get();
         checkerTimingPtr_ = checkerTiming_.get();
     }
@@ -64,6 +69,10 @@ System::System(const SystemConfig &config, const isa::Program &program,
     currentFreq_ = config_.mainFreqHz;
     eccRng_.seed(config_.seed ^ 0xecc0ecc0ecc0ecc0ULL);
     eccGap_ = eccRng_.geometric(config_.memoryEccFaultRate);
+    dueGap_ = eccRng_.geometric(config_.memoryEccDueRate);
+    if (config_.escalation.progressWatchdogUs > 0.0)
+        watchdogTicks_ = Tick(config_.escalation.progressWatchdogUs *
+                              double(ticksPerUs));
 
     rollbackNs_ = &statGroup_.add<stats::Distribution>(
         "rollbackNs", "memory rollback time per recovery (ns)");
@@ -83,6 +92,24 @@ System::System(const SystemConfig &config, const isa::Program &program,
         "targetCuts", "checkpoints cut by reaching the AIMD target");
     checkerWaitStalls_ = &statGroup_.add<stats::Counter>(
         "checkerWaitStalls", "stalls waiting for a free checker");
+    retriesStat_ = &statGroup_.add<stats::Counter>(
+        "escalationRetries",
+        "flagged segments re-verified on a second checker");
+    retrySavesStat_ = &statGroup_.add<stats::Counter>(
+        "escalationRetrySaves",
+        "re-verifications that retired the segment without rollback");
+    quarantinesStat_ = &statGroup_.add<stats::Counter>(
+        "escalationQuarantines",
+        "checkers retired from the pool by clustered detections");
+    panicResetsStat_ = &statGroup_.add<stats::Counter>(
+        "escalationPanicResets",
+        "voltage-island panic resets to v_safe with backoff");
+    watchdogTripsStat_ = &statGroup_.add<stats::Counter>(
+        "escalationWatchdogTrips",
+        "forward-progress watchdog escalations");
+    dueRollbacksStat_ = &statGroup_.add<stats::Counter>(
+        "escalationDueRollbacks",
+        "machine-check rollbacks from uncorrectable ECC errors");
     voltTrace_ = &statGroup_.add<stats::TimeSeries>(
         "voltage", "main-core supply voltage over time", 200000);
 
@@ -281,29 +308,104 @@ System::closeSegmentAndDispatch()
     ReplayOutcome out = replaySegment(
         program_, *filling_, unsigned(fillingChecker_), *checkerTiming(),
         faultPlan_, config_.rollback.finalCompareCycles,
-        /*timeout_factor=*/24, config_.physicalOffset);
+        config_.checkerTimeoutFactor, config_.physicalOffset);
     checkerInstructions_ += out.instructionsExecuted;
     faultsInjectedTotal_ += out.faultsInjected;
+
+    bool detected = out.detected;
+    Cycles total_cycles = out.totalCycles;
+    Cycles detect_cycles = out.cyclesAtDetection;
+
+    if (detected && config_.escalation.retryVerify) {
+        // Escalation rung 1: detection is symmetric, so before
+        // paying a rollback get a second opinion from a different
+        // checker.  A clean re-verification proves the log and
+        // checkpoints are intact -- the *first checker* erred -- and
+        // the segment retires with no recovery cost.
+        int retry_id = sched()->allocate(dispatch);
+        if (retry_id >= 0) {
+            ++retryVerifies_;
+            ++*retriesStat_;
+            ReplayOutcome retry = replaySegment(
+                program_, *filling_, unsigned(retry_id),
+                *checkerTiming(), faultPlan_,
+                config_.rollback.finalCompareCycles,
+                config_.checkerTimeoutFactor, config_.physicalOffset);
+            checkerInstructions_ += retry.instructionsExecuted;
+            faultsInjectedTotal_ += retry.faultsInjected;
+            // The retry starts when the first replay signals.
+            const Cycles retry_end =
+                detect_cycles + retry.totalCycles;
+            sched()->release(unsigned(retry_id),
+                             dispatch +
+                                 checkerTiming()->cyclesToTicks(
+                                     retry_end));
+            if (config_.lowestIdScheduling)
+                checkerTiming()->powerGated(unsigned(retry_id));
+            if (!retry.detected) {
+                // Saved: strike the erring checker, credit the
+                // clean one.
+                ++retrySaves_;
+                ++*retrySavesStat_;
+                ++detections_;
+                ++reasonCounts_[static_cast<std::size_t>(out.reason)];
+                if (sched()->recordOutcome(unsigned(fillingChecker_),
+                                           true)) {
+                    ++quarantines_;
+                    ++*quarantinesStat_;
+                }
+                sched()->recordOutcome(unsigned(retry_id), false);
+                if (config_.dvfsEnabled)
+                    voltCtrl_->onError(regulator_->voltageAt(
+                        dispatch + checkerTiming()->cyclesToTicks(
+                                       detect_cycles)));
+                detected = false;
+                total_cycles = retry_end;
+            } else {
+                // Both checkers flagged it: the corruption is on the
+                // log/checkpoint side, so neither checker is struck
+                // and the ladder proceeds to rollback.
+                detected = true;
+                detect_cycles += retry.cyclesAtDetection;
+                total_cycles = detect_cycles;
+            }
+        } else if (sched()->recordOutcome(unsigned(fillingChecker_),
+                                          true)) {
+            // No spare checker for a second opinion: record the
+            // strike and fall through to rollback.
+            ++quarantines_;
+            ++*quarantinesStat_;
+        }
+    } else if (sched()->recordOutcome(unsigned(fillingChecker_),
+                                      detected)) {
+        ++quarantines_;
+        ++*quarantinesStat_;
+    }
 
     PendingCheck pc;
     pc.segment = std::move(filling_);
     pc.checkerId = unsigned(fillingChecker_);
     pc.startTick = dispatch;
     pc.finishTick =
-        dispatch + checkerTiming()->cyclesToTicks(out.totalCycles);
-    pc.detected = out.detected;
+        dispatch + checkerTiming()->cyclesToTicks(total_cycles);
+    pc.detected = detected;
     pc.detectTick =
-        dispatch + checkerTiming()->cyclesToTicks(out.cyclesAtDetection);
+        dispatch + checkerTiming()->cyclesToTicks(detect_cycles);
     pc.reason = out.reason;
 
     ckptLen_->sample(double(pc.segment->instCount()));
     ckptHist_->sample(double(pc.segment->instCount()));
     ++checkpoints_;
 
-    if (!out.detected) {
-        ckptCtrl_.onCleanCheckpoint();
-        if (config_.dvfsEnabled)
-            voltCtrl_->onCleanCheckpoint();
+    if (!detected) {
+        consecutiveRollbacks_ = 0;
+        if (!out.detected) {
+            ckptCtrl_.onCleanCheckpoint();
+            if (config_.dvfsEnabled && dispatch >= backoffUntil_) {
+                voltCtrl_->onCleanCheckpoint();
+                backoffStage_ = 0;
+            }
+        }
     }
     pending_.push_back(std::move(pc));
 
@@ -326,28 +428,90 @@ System::drainChecks()
     return false;
 }
 
-void
+bool
 System::maybeEccEvent(const isa::ExecResult &r)
 {
-    if (!r.isLoad ||
-        eccGap_ == std::numeric_limits<std::uint64_t>::max())
-        return;
-    if (--eccGap_ > 0)
-        return;
-    eccGap_ = eccRng_.geometric(config_.memoryEccFaultRate);
-    // A single-bit upset in an ECC-protected word: encode the loaded
-    // value, flip one codeword bit, and let SECDED repair it.  The
-    // corrected data is what the core consumed, so nothing propagates
-    // (paper section IV-E's division of labour).
-    mem::EccWord word = mem::Secded::encode(r.loadValue);
-    mem::Secded::flipBit(word,
-                         unsigned(eccRng_.nextBounded(
-                             mem::Secded::codeBits)));
-    mem::EccDecode decoded = mem::Secded::decode(word);
-    if (decoded.status != mem::EccStatus::Corrected ||
-        decoded.data != r.loadValue)
-        panic("SECDED failed to repair a single-bit memory upset");
-    ++eccCorrected_;
+    if (!r.isLoad)
+        return false;
+    if (eccGap_ != std::numeric_limits<std::uint64_t>::max() &&
+        --eccGap_ == 0) {
+        eccGap_ = eccRng_.geometric(config_.memoryEccFaultRate);
+        // A single-bit upset in an ECC-protected word: encode the
+        // loaded value, flip one codeword bit, and let SECDED repair
+        // it.  The corrected data is what the core consumed, so
+        // nothing propagates (paper section IV-E's division of
+        // labour).
+        mem::EccWord word = mem::Secded::encode(r.loadValue);
+        mem::Secded::flipBit(word,
+                             unsigned(eccRng_.nextBounded(
+                                 mem::Secded::codeBits)));
+        mem::EccDecode decoded = mem::Secded::decode(word);
+        if (decoded.status != mem::EccStatus::Corrected ||
+            decoded.data != r.loadValue)
+            panic("SECDED failed to repair a single-bit memory upset");
+        ++eccCorrected_;
+    }
+    if (dueGap_ != std::numeric_limits<std::uint64_t>::max() &&
+        --dueGap_ == 0) {
+        dueGap_ = eccRng_.geometric(config_.memoryEccDueRate);
+        // A double-bit upset: SECDED detects but cannot correct, so
+        // the load raises the machine-check equivalent and the caller
+        // rolls the open segment back (section IV-E: DUEs fall to
+        // the checkpoint mechanism, not the checkers).
+        mem::EccWord word = mem::Secded::encode(r.loadValue);
+        unsigned b1 =
+            unsigned(eccRng_.nextBounded(mem::Secded::codeBits));
+        unsigned b2 =
+            unsigned(eccRng_.nextBounded(mem::Secded::codeBits - 1));
+        if (b2 >= b1)
+            ++b2;
+        mem::Secded::flipBit(word, b1);
+        mem::Secded::flipBit(word, b2);
+        mem::EccDecode decoded = mem::Secded::decode(word);
+        if (decoded.status != mem::EccStatus::Uncorrectable)
+            panic("SECDED failed to flag a double-bit memory upset");
+        return true;
+    }
+    return false;
+}
+
+void
+System::machineCheckRollback()
+{
+    // Detected-but-uncorrectable memory error: discard the open
+    // segment and restart it from its checkpoint.  Rollback rewrites
+    // every touched location through the log's ECC-protected copies,
+    // so the poisoned word is scrubbed on the way back.
+    ++dueRollbacks_;
+    ++*dueRollbacksStat_;
+    Tick now = mainCore_->now();
+    accumulatePower(now);
+    ++rollbacks_;
+
+    LogSegment &seg = *filling_;
+    wastedNs_->sample(ticksToNs(now > seg.startTick()
+                                    ? now - seg.startTick()
+                                    : 0));
+    std::uint64_t ops = undoSegmentMemory(seg);
+    const unsigned per_op = config_.lineGranularityRollback
+                                ? config_.rollback.cyclesPerLineRestore
+                                : config_.rollback.cyclesPerWordUndo;
+    Tick cost = mainClock_.cyclesToTicks(Cycles(ops) * per_op);
+    rollbackNs_->sample(ticksToNs(cost));
+
+    archState_ = seg.startState();
+    netIndex_ = seg.startInstIndex();
+    hierarchy_->rollbackFrom(seg.id());
+
+    sched()->release(unsigned(fillingChecker_), now);
+    if (config_.lowestIdScheduling)
+        checkerTiming()->powerGated(unsigned(fillingChecker_));
+    filling_.reset();
+    fillingChecker_ = -1;
+    instsInSegment_ = 0;
+    linesCopiedThisCkpt_.clear();
+
+    mainCore_->resetPipeline(now + cost);
 }
 
 Tick
@@ -365,6 +529,7 @@ System::waitForOldestRelease(Tick now)
     if (config_.lowestIdScheduling)
         checkerTiming()->powerGated(front.checkerId);
     pending_.pop_front();
+    noteForwardProgress(done);
     return done;
 }
 
@@ -379,6 +544,7 @@ System::retireVerifiedUpTo(Tick now)
         sched()->release(front.checkerId, front.finishTick);
         if (config_.lowestIdScheduling)
             checkerTiming()->powerGated(front.checkerId);
+        noteForwardProgress(front.finishTick);
         pending_.pop_front();
     }
 }
@@ -479,6 +645,10 @@ System::performRollback(std::size_t idx, Tick stop)
     ckptCtrl_.onReduction(std::max(seg.instCount(), 1u));
     if (config_.dvfsEnabled)
         voltCtrl_->onError(regulator_->voltageAt(stop));
+    ++consecutiveRollbacks_;
+    if (config_.escalation.panicRollbackThreshold != 0 &&
+        consecutiveRollbacks_ >= config_.escalation.panicRollbackThreshold)
+        panicResetVoltage(stop);
 
     // Release the filling slot and every slot from the faulty
     // segment onward (their data is now dead).
@@ -504,6 +674,36 @@ System::performRollback(std::size_t idx, Tick stop)
     mainCore_->resetPipeline(resume);
     applyOperatingPoint(resume);
     voltTrace_->sample(resume, currentVoltage_);
+}
+
+void
+System::panicResetVoltage(Tick now)
+{
+    // Escalation rung 3: sustained rollbacks (or a watchdog trip)
+    // mean the operating point itself is suspect.  Snap the island
+    // back to the margined-safe voltage and hold it there for an
+    // exponentially growing backoff before undervolting resumes.
+    ++panicResets_;
+    ++*panicResetsStat_;
+    consecutiveRollbacks_ = 0;
+    ckptCtrl_.onReduction(1);
+
+    double hold_us = config_.escalation.backoffUs;
+    for (unsigned i = 0;
+         i < backoffStage_ && hold_us < config_.escalation.backoffMaxUs;
+         ++i)
+        hold_us *= 2.0;
+    hold_us = std::min(hold_us, config_.escalation.backoffMaxUs);
+    ++backoffStage_;
+    Tick hold_until = now + Tick(hold_us * double(ticksPerUs));
+    if (hold_until > backoffUntil_)
+        backoffUntil_ = hold_until;
+
+    if (config_.dvfsEnabled) {
+        voltCtrl_->panicReset();
+        applyOperatingPoint(now);
+        voltTrace_->sample(now, currentVoltage_);
+    }
 }
 
 void
@@ -572,6 +772,7 @@ System::beginRun(const RunLimits &limits)
     isa::loadProgram(program_, archState_, memory_);
     limits_ = limits;
     halted_ = false;
+    lastProgressTick_ = mainCore_->now();
     phase_ = Phase::Running;
 }
 
@@ -599,6 +800,21 @@ System::stepInstruction()
         mainCore_->now() >= limits_.maxTicks) {
         phase_ = Phase::Done;  // limit stop: no drain, partial result
         return;
+    }
+
+    if (config_.mode != Mode::Baseline && watchdogTicks_ != 0) {
+        // Escalation rung 4: if no segment has verified in a whole
+        // watchdog interval, assume the island is wedged in a
+        // detect/rollback livelock and escalate straight to a panic
+        // reset.
+        const Tick now = mainCore_->now();
+        if (now > lastProgressTick_ &&
+            now - lastProgressTick_ >= watchdogTicks_) {
+            ++watchdogTrips_;
+            ++*watchdogTripsStat_;
+            panicResetVoltage(now);
+            lastProgressTick_ = now;
+        }
     }
 
     if (config_.mode != Mode::Baseline) {
@@ -652,7 +868,12 @@ System::stepInstruction()
 
     ++executed_;
     ++netIndex_;
-    maybeEccEvent(r);
+    if (maybeEccEvent(r)) {
+        // Machine check: squash the in-flight instruction stream and
+        // restart the open segment from its checkpoint.
+        machineCheckRollback();
+        return;
+    }
     // Main-core corruption lands *after* commit: subsequent
     // instructions, the log, and the recorded end-of-segment
     // checkpoint all see it, exactly as a latch upset would.
@@ -759,6 +980,13 @@ System::collectResult()
     result.avgCheckersAwake =
         end > 0 ? awakeTickSum_ / double(end) : 0.0;
     result.wakeRates = sched()->wakeRates(end);
+    result.retryVerifies = retryVerifies_;
+    result.retrySaves = retrySaves_;
+    result.quarantines = quarantines_;
+    result.panicResets = panicResets_;
+    result.watchdogTrips = watchdogTrips_;
+    result.dueRollbacks = dueRollbacks_;
+    result.healthyCheckers = sched()->healthyCount();
     result.finalState = archState_;
     result.memoryFingerprint = memory_.fingerprint();
     return result;
@@ -780,6 +1008,10 @@ makeSharedUncore(const SystemConfig &config, unsigned shared_checkers)
             config.lowestIdScheduling ? SchedPolicy::LowestFreeId
                                       : SchedPolicy::RoundRobin,
             config.seed);
+        uncore.checkers->setHealthParams(
+            HealthParams{config.escalation.quarantineEnabled,
+                         config.escalation.strikesToQuarantine,
+                         config.escalation.strikeWindow});
     }
     return uncore;
 }

@@ -73,6 +73,15 @@ struct RunResult
     std::uint64_t errorsDetected = 0;
     std::uint64_t rollbacks = 0;
     std::uint64_t faultsInjected = 0;
+    /** @{ Escalation-ladder event counts (see EscalationParams). */
+    std::uint64_t retryVerifies = 0;  //!< second-checker re-verifications
+    std::uint64_t retrySaves = 0;     //!< retries that avoided rollback
+    std::uint64_t quarantines = 0;    //!< checkers retired from the pool
+    std::uint64_t panicResets = 0;    //!< voltage snaps back to v_safe
+    std::uint64_t watchdogTrips = 0;  //!< forward-progress escalations
+    std::uint64_t dueRollbacks = 0;   //!< double-bit-ECC machine checks
+    unsigned healthyCheckers = 0;     //!< pool size left at run end
+    /** @} */
     double avgVoltage = 0.0;      //!< time-weighted supply voltage
     double avgPower = 0.0;        //!< normalized (1.0 = baseline nom.)
     double avgCheckersAwake = 0.0;
@@ -210,6 +219,14 @@ class System
     const mem::Tlb &dtlb() const { return *dtlb_; }
     /** Memory soft errors transparently corrected by SECDED. */
     std::uint64_t eccCorrected() const { return eccCorrected_; }
+    /** @{ Escalation-ladder event counts so far. */
+    std::uint64_t retryVerifies() const { return retryVerifies_; }
+    std::uint64_t retrySaves() const { return retrySaves_; }
+    std::uint64_t quarantines() const { return quarantines_; }
+    std::uint64_t panicResets() const { return panicResets_; }
+    std::uint64_t watchdogTrips() const { return watchdogTrips_; }
+    std::uint64_t dueRollbacks() const { return dueRollbacks_; }
+    /** @} */
     /** @} */
 
     /** Dump all registered statistics. */
@@ -249,8 +266,36 @@ class System
                addr < config_.mmioBase + config_.mmioSize;
     }
 
-    /** Model a SECDED-corrected soft error on a loaded value. */
-    void maybeEccEvent(const isa::ExecResult &r);
+    /**
+     * Model SECDED events on a loaded value: single-bit upsets are
+     * corrected transparently; a double-bit upset is detected but
+     * uncorrectable.
+     * @return true iff a DUE fired (caller must machine-check).
+     */
+    bool maybeEccEvent(const isa::ExecResult &r);
+
+    /**
+     * Machine-check response to a detected-but-uncorrectable memory
+     * error: roll the open segment back to its checkpoint, restoring
+     * memory through the log (which scrubs the poisoned word), and
+     * resume from verified state.
+     */
+    void machineCheckRollback();
+
+    /**
+     * Escalation rungs 3/4: snap the voltage island back to v_safe,
+     * hold it there for an exponentially growing backoff, and
+     * collapse the checkpoint window to its minimum.
+     */
+    void panicResetVoltage(Tick now);
+
+    /** A segment verified at @p when: feed the progress watchdog. */
+    void
+    noteForwardProgress(Tick when)
+    {
+        if (when > lastProgressTick_)
+            lastProgressTick_ = when;
+    }
 
     /** Apply main-core fault injection after a committed result. */
     void maybeMainCoreFault(const isa::Instruction &inst,
@@ -347,10 +392,24 @@ class System
     std::uint64_t mmioDrains_ = 0;
     std::uint64_t eccCorrected_ = 0;
     std::uint64_t eccGap_ = 0;
+    std::uint64_t dueGap_ = 0;
     Rng eccRng_{0};
     Tick lastPowerTick_ = 0;
     double currentVoltage_;
     double currentFreq_;
+
+    // Escalation-ladder state.
+    std::uint64_t retryVerifies_ = 0;
+    std::uint64_t retrySaves_ = 0;
+    std::uint64_t quarantines_ = 0;
+    std::uint64_t panicResets_ = 0;
+    std::uint64_t watchdogTrips_ = 0;
+    std::uint64_t dueRollbacks_ = 0;
+    unsigned consecutiveRollbacks_ = 0;
+    unsigned backoffStage_ = 0;     //!< exponent of the backoff hold
+    Tick backoffUntil_ = 0;         //!< undervolting suspended until
+    Tick lastProgressTick_ = 0;     //!< last verified-segment retire
+    Tick watchdogTicks_ = 0;        //!< 0 = progress watchdog off
 
     // Incremental-run state.
     Phase phase_ = Phase::Idle;
@@ -367,6 +426,12 @@ class System
     stats::Counter *capacityCuts_;
     stats::Counter *targetCuts_;
     stats::Counter *checkerWaitStalls_;
+    stats::Counter *retriesStat_;
+    stats::Counter *retrySavesStat_;
+    stats::Counter *quarantinesStat_;
+    stats::Counter *panicResetsStat_;
+    stats::Counter *watchdogTripsStat_;
+    stats::Counter *dueRollbacksStat_;
     stats::TimeSeries *voltTrace_;
 };
 

@@ -7,6 +7,32 @@ namespace paradox
 namespace faults
 {
 
+const char *
+persistenceName(Persistence persistence)
+{
+    switch (persistence) {
+      case Persistence::Transient:    return "transient";
+      case Persistence::Intermittent: return "intermittent";
+      case Persistence::Permanent:    return "permanent";
+    }
+    return "unknown";
+}
+
+bool
+parsePersistence(const std::string &name, Persistence &out)
+{
+    if (name == "transient") {
+        out = Persistence::Transient;
+    } else if (name == "intermittent") {
+        out = Persistence::Intermittent;
+    } else if (name == "permanent") {
+        out = Persistence::Permanent;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 FaultInjector::FaultInjector(const FaultConfig &config)
     : config_(config), rng_(config.seed)
 {
@@ -33,19 +59,65 @@ FaultInjector::reset()
 {
     rng_.seed(config_.seed);
     fired_ = 0;
+    latched_ = false;
+    burstLeft_ = 0;
+    siteChosen_ = false;
     resample();
 }
 
 bool
 FaultInjector::consumeEvent()
 {
+    // A pinned fault is physical to one checker: events replayed on
+    // any other core neither fire nor advance the temporal state.
+    if (config_.targetChecker >= 0 &&
+        activeChecker_ != config_.targetChecker)
+        return false;
+
+    if (config_.persistence == Persistence::Permanent && latched_) {
+        ++fired_;
+        return true;
+    }
+    if (config_.persistence == Persistence::Intermittent &&
+        burstLeft_ > 0) {
+        --burstLeft_;
+        if (!rng_.chance(config_.burstBias))
+            return false;
+        ++fired_;
+        return true;
+    }
+
     if (gap_ == std::numeric_limits<std::uint64_t>::max())
         return false;
     if (--gap_ > 0)
         return false;
+
     ++fired_;
-    resample();
+    switch (config_.persistence) {
+      case Persistence::Permanent:
+        latched_ = true;  // stuck from here on; gap never re-arms
+        break;
+      case Persistence::Intermittent:
+        // This event opens (and is part of) a burst at a fresh site.
+        burstLeft_ = config_.burstLength;
+        siteChosen_ = false;
+        resample();
+        break;
+      case Persistence::Transient:
+        resample();
+        break;
+    }
     return true;
+}
+
+void
+FaultInjector::chooseSite(unsigned reg_bound)
+{
+    if (!siteChosen_) {
+        siteBit_ = unsigned(rng_.nextBounded(64));
+        siteReg_ = unsigned(rng_.nextBounded(reg_bound));
+        siteChosen_ = true;
+    }
 }
 
 FaultHit
@@ -59,7 +131,12 @@ FaultInjector::onLogEntry(bool is_load)
     if (!consumeEvent())
         return hit;
     hit.fires = true;
-    hit.bit = unsigned(rng_.nextBounded(64));
+    if (config_.persistence == Persistence::Transient) {
+        hit.bit = unsigned(rng_.nextBounded(64));
+    } else {
+        chooseSite(1);
+        hit.bit = siteBit_;
+    }
     return hit;
 }
 
@@ -79,15 +156,26 @@ FaultInjector::onInstruction(const isa::Instruction &inst, bool wrote_reg)
         if (!wrote_reg)
             return hit;
         hit.fires = true;
-        hit.bit = unsigned(rng_.nextBounded(64));
+        if (config_.persistence == Persistence::Transient) {
+            hit.bit = unsigned(rng_.nextBounded(64));
+        } else {
+            chooseSite(1);
+            hit.bit = siteBit_;
+        }
         return hit;
 
       case FaultKind::RegisterBitFlip:
         if (!consumeEvent())
             return hit;
         hit.fires = true;
-        hit.bit = unsigned(rng_.nextBounded(64));
-        hit.regIndex = unsigned(rng_.nextBounded(isa::numIntRegs));
+        if (config_.persistence == Persistence::Transient) {
+            hit.bit = unsigned(rng_.nextBounded(64));
+            hit.regIndex = unsigned(rng_.nextBounded(isa::numIntRegs));
+        } else {
+            chooseSite(isa::numIntRegs);
+            hit.bit = siteBit_;
+            hit.regIndex = siteReg_;
+        }
         return hit;
 
       default:
@@ -109,6 +197,13 @@ FaultPlan::setAllRates(double rate)
         injector.setRate(rate);
 }
 
+void
+FaultPlan::setActiveChecker(int id)
+{
+    for (auto &injector : injectors_)
+        injector.setActiveChecker(id);
+}
+
 std::uint64_t
 FaultPlan::totalFired() const
 {
@@ -128,18 +223,29 @@ FaultPlan::reset()
 FaultPlan
 uniformPlan(double rate, std::uint64_t seed)
 {
+    return uniformPlan(rate, seed, Persistence::Transient, -1);
+}
+
+FaultPlan
+uniformPlan(double rate, std::uint64_t seed, Persistence persistence,
+            int target_checker)
+{
     FaultPlan plan;
     FaultConfig reg;
     reg.kind = FaultKind::RegisterBitFlip;
     reg.rate = rate;
     reg.targetCategory = isa::RegCategory::Integer;
     reg.seed = seed;
+    reg.persistence = persistence;
+    reg.targetChecker = target_checker;
     plan.add(reg);
 
     FaultConfig log;
     log.kind = FaultKind::LogBitFlip;
     log.rate = rate;
     log.seed = seed ^ 0xabcdef0123456789ULL;
+    log.persistence = persistence;
+    log.targetChecker = target_checker;
     plan.add(log);
     return plan;
 }

@@ -23,7 +23,27 @@
  *    category (integer, float, flags, misc); the gap counts executed
  *    instructions.
  *
- * Inter-arrival gaps are geometric, modelling independent errors.
+ * Orthogonally to *what* is corrupted, each injector has a temporal
+ * *persistence* class (undervolted silicon exhibits all three;
+ * Papadimitriou et al. report workload- and core-dependent clustered
+ * rates, Soyturk et al. report faults recurring at fixed locations):
+ *
+ *  - Transient: independent errors, geometric inter-arrival gaps
+ *    (the original model).
+ *
+ *  - Intermittent: the geometric gap opens a *burst* -- a marginal
+ *    circuit goes bad for a while.  For the next burstLength targeted
+ *    events the fault fires with probability burstBias, always at the
+ *    same (per-burst) bit position, then the injector re-arms.
+ *
+ *  - Permanent: the first firing latches the fault.  From then on
+ *    *every* targeted event fires at the same stuck location --
+ *    a hard defect, recurring at a fixed site.
+ *
+ * An injector may additionally be pinned to a single checker core
+ * (targetChecker >= 0): events observed while any other checker is
+ * replaying do not touch it, modelling a physical defect in one
+ * core rather than an ambient error process.
  */
 
 #ifndef PARADOX_FAULTS_FAULT_MODEL_HH
@@ -50,6 +70,20 @@ enum class FaultKind : std::uint8_t
     RegisterBitFlip,
 };
 
+/** Temporal behaviour of a fault source. */
+enum class Persistence : std::uint8_t
+{
+    Transient,    //!< independent, geometric inter-arrival
+    Intermittent, //!< bursty recurrence at a fixed per-burst site
+    Permanent,    //!< sticky: first firing latches a stuck location
+};
+
+/** Human-readable persistence name. */
+const char *persistenceName(Persistence persistence);
+
+/** Parse a persistence name; returns false on an unknown string. */
+bool parsePersistence(const std::string &name, Persistence &out);
+
 /** Configuration of one injector. */
 struct FaultConfig
 {
@@ -64,6 +98,19 @@ struct FaultConfig
     /** RegisterBitFlip: the targeted register category. */
     isa::RegCategory targetCategory = isa::RegCategory::Integer;
     std::uint64_t seed = 1;
+
+    /** Temporal class (see file comment). */
+    Persistence persistence = Persistence::Transient;
+    /** Intermittent: targeted events per burst window. */
+    unsigned burstLength = 16;
+    /** Intermittent: per-event firing probability inside a burst. */
+    double burstBias = 0.5;
+    /**
+     * Pin the fault to one checker core (-1 = ambient, affects every
+     * checker).  Pinned injectors ignore events replayed on other
+     * checkers entirely: their gap does not advance.
+     */
+    int targetChecker = -1;
 };
 
 /** A decision returned by an injector when it fires. */
@@ -94,6 +141,13 @@ class FaultInjector
     FaultKind kind() const { return config_.kind; }
     const FaultConfig &config() const { return config_; }
 
+    /**
+     * Select which checker core subsequent events belong to (-1 =
+     * unattributed, e.g. main-core events).  Pinned injectors skip
+     * events from non-matching checkers.
+     */
+    void setActiveChecker(int id) { activeChecker_ = id; }
+
     /** A checker consumed a load-store-log data value. */
     FaultHit onLogEntry(bool is_load);
 
@@ -107,17 +161,31 @@ class FaultInjector
     /** Total number of faults this injector has fired. */
     std::uint64_t fired() const { return fired_; }
 
+    /** A permanent fault has latched its stuck location. */
+    bool latched() const { return latched_; }
+
     /** Restart the gap sequence (between independent runs). */
     void reset();
 
   private:
     bool consumeEvent();
     void resample();
+    /** Choose (or reuse) the fault site for a firing event. */
+    void chooseSite(unsigned reg_bound);
 
     FaultConfig config_;
     Rng rng_;
     std::uint64_t gap_ = 0;
     std::uint64_t fired_ = 0;
+    int activeChecker_ = -1;
+
+    // Persistence state: the latched/stuck site (Permanent) or the
+    // current burst's site and remaining budget (Intermittent).
+    bool latched_ = false;
+    unsigned burstLeft_ = 0;
+    bool siteChosen_ = false;
+    unsigned siteBit_ = 0;
+    unsigned siteReg_ = 0;
 };
 
 /** A set of concurrently active injectors. */
@@ -131,6 +199,9 @@ class FaultPlan
 
     /** Retune every injector to @p rate (voltage-driven operation). */
     void setAllRates(double rate);
+
+    /** Attribute subsequent events to checker @p id (-1 = none). */
+    void setActiveChecker(int id);
 
     std::vector<FaultInjector> &injectors() { return injectors_; }
     const std::vector<FaultInjector> &injectors() const
@@ -154,6 +225,13 @@ class FaultPlan
  * source over all memory operations, both at @p rate.
  */
 FaultPlan uniformPlan(double rate, std::uint64_t seed);
+
+/**
+ * The uniform pair with an explicit temporal class, optionally pinned
+ * to checker @p target_checker (campaign sweeps, robustness tests).
+ */
+FaultPlan uniformPlan(double rate, std::uint64_t seed,
+                      Persistence persistence, int target_checker);
 
 } // namespace faults
 } // namespace paradox

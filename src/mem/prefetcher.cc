@@ -23,8 +23,10 @@ StridePrefetcher::observe(Addr pc, Addr addr)
         return std::nullopt;
     }
 
-    const std::int64_t stride =
-        std::int64_t(addr) - std::int64_t(entry.lastAddr);
+    // Subtract in the unsigned domain: wild (fault-injected) addresses
+    // may differ by more than int64 range, and unsigned wraparound is
+    // the two's-complement stride we want.
+    const std::int64_t stride = std::int64_t(addr - entry.lastAddr);
     entry.lastAddr = addr;
 
     if (stride == 0)
@@ -43,8 +45,7 @@ StridePrefetcher::observe(Addr pc, Addr addr)
         return std::nullopt;
 
     ++issued_;
-    return Addr(std::int64_t(addr) +
-                stride * std::int64_t(params_.degree));
+    return addr + Addr(stride) * Addr(params_.degree);
 }
 
 } // namespace mem

@@ -145,6 +145,54 @@ TEST_P(FuzzedProgram, FaultedRunMatchesBaseline)
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedProgram,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+/**
+ * Escalation-ladder property: a *permanent* fault pinned to a single
+ * checker, at any rate and seed, must never corrupt the final state
+ * -- the run ends bit-identical to the fault-free golden run -- and
+ * once the fault has latched, the defective checker is eventually
+ * quarantined.
+ */
+TEST_P(FuzzedProgram, PermanentSingleCheckerFaultIsContained)
+{
+    const std::uint64_t seed = GetParam();
+    Program prog = randomProgram(seed, 40, 200);
+
+    core::SystemConfig base =
+        core::SystemConfig::forMode(core::Mode::Baseline);
+    core::System base_sys(base, prog);
+    core::RunResult golden = base_sys.run();
+    ASSERT_TRUE(golden.halted);
+
+    const double rate = seed % 2 ? 1e-3 : 1e-4;
+    core::SystemConfig config =
+        core::SystemConfig::forMode(core::Mode::ParaDox);
+    config.seed = seed;
+    config.enableEscalation();
+    core::System system(config, prog);
+    system.setFaultPlan(faults::uniformPlan(
+        rate, seed * 13 + 5, faults::Persistence::Permanent, 0));
+    core::RunLimits limits;
+    limits.maxExecuted = 60'000'000;
+    core::RunResult r = system.run(limits);
+
+    ASSERT_TRUE(r.halted) << "seed " << seed;
+    EXPECT_EQ(r.finalState, golden.finalState) << "seed " << seed;
+    EXPECT_EQ(r.memoryFingerprint, golden.memoryFingerprint)
+        << "seed " << seed;
+    // If the fault ever latched, the checker must have detected at
+    // least once; once detections cluster it is retired.  (At low
+    // rates the fault may never latch in a short run -- containment
+    // is the invariant, quarantine is conditional on detections.)
+    if (r.quarantines > 0) {
+        EXPECT_TRUE(system.checkerScheduler().quarantined(0))
+            << "seed " << seed;
+        EXPECT_EQ(r.healthyCheckers, config.checkers.count - 1)
+            << "seed " << seed;
+    }
+    if (r.errorsDetected >= 3)
+        EXPECT_GE(r.quarantines, 1u) << "seed " << seed;
+}
+
 TEST(RollbackEquivalence, WordAndLineGranularityAgree)
 {
     // Same workload, same fault stream; only the rollback mechanism

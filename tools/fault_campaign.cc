@@ -1,0 +1,321 @@
+/**
+ * @file
+ * fault_campaign: differential fault-injection campaign driver.
+ *
+ * Sweeps seeds x fault persistence x rates x escalation configs over
+ * a set of workloads.  Every run executes in a forked child (a
+ * crashing simulator is contained and classified, never takes the
+ * campaign down) and is differentially checked against a golden
+ * fault-free run of the same configuration:
+ *
+ *   ok                completed, bit-identical to golden, no faults
+ *                     needed handling
+ *   detected_ok       completed bit-identical; detections/rollbacks
+ *                     (or quarantines, panics...) occurred en route
+ *   incomplete        hit the execution/time bound (e.g. a permanent
+ *                     fault livelocking the classic config)
+ *   silent_corruption completed but final memory or checksum differs
+ *                     from golden -- the one outcome that must never
+ *                     happen
+ *   crash             the child exited abnormally
+ *
+ * The report is a single JSON document on stdout (or --out FILE).
+ * Exit status is 0 iff the sweep saw no silent corruption and no
+ * crash.
+ *
+ *   fault_campaign [--smoke] [--scale N] [--seeds N] [--out FILE]
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/result_json.hh"
+#include "core/system.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace paradox;
+
+struct RunSpec
+{
+    std::string workload;
+    std::uint64_t seed = 0;
+    faults::Persistence persistence = faults::Persistence::Transient;
+    double rate = 0.0;
+    bool ladder = false;   //!< escalation ladder vs classic config
+    int pinChecker = -1;
+};
+
+struct Golden
+{
+    std::uint64_t fingerprint = 0;
+    std::uint64_t result = 0;
+    std::uint64_t executed = 0;
+    Tick time = 0;
+};
+
+core::SystemConfig
+configFor(const RunSpec &spec, unsigned scale)
+{
+    (void)scale;
+    core::SystemConfig config =
+        core::SystemConfig::forMode(core::Mode::ParaDox);
+    config.seed = spec.seed;
+    if (spec.ladder)
+        config.enableEscalation();
+    return config;
+}
+
+/** Fault-free reference for one workload (run in-process: trusted). */
+Golden
+goldenRun(const workloads::Workload &w, unsigned scale)
+{
+    (void)scale;
+    RunSpec clean;
+    clean.seed = 1;
+    core::SystemConfig config = configFor(clean, scale);
+    core::System system(config, w.program);
+    core::RunResult r = system.run();
+    std::uint64_t got =
+        system.memory().read(workloads::resultAddr, 8);
+    if (!r.halted || got != w.expectedResult) {
+        std::fprintf(stderr,
+                     "fault_campaign: golden run of %s failed\n",
+                     w.name.c_str());
+        std::exit(2);
+    }
+    Golden g;
+    g.fingerprint = r.memoryFingerprint;
+    g.result = got;
+    g.executed = r.executed;
+    g.time = r.time;
+    return g;
+}
+
+/**
+ * Execute one faulty run (called inside the forked child) and print
+ * its classified JSON record to @p out.
+ */
+int
+childRun(const RunSpec &spec, const workloads::Workload &w,
+         const Golden &golden, unsigned scale, FILE *out)
+{
+    core::SystemConfig config = configFor(spec, scale);
+    core::System system(config, w.program);
+    system.setFaultPlan(faults::uniformPlan(
+        spec.rate, spec.seed, spec.persistence, spec.pinChecker));
+
+    // Bound livelocks (e.g. a latched permanent fault on the classic
+    // config re-dispatching to the same checker forever) in terms of
+    // the golden run's cost rather than wall-clock guesses.
+    core::RunLimits limits;
+    limits.maxExecuted = golden.executed * 64 + 200000;
+    limits.maxTicks = golden.time * 256 + ticksPerMs;
+    core::RunResult r = system.run(limits);
+
+    std::uint64_t got =
+        system.memory().read(workloads::resultAddr, 8);
+    const bool identical = r.memoryFingerprint == golden.fingerprint &&
+                           got == golden.result;
+
+    const char *cls;
+    if (!r.halted)
+        cls = "incomplete";
+    else if (!identical)
+        cls = "silent_corruption";
+    else if (r.errorsDetected > 0 || r.dueRollbacks > 0)
+        cls = "detected_ok";
+    else
+        cls = "ok";
+
+    std::fprintf(out,
+                 "{\"workload\":\"%s\",\"seed\":%llu,"
+                 "\"persistence\":\"%s\",\"rate\":%g,"
+                 "\"config\":\"%s\",\"pin_checker\":%d,"
+                 "\"class\":\"%s\",\"result\":%s}",
+                 spec.workload.c_str(),
+                 (unsigned long long)spec.seed,
+                 faults::persistenceName(spec.persistence), spec.rate,
+                 spec.ladder ? "ladder" : "classic", spec.pinChecker,
+                 cls, core::toJson(r).c_str());
+    std::fflush(out);
+    return std::strcmp(cls, "silent_corruption") == 0 ? 3 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    unsigned scale = 2;
+    unsigned seeds = 2;
+    const char *out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
+            scale = unsigned(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
+            seeds = unsigned(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--scale N] [--seeds N]"
+                         " [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<std::string> names = {"bitcount", "stream"};
+    std::vector<double> rates = {1e-6, 1e-5, 1e-4, 1e-3};
+    if (smoke) {
+        names = {"bitcount"};
+        rates = {1e-4};
+        seeds = 1;
+    }
+    const faults::Persistence kinds[] = {
+        faults::Persistence::Transient,
+        faults::Persistence::Intermittent,
+        faults::Persistence::Permanent,
+    };
+
+    FILE *report = stdout;
+    if (out_path) {
+        report = std::fopen(out_path, "w");
+        if (!report) {
+            std::perror(out_path);
+            return 2;
+        }
+    }
+
+    std::fprintf(report, "{\"campaign\":{\"scale\":%u,\"seeds\":%u,"
+                         "\"smoke\":%s},\"runs\":[",
+                 scale, seeds, smoke ? "true" : "false");
+
+    unsigned total = 0, n_ok = 0, n_detected = 0, n_incomplete = 0,
+             n_silent = 0, n_crash = 0;
+    bool first = true;
+
+    for (const std::string &name : names) {
+        workloads::Workload w = workloads::build(name, scale);
+        Golden golden = goldenRun(w, scale);
+        for (unsigned s = 0; s < seeds; ++s) {
+            for (faults::Persistence kind : kinds) {
+                for (double rate : rates) {
+                    for (int ladder = 0; ladder <= 1; ++ladder) {
+                        RunSpec spec;
+                        spec.workload = name;
+                        spec.seed = 12345 + s * 7919;
+                        spec.persistence = kind;
+                        spec.rate = rate;
+                        spec.ladder = ladder != 0;
+                        // A non-transient source models a defect in
+                        // one physical core: pin it to checker 0 (the
+                        // acceptance scenario).  Transients stay
+                        // ambient.
+                        spec.pinChecker =
+                            kind == faults::Persistence::Transient
+                                ? -1
+                                : 0;
+
+                        int fds[2];
+                        if (pipe(fds) != 0) {
+                            std::perror("pipe");
+                            return 2;
+                        }
+                        pid_t pid = fork();
+                        if (pid < 0) {
+                            std::perror("fork");
+                            return 2;
+                        }
+                        if (pid == 0) {
+                            close(fds[0]);
+                            FILE *sink = fdopen(fds[1], "w");
+                            if (!sink)
+                                _exit(4);
+                            alarm(300);  // hard per-run wall bound
+                            int rc = childRun(spec, w, golden, scale,
+                                              sink);
+                            std::fflush(sink);
+                            _exit(rc);
+                        }
+                        close(fds[1]);
+                        std::string record;
+                        char buf[4096];
+                        ssize_t n;
+                        while ((n = read(fds[0], buf, sizeof buf)) > 0)
+                            record.append(buf, std::size_t(n));
+                        close(fds[0]);
+                        int status = 0;
+                        waitpid(pid, &status, 0);
+
+                        ++total;
+                        if (!first)
+                            std::fputc(',', report);
+                        first = false;
+                        const bool clean_exit =
+                            WIFEXITED(status) && !record.empty();
+                        if (!clean_exit) {
+                            ++n_crash;
+                            std::fprintf(
+                                report,
+                                "{\"workload\":\"%s\",\"seed\":%llu,"
+                                "\"persistence\":\"%s\",\"rate\":%g,"
+                                "\"config\":\"%s\","
+                                "\"class\":\"crash\",\"status\":%d}",
+                                spec.workload.c_str(),
+                                (unsigned long long)spec.seed,
+                                faults::persistenceName(
+                                    spec.persistence),
+                                spec.rate,
+                                spec.ladder ? "ladder" : "classic",
+                                status);
+                            continue;
+                        }
+                        std::fputs(record.c_str(), report);
+                        if (record.find("\"class\":\"ok\"") !=
+                            std::string::npos)
+                            ++n_ok;
+                        else if (record.find(
+                                     "\"class\":\"detected_ok\"") !=
+                                 std::string::npos)
+                            ++n_detected;
+                        else if (record.find(
+                                     "\"class\":\"incomplete\"") !=
+                                 std::string::npos)
+                            ++n_incomplete;
+                        else
+                            ++n_silent;
+                    }
+                }
+            }
+        }
+    }
+
+    std::fprintf(report,
+                 "],\"summary\":{\"total\":%u,\"ok\":%u,"
+                 "\"detected_ok\":%u,\"incomplete\":%u,"
+                 "\"silent_corruption\":%u,\"crash\":%u}}\n",
+                 total, n_ok, n_detected, n_incomplete, n_silent,
+                 n_crash);
+    if (report != stdout)
+        std::fclose(report);
+
+    std::fprintf(stderr,
+                 "fault_campaign: %u runs: %u ok, %u detected-ok, "
+                 "%u incomplete, %u silent, %u crash\n",
+                 total, n_ok, n_detected, n_incomplete, n_silent,
+                 n_crash);
+    return (n_silent == 0 && n_crash == 0) ? 0 : 1;
+}

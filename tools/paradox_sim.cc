@@ -7,7 +7,11 @@
  *     --scale N           workload size multiplier (4)
  *     --mode M            baseline | detect | paramedic | paradox
  *     --rate P            fixed per-event fault rate on the checkers
+ *     --persistence K     transient | intermittent | permanent
+ *     --pin-checker N     restrict the injector to checker N
  *     --main-rate P       fault rate on the *main core* itself
+ *     --escalate          enable the fault-escalation ladder
+ *     --timeout-factor N  checker watchdog budget multiplier (24)
  *     --dvfs              error-seeking undervolting (per-workload
  *                         exponential model)
  *     --checkers N        checker-core count (16)
@@ -42,8 +46,12 @@ struct Options
     unsigned scale = 4;
     core::Mode mode = core::Mode::ParaDox;
     double rate = 0.0;
+    faults::Persistence persistence = faults::Persistence::Transient;
+    int pinChecker = -1;
     double mainRate = 0.0;
     bool dvfs = false;
+    bool escalate = false;
+    unsigned timeoutFactor = 24;
     unsigned checkers = 16;
     unsigned maxCkpt = 5000;
     std::uint64_t seed = 12345;
@@ -57,9 +65,11 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--workload NAME] [--scale N] [--mode M]\n"
-                 "          [--rate P] [--main-rate P] [--dvfs]\n"
-                 "          [--checkers N] [--max-ckpt N] [--seed S]\n"
-                 "          [--ecc-rate P] [--stats] [--list]\n",
+                 "          [--rate P] [--persistence K] [--pin-checker N]\n"
+                 "          [--main-rate P] [--dvfs] [--escalate]\n"
+                 "          [--timeout-factor N] [--checkers N]\n"
+                 "          [--max-ckpt N] [--seed S] [--ecc-rate P]\n"
+                 "          [--stats] [--list]\n",
                  argv0);
     std::exit(2);
 }
@@ -101,6 +111,20 @@ main(int argc, char **argv)
             opt.mode = parseMode(need("--mode"));
         else if (!std::strcmp(argv[i], "--rate"))
             opt.rate = std::atof(need("--rate"));
+        else if (!std::strcmp(argv[i], "--persistence")) {
+            const char *name = need("--persistence");
+            if (!faults::parsePersistence(name, opt.persistence)) {
+                std::fprintf(stderr, "unknown persistence '%s'\n",
+                             name);
+                usage(argv[0]);
+            }
+        } else if (!std::strcmp(argv[i], "--pin-checker"))
+            opt.pinChecker = std::atoi(need("--pin-checker"));
+        else if (!std::strcmp(argv[i], "--escalate"))
+            opt.escalate = true;
+        else if (!std::strcmp(argv[i], "--timeout-factor"))
+            opt.timeoutFactor =
+                unsigned(std::atoi(need("--timeout-factor")));
         else if (!std::strcmp(argv[i], "--main-rate"))
             opt.mainRate = std::atof(need("--main-rate"));
         else if (!std::strcmp(argv[i], "--dvfs"))
@@ -126,6 +150,13 @@ main(int argc, char **argv)
         }
     }
 
+    if (opt.pinChecker >= int(opt.checkers)) {
+        std::fprintf(stderr,
+                     "--pin-checker %d out of range (only %u checkers)\n",
+                     opt.pinChecker, opt.checkers);
+        return 2;
+    }
+
     workloads::Workload w = workloads::build(opt.workload, opt.scale);
 
     core::SystemConfig config = core::SystemConfig::forMode(opt.mode);
@@ -135,12 +166,16 @@ main(int argc, char **argv)
     config.checkpointAimd.initial =
         std::min(config.checkpointAimd.initial, opt.maxCkpt);
     config.memoryEccFaultRate = opt.eccRate;
+    config.checkerTimeoutFactor = opt.timeoutFactor;
+    if (opt.escalate)
+        config.enableEscalation();
 
     core::System system(config, w.program);
     if (opt.dvfs)
         system.enableDvfs(power::errorModelParams(opt.workload));
     else if (opt.rate > 0.0)
-        system.setFaultPlan(faults::uniformPlan(opt.rate, opt.seed));
+        system.setFaultPlan(faults::uniformPlan(
+            opt.rate, opt.seed, opt.persistence, opt.pinChecker));
     if (opt.mainRate > 0.0) {
         faults::FaultConfig fc;
         fc.kind = faults::FaultKind::RegisterBitFlip;
@@ -188,6 +223,16 @@ main(int argc, char **argv)
                     (unsigned long long)system.eccCorrected());
     std::printf("checkers awake %.2f of %u average\n",
                 r.avgCheckersAwake, opt.checkers);
+    if (opt.escalate)
+        std::printf("escalation     %llu retries (%llu saved), "
+                    "%llu quarantines, %llu panics, %llu watchdog, "
+                    "%u healthy left\n",
+                    (unsigned long long)r.retryVerifies,
+                    (unsigned long long)r.retrySaves,
+                    (unsigned long long)r.quarantines,
+                    (unsigned long long)r.panicResets,
+                    (unsigned long long)r.watchdogTrips,
+                    r.healthyCheckers);
 
     if (opt.stats) {
         std::ostringstream os;
