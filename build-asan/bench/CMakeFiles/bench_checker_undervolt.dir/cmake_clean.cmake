@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checker_undervolt.dir/bench_checker_undervolt.cc.o"
+  "CMakeFiles/bench_checker_undervolt.dir/bench_checker_undervolt.cc.o.d"
+  "bench_checker_undervolt"
+  "bench_checker_undervolt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checker_undervolt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

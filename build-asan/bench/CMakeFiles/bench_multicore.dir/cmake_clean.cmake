@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicore.dir/bench_multicore.cc.o"
+  "CMakeFiles/bench_multicore.dir/bench_multicore.cc.o.d"
+  "bench_multicore"
+  "bench_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

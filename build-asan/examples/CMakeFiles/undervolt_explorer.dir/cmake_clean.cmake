@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/undervolt_explorer.dir/undervolt_explorer.cpp.o"
+  "CMakeFiles/undervolt_explorer.dir/undervolt_explorer.cpp.o.d"
+  "undervolt_explorer"
+  "undervolt_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/undervolt_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checker_replay.cc" "src/core/CMakeFiles/paradox_core.dir/checker_replay.cc.o" "gcc" "src/core/CMakeFiles/paradox_core.dir/checker_replay.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/paradox_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/paradox_core.dir/config.cc.o.d"
+  "/root/repo/src/core/dvfs.cc" "src/core/CMakeFiles/paradox_core.dir/dvfs.cc.o" "gcc" "src/core/CMakeFiles/paradox_core.dir/dvfs.cc.o.d"
+  "/root/repo/src/core/lslog.cc" "src/core/CMakeFiles/paradox_core.dir/lslog.cc.o" "gcc" "src/core/CMakeFiles/paradox_core.dir/lslog.cc.o.d"
+  "/root/repo/src/core/multicore.cc" "src/core/CMakeFiles/paradox_core.dir/multicore.cc.o" "gcc" "src/core/CMakeFiles/paradox_core.dir/multicore.cc.o.d"
+  "/root/repo/src/core/result_json.cc" "src/core/CMakeFiles/paradox_core.dir/result_json.cc.o" "gcc" "src/core/CMakeFiles/paradox_core.dir/result_json.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/paradox_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/paradox_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/paradox_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/paradox_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/paradox_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/paradox_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/paradox_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/paradox_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/faults/CMakeFiles/paradox_faults.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/power/CMakeFiles/paradox_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

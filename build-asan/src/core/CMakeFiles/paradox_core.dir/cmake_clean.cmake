@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradox_core.dir/checker_replay.cc.o"
+  "CMakeFiles/paradox_core.dir/checker_replay.cc.o.d"
+  "CMakeFiles/paradox_core.dir/config.cc.o"
+  "CMakeFiles/paradox_core.dir/config.cc.o.d"
+  "CMakeFiles/paradox_core.dir/dvfs.cc.o"
+  "CMakeFiles/paradox_core.dir/dvfs.cc.o.d"
+  "CMakeFiles/paradox_core.dir/lslog.cc.o"
+  "CMakeFiles/paradox_core.dir/lslog.cc.o.d"
+  "CMakeFiles/paradox_core.dir/multicore.cc.o"
+  "CMakeFiles/paradox_core.dir/multicore.cc.o.d"
+  "CMakeFiles/paradox_core.dir/result_json.cc.o"
+  "CMakeFiles/paradox_core.dir/result_json.cc.o.d"
+  "CMakeFiles/paradox_core.dir/scheduler.cc.o"
+  "CMakeFiles/paradox_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/paradox_core.dir/system.cc.o"
+  "CMakeFiles/paradox_core.dir/system.cc.o.d"
+  "libparadox_core.a"
+  "libparadox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

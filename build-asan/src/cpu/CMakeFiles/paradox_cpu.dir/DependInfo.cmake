@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_pred.cc" "src/cpu/CMakeFiles/paradox_cpu.dir/branch_pred.cc.o" "gcc" "src/cpu/CMakeFiles/paradox_cpu.dir/branch_pred.cc.o.d"
+  "/root/repo/src/cpu/checker_timing.cc" "src/cpu/CMakeFiles/paradox_cpu.dir/checker_timing.cc.o" "gcc" "src/cpu/CMakeFiles/paradox_cpu.dir/checker_timing.cc.o.d"
+  "/root/repo/src/cpu/main_core.cc" "src/cpu/CMakeFiles/paradox_cpu.dir/main_core.cc.o" "gcc" "src/cpu/CMakeFiles/paradox_cpu.dir/main_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/paradox_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/paradox_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/paradox_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradox_cpu.dir/branch_pred.cc.o"
+  "CMakeFiles/paradox_cpu.dir/branch_pred.cc.o.d"
+  "CMakeFiles/paradox_cpu.dir/checker_timing.cc.o"
+  "CMakeFiles/paradox_cpu.dir/checker_timing.cc.o.d"
+  "CMakeFiles/paradox_cpu.dir/main_core.cc.o"
+  "CMakeFiles/paradox_cpu.dir/main_core.cc.o.d"
+  "libparadox_cpu.a"
+  "libparadox_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradox_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

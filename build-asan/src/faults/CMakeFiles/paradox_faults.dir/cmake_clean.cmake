@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradox_faults.dir/fault_model.cc.o"
+  "CMakeFiles/paradox_faults.dir/fault_model.cc.o.d"
+  "CMakeFiles/paradox_faults.dir/undervolt_model.cc.o"
+  "CMakeFiles/paradox_faults.dir/undervolt_model.cc.o.d"
+  "libparadox_faults.a"
+  "libparadox_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradox_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

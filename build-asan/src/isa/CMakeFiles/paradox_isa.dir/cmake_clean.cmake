@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradox_isa.dir/arch_state.cc.o"
+  "CMakeFiles/paradox_isa.dir/arch_state.cc.o.d"
+  "CMakeFiles/paradox_isa.dir/builder.cc.o"
+  "CMakeFiles/paradox_isa.dir/builder.cc.o.d"
+  "CMakeFiles/paradox_isa.dir/executor.cc.o"
+  "CMakeFiles/paradox_isa.dir/executor.cc.o.d"
+  "CMakeFiles/paradox_isa.dir/instruction.cc.o"
+  "CMakeFiles/paradox_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/paradox_isa.dir/opcode.cc.o"
+  "CMakeFiles/paradox_isa.dir/opcode.cc.o.d"
+  "libparadox_isa.a"
+  "libparadox_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradox_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradox_mem.dir/cache.cc.o"
+  "CMakeFiles/paradox_mem.dir/cache.cc.o.d"
+  "CMakeFiles/paradox_mem.dir/dram.cc.o"
+  "CMakeFiles/paradox_mem.dir/dram.cc.o.d"
+  "CMakeFiles/paradox_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/paradox_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/paradox_mem.dir/memory.cc.o"
+  "CMakeFiles/paradox_mem.dir/memory.cc.o.d"
+  "CMakeFiles/paradox_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/paradox_mem.dir/prefetcher.cc.o.d"
+  "CMakeFiles/paradox_mem.dir/secded.cc.o"
+  "CMakeFiles/paradox_mem.dir/secded.cc.o.d"
+  "CMakeFiles/paradox_mem.dir/tlb.cc.o"
+  "CMakeFiles/paradox_mem.dir/tlb.cc.o.d"
+  "libparadox_mem.a"
+  "libparadox_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradox_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradox_power.dir/power_model.cc.o"
+  "CMakeFiles/paradox_power.dir/power_model.cc.o.d"
+  "CMakeFiles/paradox_power.dir/undervolt_data.cc.o"
+  "CMakeFiles/paradox_power.dir/undervolt_data.cc.o.d"
+  "libparadox_power.a"
+  "libparadox_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradox_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

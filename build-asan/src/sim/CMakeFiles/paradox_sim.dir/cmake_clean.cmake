@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradox_sim.dir/event_queue.cc.o"
+  "CMakeFiles/paradox_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/paradox_sim.dir/rng.cc.o"
+  "CMakeFiles/paradox_sim.dir/rng.cc.o.d"
+  "CMakeFiles/paradox_sim.dir/stats.cc.o"
+  "CMakeFiles/paradox_sim.dir/stats.cc.o.d"
+  "libparadox_sim.a"
+  "libparadox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/GemsFDTD.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/GemsFDTD.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/GemsFDTD.cc.o.d"
+  "/root/repo/src/workloads/astar.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/astar.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/astar.cc.o.d"
+  "/root/repo/src/workloads/bitcount.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/bitcount.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/bitcount.cc.o.d"
+  "/root/repo/src/workloads/bwaves.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/bwaves.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/bwaves.cc.o.d"
+  "/root/repo/src/workloads/bzip2.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/bzip2.cc.o.d"
+  "/root/repo/src/workloads/cactusADM.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/cactusADM.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/cactusADM.cc.o.d"
+  "/root/repo/src/workloads/calculix.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/calculix.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/calculix.cc.o.d"
+  "/root/repo/src/workloads/gcc.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/gcc.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/gcc.cc.o.d"
+  "/root/repo/src/workloads/gobmk.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/gobmk.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/gobmk.cc.o.d"
+  "/root/repo/src/workloads/h264ref.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/h264ref.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/h264ref.cc.o.d"
+  "/root/repo/src/workloads/lbm.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/lbm.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/lbm.cc.o.d"
+  "/root/repo/src/workloads/leslie3d.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/leslie3d.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/leslie3d.cc.o.d"
+  "/root/repo/src/workloads/mcf.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/mcf.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/mcf.cc.o.d"
+  "/root/repo/src/workloads/milc.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/milc.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/milc.cc.o.d"
+  "/root/repo/src/workloads/namd.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/namd.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/namd.cc.o.d"
+  "/root/repo/src/workloads/omnetpp.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/omnetpp.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/omnetpp.cc.o.d"
+  "/root/repo/src/workloads/povray.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/povray.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/povray.cc.o.d"
+  "/root/repo/src/workloads/sjeng.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/sjeng.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/sjeng.cc.o.d"
+  "/root/repo/src/workloads/stream.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/stream.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/stream.cc.o.d"
+  "/root/repo/src/workloads/tonto.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/tonto.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/tonto.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/workload.cc.o.d"
+  "/root/repo/src/workloads/xalancbmk.cc" "src/workloads/CMakeFiles/paradox_workloads.dir/xalancbmk.cc.o" "gcc" "src/workloads/CMakeFiles/paradox_workloads.dir/xalancbmk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/paradox_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/paradox_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/test_cpu.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/test_cpu.dir/test_cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/paradox_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workloads/CMakeFiles/paradox_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/power/CMakeFiles/paradox_power.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/faults/CMakeFiles/paradox_faults.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/paradox_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/paradox_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/paradox_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/paradox_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_escalation.
+# This may be replaced when dependencies are built.

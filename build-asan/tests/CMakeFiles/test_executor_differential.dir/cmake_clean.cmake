@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_differential.dir/test_executor_differential.cc.o"
+  "CMakeFiles/test_executor_differential.dir/test_executor_differential.cc.o.d"
+  "test_executor_differential"
+  "test_executor_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

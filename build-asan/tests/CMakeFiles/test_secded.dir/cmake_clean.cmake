@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secded.dir/test_secded.cc.o"
+  "CMakeFiles/test_secded.dir/test_secded.cc.o.d"
+  "test_secded"
+  "test_secded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

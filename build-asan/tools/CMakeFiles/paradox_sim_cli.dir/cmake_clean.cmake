@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradox_sim_cli.dir/paradox_sim.cc.o"
+  "CMakeFiles/paradox_sim_cli.dir/paradox_sim.cc.o.d"
+  "paradox_sim"
+  "paradox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradox_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
