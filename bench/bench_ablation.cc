@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common.hh"
 
@@ -29,31 +30,13 @@ struct Variant
     void (*tweak)(core::SystemConfig &);
 };
 
-void
-reportVariant(const char *workload, const Variant &variant,
-              double rate)
-{
-    workloads::Workload w = workloads::build(workload, 1);
-    core::SystemConfig config =
-        core::SystemConfig::forMode(core::Mode::ParaDox);
-    variant.tweak(config);
-    core::System system(config, w.program);
-    system.setFaultPlan(faults::uniformPlan(rate, 99));
-    core::RunResult r = system.run(defaultLimits());
-
-    std::printf("%-9s %-18s %9.3f ms  rolls %5llu  "
-                "rollback %8.1f ns  ckptlen %7.0f\n",
-                workload, variant.name, r.seconds() * 1e3,
-                (unsigned long long)r.rollbacks,
-                system.rollbackTimesNs().mean(),
-                system.checkpointLengths().mean());
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::Runner runner = benchRunner("bench_ablation", argc, argv);
+
     banner("Ablation: ParaDox mechanisms at error rate 3e-4");
 
     const Variant variants[] = {
@@ -68,10 +51,33 @@ main()
          [](core::SystemConfig &c) { c.lowestIdScheduling = false; }},
     };
 
+    std::vector<exp::ExperimentSpec> specs;
     for (const char *workload : {"bitcount", "stream"}) {
-        for (const Variant &variant : variants)
-            reportVariant(workload, variant, 3e-4);
-        std::printf("\n");
+        for (const Variant &variant : variants) {
+            exp::ExperimentSpec spec;
+            spec.label = variant.name;
+            spec.workload = workload;
+            spec.mode = core::Mode::ParaDox;
+            spec.faultRate = 3e-4;
+            spec.seed = 99;
+            spec.configure = variant.tweak;
+            specs.push_back(spec);
+        }
+    }
+
+    std::vector<exp::RunOutcome> outcomes = runner.run(specs);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const exp::RunOutcome &o = outcomes[i];
+        std::printf("%-9s %-18s %9.3f ms  rolls %5llu  "
+                    "rollback %8.1f ns  ckptlen %7.0f\n",
+                    specs[i].workload.c_str(),
+                    specs[i].label.c_str(),
+                    o.result.seconds() * 1e3,
+                    (unsigned long long)o.result.rollbacks,
+                    o.rollbackNs.mean, o.ckptLen.mean);
+        if (i % 4 == 3)
+            std::printf("\n");
     }
     return 0;
 }

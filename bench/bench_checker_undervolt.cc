@@ -18,14 +18,19 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common.hh"
+#include "power/power_model.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace paradox;
     using namespace paradox::bench;
+
+    exp::Runner runner =
+        benchRunner("bench_checker_undervolt", argc, argv);
 
     banner("Checker-island undervolting (section IV-E analysis)");
 
@@ -36,21 +41,36 @@ main()
         faults::UndervoltErrorModel::Params{0.980, 0.805, 282.0});
     power::PowerModel pm;
 
+    std::vector<double> volts;
+    for (double v = 0.98; v >= 0.829; v -= 0.015)
+        volts.push_back(v);
+
+    // Spec 0 is the clean reference run; one spec per island voltage
+    // after it.
+    std::vector<exp::ExperimentSpec> specs;
+    exp::ExperimentSpec base;
+    base.workload = "bitcount";
+    base.scale = 4;
+    base.mode = core::Mode::ParaDox;
+    specs.push_back(base);
+    for (double v : volts) {
+        exp::ExperimentSpec spec = base;
+        spec.faultRate = checker_model.perInstructionRate(v);
+        spec.seed = 4242;
+        specs.push_back(spec);
+    }
+
+    std::vector<exp::RunOutcome> outcomes = runner.run(specs);
+    const double base_ms = outcomes[0].result.seconds() * 1e3;
+
     std::printf("%-10s %-12s %-14s %-12s %-12s %-10s\n", "Vchk",
                 "chk rate", "time (ms)", "errors", "chk power",
                 "net gain");
     const double full_complex = pm.params().checkerComplexFraction;
 
-    for (double v = 0.98; v >= 0.829; v -= 0.015) {
-        const double rate = checker_model.perInstructionRate(v);
-
-        workloads::Workload w = workloads::build("bitcount", 4);
-        core::SystemConfig config =
-            core::SystemConfig::forMode(core::Mode::ParaDox);
-        core::System system(config, w.program);
-        system.setFaultPlan(faults::uniformPlan(rate, 4242));
-        core::RunLimits limits = defaultLimits();
-        core::RunResult r = system.run(limits);
+    for (std::size_t i = 0; i < volts.size(); ++i) {
+        const double v = volts[i];
+        const core::RunResult &r = outcomes[i + 1].result;
 
         // Checker-complex power scales like the core model, weighted
         // by its ~5% share and the measured wake rates.
@@ -58,26 +78,19 @@ main()
             pm.corePower(v, pm.params().fNominal) /
             pm.corePower(pm.params().vNominal, pm.params().fNominal);
         double awake_fraction = r.avgCheckersAwake / 16.0;
-        double chk_power = full_complex * awake_fraction * island_scale;
+        double chk_power =
+            full_complex * awake_fraction * island_scale;
         double chk_saving =
             full_complex * awake_fraction * (1.0 - island_scale);
         // Net gain: checker power saved minus the time overhead
         // (time costs whole-system energy ~ 1.0 x slowdown).
-        double base_ms = 0.0;
-        {
-            workloads::Workload wb = workloads::build("bitcount", 4);
-            core::SystemConfig cb =
-                core::SystemConfig::forMode(core::Mode::ParaDox);
-            core::System sb(cb, wb.program);
-            base_ms = sb.run(defaultLimits()).seconds() * 1e3;
-        }
         double slow = (r.seconds() * 1e3) / base_ms;
         double net = chk_saving - (slow - 1.0);
 
-        std::printf("%-10.3f %-12.2e %-14.3f %-12llu %-12.4f %+-10.4f\n",
-                    v, rate, r.seconds() * 1e3,
-                    (unsigned long long)r.errorsDetected, chk_power,
-                    net);
+        std::printf(
+            "%-10.3f %-12.2e %-14.3f %-12llu %-12.4f %+-10.4f\n", v,
+            specs[i + 1].faultRate, r.seconds() * 1e3,
+            (unsigned long long)r.errorsDetected, chk_power, net);
     }
     std::printf("\n(net gain never exceeds ~0.7%% and goes sharply "
                 "negative once errors are dense --\n the paper's "

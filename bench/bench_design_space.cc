@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common.hh"
 
@@ -22,59 +23,87 @@ namespace
 using namespace paradox;
 using namespace paradox::bench;
 
-core::RunResult
-runWith(const char *workload, unsigned max_ckpt, unsigned checkers,
-        double rate, bool adaptive = true)
+exp::ExperimentSpec
+pointSpec(const char *workload, unsigned max_ckpt, unsigned checkers,
+          double rate, bool adaptive = true)
 {
-    workloads::Workload w = workloads::build(workload, 2);
-    core::SystemConfig config =
-        core::SystemConfig::forMode(core::Mode::ParaDox);
-    config.checkpointAimd.maxLength = max_ckpt;
-    config.checkpointAimd.initial = std::min(1000u, max_ckpt);
-    config.adaptiveCheckpoints = adaptive;
-    config.checkers.count = checkers;
-    core::System system(config, w.program);
-    if (rate > 0.0)
-        system.setFaultPlan(faults::uniformPlan(rate, 31));
-    core::RunLimits limits = defaultLimits();
-    return system.run(limits);
+    exp::ExperimentSpec spec;
+    spec.workload = workload;
+    spec.scale = 2;
+    spec.mode = core::Mode::ParaDox;
+    spec.maxCheckpoint = max_ckpt;
+    spec.checkers = checkers;
+    spec.faultRate = rate;
+    spec.seed = 31;
+    if (!adaptive)
+        spec.configure = [](core::SystemConfig &c) {
+            c.adaptiveCheckpoints = false;
+        };
+    return spec;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::Runner runner = benchRunner("bench_design_space", argc, argv);
+
+    const unsigned lengths[] = {100, 500, 1000, 2000, 5000, 10000};
+    const unsigned counts[] = {4, 8, 12, 16, 24, 32};
+    const double rates[] = {0.0, 1e-4, 1e-3};
+
+    // One flat batch: sweep A (fixed lengths), the AIMD reference
+    // points, then sweep B (checker counts).
+    std::vector<exp::ExperimentSpec> specs;
+    for (const char *workload : {"bitcount", "stream"})
+        for (unsigned len : lengths)
+            for (double rate : rates)
+                specs.push_back(
+                    pointSpec(workload, len, 16, rate, false));
+    const std::size_t aimd_base = specs.size();
+    for (double rate : rates)
+        specs.push_back(pointSpec("bitcount", 5000, 16, rate));
+    const std::size_t count_base = specs.size();
+    for (const char *workload : {"bitcount", "stream"})
+        for (unsigned n : counts)
+            specs.push_back(pointSpec(workload, 5000, n, 0.0));
+
+    std::vector<exp::RunOutcome> outcomes = runner.run(specs);
+
     banner("Design space A: fixed checkpoint length, no AIMD "
            "(16 checkers) -- the tension AIMD resolves");
     std::printf("%-9s %-9s %-14s %-14s %-14s\n", "workload", "length",
                 "t(ms) rate=0", "t(ms) 1e-4", "t(ms) 1e-3");
+    std::size_t idx = 0;
     for (const char *workload : {"bitcount", "stream"}) {
-        for (unsigned len : {100u, 500u, 1000u, 2000u, 5000u,
-                             10000u}) {
-            auto clean = runWith(workload, len, 16, 0.0, false);
-            auto mid = runWith(workload, len, 16, 1e-4, false);
-            auto high = runWith(workload, len, 16, 1e-3, false);
+        for (unsigned len : lengths) {
+            const double t0 =
+                outcomes[idx++].result.seconds() * 1e3;
+            const double t1 =
+                outcomes[idx++].result.seconds() * 1e3;
+            const double t2 =
+                outcomes[idx++].result.seconds() * 1e3;
             std::printf("%-9s %-9u %-14.3f %-14.3f %-14.3f\n",
-                        workload, len, clean.seconds() * 1e3,
-                        mid.seconds() * 1e3, high.seconds() * 1e3);
+                        workload, len, t0, t1, t2);
         }
         std::printf("\n");
     }
     std::printf("(AIMD reference: adaptive lengths give "
                 "t(0)=%.3f / t(1e-4)=%.3f / t(1e-3)=%.3f ms "
                 "on bitcount)\n\n",
-                runWith("bitcount", 5000, 16, 0.0).seconds() * 1e3,
-                runWith("bitcount", 5000, 16, 1e-4).seconds() * 1e3,
-                runWith("bitcount", 5000, 16, 1e-3).seconds() * 1e3);
+                outcomes[aimd_base].result.seconds() * 1e3,
+                outcomes[aimd_base + 1].result.seconds() * 1e3,
+                outcomes[aimd_base + 2].result.seconds() * 1e3);
 
     banner("Design space B: checker-core count (5000-inst cap, "
            "error-free)");
     std::printf("%-9s %-9s %-10s %-14s\n", "workload", "checkers",
                 "t(ms)", "avg awake");
+    idx = count_base;
     for (const char *workload : {"bitcount", "stream"}) {
-        for (unsigned n : {4u, 8u, 12u, 16u, 24u, 32u}) {
-            auto r = runWith(workload, 5000, n, 0.0);
+        for (unsigned n : counts) {
+            const core::RunResult &r = outcomes[idx++].result;
             std::printf("%-9s %-9u %-10.3f %-14.2f\n", workload, n,
                         r.seconds() * 1e3, r.avgCheckersAwake);
         }

@@ -16,48 +16,58 @@
 #include <vector>
 
 #include "common.hh"
+#include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace paradox;
     using namespace paradox::bench;
+
+    exp::Runner runner = benchRunner("bench_fig10", argc, argv);
 
     banner("Figure 10: normalized slowdown "
            "(detection-only / ParaMedic / ParaDox+DVS)");
     std::printf("%-11s %-12s %-12s %-12s\n", "workload", "detect",
                 "paramedic", "paradox-dvs");
 
-    std::vector<double> detect, medic, dox;
-    for (const std::string &name : workloads::specNames()) {
-        RunSpec base;
+    // Four runs per workload: baseline, detect, paramedic, dox+dvs.
+    const std::vector<std::string> &names = workloads::specNames();
+    std::vector<exp::ExperimentSpec> specs;
+    for (const std::string &name : names) {
+        exp::ExperimentSpec base;
         base.mode = core::Mode::Baseline;
         base.workload = name;
         base.scale = 16;  // long enough for DVS steady state
-        core::RunResult rb = runSpec(base);
-        const double t0 = double(rb.time);
+        specs.push_back(base);
 
-        RunSpec d = base;
+        exp::ExperimentSpec d = base;
         d.mode = core::Mode::DetectionOnly;
-        core::RunResult rd = runSpec(d);
+        specs.push_back(d);
 
-        RunSpec m = base;
+        exp::ExperimentSpec m = base;
         m.mode = core::Mode::ParaMedic;
-        core::RunResult rm = runSpec(m);
+        specs.push_back(m);
 
-        RunSpec p = base;
+        exp::ExperimentSpec p = base;
         p.mode = core::Mode::ParaDox;
         p.dvfs = true;
-        core::RunResult rp = runSpec(p);
+        specs.push_back(p);
+    }
 
-        double sd = double(rd.time) / t0;
-        double sm = double(rm.time) / t0;
-        double sp = double(rp.time) / t0;
+    std::vector<exp::RunOutcome> outcomes = runner.run(specs);
+
+    std::vector<double> detect, medic, dox;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const double t0 = double(outcomes[4 * i].result.time);
+        const double sd = double(outcomes[4 * i + 1].result.time) / t0;
+        const double sm = double(outcomes[4 * i + 2].result.time) / t0;
+        const double sp = double(outcomes[4 * i + 3].result.time) / t0;
         detect.push_back(sd);
         medic.push_back(sm);
         dox.push_back(sp);
-        std::printf("%-11s %-12.3f %-12.3f %-12.3f\n", name.c_str(),
-                    sd, sm, sp);
+        std::printf("%-11s %-12.3f %-12.3f %-12.3f\n",
+                    names[i].c_str(), sd, sm, sp);
     }
     std::printf("%-11s %-12.3f %-12.3f %-12.3f\n", "gmean",
                 geomean(detect), geomean(medic), geomean(dox));

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common.hh"
 
@@ -22,81 +23,93 @@ namespace
 using namespace paradox;
 using namespace paradox::bench;
 
-struct TraceResult
+struct Trace
 {
-    core::RunResult run;
-    std::vector<std::pair<Tick, double>> trace;
-    double highestError;
-    double steadyAverage;
+    std::vector<std::pair<Tick, double>> samples;
+    double highestError = 0.0;
+
+    double
+    steadyAverage() const
+    {
+        // Steady state: time-ordered second half of the trace.
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (std::size_t i = samples.size() / 2; i < samples.size();
+             ++i) {
+            sum += samples[i].second;
+            ++n;
+        }
+        return n ? sum / double(n) : 0.0;
+    }
 };
 
-TraceResult
-runPolicy(bool dynamic_decrease)
+exp::ExperimentSpec
+policySpec(bool dynamic_decrease, Trace &out)
 {
-    workloads::Workload w = workloads::build("bitcount", 96);
-    core::SystemConfig config =
-        core::SystemConfig::forMode(core::Mode::ParaDox);
-    config.voltage.dynamicDecrease = dynamic_decrease;
-    core::System system(config, w.program);
-    system.enableDvfs(power::errorModelParams("bitcount"));
-    core::RunLimits limits;
-    limits.maxExecuted = 400'000'000;
-    limits.maxTicks = ticksPerMs * 40;
-
-    TraceResult out{system.run(limits), {}, 0.0, 0.0};
-    out.trace = system.voltageTrace().samples();
-    out.highestError =
-        system.voltageController().highestErrorVoltage();
-    // Steady state: time-ordered second half of the trace.
-    double sum = 0.0;
-    std::size_t n = 0;
-    for (std::size_t i = out.trace.size() / 2; i < out.trace.size();
-         ++i) {
-        sum += out.trace[i].second;
-        ++n;
-    }
-    out.steadyAverage = n ? sum / double(n) : 0.0;
-    return out;
+    exp::ExperimentSpec spec;
+    spec.workload = "bitcount";
+    spec.scale = 96;
+    spec.mode = core::Mode::ParaDox;
+    spec.dvfs = true;
+    spec.limits.maxExecuted = 400'000'000;
+    spec.limits.maxTicks = ticksPerMs * 40;
+    spec.configure = [dynamic_decrease](core::SystemConfig &c) {
+        c.voltage.dynamicDecrease = dynamic_decrease;
+    };
+    spec.observe = [&out](core::System &system, exp::RunOutcome &) {
+        out.samples = system.voltageTrace().samples();
+        out.highestError =
+            system.voltageController().highestErrorVoltage();
+    };
+    return spec;
 }
 
 void
-printDecimated(const char *label, const TraceResult &t)
+printDecimated(const char *label, const Trace &t)
 {
     std::printf("\n# %s voltage trace (time_ms voltage_v), "
                 "%zu samples decimated to <=40 rows\n",
-                label, t.trace.size());
+                label, t.samples.size());
     const std::size_t step =
-        t.trace.size() > 40 ? t.trace.size() / 40 : 1;
-    for (std::size_t i = 0; i < t.trace.size(); i += step) {
+        t.samples.size() > 40 ? t.samples.size() / 40 : 1;
+    for (std::size_t i = 0; i < t.samples.size(); i += step) {
         std::printf("%8.3f  %6.4f\n",
-                    double(t.trace[i].first) / double(ticksPerMs),
-                    t.trace[i].second);
+                    double(t.samples[i].first) / double(ticksPerMs),
+                    t.samples[i].second);
     }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::Runner runner = benchRunner("bench_fig11", argc, argv);
+
     banner("Figure 11: voltage over time on ParaDox running bitcount");
 
-    TraceResult dynamic = runPolicy(true);
-    TraceResult constant = runPolicy(false);
+    Trace dynamic, constant;
+    std::vector<exp::ExperimentSpec> specs = {
+        policySpec(true, dynamic),
+        policySpec(false, constant),
+    };
+    std::vector<exp::RunOutcome> outcomes = runner.run(specs);
+    const core::RunResult &rd = outcomes[0].result;
+    const core::RunResult &rc = outcomes[1].result;
 
-    std::printf("%-22s %-14s %-14s\n", "metric", "dynamic", "constant");
+    std::printf("%-22s %-14s %-14s\n", "metric", "dynamic",
+                "constant");
     std::printf("%-22s %-14.4f %-14.4f\n", "steady-state avg V",
-                dynamic.steadyAverage, constant.steadyAverage);
+                dynamic.steadyAverage(), constant.steadyAverage());
     std::printf("%-22s %-14.4f %-14.4f\n", "highest error V",
                 dynamic.highestError, constant.highestError);
     std::printf("%-22s %-14llu %-14llu\n", "errors",
-                (unsigned long long)dynamic.run.errorsDetected,
-                (unsigned long long)constant.run.errorsDetected);
+                (unsigned long long)rd.errorsDetected,
+                (unsigned long long)rc.errorsDetected);
     std::printf("%-22s %-14.3f %-14.3f\n", "simulated time (ms)",
-                dynamic.run.seconds() * 1e3,
-                constant.run.seconds() * 1e3);
+                rd.seconds() * 1e3, rc.seconds() * 1e3);
     std::printf("%-22s %-14.4f %-14.4f\n", "avg voltage (whole run)",
-                dynamic.run.avgVoltage, constant.run.avgVoltage);
+                rd.avgVoltage, rc.avgVoltage);
 
     printDecimated("dynamic-decrease", dynamic);
     printDecimated("constant-decrease", constant);

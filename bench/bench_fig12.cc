@@ -10,15 +10,20 @@
  * basis for the paper's checker-sharing observation.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "common.hh"
+#include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace paradox;
     using namespace paradox::bench;
+
+    exp::Runner runner = benchRunner("bench_fig12", argc, argv);
 
     banner("Figure 12: per-checker wake rates under aggressive "
            "gating");
@@ -27,14 +32,21 @@ main()
         std::printf(" c%02d ", i);
     std::printf("  avg-awake\n");
 
-    double worst_avg = 0.0;
-    for (const std::string &name : workloads::specNames()) {
-        RunSpec spec;
+    const std::vector<std::string> &names = workloads::specNames();
+    std::vector<exp::ExperimentSpec> specs;
+    for (const std::string &name : names) {
+        exp::ExperimentSpec spec;
         spec.mode = core::Mode::ParaDox;
         spec.workload = name;
-        core::RunResult r = runSpec(spec);
+        specs.push_back(spec);
+    }
 
-        std::printf("%-11s", name.c_str());
+    std::vector<exp::RunOutcome> outcomes = runner.run(specs);
+
+    double worst_avg = 0.0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const core::RunResult &r = outcomes[i].result;
+        std::printf("%-11s", names[i].c_str());
         for (double rate : r.wakeRates)
             std::printf(" %4.2f", rate);
         std::printf("  %6.2f\n", r.avgCheckersAwake);

@@ -16,51 +16,54 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace paradox;
     using namespace paradox::bench;
 
+    exp::Runner runner = benchRunner("bench_fig8", argc, argv);
+
     banner("Figure 8: bitcount slowdown vs error rate "
            "(relative to fault-free ParaMedic)");
-
-    RunSpec base;
-    base.mode = core::Mode::ParaMedic;
-    base.workload = "bitcount";
-    core::RunResult reference = runSpec(base);
-    if (!reference.halted) {
-        std::printf("baseline did not complete\n");
-        return 1;
-    }
-    const double t0 = double(reference.time);
 
     const std::vector<double> rates = {1e-7, 3e-7, 1e-6, 3e-6, 1e-5,
                                        3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
                                        1e-2};
 
-    std::printf("%-10s %-22s %-22s\n", "rate",
-                "ParaMedic slowdown", "ParaDox slowdown");
+    // Spec 0 is the fault-free reference; then one pair per rate.
+    std::vector<exp::ExperimentSpec> specs;
+    exp::ExperimentSpec base;
+    base.mode = core::Mode::ParaMedic;
+    base.workload = "bitcount";
+    specs.push_back(base);
     for (double rate : rates) {
-        double slow[2];
-        int idx = 0;
         for (core::Mode mode :
              {core::Mode::ParaMedic, core::Mode::ParaDox}) {
-            RunSpec spec;
+            exp::ExperimentSpec spec = base;
             spec.mode = mode;
-            spec.workload = "bitcount";
             spec.faultRate = rate;
-            core::RunResult r = runSpec(spec);
-            if (r.halted) {
-                slow[idx] = double(r.time) / t0;
-            } else {
-                // Did not complete within the execution budget:
-                // report a lower bound on the slowdown (livelock).
-                slow[idx] = double(r.time) / t0;
-            }
-            ++idx;
+            specs.push_back(spec);
         }
-        std::printf("%-10.0e %-22.2f %-22.2f\n", rate, slow[0],
-                    slow[1]);
+    }
+
+    std::vector<exp::RunOutcome> outcomes = runner.run(specs);
+    if (!outcomes[0].result.halted) {
+        std::printf("baseline did not complete\n");
+        return 1;
+    }
+    const double t0 = double(outcomes[0].result.time);
+
+    std::printf("%-10s %-22s %-22s\n", "rate",
+                "ParaMedic slowdown", "ParaDox slowdown");
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        // An unfinished run still reports a lower bound on the
+        // slowdown (livelock).
+        const double medic =
+            double(outcomes[1 + 2 * i].result.time) / t0;
+        const double dox =
+            double(outcomes[2 + 2 * i].result.time) / t0;
+        std::printf("%-10.0e %-22.2f %-22.2f\n", rates[i], medic,
+                    dox);
     }
     return 0;
 }

@@ -23,55 +23,62 @@ namespace
 using namespace paradox;
 using namespace paradox::bench;
 
-void
-reportPoint(const char *workload, core::Mode mode, double rate)
+exp::ExperimentSpec
+pointSpec(const char *workload, core::Mode mode, double rate)
 {
+    exp::ExperimentSpec spec;
+    spec.workload = workload;
+    spec.mode = mode;
+    spec.faultRate = rate;
+    spec.seed = 1234;
     // Longer runs at lower rates, so each point observes errors.
-    unsigned scale = 1;
+    spec.scale = 1;
     if (rate <= 1e-7)
-        scale = 96;
+        spec.scale = 96;
     else if (rate <= 1e-6)
-        scale = 24;
+        spec.scale = 24;
     else if (rate <= 1e-5)
-        scale = 6;
-    workloads::Workload w = workloads::build(workload, scale);
-    core::SystemConfig config = core::SystemConfig::forMode(mode);
-    core::System system(config, w.program);
-    system.setFaultPlan(faults::uniformPlan(rate, 1234));
-    core::RunLimits limits = defaultLimits();
-    limits.maxExecuted = 300'000'000;
-    limits.maxTicks = ticksPerMs * 2000;
-    core::RunResult r = system.run(limits);
-
-    const auto &rollback = system.rollbackTimesNs();
-    const auto &wasted = system.wastedExecNs();
-    std::printf("%-9s %-10s %-8.0e %7llu  "
-                "%10.1f [%8.1f,%10.1f]  %10.1f [%8.1f,%10.1f]\n",
-                workload, core::modeName(mode), rate,
-                static_cast<unsigned long long>(r.rollbacks),
-                rollback.mean(), rollback.min(), rollback.max(),
-                wasted.mean(), wasted.min(), wasted.max());
+        spec.scale = 6;
+    spec.limits.maxExecuted = 300'000'000;
+    spec.limits.maxTicks = ticksPerMs * 2000;
+    return spec;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::Runner runner = benchRunner("bench_fig9", argc, argv);
+
     banner("Figure 9: mean recovery overheads (ns), with ranges");
     std::printf("%-9s %-10s %-8s %7s  %-34s %-34s\n", "workload",
                 "system", "rate", "rolls",
                 "rollback ns mean [min,max]",
                 "wasted-exec ns mean [min,max]");
 
-    for (const char *workload : {"bitcount", "stream"}) {
-        for (double rate : {1e-7, 1e-6, 1e-5, 1e-4}) {
+    std::vector<exp::ExperimentSpec> specs;
+    for (const char *workload : {"bitcount", "stream"})
+        for (double rate : {1e-7, 1e-6, 1e-5, 1e-4})
             for (core::Mode mode :
-                 {core::Mode::ParaMedic, core::Mode::ParaDox}) {
-                reportPoint(workload, mode, rate);
-            }
-        }
-        std::printf("\n");
+                 {core::Mode::ParaMedic, core::Mode::ParaDox})
+                specs.push_back(pointSpec(workload, mode, rate));
+
+    std::vector<exp::RunOutcome> outcomes = runner.run(specs);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const exp::ExperimentSpec &spec = specs[i];
+        const exp::RunOutcome &o = outcomes[i];
+        std::printf("%-9s %-10s %-8.0e %7llu  "
+                    "%10.1f [%8.1f,%10.1f]  %10.1f [%8.1f,%10.1f]\n",
+                    spec.workload.c_str(), core::modeName(spec.mode),
+                    spec.faultRate,
+                    static_cast<unsigned long long>(o.result.rollbacks),
+                    o.rollbackNs.mean, o.rollbackNs.min,
+                    o.rollbackNs.max, o.wastedNs.mean, o.wastedNs.min,
+                    o.wastedNs.max);
+        if (i % 8 == 7)
+            std::printf("\n");
     }
     return 0;
 }

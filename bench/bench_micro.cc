@@ -2,12 +2,15 @@
  * @file
  * Substrate micro-benchmarks (google-benchmark): the hot primitives
  * of the simulator itself -- functional execution, cache lookups,
- * SECDED coding, branch prediction, DRAM timing and RNG.
+ * SECDED coding, branch prediction, DRAM timing, RNG, and the
+ * experiment-runner fan-out overhead.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "cpu/branch_pred.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
 #include "isa/builder.hh"
 #include "isa/executor.hh"
 #include "mem/cache.hh"
@@ -146,6 +149,48 @@ BM_MemoryWrite(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MemoryWrite);
+
+void
+BM_RunnerFanout(benchmark::State &state)
+{
+    // Pool setup + ordered-result plumbing for trivial jobs: the
+    // fixed overhead a sweep pays on top of its simulations.
+    exp::RunnerOptions opt;
+    opt.jobs = unsigned(state.range(0));
+    exp::Runner runner(opt);
+    for (auto _ : state) {
+        std::vector<int> out = runner.map<int>(
+            64, [](std::size_t i) { return int(i) * 3; });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 64);
+}
+BENCHMARK(BM_RunnerFanout)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_RunOneSmallest(benchmark::State &state)
+{
+    // A whole ExperimentSpec round trip on the smallest workload:
+    // the per-job floor of any campaign.
+    exp::ExperimentSpec spec;
+    spec.workload = "bitcount";
+    spec.scale = 1;
+    for (auto _ : state) {
+        exp::RunOutcome out = exp::runOne(spec);
+        benchmark::DoNotOptimize(out.result.time);
+    }
+}
+BENCHMARK(BM_RunOneSmallest);
+
+void
+BM_RecordJson(benchmark::State &state)
+{
+    exp::ExperimentSpec spec;
+    exp::RunOutcome out = exp::runOne(spec);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exp::recordJson(spec, out));
+}
+BENCHMARK(BM_RecordJson);
 
 } // namespace
 

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Runner scaling: demonstrates that exp::Runner gives near-linear
+ * wall-clock speedup over the serial sweep while producing
+ * bitwise-identical aggregated results at every job count.
+ *
+ * A fixed batch of independent simulations is executed serially
+ * (--jobs 1) to establish both the reference wall-clock and the
+ * reference records, then re-executed at increasing job counts.  At
+ * each point, every record (spec + full RunResult JSON) must match
+ * the serial run byte for byte; the speedup curve is printed last.
+ * Exit status is non-zero if any record diverges.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "exp/sink.hh"
+
+namespace
+{
+
+using namespace paradox;
+using namespace paradox::bench;
+
+/** The sweep: workloads x rates x seeds, all independent. */
+std::vector<exp::ExperimentSpec>
+makeBatch(unsigned runs_per_point, unsigned scale)
+{
+    std::vector<exp::ExperimentSpec> specs;
+    for (const char *workload : {"bitcount", "stream"}) {
+        for (double rate : {0.0, 1e-5, 1e-4}) {
+            for (unsigned s = 0; s < runs_per_point; ++s) {
+                exp::ExperimentSpec spec;
+                spec.workload = workload;
+                spec.scale = scale;
+                spec.mode = core::Mode::ParaDox;
+                spec.faultRate = rate;
+                spec.seed = 12345 + s * 7919;
+                specs.push_back(spec);
+            }
+        }
+    }
+    return specs;
+}
+
+std::vector<std::string>
+records(const std::vector<exp::ExperimentSpec> &specs,
+        const std::vector<exp::RunOutcome> &outcomes)
+{
+    std::vector<std::string> out;
+    out.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        out.push_back(exp::recordJson(specs[i], outcomes[i]));
+    return out;
+}
+
+double
+timedRun(const std::vector<exp::ExperimentSpec> &specs, unsigned jobs,
+         std::vector<std::string> &out)
+{
+    exp::RunnerOptions opt;
+    opt.jobs = jobs;
+    opt.progress = false;
+    exp::Runner runner(opt);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<exp::RunOutcome> outcomes = runner.run(specs);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    out = records(specs, outcomes);
+    return secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned max_jobs = exp::defaultJobs();
+    unsigned runs = 4;
+    unsigned scale = 4;
+    exp::Cli cli("bench_runner_scaling",
+                 "serial-vs-parallel runner speedup curve");
+    cli.opt("jobs", max_jobs, "largest job count to measure");
+    cli.opt("runs", runs, "seeds per (workload, rate) point");
+    cli.opt("scale", scale, "workload size multiplier");
+    if (!cli.parse(argc, argv))
+        return 2;
+
+    std::vector<exp::ExperimentSpec> specs = makeBatch(runs, scale);
+    banner("Runner scaling: identical results, near-linear speedup");
+    std::printf("batch: %zu runs, max jobs %u\n\n", specs.size(),
+                max_jobs);
+
+    std::vector<std::string> reference;
+    const double t_serial = timedRun(specs, 1, reference);
+
+    std::printf("%-8s %-12s %-10s %-12s %-10s\n", "jobs", "wall (s)",
+                "speedup", "efficiency", "identical");
+    std::printf("%-8u %-12.3f %-10.2f %-12.2f %-10s\n", 1u, t_serial,
+                1.0, 1.0, "ref");
+
+    bool all_identical = true;
+    for (unsigned jobs = 2; jobs <= max_jobs; jobs *= 2) {
+        std::vector<std::string> got;
+        const double t = timedRun(specs, jobs, got);
+        const bool identical = got == reference;
+        all_identical = all_identical && identical;
+        std::printf("%-8u %-12.3f %-10.2f %-12.2f %-10s\n", jobs, t,
+                    t_serial / t, t_serial / t / jobs,
+                    identical ? "yes" : "NO");
+        if (!identical) {
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                if (got[i] != reference[i]) {
+                    std::fprintf(stderr,
+                                 "first divergence at record %zu:\n"
+                                 "  serial:   %s\n  parallel: %s\n",
+                                 i, reference[i].c_str(),
+                                 got[i].c_str());
+                    break;
+                }
+            }
+        }
+    }
+
+    if (!all_identical) {
+        std::printf("\nFAIL: parallel records diverged from serial\n");
+        return 1;
+    }
+    std::printf("\nall job counts reproduced the serial records "
+                "bit for bit\n");
+    return 0;
+}

@@ -1,8 +1,10 @@
 /**
  * @file
- * Shared helpers for the figure-regeneration harnesses: configured
- * runs of the full system per mode, and table printing that matches
- * the paper's rows/series.
+ * Shared helpers for the figure-regeneration harnesses: table
+ * printing that matches the paper's rows/series, plus thin
+ * compatibility aliases onto the exp:: experiment API (the
+ * harnesses themselves build exp::ExperimentSpec batches and sweep
+ * them through exp::Runner).
  */
 
 #ifndef PARADOX_BENCH_COMMON_HH
@@ -12,9 +14,9 @@
 #include <cstdio>
 #include <string>
 
-#include "core/system.hh"
-#include "power/undervolt_data.hh"
-#include "workloads/workload.hh"
+#include "exp/cli.hh"
+#include "exp/runner.hh"
+#include "exp/spec.hh"
 
 namespace paradox
 {
@@ -25,38 +27,42 @@ namespace bench
 inline core::RunLimits
 defaultLimits()
 {
-    core::RunLimits limits;
-    limits.maxExecuted = 60'000'000;
-    limits.maxTicks = ticksPerMs * 500;
-    return limits;
+    return exp::defaultLimits();
 }
 
-/** One configured system run on a named workload. */
-struct RunSpec
-{
-    core::Mode mode = core::Mode::ParaDox;
-    std::string workload = "bitcount";
-    unsigned scale = 1;
-    double faultRate = 0.0;        //!< fixed-rate injection if > 0
-    bool dvfs = false;             //!< voltage-driven injection
-    std::uint64_t seed = 12345;
-    core::RunLimits limits = defaultLimits();
-};
+/**
+ * @{ Deprecated compatibility shims, kept for one release: the
+ * duplicated per-harness spec type and serial runner are now
+ * exp::ExperimentSpec / exp::runOne.
+ */
+using RunSpec [[deprecated("use exp::ExperimentSpec")]] =
+    exp::ExperimentSpec;
 
-/** Execute @p spec; returns the run summary. */
-inline core::RunResult
-runSpec(const RunSpec &spec)
+[[deprecated("use exp::runOne")]] inline core::RunResult
+runSpec(const exp::ExperimentSpec &spec)
 {
-    workloads::Workload w = workloads::build(spec.workload, spec.scale);
-    core::SystemConfig config = core::SystemConfig::forMode(spec.mode);
-    config.seed = spec.seed;
-    core::System system(config, w.program);
-    if (spec.dvfs)
-        system.enableDvfs(power::errorModelParams(spec.workload));
-    else if (spec.faultRate > 0.0)
-        system.setFaultPlan(
-            faults::uniformPlan(spec.faultRate, spec.seed));
-    return system.run(spec.limits);
+    return exp::runOne(spec).result;
+}
+/** @} */
+
+/**
+ * Parse the one flag every harness shares: --jobs N (0 = all
+ * cores).  Returns a Runner over that many workers with progress
+ * reporting on stderr.
+ */
+inline exp::Runner
+benchRunner(const char *name, int argc, char **argv)
+{
+    unsigned jobs = 0;
+    exp::Cli cli(name, "figure-regeneration harness");
+    cli.opt("jobs", jobs, "parallel simulations (0 = all cores)");
+    if (!cli.parse(argc, argv))
+        std::exit(2);
+    exp::RunnerOptions opt;
+    opt.jobs = jobs;
+    opt.progress = true;
+    opt.label = name;
+    return exp::Runner(opt);
 }
 
 /** Geometric mean of a container of positive values. */

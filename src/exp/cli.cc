@@ -1,0 +1,189 @@
+#include "exp/cli.hh"
+
+#include <cstdlib>
+
+namespace paradox
+{
+namespace exp
+{
+
+namespace
+{
+
+const char *
+valueName(int kind)
+{
+    switch (kind) {
+      case 1:
+      case 2:
+      case 4:
+        return "N";
+      case 3:
+        return "X";
+      case 5:
+        return "S";
+      default:
+        return "";
+    }
+}
+
+} // namespace
+
+void
+Cli::add(const std::string &name, Kind kind, void *target,
+         const std::string &help)
+{
+    entries_.push_back({name, kind, target, help});
+}
+
+void
+Cli::flag(const std::string &name, bool &target,
+          const std::string &help)
+{
+    add(name, Kind::Flag, &target, help);
+}
+
+void
+Cli::opt(const std::string &name, unsigned &target,
+         const std::string &help)
+{
+    add(name, Kind::Unsigned, &target, help);
+}
+
+void
+Cli::opt(const std::string &name, int &target, const std::string &help)
+{
+    add(name, Kind::Int, &target, help);
+}
+
+void
+Cli::opt(const std::string &name, double &target,
+         const std::string &help)
+{
+    add(name, Kind::Double, &target, help);
+}
+
+void
+Cli::opt(const std::string &name, std::uint64_t &target,
+         const std::string &help)
+{
+    add(name, Kind::U64, &target, help);
+}
+
+void
+Cli::opt(const std::string &name, std::string &target,
+         const std::string &help)
+{
+    add(name, Kind::String, &target, help);
+}
+
+const Cli::Entry *
+Cli::find(const std::string &name) const
+{
+    for (const Entry &e : entries_)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+bool
+Cli::parseArgs(const std::vector<std::string> &args, std::string &error)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--", 0) != 0) {
+            error = "unexpected argument '" + arg + "'";
+            return false;
+        }
+        const Entry *e = find(arg.substr(2));
+        if (!e) {
+            error = "unknown flag '" + arg + "'";
+            return false;
+        }
+        if (e->kind == Kind::Flag) {
+            *static_cast<bool *>(e->target) = true;
+            continue;
+        }
+        if (i + 1 >= args.size()) {
+            error = arg + " needs a value";
+            return false;
+        }
+        const std::string &value = args[++i];
+        const char *text = value.c_str();
+        char *end = nullptr;
+        switch (e->kind) {
+          case Kind::Unsigned: {
+            unsigned long v = std::strtoul(text, &end, 0);
+            *static_cast<unsigned *>(e->target) = unsigned(v);
+            break;
+          }
+          case Kind::Int: {
+            long v = std::strtol(text, &end, 0);
+            *static_cast<int *>(e->target) = int(v);
+            break;
+          }
+          case Kind::Double: {
+            double v = std::strtod(text, &end);
+            *static_cast<double *>(e->target) = v;
+            break;
+          }
+          case Kind::U64: {
+            unsigned long long v = std::strtoull(text, &end, 0);
+            *static_cast<std::uint64_t *>(e->target) = v;
+            break;
+          }
+          case Kind::String:
+            *static_cast<std::string *>(e->target) = value;
+            end = const_cast<char *>(text + value.size());
+            break;
+          case Kind::Flag:
+            break;
+        }
+        if (end == text || (end && *end != '\0')) {
+            error = arg + ": invalid value '" + value + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Cli::parse(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    args.reserve(std::size_t(argc > 0 ? argc - 1 : 0));
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--help") {
+            usage(stdout);
+            std::exit(0);
+        }
+        args.emplace_back(argv[i]);
+    }
+    std::string error;
+    if (!parseArgs(args, error)) {
+        std::fprintf(stderr, "%s: %s\n", prog_.c_str(), error.c_str());
+        usage(stderr);
+        return false;
+    }
+    return true;
+}
+
+void
+Cli::usage(std::FILE *out) const
+{
+    std::fprintf(out, "%s -- %s\n\nusage: %s [options]\n\noptions:\n",
+                 prog_.c_str(), summary_.c_str(), prog_.c_str());
+    for (const Entry &e : entries_) {
+        std::string left = "--" + e.name;
+        if (e.kind != Kind::Flag) {
+            left += ' ';
+            left += valueName(int(e.kind));
+        }
+        std::fprintf(out, "  %-20s %s\n", left.c_str(),
+                     e.help.c_str());
+    }
+    std::fprintf(out, "  %-20s %s\n", "--help", "show this message");
+}
+
+} // namespace exp
+} // namespace paradox

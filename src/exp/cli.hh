@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Typed command-line argument parser for the tools and benches.
+ *
+ * Replaces the hand-rolled strcmp chains that had grown separately
+ * in paradox_sim and fault_campaign: flags are declared once with a
+ * typed target and a help string; parsing validates values (a flag
+ * expecting a number rejects "abc" instead of silently reading 0),
+ * rejects unknown flags, and --help is generated from the
+ * declarations.
+ */
+
+#ifndef PARADOX_EXP_CLI_HH
+#define PARADOX_EXP_CLI_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace paradox
+{
+namespace exp
+{
+
+/** Declarative typed flag parser. */
+class Cli
+{
+  public:
+    Cli(std::string prog, std::string summary)
+        : prog_(std::move(prog)), summary_(std::move(summary))
+    {
+    }
+
+    /** @{ Declare one option; @p name without the leading "--". */
+    void flag(const std::string &name, bool &target,
+              const std::string &help);
+    void opt(const std::string &name, unsigned &target,
+             const std::string &help);
+    void opt(const std::string &name, int &target,
+             const std::string &help);
+    void opt(const std::string &name, double &target,
+             const std::string &help);
+    void opt(const std::string &name, std::uint64_t &target,
+             const std::string &help);
+    void opt(const std::string &name, std::string &target,
+             const std::string &help);
+    /** @} */
+
+    /**
+     * Parse argv.  On --help prints usage to stdout and exits 0; on
+     * any error prints the problem + usage to stderr and returns
+     * false (callers should exit 2).
+     */
+    bool parse(int argc, char **argv);
+
+    /** Testable core: parse @p args, report problems in @p error. */
+    bool parseArgs(const std::vector<std::string> &args,
+                   std::string &error);
+
+    /** Render the generated --help text. */
+    void usage(std::FILE *out) const;
+
+  private:
+    enum class Kind
+    {
+        Flag,
+        Unsigned,
+        Int,
+        Double,
+        U64,
+        String,
+    };
+
+    struct Entry
+    {
+        std::string name;
+        Kind kind;
+        void *target;
+        std::string help;
+    };
+
+    const Entry *find(const std::string &name) const;
+    void add(const std::string &name, Kind kind, void *target,
+             const std::string &help);
+
+    std::string prog_;
+    std::string summary_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace exp
+} // namespace paradox
+
+#endif // PARADOX_EXP_CLI_HH

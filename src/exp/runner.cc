@@ -1,0 +1,248 @@
+#include "exp/runner.hh"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace paradox
+{
+namespace exp
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Serialized progress/ETA line, redrawn in place on stderr. */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(const RunnerOptions &opt, std::size_t total)
+        : enabled_(opt.progress && total > 0), label_(opt.label),
+          total_(total), start_(Clock::now())
+    {
+    }
+
+    void
+    tick()
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++done_;
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start_)
+                .count();
+        const double eta =
+            done_ ? elapsed / double(done_) *
+                        double(total_ - done_)
+                  : 0.0;
+        std::fprintf(stderr,
+                     "\r[%s] %zu/%zu (%3.0f%%) %.1fs elapsed, "
+                     "eta %.1fs ",
+                     label_.c_str(), done_, total_,
+                     100.0 * double(done_) / double(total_), elapsed,
+                     eta);
+        if (done_ == total_)
+            std::fputc('\n', stderr);
+        std::fflush(stderr);
+    }
+
+  private:
+    const bool enabled_;
+    const std::string label_;
+    const std::size_t total_;
+    const Clock::time_point start_;
+    std::mutex mutex_;
+    std::size_t done_ = 0;
+};
+
+} // namespace
+
+unsigned
+defaultJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+void
+Runner::dispatch(std::size_t n,
+                 const std::function<void(std::size_t)> &job)
+{
+    const unsigned jobs = opt_.jobs ? opt_.jobs : defaultJobs();
+    ProgressMeter meter(opt_, n);
+
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            job(i);
+            meter.tick();
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                job(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            meter.tick();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    const unsigned spawn = unsigned(std::min<std::size_t>(jobs, n));
+    pool.reserve(spawn);
+    for (unsigned t = 0; t < spawn; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<RunOutcome>
+Runner::run(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<RunOutcome> results(specs.size());
+    dispatch(specs.size(), [&](std::size_t i) {
+        try {
+            results[i] = runOne(specs[i]);
+        } catch (const std::exception &e) {
+            results[i] = RunOutcome{};
+            results[i].error = e.what();
+        }
+    });
+    return results;
+}
+
+std::vector<IsolatedResult>
+runIsolated(std::size_t n,
+            const std::function<std::string(std::size_t)> &fn,
+            const RunnerOptions &opt)
+{
+    struct Child
+    {
+        pid_t pid = -1;
+        int fd = -1;
+        std::size_t index = 0;
+    };
+
+    const unsigned jobs =
+        std::max(1u, opt.jobs ? opt.jobs : defaultJobs());
+    std::vector<IsolatedResult> results(n);
+    std::vector<Child> inflight;
+    ProgressMeter meter(opt, n);
+    std::size_t launched = 0;
+
+    auto launch = [&]() -> bool {
+        if (launched >= n)
+            return false;
+        const std::size_t idx = launched++;
+        int fds[2];
+        if (pipe(fds) != 0) {
+            std::perror("exp::runIsolated: pipe");
+            std::exit(2);
+        }
+        pid_t pid = fork();
+        if (pid < 0) {
+            std::perror("exp::runIsolated: fork");
+            std::exit(2);
+        }
+        if (pid == 0) {
+            close(fds[0]);
+            if (opt.childTimeoutSec)
+                alarm(opt.childTimeoutSec);
+            std::string payload;
+            int rc = 0;
+            try {
+                payload = fn(idx);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr,
+                             "exp::runIsolated: job %zu: %s\n", idx,
+                             e.what());
+                rc = 121;
+            }
+            std::size_t off = 0;
+            while (off < payload.size()) {
+                ssize_t w = write(fds[1], payload.data() + off,
+                                  payload.size() - off);
+                if (w <= 0)
+                    _exit(122);
+                off += std::size_t(w);
+            }
+            close(fds[1]);
+            _exit(rc);
+        }
+        close(fds[1]);
+        inflight.push_back({pid, fds[0], idx});
+        return true;
+    };
+
+    auto reap = [&](std::size_t slot) {
+        Child c = inflight[slot];
+        inflight.erase(inflight.begin() + long(slot));
+        close(c.fd);
+        int status = 0;
+        waitpid(c.pid, &status, 0);
+        IsolatedResult &r = results[c.index];
+        r.status = status;
+        r.crashed = !WIFEXITED(status) || r.payload.empty();
+        meter.tick();
+    };
+
+    while (launch() && inflight.size() < jobs) {
+    }
+
+    while (!inflight.empty()) {
+        std::vector<pollfd> pfds(inflight.size());
+        for (std::size_t i = 0; i < inflight.size(); ++i)
+            pfds[i] = {inflight[i].fd, POLLIN, 0};
+        if (poll(pfds.data(), nfds_t(pfds.size()), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            std::perror("exp::runIsolated: poll");
+            std::exit(2);
+        }
+        // Walk backwards so reap()'s erase keeps indices valid.
+        for (std::size_t i = pfds.size(); i-- > 0;) {
+            if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            char buf[4096];
+            ssize_t got = read(inflight[i].fd, buf, sizeof buf);
+            if (got > 0) {
+                results[inflight[i].index].payload.append(
+                    buf, std::size_t(got));
+            } else if (got == 0) {
+                reap(i);
+                launch();
+            }
+        }
+    }
+    return results;
+}
+
+} // namespace exp
+} // namespace paradox

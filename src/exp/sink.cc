@@ -1,0 +1,108 @@
+#include "exp/sink.hh"
+
+#include <sstream>
+
+#include "core/result_json.hh"
+
+namespace paradox
+{
+namespace exp
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (labels and error messages). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+recordJson(const ExperimentSpec &spec, const RunOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "{\"record\":\"run\"";
+    if (!spec.label.empty())
+        os << ",\"label\":\"" << escape(spec.label) << "\"";
+    os << ",\"workload\":\"" << escape(spec.workload) << "\""
+       << ",\"mode\":\"" << core::modeName(spec.mode) << "\""
+       << ",\"scale\":" << spec.scale
+       << ",\"rate\":" << spec.faultRate
+       << ",\"persistence\":\""
+       << faults::persistenceName(spec.persistence) << "\""
+       << ",\"pin_checker\":" << spec.pinChecker
+       << ",\"main_rate\":" << spec.mainCoreRate
+       << ",\"ecc_rate\":" << spec.eccRate
+       << ",\"dvfs\":" << (spec.dvfs ? "true" : "false")
+       << ",\"escalate\":" << (spec.escalate ? "true" : "false")
+       << ",\"seed\":" << spec.seed;
+    if (!outcome.ok()) {
+        os << ",\"error\":\"" << escape(outcome.error) << "\"}";
+        return os.str();
+    }
+    os << ",\"correct\":" << (outcome.correct ? "true" : "false")
+       << ",\"ecc_corrected\":" << outcome.eccCorrected
+       << ",\"result\":" << core::toJson(outcome.result) << "}";
+    return os.str();
+}
+
+JsonlSink::JsonlSink(std::FILE *out, const std::string &tool)
+    : out_(out), tool_(tool)
+{
+}
+
+void
+JsonlSink::header(const std::string &extra)
+{
+    std::fprintf(out_, "{\"record\":\"header\",\"schema\":\"%s\","
+                       "\"tool\":\"%s\"%s%s}\n",
+                 resultSchema, escape(tool_).c_str(),
+                 extra.empty() ? "" : ",", extra.c_str());
+}
+
+void
+JsonlSink::write(const ExperimentSpec &spec, const RunOutcome &outcome)
+{
+    writeLine(recordJson(spec, outcome));
+}
+
+void
+JsonlSink::writeLine(const std::string &json)
+{
+    std::fputs(json.c_str(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);
+}
+
+} // namespace exp
+} // namespace paradox

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * JSONL result sink with a versioned schema, shared by the figure
+ * harnesses and the tools.
+ *
+ * A sink stream is line-oriented: the first line is a header record
+ * naming the schema version and the producing tool, each subsequent
+ * line is one run record (spec + outcome), and an optional trailing
+ * summary record closes the stream.  Line-oriented output means a
+ * parallel campaign can be diffed between job counts with plain
+ * `cmp`, and consumers never need a streaming JSON parser.
+ */
+
+#ifndef PARADOX_EXP_SINK_HH
+#define PARADOX_EXP_SINK_HH
+
+#include <cstdio>
+#include <string>
+
+#include "exp/spec.hh"
+
+namespace paradox
+{
+namespace exp
+{
+
+/** Schema identifier written into every header record. */
+constexpr const char *resultSchema = "paradox-exp-result/1";
+
+/** One run record (spec + outcome) as a single JSON line (no \n). */
+std::string recordJson(const ExperimentSpec &spec,
+                       const RunOutcome &outcome);
+
+/** Writes schema'd JSONL to a FILE (not owned). */
+class JsonlSink
+{
+  public:
+    /** @p tool names the producer in the header record. */
+    JsonlSink(std::FILE *out, const std::string &tool);
+
+    /**
+     * Emit the header line.  @p extra is spliced verbatim into the
+     * header object (e.g. "\"seeds\":2,\"smoke\":false").
+     */
+    void header(const std::string &extra = "");
+
+    /** Emit one run record. */
+    void write(const ExperimentSpec &spec, const RunOutcome &outcome);
+
+    /** Emit a pre-rendered single-line JSON object. */
+    void writeLine(const std::string &json);
+
+    std::FILE *stream() const { return out_; }
+
+  private:
+    std::FILE *out_;
+    std::string tool_;
+};
+
+} // namespace exp
+} // namespace paradox
+
+#endif // PARADOX_EXP_SINK_HH

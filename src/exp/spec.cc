@@ -1,0 +1,112 @@
+#include "exp/spec.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "power/undervolt_data.hh"
+#include "workloads/workload.hh"
+
+namespace paradox
+{
+namespace exp
+{
+
+namespace
+{
+
+DistSummary
+summarize(const stats::Distribution &d)
+{
+    DistSummary s;
+    s.mean = d.mean();
+    s.min = d.min();
+    s.max = d.max();
+    s.count = d.count();
+    return s;
+}
+
+} // namespace
+
+RunOutcome
+runOne(const ExperimentSpec &spec)
+{
+    const auto &names = workloads::allNames();
+    if (std::find(names.begin(), names.end(), spec.workload) ==
+        names.end())
+        throw std::invalid_argument("unknown workload '" +
+                                    spec.workload + "'");
+
+    workloads::Workload w = workloads::build(spec.workload, spec.scale);
+
+    core::SystemConfig config = core::SystemConfig::forMode(spec.mode);
+    config.seed = spec.seed;
+    if (spec.checkers)
+        config.checkers.count = spec.checkers;
+    if (spec.maxCheckpoint) {
+        config.checkpointAimd.maxLength = spec.maxCheckpoint;
+        config.checkpointAimd.initial = std::min(
+            config.checkpointAimd.initial, spec.maxCheckpoint);
+    }
+    if (spec.timeoutFactor)
+        config.checkerTimeoutFactor = spec.timeoutFactor;
+    config.memoryEccFaultRate = spec.eccRate;
+    if (spec.escalate)
+        config.enableEscalation();
+    if (spec.configure)
+        spec.configure(config);
+
+    if (spec.pinChecker >= int(config.checkers.count))
+        throw std::invalid_argument(
+            "pinned checker " + std::to_string(spec.pinChecker) +
+            " out of range (only " +
+            std::to_string(config.checkers.count) + " checkers)");
+
+    core::System system(config, w.program);
+    if (spec.dvfs)
+        system.enableDvfs(power::errorModelParams(spec.workload));
+    else if (spec.faultRate > 0.0)
+        system.setFaultPlan(faults::uniformPlan(
+            spec.faultRate, spec.seed, spec.persistence,
+            spec.pinChecker));
+    if (spec.mainCoreRate > 0.0) {
+        faults::FaultConfig fc;
+        fc.kind = faults::FaultKind::RegisterBitFlip;
+        fc.rate = spec.mainCoreRate;
+        fc.seed = spec.seed * 31 + 7;
+        faults::FaultPlan plan;
+        plan.add(fc);
+        system.setMainCoreFaultPlan(std::move(plan));
+    }
+
+    RunOutcome out;
+    out.result = system.run(spec.limits);
+    out.finalValue = system.memory().read(workloads::resultAddr, 8);
+    out.expected = w.expectedResult;
+    out.correct = out.result.halted && out.finalValue == out.expected;
+    out.eccCorrected = system.eccCorrected();
+    out.rollbackNs = summarize(system.rollbackTimesNs());
+    out.wastedNs = summarize(system.wastedExecNs());
+    out.ckptLen = summarize(system.checkpointLengths());
+    if (spec.observe)
+        spec.observe(system, out);
+    return out;
+}
+
+bool
+parseMode(const std::string &name, core::Mode &out)
+{
+    if (name == "baseline")
+        out = core::Mode::Baseline;
+    else if (name == "detect")
+        out = core::Mode::DetectionOnly;
+    else if (name == "paramedic")
+        out = core::Mode::ParaMedic;
+    else if (name == "paradox")
+        out = core::Mode::ParaDox;
+    else
+        return false;
+    return true;
+}
+
+} // namespace exp
+} // namespace paradox

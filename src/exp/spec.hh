@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The unified experiment API: every headline result in the paper
+ * (figures 3, 8-13, Table 1) is a sweep of many independent,
+ * deterministic single-system simulations.  ExperimentSpec is the
+ * one value type describing such a run -- mode, workload, fault
+ * plan, DVFS, seed and limits -- and runOne() executes it.
+ *
+ * This supersedes the per-harness RunSpec structs that used to live
+ * in bench/common.hh and the two tools: one spec type means one
+ * place to add a knob, and one runner (exp::Runner) to sweep it in
+ * parallel.
+ */
+
+#ifndef PARADOX_EXP_SPEC_HH
+#define PARADOX_EXP_SPEC_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/system.hh"
+#include "faults/fault_model.hh"
+
+namespace paradox
+{
+namespace exp
+{
+
+/** Forward declaration (filled by runOne). */
+struct RunOutcome;
+
+/** Default per-run bounds: generous but livelock-safe. */
+inline core::RunLimits
+defaultLimits()
+{
+    core::RunLimits limits;
+    limits.maxExecuted = 60'000'000;
+    limits.maxTicks = ticksPerMs * 500;
+    return limits;
+}
+
+/**
+ * One configured system run on a named workload.
+ *
+ * The common knobs are plain fields; anything rarer goes through the
+ * @ref configure hook, which gets the final SystemConfig before the
+ * System is built (ablation toggles, voltage-policy switches, ...).
+ */
+struct ExperimentSpec
+{
+    std::string label;             //!< free-form tag carried to sinks
+    core::Mode mode = core::Mode::ParaDox;
+    std::string workload = "bitcount";
+    unsigned scale = 1;
+
+    /** @{ Fault plan. */
+    double faultRate = 0.0;        //!< fixed-rate injection if > 0
+    faults::Persistence persistence = faults::Persistence::Transient;
+    int pinChecker = -1;           //!< restrict injector to one checker
+    double mainCoreRate = 0.0;     //!< faults on the main core itself
+    double eccRate = 0.0;          //!< SECDED memory upsets per load
+    bool dvfs = false;             //!< voltage-driven injection
+    bool escalate = false;         //!< enable the escalation ladder
+    /** @} */
+
+    /** @{ Config overrides (0 = keep the mode's default). */
+    unsigned checkers = 0;
+    unsigned maxCheckpoint = 0;
+    unsigned timeoutFactor = 0;
+    /** @} */
+
+    std::uint64_t seed = 12345;
+    core::RunLimits limits = defaultLimits();
+
+    /** Last-word tweak of the built config (may be empty). */
+    std::function<void(core::SystemConfig &)> configure;
+
+    /**
+     * Post-run observer with access to the live System (voltage
+     * traces, stat dumps, ...).  Runs on the worker executing this
+     * spec; it must only touch its own captures.
+     */
+    std::function<void(core::System &, RunOutcome &)> observe;
+};
+
+/** Compact summary of a stats::Distribution. */
+struct DistSummary
+{
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t count = 0;
+};
+
+/** Everything a sweep consumer needs from one finished run. */
+struct RunOutcome
+{
+    core::RunResult result;
+    std::uint64_t finalValue = 0;  //!< memory word at resultAddr
+    std::uint64_t expected = 0;    //!< workload's golden checksum
+    bool correct = false;          //!< halted with the golden value
+    std::uint64_t eccCorrected = 0;
+    DistSummary rollbackNs;
+    DistSummary wastedNs;
+    DistSummary ckptLen;
+    std::string error;             //!< non-empty: the job threw
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Execute @p spec to completion and summarize it.
+ *
+ * Throws std::invalid_argument for malformed specs (unknown
+ * workload, out-of-range pinned checker) rather than exiting, so a
+ * batch runner can report one bad job without aborting the sweep.
+ */
+RunOutcome runOne(const ExperimentSpec &spec);
+
+/** Parse a mode name (baseline|detect|paramedic|paradox). */
+bool parseMode(const std::string &name, core::Mode &out);
+
+} // namespace exp
+} // namespace paradox
+
+#endif // PARADOX_EXP_SPEC_HH

@@ -3,10 +3,12 @@
  * fault_campaign: differential fault-injection campaign driver.
  *
  * Sweeps seeds x fault persistence x rates x escalation configs over
- * a set of workloads.  Every run executes in a forked child (a
- * crashing simulator is contained and classified, never takes the
- * campaign down) and is differentially checked against a golden
- * fault-free run of the same configuration:
+ * a set of workloads.  Every run is described by an
+ * exp::ExperimentSpec and executes in a forked child via
+ * exp::runIsolated -- a crashing simulator is contained and
+ * classified, never takes the campaign down, and up to --jobs
+ * children run concurrently.  Each run is differentially checked
+ * against a golden fault-free run of the same configuration:
  *
  *   ok                completed, bit-identical to golden, no faults
  *                     needed handling
@@ -19,40 +21,34 @@
  *                     happen
  *   crash             the child exited abnormally
  *
- * The report is a single JSON document on stdout (or --out FILE).
- * Exit status is 0 iff the sweep saw no silent corruption and no
- * crash.
+ * The report is schema'd JSONL on stdout (or --out FILE): a header
+ * line, one record per run in spec order (so reports are
+ * byte-identical across --jobs values), and a summary line.  Exit
+ * status is 0 iff the sweep saw no silent corruption and no crash.
  *
- *   fault_campaign [--smoke] [--scale N] [--seeds N] [--out FILE]
+ *   fault_campaign [--smoke] [--scale N] [--seeds N] [--jobs N]
+ *                  [--out FILE]
  */
 
 #include <sys/wait.h>
-#include <unistd.h>
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/result_json.hh"
-#include "core/system.hh"
+#include "exp/cli.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
+#include "exp/spec.hh"
 #include "workloads/workload.hh"
 
 namespace
 {
 
 using namespace paradox;
-
-struct RunSpec
-{
-    std::string workload;
-    std::uint64_t seed = 0;
-    faults::Persistence persistence = faults::Persistence::Transient;
-    double rate = 0.0;
-    bool ladder = false;   //!< escalation ladder vs classic config
-    int pinChecker = -1;
-};
 
 struct Golden
 {
@@ -62,69 +58,43 @@ struct Golden
     Tick time = 0;
 };
 
-core::SystemConfig
-configFor(const RunSpec &spec, unsigned scale)
-{
-    (void)scale;
-    core::SystemConfig config =
-        core::SystemConfig::forMode(core::Mode::ParaDox);
-    config.seed = spec.seed;
-    if (spec.ladder)
-        config.enableEscalation();
-    return config;
-}
-
 /** Fault-free reference for one workload (run in-process: trusted). */
 Golden
-goldenRun(const workloads::Workload &w, unsigned scale)
+goldenRun(const std::string &workload, unsigned scale)
 {
-    (void)scale;
-    RunSpec clean;
+    exp::ExperimentSpec clean;
+    clean.workload = workload;
+    clean.scale = scale;
     clean.seed = 1;
-    core::SystemConfig config = configFor(clean, scale);
-    core::System system(config, w.program);
-    core::RunResult r = system.run();
-    std::uint64_t got =
-        system.memory().read(workloads::resultAddr, 8);
-    if (!r.halted || got != w.expectedResult) {
+    clean.limits = core::RunLimits{};
+    exp::RunOutcome out = exp::runOne(clean);
+    if (!out.correct) {
         std::fprintf(stderr,
                      "fault_campaign: golden run of %s failed\n",
-                     w.name.c_str());
+                     workload.c_str());
         std::exit(2);
     }
     Golden g;
-    g.fingerprint = r.memoryFingerprint;
-    g.result = got;
-    g.executed = r.executed;
-    g.time = r.time;
+    g.fingerprint = out.result.memoryFingerprint;
+    g.result = out.finalValue;
+    g.executed = out.result.executed;
+    g.time = out.result.time;
     return g;
 }
 
 /**
- * Execute one faulty run (called inside the forked child) and print
- * its classified JSON record to @p out.
+ * Execute one faulty run (inside the forked child) and return its
+ * classified JSON record.
  */
-int
-childRun(const RunSpec &spec, const workloads::Workload &w,
-         const Golden &golden, unsigned scale, FILE *out)
+std::string
+childRun(const exp::ExperimentSpec &spec, const Golden &golden)
 {
-    core::SystemConfig config = configFor(spec, scale);
-    core::System system(config, w.program);
-    system.setFaultPlan(faults::uniformPlan(
-        spec.rate, spec.seed, spec.persistence, spec.pinChecker));
+    exp::RunOutcome out = exp::runOne(spec);
+    const core::RunResult &r = out.result;
 
-    // Bound livelocks (e.g. a latched permanent fault on the classic
-    // config re-dispatching to the same checker forever) in terms of
-    // the golden run's cost rather than wall-clock guesses.
-    core::RunLimits limits;
-    limits.maxExecuted = golden.executed * 64 + 200000;
-    limits.maxTicks = golden.time * 256 + ticksPerMs;
-    core::RunResult r = system.run(limits);
-
-    std::uint64_t got =
-        system.memory().read(workloads::resultAddr, 8);
-    const bool identical = r.memoryFingerprint == golden.fingerprint &&
-                           got == golden.result;
+    const bool identical =
+        r.memoryFingerprint == golden.fingerprint &&
+        out.finalValue == golden.result;
 
     const char *cls;
     if (!r.halted)
@@ -136,18 +106,29 @@ childRun(const RunSpec &spec, const workloads::Workload &w,
     else
         cls = "ok";
 
-    std::fprintf(out,
-                 "{\"workload\":\"%s\",\"seed\":%llu,"
-                 "\"persistence\":\"%s\",\"rate\":%g,"
-                 "\"config\":\"%s\",\"pin_checker\":%d,"
-                 "\"class\":\"%s\",\"result\":%s}",
-                 spec.workload.c_str(),
-                 (unsigned long long)spec.seed,
-                 faults::persistenceName(spec.persistence), spec.rate,
-                 spec.ladder ? "ladder" : "classic", spec.pinChecker,
-                 cls, core::toJson(r).c_str());
-    std::fflush(out);
-    return std::strcmp(cls, "silent_corruption") == 0 ? 3 : 0;
+    std::ostringstream os;
+    os << "{\"record\":\"run\",\"workload\":\"" << spec.workload
+       << "\",\"seed\":" << spec.seed << ",\"persistence\":\""
+       << faults::persistenceName(spec.persistence)
+       << "\",\"rate\":" << spec.faultRate << ",\"config\":\""
+       << (spec.escalate ? "ladder" : "classic")
+       << "\",\"pin_checker\":" << spec.pinChecker
+       << ",\"class\":\"" << cls
+       << "\",\"result\":" << core::toJson(r) << "}";
+    return os.str();
+}
+
+std::string
+crashRecord(const exp::ExperimentSpec &spec, int status)
+{
+    std::ostringstream os;
+    os << "{\"record\":\"run\",\"workload\":\"" << spec.workload
+       << "\",\"seed\":" << spec.seed << ",\"persistence\":\""
+       << faults::persistenceName(spec.persistence)
+       << "\",\"rate\":" << spec.faultRate << ",\"config\":\""
+       << (spec.escalate ? "ladder" : "classic")
+       << "\",\"class\":\"crash\",\"status\":" << status << "}";
+    return os.str();
 }
 
 } // namespace
@@ -158,24 +139,17 @@ main(int argc, char **argv)
     bool smoke = false;
     unsigned scale = 2;
     unsigned seeds = 2;
-    const char *out_path = nullptr;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--smoke"))
-            smoke = true;
-        else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
-            scale = unsigned(std::atoi(argv[++i]));
-        else if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc)
-            seeds = unsigned(std::atoi(argv[++i]));
-        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
-            out_path = argv[++i];
-        else {
-            std::fprintf(stderr,
-                         "usage: %s [--smoke] [--scale N] [--seeds N]"
-                         " [--out FILE]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    unsigned jobs = 1;
+    std::string out_path;
+    exp::Cli cli("fault_campaign",
+                 "differential fault-injection campaign driver");
+    cli.flag("smoke", smoke, "tiny sweep for CI");
+    cli.opt("scale", scale, "workload size multiplier");
+    cli.opt("seeds", seeds, "seeds per configuration");
+    cli.opt("jobs", jobs, "concurrent forked runs (0 = all cores)");
+    cli.opt("out", out_path, "write the JSONL report to FILE");
+    if (!cli.parse(argc, argv))
+        return 2;
 
     std::vector<std::string> names = {"bitcount", "stream"};
     std::vector<double> rates = {1e-6, 1e-5, 1e-4, 1e-3};
@@ -191,124 +165,110 @@ main(int argc, char **argv)
     };
 
     FILE *report = stdout;
-    if (out_path) {
-        report = std::fopen(out_path, "w");
+    if (!out_path.empty()) {
+        report = std::fopen(out_path.c_str(), "w");
         if (!report) {
-            std::perror(out_path);
+            std::perror(out_path.c_str());
             return 2;
         }
     }
 
-    std::fprintf(report, "{\"campaign\":{\"scale\":%u,\"seeds\":%u,"
-                         "\"smoke\":%s},\"runs\":[",
-                 scale, seeds, smoke ? "true" : "false");
-
-    unsigned total = 0, n_ok = 0, n_detected = 0, n_incomplete = 0,
-             n_silent = 0, n_crash = 0;
-    bool first = true;
-
+    // The sweep, in fixed nested order; reports are reproducible
+    // across job counts because records are emitted in spec order.
+    std::vector<exp::ExperimentSpec> specs;
+    std::vector<std::size_t> golden_of;  // spec index -> golden index
+    std::vector<Golden> goldens;
     for (const std::string &name : names) {
-        workloads::Workload w = workloads::build(name, scale);
-        Golden golden = goldenRun(w, scale);
+        goldens.push_back(goldenRun(name, scale));
         for (unsigned s = 0; s < seeds; ++s) {
             for (faults::Persistence kind : kinds) {
                 for (double rate : rates) {
                     for (int ladder = 0; ladder <= 1; ++ladder) {
-                        RunSpec spec;
+                        exp::ExperimentSpec spec;
                         spec.workload = name;
+                        spec.scale = scale;
                         spec.seed = 12345 + s * 7919;
                         spec.persistence = kind;
-                        spec.rate = rate;
-                        spec.ladder = ladder != 0;
+                        spec.faultRate = rate;
+                        spec.escalate = ladder != 0;
                         // A non-transient source models a defect in
-                        // one physical core: pin it to checker 0 (the
-                        // acceptance scenario).  Transients stay
-                        // ambient.
+                        // one physical core: pin it to checker 0
+                        // (the acceptance scenario).  Transients
+                        // stay ambient.
                         spec.pinChecker =
                             kind == faults::Persistence::Transient
                                 ? -1
                                 : 0;
-
-                        int fds[2];
-                        if (pipe(fds) != 0) {
-                            std::perror("pipe");
-                            return 2;
-                        }
-                        pid_t pid = fork();
-                        if (pid < 0) {
-                            std::perror("fork");
-                            return 2;
-                        }
-                        if (pid == 0) {
-                            close(fds[0]);
-                            FILE *sink = fdopen(fds[1], "w");
-                            if (!sink)
-                                _exit(4);
-                            alarm(300);  // hard per-run wall bound
-                            int rc = childRun(spec, w, golden, scale,
-                                              sink);
-                            std::fflush(sink);
-                            _exit(rc);
-                        }
-                        close(fds[1]);
-                        std::string record;
-                        char buf[4096];
-                        ssize_t n;
-                        while ((n = read(fds[0], buf, sizeof buf)) > 0)
-                            record.append(buf, std::size_t(n));
-                        close(fds[0]);
-                        int status = 0;
-                        waitpid(pid, &status, 0);
-
-                        ++total;
-                        if (!first)
-                            std::fputc(',', report);
-                        first = false;
-                        const bool clean_exit =
-                            WIFEXITED(status) && !record.empty();
-                        if (!clean_exit) {
-                            ++n_crash;
-                            std::fprintf(
-                                report,
-                                "{\"workload\":\"%s\",\"seed\":%llu,"
-                                "\"persistence\":\"%s\",\"rate\":%g,"
-                                "\"config\":\"%s\","
-                                "\"class\":\"crash\",\"status\":%d}",
-                                spec.workload.c_str(),
-                                (unsigned long long)spec.seed,
-                                faults::persistenceName(
-                                    spec.persistence),
-                                spec.rate,
-                                spec.ladder ? "ladder" : "classic",
-                                status);
-                            continue;
-                        }
-                        std::fputs(record.c_str(), report);
-                        if (record.find("\"class\":\"ok\"") !=
-                            std::string::npos)
-                            ++n_ok;
-                        else if (record.find(
-                                     "\"class\":\"detected_ok\"") !=
-                                 std::string::npos)
-                            ++n_detected;
-                        else if (record.find(
-                                     "\"class\":\"incomplete\"") !=
-                                 std::string::npos)
-                            ++n_incomplete;
-                        else
-                            ++n_silent;
+                        // Bound livelocks (e.g. a latched permanent
+                        // fault on the classic config re-dispatching
+                        // to the same checker forever) in terms of
+                        // the golden run's cost rather than
+                        // wall-clock guesses.
+                        const Golden &g = goldens.back();
+                        spec.limits.maxExecuted =
+                            g.executed * 64 + 200000;
+                        spec.limits.maxTicks =
+                            g.time * 256 + ticksPerMs;
+                        golden_of.push_back(goldens.size() - 1);
+                        specs.push_back(std::move(spec));
                     }
                 }
             }
         }
     }
 
-    std::fprintf(report,
-                 "],\"summary\":{\"total\":%u,\"ok\":%u,"
-                 "\"detected_ok\":%u,\"incomplete\":%u,"
-                 "\"silent_corruption\":%u,\"crash\":%u}}\n",
-                 total, n_ok, n_detected, n_incomplete, n_silent,
-                 n_crash);
+    exp::RunnerOptions opt;
+    opt.jobs = jobs;
+    opt.progress = true;
+    opt.label = "fault_campaign";
+    opt.childTimeoutSec = 300;  // hard per-run wall bound
+    std::vector<exp::IsolatedResult> results = exp::runIsolated(
+        specs.size(),
+        [&](std::size_t i) {
+            return childRun(specs[i], goldens[golden_of[i]]);
+        },
+        opt);
+
+    exp::JsonlSink sink(report, "fault_campaign");
+    {
+        // The job count is deliberately not recorded: reports must
+        // be byte-identical across --jobs values.
+        std::ostringstream extra;
+        extra << "\"scale\":" << scale << ",\"seeds\":" << seeds
+              << ",\"smoke\":" << (smoke ? "true" : "false");
+        sink.header(extra.str());
+    }
+
+    unsigned total = 0, n_ok = 0, n_detected = 0, n_incomplete = 0,
+             n_silent = 0, n_crash = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const exp::IsolatedResult &res = results[i];
+        ++total;
+        if (res.crashed) {
+            ++n_crash;
+            sink.writeLine(crashRecord(specs[i], res.status));
+            continue;
+        }
+        sink.writeLine(res.payload);
+        if (res.payload.find("\"class\":\"ok\"") != std::string::npos)
+            ++n_ok;
+        else if (res.payload.find("\"class\":\"detected_ok\"") !=
+                 std::string::npos)
+            ++n_detected;
+        else if (res.payload.find("\"class\":\"incomplete\"") !=
+                 std::string::npos)
+            ++n_incomplete;
+        else
+            ++n_silent;
+    }
+
+    std::ostringstream summary;
+    summary << "{\"record\":\"summary\",\"total\":" << total
+            << ",\"ok\":" << n_ok << ",\"detected_ok\":" << n_detected
+            << ",\"incomplete\":" << n_incomplete
+            << ",\"silent_corruption\":" << n_silent
+            << ",\"crash\":" << n_crash << "}";
+    sink.writeLine(summary.str());
     if (report != stdout)
         std::fclose(report);
 

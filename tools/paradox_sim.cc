@@ -2,208 +2,124 @@
  * @file
  * paradox_sim: command-line driver for the full system.
  *
- *   paradox_sim [options]
- *     --workload NAME     one of the 21 built-in kernels (bitcount)
- *     --scale N           workload size multiplier (4)
- *     --mode M            baseline | detect | paramedic | paradox
- *     --rate P            fixed per-event fault rate on the checkers
- *     --persistence K     transient | intermittent | permanent
- *     --pin-checker N     restrict the injector to checker N
- *     --main-rate P       fault rate on the *main core* itself
- *     --escalate          enable the fault-escalation ladder
- *     --timeout-factor N  checker watchdog budget multiplier (24)
- *     --dvfs              error-seeking undervolting (per-workload
- *                         exponential model)
- *     --checkers N        checker-core count (16)
- *     --max-ckpt N        AIMD cap / fixed window (5000)
- *     --seed S            RNG seed (12345)
- *     --ecc-rate P        SECDED-corrected memory upsets per load
- *     --stats             dump the full statistics group
- *     --list              list workloads and exit
+ * One exp::ExperimentSpec is populated from typed exp::Cli flags and
+ * executed through exp::runOne() -- the same API every figure
+ * harness and the campaign driver use -- then pretty-printed (or
+ * emitted as a schema'd JSONL record with --json).
  *
  * Exit status 0 iff the run completed with the golden checksum.
+ * Run with --help for the flag reference.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <sstream>
 #include <string>
 
 #include "core/result_json.hh"
-#include "core/system.hh"
-#include "power/undervolt_data.hh"
+#include "exp/cli.hh"
+#include "exp/sink.hh"
+#include "exp/spec.hh"
 #include "workloads/workload.hh"
-
-namespace
-{
-
-using namespace paradox;
-
-struct Options
-{
-    std::string workload = "bitcount";
-    unsigned scale = 4;
-    core::Mode mode = core::Mode::ParaDox;
-    double rate = 0.0;
-    faults::Persistence persistence = faults::Persistence::Transient;
-    int pinChecker = -1;
-    double mainRate = 0.0;
-    bool dvfs = false;
-    bool escalate = false;
-    unsigned timeoutFactor = 24;
-    unsigned checkers = 16;
-    unsigned maxCkpt = 5000;
-    std::uint64_t seed = 12345;
-    double eccRate = 0.0;
-    bool stats = false;
-    bool json = false;
-};
-
-[[noreturn]] void
-usage(const char *argv0)
-{
-    std::fprintf(stderr,
-                 "usage: %s [--workload NAME] [--scale N] [--mode M]\n"
-                 "          [--rate P] [--persistence K] [--pin-checker N]\n"
-                 "          [--main-rate P] [--dvfs] [--escalate]\n"
-                 "          [--timeout-factor N] [--checkers N]\n"
-                 "          [--max-ckpt N] [--seed S] [--ecc-rate P]\n"
-                 "          [--stats] [--list]\n",
-                 argv0);
-    std::exit(2);
-}
-
-core::Mode
-parseMode(const std::string &name)
-{
-    if (name == "baseline")
-        return core::Mode::Baseline;
-    if (name == "detect")
-        return core::Mode::DetectionOnly;
-    if (name == "paramedic")
-        return core::Mode::ParaMedic;
-    if (name == "paradox")
-        return core::Mode::ParaDox;
-    std::fprintf(stderr, "unknown mode '%s'\n", name.c_str());
-    std::exit(2);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    Options opt;
-    for (int i = 1; i < argc; ++i) {
-        auto need = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
-                usage(argv[0]);
-            }
-            return argv[++i];
-        };
-        if (!std::strcmp(argv[i], "--workload"))
-            opt.workload = need("--workload");
-        else if (!std::strcmp(argv[i], "--scale"))
-            opt.scale = unsigned(std::atoi(need("--scale")));
-        else if (!std::strcmp(argv[i], "--mode"))
-            opt.mode = parseMode(need("--mode"));
-        else if (!std::strcmp(argv[i], "--rate"))
-            opt.rate = std::atof(need("--rate"));
-        else if (!std::strcmp(argv[i], "--persistence")) {
-            const char *name = need("--persistence");
-            if (!faults::parsePersistence(name, opt.persistence)) {
-                std::fprintf(stderr, "unknown persistence '%s'\n",
-                             name);
-                usage(argv[0]);
-            }
-        } else if (!std::strcmp(argv[i], "--pin-checker"))
-            opt.pinChecker = std::atoi(need("--pin-checker"));
-        else if (!std::strcmp(argv[i], "--escalate"))
-            opt.escalate = true;
-        else if (!std::strcmp(argv[i], "--timeout-factor"))
-            opt.timeoutFactor =
-                unsigned(std::atoi(need("--timeout-factor")));
-        else if (!std::strcmp(argv[i], "--main-rate"))
-            opt.mainRate = std::atof(need("--main-rate"));
-        else if (!std::strcmp(argv[i], "--dvfs"))
-            opt.dvfs = true;
-        else if (!std::strcmp(argv[i], "--checkers"))
-            opt.checkers = unsigned(std::atoi(need("--checkers")));
-        else if (!std::strcmp(argv[i], "--max-ckpt"))
-            opt.maxCkpt = unsigned(std::atoi(need("--max-ckpt")));
-        else if (!std::strcmp(argv[i], "--seed"))
-            opt.seed = std::strtoull(need("--seed"), nullptr, 0);
-        else if (!std::strcmp(argv[i], "--ecc-rate"))
-            opt.eccRate = std::atof(need("--ecc-rate"));
-        else if (!std::strcmp(argv[i], "--stats"))
-            opt.stats = true;
-        else if (!std::strcmp(argv[i], "--json"))
-            opt.json = true;
-        else if (!std::strcmp(argv[i], "--list")) {
-            for (const auto &name : workloads::allNames())
-                std::printf("%s\n", name.c_str());
-            return 0;
-        } else {
-            usage(argv[0]);
-        }
-    }
+    using namespace paradox;
 
-    if (opt.pinChecker >= int(opt.checkers)) {
-        std::fprintf(stderr,
-                     "--pin-checker %d out of range (only %u checkers)\n",
-                     opt.pinChecker, opt.checkers);
+    exp::ExperimentSpec spec;
+    spec.scale = 4;
+    spec.checkers = 16;
+    spec.maxCheckpoint = 5000;
+    spec.timeoutFactor = 24;
+    spec.limits.maxExecuted = 2'000'000'000ULL;
+    spec.limits.maxTicks = ticksPerMs * 30000;
+
+    std::string mode_name = "paradox";
+    std::string persistence_name = "transient";
+    bool stats = false, json = false, list = false;
+
+    exp::Cli cli("paradox_sim",
+                 "single-run driver for the modelled system");
+    cli.opt("workload", spec.workload,
+            "one of the 21 built-in kernels");
+    cli.opt("scale", spec.scale, "workload size multiplier");
+    cli.opt("mode", mode_name,
+            "baseline | detect | paramedic | paradox");
+    cli.opt("rate", spec.faultRate,
+            "fixed per-event fault rate on the checkers");
+    cli.opt("persistence", persistence_name,
+            "transient | intermittent | permanent");
+    cli.opt("pin-checker", spec.pinChecker,
+            "restrict the injector to checker N");
+    cli.opt("main-rate", spec.mainCoreRate,
+            "fault rate on the *main core* itself");
+    cli.flag("dvfs", spec.dvfs,
+             "error-seeking undervolting (per-workload model)");
+    cli.flag("escalate", spec.escalate,
+             "enable the fault-escalation ladder");
+    cli.opt("timeout-factor", spec.timeoutFactor,
+            "checker watchdog budget multiplier");
+    cli.opt("checkers", spec.checkers, "checker-core count");
+    cli.opt("max-ckpt", spec.maxCheckpoint,
+            "AIMD cap / fixed window");
+    cli.opt("seed", spec.seed, "RNG seed");
+    cli.opt("ecc-rate", spec.eccRate,
+            "SECDED-corrected memory upsets per load");
+    cli.flag("stats", stats, "dump the full statistics group");
+    cli.flag("json", json, "emit a schema'd JSONL record");
+    cli.flag("list", list, "list workloads and exit");
+    if (!cli.parse(argc, argv))
+        return 2;
+
+    if (list) {
+        for (const auto &name : workloads::allNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (!exp::parseMode(mode_name, spec.mode)) {
+        std::fprintf(stderr, "unknown mode '%s'\n",
+                     mode_name.c_str());
+        return 2;
+    }
+    if (!faults::parsePersistence(persistence_name,
+                                  spec.persistence)) {
+        std::fprintf(stderr, "unknown persistence '%s'\n",
+                     persistence_name.c_str());
         return 2;
     }
 
-    workloads::Workload w = workloads::build(opt.workload, opt.scale);
+    std::string stats_text;
+    if (stats)
+        spec.observe = [&stats_text](core::System &system,
+                                     exp::RunOutcome &) {
+            std::ostringstream os;
+            system.dumpStats(os);
+            stats_text = os.str();
+        };
 
-    core::SystemConfig config = core::SystemConfig::forMode(opt.mode);
-    config.seed = opt.seed;
-    config.checkers.count = opt.checkers;
-    config.checkpointAimd.maxLength = opt.maxCkpt;
-    config.checkpointAimd.initial =
-        std::min(config.checkpointAimd.initial, opt.maxCkpt);
-    config.memoryEccFaultRate = opt.eccRate;
-    config.checkerTimeoutFactor = opt.timeoutFactor;
-    if (opt.escalate)
-        config.enableEscalation();
+    exp::RunOutcome out;
+    try {
+        out = exp::runOne(spec);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "paradox_sim: %s\n", e.what());
+        return 2;
+    }
+    const core::RunResult &r = out.result;
 
-    core::System system(config, w.program);
-    if (opt.dvfs)
-        system.enableDvfs(power::errorModelParams(opt.workload));
-    else if (opt.rate > 0.0)
-        system.setFaultPlan(faults::uniformPlan(
-            opt.rate, opt.seed, opt.persistence, opt.pinChecker));
-    if (opt.mainRate > 0.0) {
-        faults::FaultConfig fc;
-        fc.kind = faults::FaultKind::RegisterBitFlip;
-        fc.rate = opt.mainRate;
-        fc.seed = opt.seed * 31 + 7;
-        faults::FaultPlan plan;
-        plan.add(fc);
-        system.setMainCoreFaultPlan(std::move(plan));
+    if (json) {
+        exp::JsonlSink sink(stdout, "paradox_sim");
+        sink.header();
+        sink.write(spec, out);
+        return out.correct ? 0 : 1;
     }
 
-    core::RunLimits limits;
-    limits.maxExecuted = 2'000'000'000ULL;
-    limits.maxTicks = ticksPerMs * 30000;
-    core::RunResult r = system.run(limits);
-
-    std::uint64_t got = system.memory().read(workloads::resultAddr, 8);
-    bool correct = r.halted && got == w.expectedResult;
-
-    if (opt.json) {
-        std::printf("%s\n", core::toJson(r).c_str());
-        return correct ? 0 : 1;
-    }
-
-    std::printf("workload       %s (scale %u, %s)\n", w.name.c_str(),
-                opt.scale, core::modeName(opt.mode));
+    std::printf("workload       %s (scale %u, %s)\n",
+                spec.workload.c_str(), spec.scale,
+                core::modeName(spec.mode));
     std::printf("result         %s\n",
-                correct ? "CORRECT"
-                        : (r.halted ? "WRONG" : "DID NOT FINISH"));
+                out.correct ? "CORRECT"
+                            : (r.halted ? "WRONG" : "DID NOT FINISH"));
     std::printf("instructions   %llu net, %llu executed\n",
                 (unsigned long long)r.instructions,
                 (unsigned long long)r.executed);
@@ -214,16 +130,16 @@ main(int argc, char **argv)
     std::printf("errors         %llu detected, %llu faults injected\n",
                 (unsigned long long)r.errorsDetected,
                 (unsigned long long)r.faultsInjected);
-    if (opt.dvfs) {
+    if (spec.dvfs) {
         std::printf("voltage        %.4f V average\n", r.avgVoltage);
         std::printf("power          %.3f of nominal\n", r.avgPower);
     }
-    if (opt.eccRate > 0.0)
+    if (spec.eccRate > 0.0)
         std::printf("ecc corrected  %llu memory upsets\n",
-                    (unsigned long long)system.eccCorrected());
+                    (unsigned long long)out.eccCorrected);
     std::printf("checkers awake %.2f of %u average\n",
-                r.avgCheckersAwake, opt.checkers);
-    if (opt.escalate)
+                r.avgCheckersAwake, spec.checkers);
+    if (spec.escalate)
         std::printf("escalation     %llu retries (%llu saved), "
                     "%llu quarantines, %llu panics, %llu watchdog, "
                     "%u healthy left\n",
@@ -234,10 +150,7 @@ main(int argc, char **argv)
                     (unsigned long long)r.watchdogTrips,
                     r.healthyCheckers);
 
-    if (opt.stats) {
-        std::ostringstream os;
-        system.dumpStats(os);
-        std::fputs(os.str().c_str(), stdout);
-    }
-    return correct ? 0 : 1;
+    if (stats)
+        std::fputs(stats_text.c_str(), stdout);
+    return out.correct ? 0 : 1;
 }
