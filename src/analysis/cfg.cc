@@ -1,0 +1,176 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace paradox
+{
+namespace analysis
+{
+
+namespace
+{
+
+/**
+ * Decode the target instruction index of a resolved branch/jal.
+ * Returns false when the byte target is outside the image or not
+ * instruction-aligned.
+ */
+bool
+decodeTarget(const isa::Instruction &inst, std::size_t codeSize,
+             std::size_t &target)
+{
+    if (inst.imm < 0)
+        return false;
+    const auto byte = static_cast<std::uint64_t>(inst.imm);
+    if (byte % isa::instBytes != 0)
+        return false;
+    target = byte / isa::instBytes;
+    return target < codeSize;
+}
+
+bool
+isControlTransfer(const isa::Instruction &inst)
+{
+    const auto &ii = inst.info();
+    return ii.isBranch || ii.isJump || inst.op == isa::Opcode::HALT;
+}
+
+} // namespace
+
+Cfg
+Cfg::build(const isa::Program &prog, std::vector<Diagnostic> *diags)
+{
+    Cfg cfg;
+    const auto &code = prog.code();
+    const std::size_t n = code.size();
+    if (n == 0)
+        return cfg;
+
+    auto report = [&](Severity sev, const std::string &dcode,
+                      std::size_t idx, const std::string &msg) {
+        if (diags)
+            diags->push_back({sev, "cfg", dcode, idx, "", "", msg});
+    };
+
+    // Pass 1: find leaders.
+    std::set<std::size_t> leaders;
+    std::set<std::size_t> returnPoints;
+    leaders.insert(0);
+    for (const auto &[name, pos] : prog.labels())
+        if (pos < n)
+            leaders.insert(pos);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &inst = code[i];
+        const auto &ii = inst.info();
+        if (ii.isBranch || inst.op == isa::Opcode::JAL) {
+            std::size_t target;
+            if (decodeTarget(inst, n, target))
+                leaders.insert(target);
+        }
+        if (isControlTransfer(inst) && i + 1 < n)
+            leaders.insert(i + 1);
+        if (ii.isJump && inst.rd != 0 && i + 1 < n) {
+            // Return point of a linking call: a reachability root.
+            leaders.insert(i + 1);
+            returnPoints.insert(i + 1);
+        }
+    }
+
+    // Pass 2: materialise blocks.
+    std::vector<std::size_t> starts(leaders.begin(), leaders.end());
+    cfg.blockOf_.assign(n, 0);
+    for (std::size_t b = 0; b < starts.size(); ++b) {
+        BasicBlock block;
+        block.first = starts[b];
+        block.last = (b + 1 < starts.size() ? starts[b + 1] : n) - 1;
+        block.callReturnPoint = returnPoints.count(block.first) > 0;
+        for (std::size_t i = block.first; i <= block.last; ++i)
+            cfg.blockOf_[i] = b;
+        cfg.blocks_.push_back(std::move(block));
+    }
+
+    // Pass 3: recover edges.
+    for (std::size_t b = 0; b < cfg.blocks_.size(); ++b) {
+        BasicBlock &block = cfg.blocks_[b];
+        const auto &inst = code[block.last];
+        const auto &ii = inst.info();
+
+        auto addEdge = [&](std::size_t target) {
+            block.succs.push_back(cfg.blockOf_[target]);
+        };
+        auto addTargetEdge = [&]() {
+            std::size_t target;
+            if (decodeTarget(inst, n, target)) {
+                addEdge(target);
+            } else {
+                report(Severity::Error, "invalid-branch-target",
+                       block.last,
+                       "control transfer to byte " +
+                           std::to_string(inst.imm) +
+                           ", outside the code image");
+            }
+        };
+        auto addFallthrough = [&]() {
+            if (block.last + 1 < n) {
+                addEdge(block.last + 1);
+            } else {
+                block.fallsOffEnd = true;
+                report(Severity::Error, "fall-off-end", block.last,
+                       "execution can fall through past the last "
+                       "instruction (no halt on this path)");
+            }
+        };
+
+        if (ii.isBranch) {
+            addTargetEdge();
+            addFallthrough();
+        } else if (inst.op == isa::Opcode::JAL) {
+            addTargetEdge();
+        } else if (inst.op == isa::Opcode::JALR) {
+            block.indirect = true;  // targets unknown statically
+        } else if (inst.op != isa::Opcode::HALT) {
+            addFallthrough();
+        }
+
+        // Dedup the two-way branch-to-next case.
+        std::sort(block.succs.begin(), block.succs.end());
+        block.succs.erase(
+            std::unique(block.succs.begin(), block.succs.end()),
+            block.succs.end());
+    }
+
+    for (std::size_t b = 0; b < cfg.blocks_.size(); ++b)
+        for (std::size_t s : cfg.blocks_[b].succs)
+            cfg.blocks_[s].preds.push_back(b);
+
+    return cfg;
+}
+
+std::vector<bool>
+Cfg::reachableBlocks() const
+{
+    std::vector<bool> seen(blocks_.size(), false);
+    std::vector<std::size_t> stack;
+    auto push = [&](std::size_t b) {
+        if (!seen[b]) {
+            seen[b] = true;
+            stack.push_back(b);
+        }
+    };
+    if (!blocks_.empty())
+        push(entry());
+    for (std::size_t b = 0; b < blocks_.size(); ++b)
+        if (blocks_[b].callReturnPoint)
+            push(b);
+    while (!stack.empty()) {
+        std::size_t b = stack.back();
+        stack.pop_back();
+        for (std::size_t s : blocks_[b].succs)
+            push(s);
+    }
+    return seen;
+}
+
+} // namespace analysis
+} // namespace paradox

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Control-flow graph over an isa::Program.
+ *
+ * Basic blocks are split at labels, at branch/jump targets, and after
+ * every control transfer; edges are recovered from the absolute byte
+ * targets the ProgramBuilder resolved at build() time.  JALR is an
+ * indirect jump whose targets are unknown statically: its block is
+ * flagged @c indirect and gets no successor edges, and the passes
+ * treat everything downstream of it conservatively.  The instruction
+ * after a linking jump (jal/jalr with rd != x0) is flagged a
+ * @c callReturnPoint so callee code reached only via "ret" is not
+ * reported unreachable.
+ */
+
+#ifndef PARADOX_ANALYSIS_CFG_HH
+#define PARADOX_ANALYSIS_CFG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "isa/program.hh"
+
+namespace paradox
+{
+namespace analysis
+{
+
+/** One maximal straight-line run of instructions. */
+struct BasicBlock
+{
+    std::size_t first = 0;  //!< first instruction index
+    std::size_t last = 0;   //!< last instruction index (inclusive)
+
+    std::vector<std::size_t> succs;  //!< successor block ids
+    std::vector<std::size_t> preds;  //!< predecessor block ids
+
+    bool indirect = false;         //!< ends in jalr: successors unknown
+    bool fallsOffEnd = false;      //!< can run past the end of the image
+    bool callReturnPoint = false;  //!< first inst follows a linking jump
+
+    std::size_t size() const { return last - first + 1; }
+};
+
+/** The CFG plus the instruction -> block mapping. */
+class Cfg
+{
+  public:
+    /**
+     * Build the CFG of @p prog.  Structural problems found during
+     * construction (branch targets outside the image, conditional
+     * fallthrough past the last instruction) are appended to
+     * @p diags when it is non-null.
+     */
+    static Cfg build(const isa::Program &prog,
+                     std::vector<Diagnostic> *diags = nullptr);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block containing instruction @p instIdx. */
+    std::size_t blockOf(std::size_t instIdx) const
+    { return blockOf_[instIdx]; }
+
+    /** Entry block id (the block holding instruction 0). */
+    std::size_t entry() const { return 0; }
+
+    bool empty() const { return blocks_.empty(); }
+
+    /**
+     * Blocks reachable from the entry, including blocks only
+     * reachable as the return point of a linking jump.
+     */
+    std::vector<bool> reachableBlocks() const;
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<std::size_t> blockOf_;
+};
+
+} // namespace analysis
+} // namespace paradox
+
+#endif // PARADOX_ANALYSIS_CFG_HH

@@ -1,0 +1,89 @@
+#include "analysis/diagnostic.hh"
+
+#include <sstream>
+
+namespace paradox
+{
+namespace analysis
+{
+
+const char *
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::Info:    return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error:   return "error";
+    }
+    return "unknown";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << "[" << severityName(severity) << "] " << pass << "/" << code;
+    if (index != noIndex) {
+        os << " @" << index;
+        if (!context.empty())
+            os << " (" << context << ")";
+        if (!inst.empty())
+            os << " `" << inst << "`";
+    }
+    os << ": " << message;
+    return os.str();
+}
+
+std::string
+Diagnostic::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"severity\":\"" << severityName(severity) << "\""
+       << ",\"pass\":\"" << jsonEscape(pass) << "\""
+       << ",\"code\":\"" << jsonEscape(code) << "\"";
+    if (index != noIndex)
+        os << ",\"index\":" << index;
+    if (!context.empty())
+        os << ",\"label\":\"" << jsonEscape(context) << "\"";
+    if (!inst.empty())
+        os << ",\"inst\":\"" << jsonEscape(inst) << "\"";
+    os << ",\"message\":\"" << jsonEscape(message) << "\"}";
+    return os.str();
+}
+
+std::size_t
+countSeverity(const std::vector<Diagnostic> &diags, Severity sev)
+{
+    std::size_t n = 0;
+    for (const auto &d : diags)
+        if (d.severity == sev)
+            ++n;
+    return n;
+}
+
+} // namespace analysis
+} // namespace paradox

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Severity-classed, source-located diagnostics for the static
+ * analysis passes.
+ *
+ * A Diagnostic pins a finding to an instruction index and carries the
+ * nearest preceding label ("kern_done+2") plus the disassembled
+ * instruction, so a workload author can find the offending line in
+ * the ProgramBuilder source without counting emits.  Each diagnostic
+ * also has a stable machine-readable @c code ("def-before-use",
+ * "dead-store", ...) that tests and the JSON report key off.
+ */
+
+#ifndef PARADOX_ANALYSIS_DIAGNOSTIC_HH
+#define PARADOX_ANALYSIS_DIAGNOSTIC_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace paradox
+{
+namespace analysis
+{
+
+/** How bad a finding is. */
+enum class Severity
+{
+    Info,     //!< advisory; never affects exit status
+    Warning,  //!< suspicious; fails under --Werror
+    Error,    //!< the program is malformed
+};
+
+/** Human-readable name: "info", "warning", "error". */
+const char *severityName(Severity sev);
+
+/** One finding from one pass. */
+struct Diagnostic
+{
+    /** Index value for program-level findings with no instruction. */
+    static constexpr std::size_t noIndex = static_cast<std::size_t>(-1);
+
+    Severity severity = Severity::Info;
+    std::string pass;     //!< producing pass ("cfg", "dataflow", ...)
+    std::string code;     //!< stable finding id ("def-before-use", ...)
+    std::size_t index = noIndex;  //!< instruction index, or noIndex
+    std::string context;  //!< nearest preceding label, may be empty
+    std::string inst;     //!< disassembly of the instruction, may be empty
+    std::string message;  //!< human-readable explanation
+
+    /** Render as one human-readable line. */
+    std::string toString() const;
+
+    /** Render as one JSON object. */
+    std::string toJson() const;
+};
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Count diagnostics in @p diags at exactly @p sev. */
+std::size_t countSeverity(const std::vector<Diagnostic> &diags,
+                          Severity sev);
+
+} // namespace analysis
+} // namespace paradox
+
+#endif // PARADOX_ANALYSIS_DIAGNOSTIC_HH

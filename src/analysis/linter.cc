@@ -1,0 +1,92 @@
+#include "analysis/linter.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/cfg.hh"
+
+namespace paradox
+{
+namespace analysis
+{
+
+Report
+Linter::lint(const isa::Program &prog) const
+{
+    Report report;
+    report.program = prog.name();
+    report.instructions = prog.size();
+
+    if (prog.size() == 0) {
+        report.diags.push_back(
+            {Severity::Error, "cfg", "empty-program",
+             Diagnostic::noIndex, "", "",
+             "program contains no instructions"});
+        return report;
+    }
+
+    Cfg cfg = Cfg::build(prog, &report.diags);
+    report.blocks = cfg.blocks().size();
+    const std::vector<bool> reachable = cfg.reachableBlocks();
+
+    const Context ctx{prog, cfg, reachable, opts_};
+    checkReachability(ctx, report.diags);
+    checkDataflow(ctx, report.diags);
+    checkFootprint(ctx, report.diags);
+    checkTermination(ctx, report.diags);
+
+    // Resolve source locations: nearest label and disassembly.
+    for (auto &d : report.diags) {
+        if (d.index == Diagnostic::noIndex || d.index >= prog.size())
+            continue;
+        d.context = prog.labelAt(d.index);
+        d.inst = prog.code()[d.index].toString();
+    }
+
+    // Stable order: by instruction, then severity (worst first).
+    std::stable_sort(
+        report.diags.begin(), report.diags.end(),
+        [](const Diagnostic &a, const Diagnostic &b) {
+            if (a.index != b.index)
+                return a.index < b.index;
+            return static_cast<int>(a.severity) >
+                   static_cast<int>(b.severity);
+        });
+    return report;
+}
+
+std::string
+Report::toText() const
+{
+    std::ostringstream os;
+    os << "program '" << program << "': " << instructions
+       << " instructions, " << blocks << " blocks, " << errors()
+       << " error(s), " << warnings() << " warning(s)\n";
+    for (const auto &d : diags)
+        os << "  " << d.toString() << "\n";
+    return os.str();
+}
+
+std::string
+Report::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"" << schema << "\""
+       << ",\"program\":\"" << jsonEscape(program) << "\""
+       << ",\"instructions\":" << instructions
+       << ",\"blocks\":" << blocks
+       << ",\"errors\":" << errors()
+       << ",\"warnings\":" << warnings()
+       << ",\"infos\":" << countSeverity(diags, Severity::Info)
+       << ",\"diagnostics\":[";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        if (i)
+            os << ",";
+        os << diags[i].toJson();
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace analysis
+} // namespace paradox

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The individual analysis passes run by analysis::Linter.
+ *
+ * Every pass reads a shared immutable Context (program, CFG,
+ * reachability) and appends Diagnostics; passes never mutate the
+ * program.  Pass names double as the @c pass field of the
+ * diagnostics they emit:
+ *
+ *  - "reach":       unreachable blocks, no reachable halt
+ *  - "dataflow":    def-before-use, maybe-uninitialized, dead stores
+ *  - "footprint":   out-of-footprint and misaligned constant accesses
+ *  - "termination": infinite and likely-infinite loops
+ *
+ * ("cfg" diagnostics — invalid branch targets, fallthrough off the
+ * end of the image — are emitted during Cfg::build itself.)
+ */
+
+#ifndef PARADOX_ANALYSIS_PASSES_HH
+#define PARADOX_ANALYSIS_PASSES_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/diagnostic.hh"
+#include "isa/program.hh"
+
+namespace paradox
+{
+namespace analysis
+{
+
+/** Tuning knobs and environment facts for the passes. */
+struct Options
+{
+    /**
+     * Regions that are part of the footprint but not declared by the
+     * program itself, e.g. the ABI result cell every workload stores
+     * its checksum to.
+     */
+    std::vector<isa::MemRegion> extraRegions;
+
+    bool warnDeadStores = true;    //!< report never-read register defs
+    bool warnMaybeUninit = true;   //!< report path-dependent init
+};
+
+/** Shared read-only state handed to each pass. */
+struct Context
+{
+    const isa::Program &prog;
+    const Cfg &cfg;
+    const std::vector<bool> &reachable;  //!< per block id
+    const Options &opts;
+};
+
+/** Unreachable blocks and absence of a reachable halt. */
+void checkReachability(const Context &ctx,
+                       std::vector<Diagnostic> &diags);
+
+/**
+ * Forward may/must-initialized analysis (def-before-use,
+ * maybe-uninitialized) plus backward liveness (dead stores).
+ */
+void checkDataflow(const Context &ctx, std::vector<Diagnostic> &diags);
+
+/**
+ * Constant propagation over integer registers; every load/store
+ * whose address resolves to a constant is checked for alignment and
+ * membership in the declared + data-derived footprint.
+ */
+void checkFootprint(const Context &ctx, std::vector<Diagnostic> &diags);
+
+/**
+ * Back-edge detection and loop termination heuristics: a loop with
+ * no exit path is an error; a loop none of whose exit-condition
+ * registers is updated inside the loop is a likely-infinite warning.
+ */
+void checkTermination(const Context &ctx,
+                      std::vector<Diagnostic> &diags);
+
+} // namespace analysis
+} // namespace paradox
+
+#endif // PARADOX_ANALYSIS_PASSES_HH

@@ -1,0 +1,38 @@
+#include "analysis/passes.hh"
+
+namespace paradox
+{
+namespace analysis
+{
+
+void
+checkReachability(const Context &ctx, std::vector<Diagnostic> &diags)
+{
+    const auto &blocks = ctx.cfg.blocks();
+    bool reachableHalt = false;
+
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &block = blocks[b];
+        if (!ctx.reachable[b]) {
+            diags.push_back(
+                {Severity::Warning, "reach", "unreachable-block",
+                 block.first, "", "",
+                 "basic block [" + std::to_string(block.first) + ", " +
+                     std::to_string(block.last) +
+                     "] is unreachable from the entry"});
+            continue;
+        }
+        for (std::size_t i = block.first; i <= block.last; ++i)
+            if (ctx.prog.code()[i].op == isa::Opcode::HALT)
+                reachableHalt = true;
+    }
+
+    if (!reachableHalt)
+        diags.push_back({Severity::Error, "reach", "no-halt",
+                         Diagnostic::noIndex, "", "",
+                         "no halt instruction is reachable from the "
+                         "entry; the program cannot terminate cleanly"});
+}
+
+} // namespace analysis
+} // namespace paradox

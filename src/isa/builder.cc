@@ -9,6 +9,21 @@ namespace paradox
 namespace isa
 {
 
+std::string
+BuildError::join(const std::vector<std::string> &messages)
+{
+    std::string all = "ProgramBuilder: " +
+                      std::to_string(messages.size()) + " error(s)";
+    for (const auto &msg : messages)
+        all += "\n  " + msg;
+    return all;
+}
+
+BuildError::BuildError(std::vector<std::string> messages)
+    : std::runtime_error(join(messages)), messages_(std::move(messages))
+{
+}
+
 ProgramBuilder &
 ProgramBuilder::emit(Opcode op, unsigned rd, unsigned rs1, unsigned rs2,
                      std::int64_t imm)
@@ -36,8 +51,15 @@ ProgramBuilder::emitBranch(Opcode op, unsigned rs1, unsigned rs2,
 ProgramBuilder &
 ProgramBuilder::label(const std::string &name)
 {
-    if (labels_.count(name))
-        fatal("ProgramBuilder: duplicate label '" + name + "'");
+    auto it = labels_.find(name);
+    if (it != labels_.end()) {
+        errors_.push_back("duplicate label '" + name +
+                          "': first defined at instruction " +
+                          std::to_string(it->second) +
+                          ", redefined at instruction " +
+                          std::to_string(code_.size()));
+        return *this;  // keep the first definition
+    }
     labels_[name] = code_.size();
     return *this;
 }
@@ -212,19 +234,34 @@ ProgramBuilder::dataF64(Addr addr, double value)
     return data64(addr, std::bit_cast<std::uint64_t>(value));
 }
 
+ProgramBuilder &
+ProgramBuilder::footprint(Addr base, std::uint64_t bytes,
+                          const std::string &name)
+{
+    regions_.push_back({base, bytes, name});
+    return *this;
+}
+
 Program
 ProgramBuilder::build()
 {
+    std::vector<std::string> errors = errors_;
     for (const auto &fixup : fixups_) {
         auto it = labels_.find(fixup.target);
-        if (it == labels_.end())
-            fatal("ProgramBuilder: undefined label '" + fixup.target +
-                  "' in " + name_);
+        if (it == labels_.end()) {
+            errors.push_back("undefined label '" + fixup.target +
+                             "' referenced by instruction " +
+                             std::to_string(fixup.index) + " in " +
+                             name_);
+            continue;
+        }
         code_[fixup.index].imm =
             std::int64_t(it->second * instBytes);
     }
+    if (!errors.empty())
+        throw BuildError(std::move(errors));
     fixups_.clear();
-    return Program(name_, code_, data_);
+    return Program(name_, code_, data_, labels_, regions_);
 }
 
 } // namespace isa

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,30 @@ namespace paradox
 {
 namespace isa
 {
+
+/**
+ * Aggregated assembly errors thrown by ProgramBuilder::build().
+ *
+ * Unlike the old fatal()-on-first-problem behaviour, the builder
+ * accumulates every duplicate label definition and every undefined
+ * label reference (with the offending instruction index) and reports
+ * them all at once, so a workload author sees the complete damage in
+ * a single build.
+ */
+class BuildError : public std::runtime_error
+{
+  public:
+    explicit BuildError(std::vector<std::string> messages);
+
+    /** One message per individual assembly problem. */
+    const std::vector<std::string> &messages() const
+    { return messages_; }
+
+  private:
+    static std::string join(const std::vector<std::string> &messages);
+
+    std::vector<std::string> messages_;
+};
 
 /** Assembler-style builder of Program images. */
 class ProgramBuilder
@@ -132,12 +157,23 @@ class ProgramBuilder
     ProgramBuilder &dataF64(Addr addr, double value);
     /** @} */
 
+    /**
+     * Declare a data region [base, base+bytes) as part of the
+     * workload's static memory footprint.  Initialized data emitted
+     * via data64()/dataF64() is derived automatically by the
+     * analyses; footprint() is for uninitialized scratch and output
+     * regions the program writes at runtime.
+     */
+    ProgramBuilder &footprint(Addr base, std::uint64_t bytes,
+                              const std::string &name = "");
+
     /** Current instruction count (for code-size shaping). */
     std::size_t codeSize() const { return code_.size(); }
 
     /**
      * Resolve all label references and produce the immutable image.
-     * Calls fatal() on undefined labels.
+     * Throws BuildError listing every duplicate label definition and
+     * every undefined label reference (with instruction indices).
      */
     Program build();
 
@@ -158,6 +194,8 @@ class ProgramBuilder
     std::vector<DataInit> data_;
     std::map<std::string, std::size_t> labels_;
     std::vector<Fixup> fixups_;
+    std::vector<MemRegion> regions_;
+    std::vector<std::string> errors_;
 };
 
 } // namespace isa

@@ -7,6 +7,7 @@
 #define PARADOX_ISA_PROGRAM_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -26,20 +27,45 @@ struct DataInit
 };
 
 /**
+ * A declared data region: [base, base + size) bytes.
+ *
+ * Workloads declare their static memory footprint (input arrays,
+ * scratch tables, output cells) so static analysis can verify that
+ * every constant-addressable access lands inside it.
+ */
+struct MemRegion
+{
+    Addr base;
+    std::uint64_t size;
+    std::string name;
+
+    bool contains(Addr addr, unsigned bytes) const
+    {
+        return addr >= base && bytes <= size &&
+               addr - base <= size - bytes;
+    }
+};
+
+/**
  * An immutable program image.
  *
  * Code lives at byte address 0 upward, @c instBytes per instruction;
  * data initializers are applied to the simulated memory before the
- * run.  Programs are produced by ProgramBuilder.
+ * run.  Programs are produced by ProgramBuilder, which also records
+ * assembly-level metadata (label positions, declared footprint) for
+ * diagnostics and static analysis.
  */
 class Program
 {
   public:
     Program() = default;
     Program(std::string name, std::vector<Instruction> code,
-            std::vector<DataInit> data)
+            std::vector<DataInit> data,
+            std::map<std::string, std::size_t> labels = {},
+            std::vector<MemRegion> regions = {})
         : name_(std::move(name)), code_(std::move(code)),
-          data_(std::move(data))
+          data_(std::move(data)), labels_(std::move(labels)),
+          regions_(std::move(regions))
     {}
 
     const std::string &name() const { return name_; }
@@ -69,10 +95,43 @@ class Program
     /** Initial data image. */
     const std::vector<DataInit> &data() const { return data_; }
 
+    /** Label name -> instruction index, as written in the builder. */
+    const std::map<std::string, std::size_t> &labels() const
+    { return labels_; }
+
+    /** Declared data regions (may be empty for legacy programs). */
+    const std::vector<MemRegion> &regions() const { return regions_; }
+
+    /**
+     * The nearest label at or before instruction @p idx, for
+     * source-located diagnostics ("in 'kern_done'+2").  Empty string
+     * when no label precedes @p idx.
+     */
+    std::string
+    labelAt(std::size_t idx) const
+    {
+        std::string best;
+        std::size_t bestPos = 0;
+        bool found = false;
+        for (const auto &[name, pos] : labels_) {
+            if (pos <= idx && (!found || pos >= bestPos)) {
+                best = name;
+                bestPos = pos;
+                found = true;
+            }
+        }
+        if (!found)
+            return "";
+        std::size_t delta = idx - bestPos;
+        return delta == 0 ? best : best + "+" + std::to_string(delta);
+    }
+
   private:
     std::string name_;
     std::vector<Instruction> code_;
     std::vector<DataInit> data_;
+    std::map<std::string, std::size_t> labels_;
+    std::vector<MemRegion> regions_;
 };
 
 } // namespace isa

@@ -55,6 +55,7 @@ buildGemsFDTD(unsigned scale)
 
     isa::ProgramBuilder b("GemsFDTD");
     emitDataF(b, eBase, e0);
+    b.footprint(hBase, cells * 8, "h-field");
     b.dataF64(cBase, ce);
     b.dataF64(cBase + 8, ch);
 

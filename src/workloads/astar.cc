@@ -60,6 +60,7 @@ buildAstar(unsigned scale)
 
     isa::ProgramBuilder b("astar");
     emitData(b, costBase, cost);
+    b.footprint(distBase, (N - 1) * pitchBytes + N * 8, "dist");
     // Distance grid initialization: large sentinel everywhere, 0 at
     // the origin.  (Initialized by code so the pitched layout does
     // not blow up the data image.)

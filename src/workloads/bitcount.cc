@@ -55,6 +55,7 @@ buildBitcount(unsigned scale)
     isa::ProgramBuilder b("bitcount");
     emitData(b, dataBase, words);
     const Addr countBase = dataBase + n * 8 + 64;
+    b.footprint(countBase, n * 8, "counts");
 
     b.ldi(x1, dataBase);
     b.ldi(x2, countBase);

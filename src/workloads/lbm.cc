@@ -66,6 +66,7 @@ buildLbm(unsigned scale)
 
     isa::ProgramBuilder b("lbm");
     emitDataF(b, fBase, f0v);
+    b.footprint(gBase, f0v.size() * 8, "g-grid");
     b.dataF64(cBase, omega);
     for (unsigned q = 0; q < Q; ++q)
         b.dataF64(cBase + 8 + 8 * q, weights[q]);
@@ -83,6 +84,7 @@ buildLbm(unsigned scale)
     b.ldi(x21, fBase);
     b.ldi(x22, gBase);
     b.ldi(x15, steps);
+    b.fmvDX(f0, x0);                   // f0 = +0.0, the FP zero below
 
     b.label("step");
     b.ldi(x3, 1);                      // y

@@ -70,6 +70,7 @@ buildMilc(unsigned scale)
 
     b.ldi(x31, 0);
     b.ldi(x20, 1099511628211ULL);
+    b.fmvDX(f0, x0);               // f0 = +0.0, the FP zero below
     b.ldi(x2, sites);
     b.ldi(x3, 0);                  // site counter s
     b.ldi(x4, vBase);
@@ -91,7 +92,7 @@ buildMilc(unsigned scale)
     for (int i = 0; i < 3; ++i) {
         isa::FReg re{20u + unsigned(i) * 2};
         isa::FReg im{21u + unsigned(i) * 2};
-        b.fsub(re, f0, f0);        // 0.0 (f0 never written: stays 0)
+        b.fsub(re, f0, f0);        // 0.0
         b.fsub(im, f0, f0);
         for (int j = 0; j < 3; ++j) {
             const long off = (long(i) * 3 + j) * 16;

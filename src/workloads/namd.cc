@@ -63,6 +63,7 @@ buildNamd(unsigned scale)
 
     isa::ProgramBuilder b("namd");
     emitDataF(b, posBase, pos);
+    b.footprint(fxBase, numParticles * 8, "forces");
     b.dataF64(cBase, cutoff2);
     b.dataF64(cBase + 8, 1.0);
     b.dataF64(cBase + 16, 0.5);

@@ -84,6 +84,7 @@ buildPovray(unsigned scale)
     b.ldi(x15, rays);
     b.ldi(x20, 1099511628211ULL);
     b.ldi(x31, 0);
+    b.fmvDX(f0, x0);      // f0 = +0.0, the FP zero below
 
     b.label("ray");
     b.fmul(f1, f1, f10);

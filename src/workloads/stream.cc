@@ -56,6 +56,8 @@ buildStream(unsigned scale)
 
     isa::ProgramBuilder b("stream");
     emitDataF(b, aBase, a);
+    b.footprint(bBase, n * 8, "b");
+    b.footprint(cBase, n * 8, "c");
 
     b.ldi(x20, n);                      // element count
     b.dataF64(0x7f000, scaleFactor);

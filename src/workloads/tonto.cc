@@ -86,6 +86,7 @@ buildTonto(unsigned scale)
     b.ldi(x20, 1099511628211ULL);
     b.ldi(x31, 0);
     b.ldi(x18, M);
+    b.fmvDX(f0, x0);      // f0 = +0.0, the FP zero below
 
     b.label("round");
     // Polynomial pass over v.

@@ -153,6 +153,7 @@ buildXalancbmk(unsigned scale)
     const Addr stackBase = 0x600000;
 
     isa::ProgramBuilder b("xalancbmk");
+    b.footprint(stackBase, numNodes * 8, "walk-stack");
     for (std::size_t i = 0; i < numNodes; ++i) {
         b.data64(nodeBase + i * nodeBytes + 0, tree.firstChild[i]);
         b.data64(nodeBase + i * nodeBytes + 8, tree.nextSibling[i]);

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * isa_lint: static analysis of the built-in PDX64 workloads.
+ *
+ * Runs the analysis::Linter pass pipeline (CFG, reachability,
+ * register dataflow, memory footprint, termination heuristics) over
+ * any subset of the registered workloads:
+ *
+ *   isa_lint --list                 # names, one per line
+ *   isa_lint --all                  # lint every workload
+ *   isa_lint bitcount stream        # lint selected workloads
+ *   isa_lint --all --json           # one JSON report per line
+ *   isa_lint --all --Werror         # warnings fail the run
+ *   isa_lint --all --scale 4        # lint at benchmark scale
+ *
+ * Exit status: 0 when every linted program is clean, 1 when any
+ * program has an error-severity diagnostic (or any warning under
+ * --Werror), 2 on usage errors.  CI runs `isa_lint --all --Werror`,
+ * so a malformed workload can never reach the fault-injection
+ * experiments.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/linter.hh"
+#include "exp/cli.hh"
+#include "isa/builder.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace paradox;
+
+    bool all = false, json = false, werror = false, list = false;
+    unsigned scale = 1;
+
+    exp::Cli cli("isa_lint",
+                 "static analysis (CFG, dataflow, footprint, "
+                 "termination) over the built-in workloads; name "
+                 "workloads as positional arguments or pass --all");
+    cli.flag("all", all, "lint every registered workload");
+    cli.flag("list", list, "print workload names and exit");
+    cli.flag("json", json, "one paradox-lint/1 JSON object per line");
+    cli.flag("Werror", werror, "treat warnings as errors");
+    cli.opt("scale", scale, "workload size multiplier");
+
+    // Split positional workload names from flags; value-taking
+    // options keep their value glued to them.
+    const std::vector<std::string> valueOpts = {"--scale"};
+    std::vector<std::string> names;
+    std::vector<char *> flagArgs = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i][0] != '-') {
+            names.push_back(argv[i]);
+            continue;
+        }
+        flagArgs.push_back(argv[i]);
+        for (const auto &opt : valueOpts)
+            if (opt == argv[i] && i + 1 < argc) {
+                flagArgs.push_back(argv[++i]);
+                break;
+            }
+    }
+    if (!cli.parse(int(flagArgs.size()), flagArgs.data()))
+        return 2;
+
+    if (list) {
+        for (const auto &name : workloads::allNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (all)
+        names = workloads::allNames();
+    if (names.empty()) {
+        std::fprintf(stderr,
+                     "isa_lint: no workloads selected "
+                     "(pass names, --all, or --list)\n");
+        return 2;
+    }
+
+    // Every workload stores its checksum to the ABI result cell,
+    // which is part of the footprint but not of any one program.
+    analysis::Options opts;
+    opts.extraRegions.push_back({workloads::resultAddr, 8, "result"});
+    const analysis::Linter linter(opts);
+
+    bool failed = false;
+    std::size_t totalErrors = 0, totalWarnings = 0;
+    for (const auto &name : names) {
+        analysis::Report report;
+        try {
+            const workloads::Workload w = workloads::build(name, scale);
+            report = linter.lint(w.program);
+        } catch (const isa::BuildError &err) {
+            // Assembly-level failures become build diagnostics so the
+            // report formats stay uniform.
+            report.program = name;
+            for (const auto &msg : err.messages())
+                report.diags.push_back(
+                    {analysis::Severity::Error, "build", "build-error",
+                     analysis::Diagnostic::noIndex, "", "", msg});
+        }
+        totalErrors += report.errors();
+        totalWarnings += report.warnings();
+        if (!report.clean(werror))
+            failed = true;
+        if (json)
+            std::printf("%s\n", report.toJson().c_str());
+        else
+            std::fputs(report.toText().c_str(), stdout);
+    }
+
+    if (!json)
+        std::printf("%zu workload(s): %zu error(s), %zu warning(s)%s\n",
+                    names.size(), totalErrors, totalWarnings,
+                    werror ? " [-Werror]" : "");
+    return failed ? 1 : 0;
+}
