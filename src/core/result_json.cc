@@ -31,6 +31,9 @@ toJson(const RunResult &result)
     os << ",\"avg_voltage\":" << result.avgVoltage;
     os << ",\"avg_power\":" << result.avgPower;
     os << ",\"avg_checkers_awake\":" << result.avgCheckersAwake;
+    os << ",\"ckpt_len_p50\":" << result.ckptLenP50;
+    os << ",\"ckpt_len_p95\":" << result.ckptLenP95;
+    os << ",\"ckpt_len_p99\":" << result.ckptLenP99;
     os << ",\"memory_fingerprint\":\"0x" << std::hex
        << result.memoryFingerprint << std::dec << "\"";
     os << ",\"wake_rates\":[";

@@ -139,6 +139,80 @@ System::System(const SystemConfig &config, const isa::Program &program,
 }
 
 void
+System::setTracer(obs::TraceSink *sink, Tick metrics_interval)
+{
+    tracer_ = sink;
+    metrics_.reset();
+    trCheckers_.clear();
+    fillSpanOpen_ = false;
+    if (!tracing())
+        return;
+
+    // Track taxonomy (ids are also the Perfetto sort order): the main
+    // core first, then its segment lifecycle, one track per checker,
+    // then the DVFS domain, the fault machinery, and memory counters.
+    trMain_ = sink->addTrack("main");
+    trSegments_ = sink->addTrack("main/segments");
+    trCheckers_.reserve(sched()->count());
+    for (unsigned i = 0; i < sched()->count(); ++i)
+        trCheckers_.push_back(
+            sink->addTrack("checker/" + std::to_string(i)));
+    trDvfs_ = sink->addTrack("dvfs");
+    trFaults_ = sink->addTrack("faults");
+    trMem_ = sink->addTrack("mem");
+
+    metrics_ = std::make_unique<obs::MetricsSampler>(
+        *sink, metrics_interval);
+    metrics_->probe(trMain_, "committed", [this] {
+        return double(mainCore_->committed());
+    });
+    metrics_->probe(trMain_, "mispredicts", [this] {
+        return double(mainCore_->mispredicts());
+    });
+    metrics_->probe(trMain_, "checkpoints",
+                    [this] { return double(checkpoints_); });
+    metrics_->probe(trMain_, "checkers_busy", [this] {
+        return double(sched()->busyCount());
+    });
+    metrics_->probe(trFaults_, "rollbacks",
+                    [this] { return double(rollbacks_); });
+    metrics_->probe(trFaults_, "detections",
+                    [this] { return double(detections_); });
+    metrics_->probe(trFaults_, "faults_injected", [this] {
+        return double(faultsInjectedTotal_);
+    });
+    metrics_->probe(trMem_, "l1d_misses", [this] {
+        return double(hierarchy_->l1d().misses());
+    });
+    metrics_->probe(trMem_, "l2_misses", [this] {
+        return double(hierarchy_->l2().misses());
+    });
+    metrics_->probe(trMem_, "pinned_lines", [this] {
+        return double(hierarchy_->l1d().pinnedLineCount());
+    });
+    metrics_->probe(trMem_, "pinned_blocks", [this] {
+        return double(hierarchy_->l1d().pinnedBlocks());
+    });
+}
+
+void
+System::traceEndFill(Tick ts)
+{
+    if (fillSpanOpen_) {
+        tracer_->end(trSegments_, "fill", ts);
+        fillSpanOpen_ = false;
+    }
+}
+
+void
+System::traceOperatingPoint(Tick ts)
+{
+    tracer_->counter(trDvfs_, "voltage", ts, currentVoltage_);
+    tracer_->counter(trDvfs_, "frequency_ghz", ts,
+                     currentFreq_ / 1e9);
+}
+
+void
 System::setFaultPlan(faults::FaultPlan plan)
 {
     faultPlan_ = std::move(plan);
@@ -162,6 +236,10 @@ System::maybeMainCoreFault(const isa::Instruction &inst,
         if (!hit.fires)
             continue;
         ++faultsInjectedTotal_;
+        if (tracing())
+            tracer_->instant(trFaults_, "main-fault",
+                             mainCore_->now(), nullptr,
+                             double(hit.bit));
         if (injector.kind() == faults::FaultKind::FunctionalUnit) {
             const std::uint64_t mask = std::uint64_t(1) << hit.bit;
             if (r.wroteInt)
@@ -272,6 +350,11 @@ System::openSegment()
                            mainCore_->now());
             instsInSegment_ = 0;
             linesCopiedThisCkpt_.clear();
+            if (tracing()) {
+                tracer_->begin(trSegments_, "fill", mainCore_->now(),
+                               filling_->id());
+                fillSpanOpen_ = true;
+            }
             // Continuity: record the next segment's checker in the
             // previously filled segment (section IV-C).
             if (!pending_.empty())
@@ -279,6 +362,9 @@ System::openSegment()
             return true;
         }
         ++*checkerWaitStalls_;
+        if (tracing())
+            tracer_->instant(trMain_, "checker-wait",
+                             mainCore_->now());
         if (pending_.empty()) {
             // A shared checker pool exhausted by *other* cores: idle
             // a short quantum and yield so the interleaver can run
@@ -301,6 +387,8 @@ void
 System::closeSegmentAndDispatch()
 {
     filling_->close(archState_, instsInSegment_, mainCore_->now());
+    if (tracing())
+        traceEndFill(mainCore_->now());
     // Taking the register checkpoint blocks commit (Table I).
     mainCore_->blockCommit(config_.regCheckpointCycles);
     Tick dispatch = mainCore_->now();
@@ -311,6 +399,9 @@ System::closeSegmentAndDispatch()
         config_.checkerTimeoutFactor, config_.physicalOffset);
     checkerInstructions_ += out.instructionsExecuted;
     faultsInjectedTotal_ += out.faultsInjected;
+    if (tracing() && out.faultsInjected > 0)
+        tracer_->instant(trFaults_, "inject", dispatch, nullptr,
+                         double(out.faultsInjected), filling_->id());
 
     bool detected = out.detected;
     Cycles total_cycles = out.totalCycles;
@@ -342,6 +433,23 @@ System::closeSegmentAndDispatch()
                                      retry_end));
             if (config_.lowestIdScheduling)
                 checkerTiming()->powerGated(unsigned(retry_id));
+            if (tracing()) {
+                const Tick retry_start =
+                    dispatch +
+                    checkerTiming()->cyclesToTicks(detect_cycles);
+                tracer_->complete(
+                    checkerTrack(unsigned(retry_id)), "retry-verify",
+                    retry_start,
+                    checkerTiming()->cyclesToTicks(retry.totalCycles),
+                    filling_->id(),
+                    retry.detected ? detectReasonName(retry.reason)
+                                   : nullptr);
+                if (retry.faultsInjected > 0)
+                    tracer_->instant(trFaults_, "inject", retry_start,
+                                     nullptr,
+                                     double(retry.faultsInjected),
+                                     filling_->id());
+            }
             if (!retry.detected) {
                 // Saved: strike the erring checker, credit the
                 // clean one.
@@ -349,10 +457,20 @@ System::closeSegmentAndDispatch()
                 ++*retrySavesStat_;
                 ++detections_;
                 ++reasonCounts_[static_cast<std::size_t>(out.reason)];
+                if (tracing())
+                    tracer_->instant(trFaults_, "retry-save",
+                                     dispatch,
+                                     detectReasonName(out.reason),
+                                     double(fillingChecker_),
+                                     filling_->id());
                 if (sched()->recordOutcome(unsigned(fillingChecker_),
                                            true)) {
                     ++quarantines_;
                     ++*quarantinesStat_;
+                    if (tracing())
+                        tracer_->instant(
+                            checkerTrack(unsigned(fillingChecker_)),
+                            "quarantine", dispatch);
                 }
                 sched()->recordOutcome(unsigned(retry_id), false);
                 if (config_.dvfsEnabled)
@@ -375,11 +493,18 @@ System::closeSegmentAndDispatch()
             // strike and fall through to rollback.
             ++quarantines_;
             ++*quarantinesStat_;
+            if (tracing())
+                tracer_->instant(
+                    checkerTrack(unsigned(fillingChecker_)),
+                    "quarantine", dispatch);
         }
     } else if (sched()->recordOutcome(unsigned(fillingChecker_),
                                       detected)) {
         ++quarantines_;
         ++*quarantinesStat_;
+        if (tracing())
+            tracer_->instant(checkerTrack(unsigned(fillingChecker_)),
+                             "quarantine", dispatch);
     }
 
     PendingCheck pc;
@@ -392,6 +517,25 @@ System::closeSegmentAndDispatch()
     pc.detectTick =
         dispatch + checkerTiming()->cyclesToTicks(detect_cycles);
     pc.reason = out.reason;
+
+    if (tracing()) {
+        // The replay's timing is resolved synchronously, so the whole
+        // checker span (and any detection signal) can be recorded
+        // now with its future timestamps; the writers sort by time.
+        tracer_->complete(checkerTrack(pc.checkerId), "check",
+                          pc.startTick,
+                          pc.finishTick > pc.startTick
+                              ? pc.finishTick - pc.startTick
+                              : 0,
+                          pc.segment->id(),
+                          detected ? detectReasonName(pc.reason)
+                                   : nullptr);
+        if (detected)
+            tracer_->instant(checkerTrack(pc.checkerId), "detect",
+                             pc.detectTick,
+                             detectReasonName(pc.reason), 0.0,
+                             pc.segment->id());
+    }
 
     ckptLen_->sample(double(pc.segment->instCount()));
     ckptHist_->sample(double(pc.segment->instCount()));
@@ -450,6 +594,9 @@ System::maybeEccEvent(const isa::ExecResult &r)
             decoded.data != r.loadValue)
             panic("SECDED failed to repair a single-bit memory upset");
         ++eccCorrected_;
+        if (tracing())
+            tracer_->instant(trFaults_, "ecc-corrected",
+                             mainCore_->now());
     }
     if (dueGap_ != std::numeric_limits<std::uint64_t>::max() &&
         --dueGap_ == 0) {
@@ -498,6 +645,14 @@ System::machineCheckRollback()
                                 : config_.rollback.cyclesPerWordUndo;
     Tick cost = mainClock_.cyclesToTicks(Cycles(ops) * per_op);
     rollbackNs_->sample(ticksToNs(cost));
+
+    if (tracing()) {
+        tracer_->instant(trFaults_, "ecc-due", now, nullptr, 0.0,
+                         seg.id());
+        traceEndFill(now);
+        tracer_->complete(trMain_, "due-rollback", now, cost,
+                          seg.id());
+    }
 
     archState_ = seg.startState();
     netIndex_ = seg.startInstIndex();
@@ -621,6 +776,12 @@ System::performRollback(std::size_t idx, Tick stop)
     wastedNs_->sample(ticksToNs(stop > seg.startTick()
                                     ? stop - seg.startTick()
                                     : 0));
+    const std::uint64_t faulty_seg_id = seg.id();
+    const DetectReason faulty_reason = pc.reason;
+    // The detection itself was already recorded on the checker's
+    // track when the replay resolved; here only the recovery shows.
+    if (tracing())
+        traceEndFill(stop);
 
     // Undo memory newest-first: the filling segment, then every
     // dispatched segment back to (and including) the faulty one.
@@ -671,9 +832,16 @@ System::performRollback(std::size_t idx, Tick stop)
                    pending_.end());
 
     Tick resume = stop + cost;
+    if (tracing()) {
+        tracer_->complete(trMain_, "rollback", stop, cost,
+                          faulty_seg_id,
+                          detectReasonName(faulty_reason));
+    }
     mainCore_->resetPipeline(resume);
     applyOperatingPoint(resume);
     voltTrace_->sample(resume, currentVoltage_);
+    if (tracing())
+        traceOperatingPoint(resume);
 }
 
 void
@@ -699,10 +867,19 @@ System::panicResetVoltage(Tick now)
     if (hold_until > backoffUntil_)
         backoffUntil_ = hold_until;
 
+    if (tracing()) {
+        tracer_->instant(trDvfs_, "panic-reset", now, nullptr,
+                         double(backoffStage_));
+        tracer_->complete(trDvfs_, "panic-backoff", now,
+                          hold_until > now ? hold_until - now : 0);
+    }
+
     if (config_.dvfsEnabled) {
         voltCtrl_->panicReset();
         applyOperatingPoint(now);
         voltTrace_->sample(now, currentVoltage_);
+        if (tracing())
+            traceOperatingPoint(now);
     }
 }
 
@@ -755,6 +932,11 @@ System::checkpointHousekeeping()
     applyOperatingPoint(now);
     if (config_.dvfsEnabled)
         voltTrace_->sample(now, currentVoltage_);
+    if (tracing()) {
+        if (config_.dvfsEnabled)
+            traceOperatingPoint(now);
+        metrics_->poll(now);
+    }
 }
 
 RunResult
@@ -774,6 +956,10 @@ System::beginRun(const RunLimits &limits)
     halted_ = false;
     lastProgressTick_ = mainCore_->now();
     phase_ = Phase::Running;
+    if (tracing()) {
+        traceOperatingPoint(mainCore_->now());
+        metrics_->sampleAll(mainCore_->now());
+    }
 }
 
 bool
@@ -812,6 +998,8 @@ System::stepInstruction()
             now - lastProgressTick_ >= watchdogTicks_) {
             ++watchdogTrips_;
             ++*watchdogTripsStat_;
+            if (tracing())
+                tracer_->instant(trFaults_, "watchdog-trip", now);
             panicResetVoltage(now);
             lastProgressTick_ = now;
         }
@@ -913,6 +1101,9 @@ System::stepInstruction()
             // and drain every outstanding check.  If one fails, the
             // rollback rewinds past this store and it re-executes.
             ++mmioDrains_;
+            if (tracing())
+                tracer_->instant(trMain_, "mmio-drain",
+                                 mainCore_->now());
             if (filling_ && instsInSegment_ > 0)
                 closeSegmentAndDispatch();
             drainChecks();
@@ -936,6 +1127,8 @@ System::stepInstruction()
                              mainCore_->now());
             if (config_.lowestIdScheduling)
                 checkerTiming()->powerGated(unsigned(fillingChecker_));
+            if (tracing())
+                traceEndFill(mainCore_->now());
             filling_.reset();
             fillingChecker_ = -1;
         }
@@ -966,6 +1159,12 @@ System::collectResult()
     Tick end = mainCore_->now();
     accumulatePower(end);
 
+    if (tracing()) {
+        metrics_->sampleAll(end);
+        if (config_.dvfsEnabled)
+            traceOperatingPoint(end);
+    }
+
     RunResult result;
     result.halted = halted_;
     result.instructions = netIndex_;
@@ -979,6 +1178,9 @@ System::collectResult()
     result.avgPower = energy_.averagePower();
     result.avgCheckersAwake =
         end > 0 ? awakeTickSum_ / double(end) : 0.0;
+    result.ckptLenP50 = ckptHist_->p50();
+    result.ckptLenP95 = ckptHist_->p95();
+    result.ckptLenP99 = ckptHist_->p99();
     result.wakeRates = sched()->wakeRates(end);
     result.retryVerifies = retryVerifies_;
     result.retrySaves = retrySaves_;

@@ -42,6 +42,8 @@
 #include "mem/hierarchy.hh"
 #include "mem/memory.hh"
 #include "mem/tlb.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "power/power_model.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
@@ -85,6 +87,11 @@ struct RunResult
     double avgVoltage = 0.0;      //!< time-weighted supply voltage
     double avgPower = 0.0;        //!< normalized (1.0 = baseline nom.)
     double avgCheckersAwake = 0.0;
+    /** @{ Checkpoint-length percentiles (from the histogram). */
+    double ckptLenP50 = 0.0;
+    double ckptLenP95 = 0.0;
+    double ckptLenP99 = 0.0;
+    /** @} */
     std::vector<double> wakeRates;
     isa::ArchState finalState;
     std::uint64_t memoryFingerprint = 0;
@@ -148,6 +155,19 @@ class System
      * rate is retuned at every checkpoint.
      */
     void enableDvfs(const faults::UndervoltErrorModel::Params &model);
+
+    /**
+     * Attach an execution tracer (src/obs/): segment lifecycle,
+     * checker replays, detections/rollbacks, escalation events and
+     * voltage/frequency tracks are recorded into @p sink, and key
+     * runtime metrics are sampled onto counter tracks every
+     * @p metrics_interval of simulated time.  @p sink must outlive
+     * the System; nullptr detaches.  A no-op (beyond one pointer
+     * test per hook) when detached or when compiled with
+     * -DPARADOX_TRACING=0.
+     */
+    void setTracer(obs::TraceSink *sink,
+                   Tick metrics_interval = 10 * ticksPerUs);
 
     /** Execute until HALT or a limit. */
     RunResult run(const RunLimits &limits = RunLimits{});
@@ -343,6 +363,28 @@ class System
     /** Apply controller voltage/frequency at @p now. */
     void applyOperatingPoint(Tick now);
 
+    /** @{ Tracing hooks (single pointer test when detached). */
+    bool
+    tracing() const
+    {
+        return obs::tracingCompiledIn && tracer_ != nullptr;
+    }
+
+    /** Track carrying checker @p id's replay spans. */
+    obs::TrackId
+    checkerTrack(unsigned id) const
+    {
+        return id < trCheckers_.size() ? trCheckers_[id]
+                                       : trCheckers_.back();
+    }
+
+    /** Close the open fill span (segment ended at @p ts). */
+    void traceEndFill(Tick ts);
+
+    /** Record voltage/frequency counter samples at @p ts. */
+    void traceOperatingPoint(Tick ts);
+    /** @} */
+
     SystemConfig config_;
     const isa::Program &program_;
 
@@ -415,6 +457,17 @@ class System
     Phase phase_ = Phase::Idle;
     RunLimits limits_{};
     bool halted_ = false;
+
+    // Tracing (optional, non-owning).
+    obs::TraceSink *tracer_ = nullptr;
+    std::unique_ptr<obs::MetricsSampler> metrics_;
+    obs::TrackId trMain_ = 0;
+    obs::TrackId trSegments_ = 0;
+    obs::TrackId trDvfs_ = 0;
+    obs::TrackId trFaults_ = 0;
+    obs::TrackId trMem_ = 0;
+    std::vector<obs::TrackId> trCheckers_;
+    bool fillSpanOpen_ = false;
 
     // Statistics.
     stats::StatGroup statGroup_;

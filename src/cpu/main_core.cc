@@ -156,6 +156,7 @@ MainCore::advance(const isa::Instruction &inst, const isa::ExecResult &r,
             predictor_.update(r.pc, inst, actually_taken, r.nextPc);
         if (miss) {
             timing.mispredicted = true;
+            ++mispredicts_;
             Tick redirect = complete + cycles(params_.redirectCycles);
             fetchReadyAt_ = std::max(fetchReadyAt_, redirect);
             nextFetchSlot_ = std::max(nextFetchSlot_, redirect);

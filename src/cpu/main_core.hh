@@ -124,6 +124,7 @@ class MainCore
 
     /** @{ Statistics. */
     std::uint64_t committed() const { return committed_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
     const TournamentPredictor &predictor() const { return predictor_; }
     TournamentPredictor &predictor() { return predictor_; }
     /** @} */
@@ -163,6 +164,7 @@ class MainCore
     std::vector<Tick> multDivBusy_;
 
     std::uint64_t committed_ = 0;
+    std::uint64_t mispredicts_ = 0;
 };
 
 } // namespace cpu

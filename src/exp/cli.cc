@@ -77,6 +77,12 @@ Cli::opt(const std::string &name, std::string &target,
     add(name, Kind::String, &target, help);
 }
 
+void
+Cli::alias(const std::string &shortName, const std::string &longName)
+{
+    aliases_.push_back({shortName, longName});
+}
+
 const Cli::Entry *
 Cli::find(const std::string &name) const
 {
@@ -86,16 +92,36 @@ Cli::find(const std::string &name) const
     return nullptr;
 }
 
+std::string
+Cli::shortFor(const std::string &longName) const
+{
+    for (const Alias &a : aliases_)
+        if (a.longName == longName)
+            return a.shortName;
+    return "";
+}
+
 bool
 Cli::parseArgs(const std::vector<std::string> &args, std::string &error)
 {
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
-        if (arg.rfind("--", 0) != 0) {
+        std::string name;
+        if (arg.rfind("--", 0) == 0) {
+            name = arg.substr(2);
+        } else if (arg.size() > 1 && arg[0] == '-') {
+            for (const Alias &a : aliases_)
+                if (a.shortName == arg.substr(1))
+                    name = a.longName;
+            if (name.empty()) {
+                error = "unknown flag '" + arg + "'";
+                return false;
+            }
+        } else {
             error = "unexpected argument '" + arg + "'";
             return false;
         }
-        const Entry *e = find(arg.substr(2));
+        const Entry *e = find(name);
         if (!e) {
             error = "unknown flag '" + arg + "'";
             return false;
@@ -175,6 +201,9 @@ Cli::usage(std::FILE *out) const
                  prog_.c_str(), summary_.c_str(), prog_.c_str());
     for (const Entry &e : entries_) {
         std::string left = "--" + e.name;
+        const std::string s = shortFor(e.name);
+        if (!s.empty())
+            left = "-" + s + ", " + left;
         if (e.kind != Kind::Flag) {
             left += ' ';
             left += valueName(int(e.kind));

@@ -48,6 +48,14 @@ class Cli
     /** @} */
 
     /**
+     * Declare a single-dash shorthand: alias("v", "verbose") makes
+     * -v equivalent to --verbose.  The long form must already be
+     * declared.
+     */
+    void alias(const std::string &shortName,
+               const std::string &longName);
+
+    /**
      * Parse argv.  On --help prints usage to stdout and exits 0; on
      * any error prints the problem + usage to stderr and returns
      * false (callers should exit 2).
@@ -80,13 +88,22 @@ class Cli
         std::string help;
     };
 
+    struct Alias
+    {
+        std::string shortName;
+        std::string longName;
+    };
+
     const Entry *find(const std::string &name) const;
     void add(const std::string &name, Kind kind, void *target,
              const std::string &help);
+    /** Short form ("v") of @p longName, or "" if none. */
+    std::string shortFor(const std::string &longName) const;
 
     std::string prog_;
     std::string summary_;
     std::vector<Entry> entries_;
+    std::vector<Alias> aliases_;
 };
 
 } // namespace exp

@@ -13,6 +13,8 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/logging.hh"
+
 namespace paradox
 {
 namespace exp
@@ -28,8 +30,8 @@ class ProgressMeter
 {
   public:
     ProgressMeter(const RunnerOptions &opt, std::size_t total)
-        : enabled_(opt.progress && total > 0), label_(opt.label),
-          total_(total), start_(Clock::now())
+        : enabled_(opt.progress && total > 0 && logLevel() >= 1),
+          label_(opt.label), total_(total), start_(Clock::now())
     {
     }
 
@@ -47,15 +49,17 @@ class ProgressMeter
             done_ ? elapsed / double(done_) *
                         double(total_ - done_)
                   : 0.0;
-        std::fprintf(stderr,
-                     "\r[%s] %zu/%zu (%3.0f%%) %.1fs elapsed, "
-                     "eta %.1fs ",
-                     label_.c_str(), done_, total_,
-                     100.0 * double(done_) / double(total_), elapsed,
-                     eta);
-        if (done_ == total_)
-            std::fputc('\n', stderr);
-        std::fflush(stderr);
+        char line[160];
+        int len = std::snprintf(
+            line, sizeof line,
+            "\r[%s] %zu/%zu (%3.0f%%) %.1fs elapsed, eta %.1fs %s",
+            label_.c_str(), done_, total_,
+            100.0 * double(done_) / double(total_), elapsed, eta,
+            done_ == total_ ? "\n" : "");
+        // logRaw serializes with warn()/inform() from the workers,
+        // so a redraw never splices into the middle of a log line.
+        len = std::clamp(len, 0, int(sizeof line) - 1);
+        logRaw(std::string(line, std::size_t(len)));
     }
 
   private:

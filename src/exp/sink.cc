@@ -71,8 +71,10 @@ recordJson(const ExperimentSpec &spec, const RunOutcome &outcome)
         return os.str();
     }
     os << ",\"correct\":" << (outcome.correct ? "true" : "false")
-       << ",\"ecc_corrected\":" << outcome.eccCorrected
-       << ",\"result\":" << core::toJson(outcome.result) << "}";
+       << ",\"ecc_corrected\":" << outcome.eccCorrected;
+    if (!outcome.tracePath.empty())
+        os << ",\"trace\":\"" << escape(outcome.tracePath) << "\"";
+    os << ",\"result\":" << core::toJson(outcome.result) << "}";
     return os.str();
 }
 

@@ -1,9 +1,13 @@
 #include "exp/spec.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
+#include "obs/trace.hh"
+#include "obs/trace_writer.hh"
 #include "power/undervolt_data.hh"
+#include "sim/logging.hh"
 #include "workloads/workload.hh"
 
 namespace paradox
@@ -78,6 +82,14 @@ runOne(const ExperimentSpec &spec)
         system.setMainCoreFaultPlan(std::move(plan));
     }
 
+    obs::TraceSink trace;
+    if (!spec.traceFile.empty()) {
+        if (!obs::tracingCompiledIn)
+            warn("tracing requested but compiled out "
+                 "(PARADOX_TRACING=0); no trace will be written");
+        system.setTracer(&trace, Tick(spec.traceMetricsUs) * ticksPerUs);
+    }
+
     RunOutcome out;
     out.result = system.run(spec.limits);
     out.finalValue = system.memory().read(workloads::resultAddr, 8);
@@ -87,9 +99,35 @@ runOne(const ExperimentSpec &spec)
     out.rollbackNs = summarize(system.rollbackTimesNs());
     out.wastedNs = summarize(system.wastedExecNs());
     out.ckptLen = summarize(system.checkpointLengths());
+    if (!spec.traceFile.empty() && obs::tracingCompiledIn) {
+        const std::string tool =
+            spec.label.empty() ? spec.workload : spec.label;
+        if (!obs::writeChromeJsonFile(trace, spec.traceFile, tool))
+            throw std::runtime_error("cannot write trace '" +
+                                     spec.traceFile + "'");
+        const std::string jsonl = obs::traceJsonlPath(spec.traceFile);
+        if (!obs::writeTraceJsonlFile(trace, jsonl, tool))
+            throw std::runtime_error("cannot write trace '" + jsonl +
+                                     "'");
+        out.tracePath = spec.traceFile;
+        if (trace.dropped())
+            warn("trace '" + spec.traceFile + "' dropped " +
+                 std::to_string(trace.dropped()) +
+                 " events (buffer full)");
+    }
     if (spec.observe)
         spec.observe(system, out);
     return out;
+}
+
+std::string
+tracePathForJob(const std::string &dir, std::size_t index)
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "run-%04zu.json", index);
+    if (dir.empty() || dir.back() == '/')
+        return dir + name;
+    return dir + "/" + name;
 }
 
 bool

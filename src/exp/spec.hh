@@ -70,6 +70,11 @@ struct ExperimentSpec
     unsigned timeoutFactor = 0;
     /** @} */
 
+    /** @{ Execution tracing (src/obs). Empty traceFile = off. */
+    std::string traceFile;         //!< Chrome JSON path (+ .jsonl twin)
+    unsigned traceMetricsUs = 10;  //!< metrics sampling interval
+    /** @} */
+
     std::uint64_t seed = 12345;
     core::RunLimits limits = defaultLimits();
 
@@ -104,6 +109,7 @@ struct RunOutcome
     DistSummary rollbackNs;
     DistSummary wastedNs;
     DistSummary ckptLen;
+    std::string tracePath;         //!< Chrome JSON written (if traced)
     std::string error;             //!< non-empty: the job threw
 
     bool ok() const { return error.empty(); }
@@ -120,6 +126,12 @@ RunOutcome runOne(const ExperimentSpec &spec);
 
 /** Parse a mode name (baseline|detect|paramedic|paradox). */
 bool parseMode(const std::string &name, core::Mode &out);
+
+/**
+ * Deterministic per-job trace filename: "dir/run-0007.json".
+ * Sweeps use it so a re-run with the same specs overwrites in place.
+ */
+std::string tracePathForJob(const std::string &dir, std::size_t index);
 
 } // namespace exp
 } // namespace paradox

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Periodic runtime-metrics sampling onto trace counter tracks.
+ *
+ * Model components own plain counters (cache hits/misses, pinned
+ * lines, committed instructions, rollbacks...); a MetricsSampler
+ * polls a registered set of probes at a configurable simulated-time
+ * interval and records each as a Counter event, turning end-of-run
+ * aggregates into time-resolved series a Perfetto timeline (or
+ * trace_report) can show next to the span tracks.
+ *
+ * poll() is called from existing per-checkpoint housekeeping, so the
+ * common case (interval not yet elapsed) is a single comparison.
+ */
+
+#ifndef PARADOX_OBS_METRICS_HH
+#define PARADOX_OBS_METRICS_HH
+
+#include <functional>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace paradox
+{
+namespace obs
+{
+
+/** Periodic sampler of value probes onto counter tracks. */
+class MetricsSampler
+{
+  public:
+    /** Sample every @p interval_ticks of simulated time. */
+    MetricsSampler(TraceSink &sink, Tick interval_ticks)
+        : sink_(sink),
+          interval_(interval_ticks ? interval_ticks : ticksPerUs)
+    {
+    }
+
+    /** Register one probe; @p name must be a string literal. */
+    void
+    probe(TrackId track, const char *name,
+          std::function<double()> read)
+    {
+        probes_.push_back({track, name, std::move(read)});
+    }
+
+    /** Sample every probe if the interval has elapsed since last. */
+    void
+    poll(Tick now)
+    {
+        if (now < nextSample_)
+            return;
+        sampleAll(now);
+        // Skip ahead past any dead time so a long stall does not
+        // produce a burst of catch-up samples.
+        nextSample_ = now + interval_;
+    }
+
+    /** Unconditional sample (run start / final state). */
+    void
+    sampleAll(Tick now)
+    {
+        for (const Probe &p : probes_)
+            sink_.counter(p.track, p.name, now, p.read());
+    }
+
+    Tick interval() const { return interval_; }
+    std::size_t probeCount() const { return probes_.size(); }
+
+  private:
+    struct Probe
+    {
+        TrackId track;
+        const char *name;
+        std::function<double()> read;
+    };
+
+    TraceSink &sink_;
+    Tick interval_;
+    Tick nextSample_ = 0;
+    std::vector<Probe> probes_;
+};
+
+} // namespace obs
+} // namespace paradox
+
+#endif // PARADOX_OBS_METRICS_HH

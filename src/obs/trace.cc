@@ -1,0 +1,75 @@
+#include "obs/trace.hh"
+
+#include "sim/logging.hh"
+
+namespace paradox
+{
+namespace obs
+{
+
+char
+phaseChar(Phase phase)
+{
+    switch (phase) {
+      case Phase::Begin:
+        return 'B';
+      case Phase::End:
+        return 'E';
+      case Phase::Complete:
+        return 'X';
+      case Phase::Instant:
+        return 'i';
+      case Phase::Counter:
+        return 'C';
+    }
+    return '?';
+}
+
+bool
+parsePhase(char c, Phase &out)
+{
+    switch (c) {
+      case 'B':
+        out = Phase::Begin;
+        return true;
+      case 'E':
+        out = Phase::End;
+        return true;
+      case 'X':
+        out = Phase::Complete;
+        return true;
+      case 'i':
+        out = Phase::Instant;
+        return true;
+      case 'C':
+        out = Phase::Counter;
+        return true;
+      default:
+        return false;
+    }
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity ? capacity : defaultCapacity)
+{
+    events_.reserve(capacity_);
+}
+
+TrackId
+TraceSink::addTrack(const std::string &name)
+{
+    simAssert(tracks_.size() < 0xffff, "TraceSink: track table full");
+    tracks_.push_back(name);
+    return TrackId(tracks_.size() - 1);
+}
+
+void
+TraceSink::clear()
+{
+    events_.clear();
+    tracks_.clear();
+    dropped_ = 0;
+}
+
+} // namespace obs
+} // namespace paradox

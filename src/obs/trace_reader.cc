@@ -1,0 +1,213 @@
+#include "obs/trace_reader.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/trace_writer.hh"
+
+namespace paradox
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Unescape the body of a JSON string literal (\\uXXXX -> ASCII). */
+std::string
+unescape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        ++i;
+        switch (s[i]) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u':
+            if (i + 4 < s.size()) {
+                out += char(std::strtoul(
+                    s.substr(i + 1, 4).c_str(), nullptr, 16));
+                i += 4;
+            }
+            break;
+          default:
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+toU64(const std::string &raw)
+{
+    return std::strtoull(raw.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+bool
+jsonField(const std::string &line, const std::string &key,
+          std::string &value)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::size_t pos = 0;
+    for (;;) {
+        pos = line.find(needle, pos);
+        if (pos == std::string::npos)
+            return false;
+        // Reject a match inside a longer key ("id" in "track_id").
+        if (pos > 0 && line[pos - 1] != '{' && line[pos - 1] != ',') {
+            pos += needle.size();
+            continue;
+        }
+        break;
+    }
+    std::size_t at = pos + needle.size();
+    if (at >= line.size())
+        return false;
+    if (line[at] == '"') {
+        std::size_t end = at + 1;
+        while (end < line.size() &&
+               (line[end] != '"' || line[end - 1] == '\\'))
+            ++end;
+        if (end >= line.size())
+            return false;
+        value = unescape(line.substr(at + 1, end - at - 1));
+        return true;
+    }
+    std::size_t end = at;
+    while (end < line.size() && line[end] != ',' && line[end] != '}')
+        ++end;
+    value = line.substr(at, end - at);
+    return true;
+}
+
+std::string
+ParsedTrace::trackName(TrackId id) const
+{
+    if (id < tracks.size())
+        return tracks[id];
+    return "track" + std::to_string(id);
+}
+
+bool
+readTraceJsonl(std::istream &is, ParsedTrace &out, std::string &error)
+{
+    out = ParsedTrace{};
+    std::string line;
+    std::size_t lineno = 0;
+    bool saw_header = false;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::string record;
+        if (!jsonField(line, "record", record)) {
+            error = "line " + std::to_string(lineno) +
+                    ": missing \"record\" field";
+            return false;
+        }
+        if (record == "header") {
+            std::string schema;
+            if (!jsonField(line, "schema", schema) ||
+                schema != traceSchema) {
+                error = "line " + std::to_string(lineno) +
+                        ": expected schema " +
+                        std::string(traceSchema) + ", got '" + schema +
+                        "'";
+                return false;
+            }
+            std::string raw;
+            if (jsonField(line, "tool", raw))
+                out.tool = raw;
+            if (jsonField(line, "dropped", raw))
+                out.dropped = toU64(raw);
+            saw_header = true;
+            continue;
+        }
+        if (!saw_header) {
+            error = "line " + std::to_string(lineno) +
+                    ": first record must be the header";
+            return false;
+        }
+        if (record == "track") {
+            std::string id_raw, name;
+            if (!jsonField(line, "id", id_raw) ||
+                !jsonField(line, "name", name)) {
+                error = "line " + std::to_string(lineno) +
+                        ": track record needs id and name";
+                return false;
+            }
+            const std::size_t id = std::size_t(toU64(id_raw));
+            if (out.tracks.size() <= id)
+                out.tracks.resize(id + 1);
+            out.tracks[id] = name;
+            continue;
+        }
+        if (record != "event") {
+            error = "line " + std::to_string(lineno) +
+                    ": unknown record type '" + record + "'";
+            return false;
+        }
+        ParsedEvent e;
+        std::string raw;
+        if (!jsonField(line, "ph", raw) || raw.size() != 1 ||
+            !parsePhase(raw[0], e.phase)) {
+            error = "line " + std::to_string(lineno) +
+                    ": bad or missing event phase";
+            return false;
+        }
+        if (!jsonField(line, "ts", raw)) {
+            error = "line " + std::to_string(lineno) +
+                    ": event without a timestamp";
+            return false;
+        }
+        e.ts = toU64(raw);
+        if (!jsonField(line, "track", raw)) {
+            error = "line " + std::to_string(lineno) +
+                    ": event without a track";
+            return false;
+        }
+        e.track = TrackId(toU64(raw));
+        if (jsonField(line, "dur", raw))
+            e.dur = toU64(raw);
+        if (jsonField(line, "name", raw))
+            e.name = raw;
+        if (jsonField(line, "detail", raw))
+            e.detail = raw;
+        if (jsonField(line, "value", raw))
+            e.value = std::strtod(raw.c_str(), nullptr);
+        if (jsonField(line, "id", raw))
+            e.id = toU64(raw);
+        out.events.push_back(std::move(e));
+    }
+    if (!saw_header) {
+        error = "empty stream (no header record)";
+        return false;
+    }
+    return true;
+}
+
+bool
+readTraceJsonlFile(const std::string &path, ParsedTrace &out,
+                   std::string &error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    return readTraceJsonl(is, out, error);
+}
+
+} // namespace obs
+} // namespace paradox

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reader for paradox-trace/1 JSONL streams.
+ *
+ * The schema is deliberately flat -- every line is one JSON object
+ * whose values are strings or numbers -- so the reader is a small,
+ * dependency-free field scanner rather than a general JSON parser.
+ * trace_report, the CI smoke check, and the round-trip tests all go
+ * through this one implementation.
+ */
+
+#ifndef PARADOX_OBS_TRACE_READER_HH
+#define PARADOX_OBS_TRACE_READER_HH
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace paradox
+{
+namespace obs
+{
+
+/**
+ * Scan one flat JSON object for field @p key.
+ * @return true and the raw (unescaped, unquoted) value on success.
+ * Nested objects/arrays are not supported (the schema has none).
+ */
+bool jsonField(const std::string &line, const std::string &key,
+               std::string &value);
+
+/** One parsed event; names are owned strings, times in fs. */
+struct ParsedEvent
+{
+    Tick ts = 0;
+    Tick dur = 0;
+    std::string name;
+    std::string detail;
+    double value = 0.0;
+    std::uint64_t id = 0;
+    TrackId track = 0;
+    Phase phase = Phase::Instant;
+};
+
+/** A fully parsed paradox-trace/1 stream. */
+struct ParsedTrace
+{
+    std::string tool;
+    std::uint64_t dropped = 0;
+    std::vector<std::string> tracks;
+    std::vector<ParsedEvent> events;  //!< in stream (timestamp) order
+
+    /** Track name for @p id ("track<N>" if the table is short). */
+    std::string trackName(TrackId id) const;
+};
+
+/**
+ * Parse a paradox-trace/1 stream.
+ * @return true on success; on failure @p error names the offending
+ * line and problem (schema mismatch, missing field, bad phase...).
+ */
+bool readTraceJsonl(std::istream &is, ParsedTrace &out,
+                    std::string &error);
+
+/** File form of readTraceJsonl. */
+bool readTraceJsonlFile(const std::string &path, ParsedTrace &out,
+                        std::string &error);
+
+} // namespace obs
+} // namespace paradox
+
+#endif // PARADOX_OBS_TRACE_READER_HH

@@ -1,0 +1,212 @@
+#include "obs/trace_writer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace paradox
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Events in timestamp order (stable: recording order breaks ties). */
+std::vector<TraceEvent>
+sorted(const TraceSink &sink)
+{
+    std::vector<TraceEvent> events = sink.events();
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.ts < b.ts;
+                     });
+    return events;
+}
+
+/** Femtoseconds as decimal microseconds without float rounding. */
+std::string
+fsToUs(Tick fs)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu.%09llu",
+                  (unsigned long long)(fs / 1'000'000'000ULL),
+                  (unsigned long long)(fs % 1'000'000'000ULL));
+    return buf;
+}
+
+/** Compact double rendering for counter values. */
+std::string
+num(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeChromeJson(const TraceSink &sink, std::ostream &os,
+                const std::string &tool)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"tool\":\""
+       << jsonEscape(tool) << "\",\"schema\":\"" << traceSchema
+       << "\",\"time_unit\":\"us\",\"dropped_events\":"
+       << sink.dropped() << "},\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+    for (std::size_t t = 0; t < sink.tracks().size(); ++t) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << jsonEscape(sink.tracks()[t]) << "\"}}";
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << t
+           << ",\"name\":\"thread_sort_index\",\"args\":{"
+              "\"sort_index\":"
+           << t << "}}";
+    }
+    for (const TraceEvent &e : sorted(sink)) {
+        sep();
+        os << "{\"ph\":\"" << phaseChar(e.phase) << "\",\"pid\":0,"
+           << "\"tid\":" << e.track << ",\"ts\":" << fsToUs(e.ts);
+        if (e.phase == Phase::Complete)
+            os << ",\"dur\":" << fsToUs(e.dur);
+        if (e.phase == Phase::Instant)
+            os << ",\"s\":\"t\"";
+        if (e.name)
+            os << ",\"name\":\"" << jsonEscape(e.name) << "\"";
+        // Counters carry their sample as the single series value;
+        // everything else gets its correlation id / annotation.
+        if (e.phase == Phase::Counter) {
+            os << ",\"args\":{\"value\":" << num(e.value) << "}";
+        } else {
+            os << ",\"args\":{\"id\":" << e.id;
+            if (e.detail)
+                os << ",\"detail\":\"" << jsonEscape(e.detail) << "\"";
+            if (e.value != 0.0)
+                os << ",\"value\":" << num(e.value);
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+writeTraceJsonl(const TraceSink &sink, std::ostream &os,
+                const std::string &tool)
+{
+    os << "{\"record\":\"header\",\"schema\":\"" << traceSchema
+       << "\",\"tool\":\"" << jsonEscape(tool)
+       << "\",\"time_unit\":\"fs\",\"tracks\":" << sink.tracks().size()
+       << ",\"events\":" << sink.events().size()
+       << ",\"dropped\":" << sink.dropped() << "}\n";
+    for (std::size_t t = 0; t < sink.tracks().size(); ++t) {
+        os << "{\"record\":\"track\",\"id\":" << t << ",\"name\":\""
+           << jsonEscape(sink.tracks()[t]) << "\"}\n";
+    }
+    for (const TraceEvent &e : sorted(sink)) {
+        os << "{\"record\":\"event\",\"ph\":\"" << phaseChar(e.phase)
+           << "\",\"track\":" << e.track << ",\"ts\":" << e.ts;
+        if (e.phase == Phase::Complete)
+            os << ",\"dur\":" << e.dur;
+        if (e.name)
+            os << ",\"name\":\"" << jsonEscape(e.name) << "\"";
+        if (e.detail)
+            os << ",\"detail\":\"" << jsonEscape(e.detail) << "\"";
+        if (e.phase == Phase::Counter || e.value != 0.0)
+            os << ",\"value\":" << num(e.value);
+        if (e.id != 0)
+            os << ",\"id\":" << e.id;
+        os << "}\n";
+    }
+}
+
+namespace
+{
+
+bool
+writeFile(const TraceSink &sink, const std::string &path,
+          const std::string &tool,
+          void (*writer)(const TraceSink &, std::ostream &,
+                         const std::string &))
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writer(sink, os, tool);
+    os.flush();
+    return bool(os);
+}
+
+} // namespace
+
+bool
+writeChromeJsonFile(const TraceSink &sink, const std::string &path,
+                    const std::string &tool)
+{
+    return writeFile(sink, path, tool, writeChromeJson);
+}
+
+bool
+writeTraceJsonlFile(const TraceSink &sink, const std::string &path,
+                    const std::string &tool)
+{
+    return writeFile(sink, path, tool, writeTraceJsonl);
+}
+
+std::string
+traceJsonlPath(const std::string &chrome_path)
+{
+    const std::string suffix = ".json";
+    if (chrome_path.size() > suffix.size() &&
+        chrome_path.compare(chrome_path.size() - suffix.size(),
+                            suffix.size(), suffix) == 0)
+        return chrome_path.substr(0, chrome_path.size() -
+                                         suffix.size()) +
+               ".jsonl";
+    return chrome_path + ".jsonl";
+}
+
+} // namespace obs
+} // namespace paradox

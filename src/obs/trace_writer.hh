@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trace serialization: Chrome/Perfetto trace-event JSON (openable
+ * directly in ui.perfetto.dev or chrome://tracing) and the versioned
+ * `paradox-trace/1` JSONL that trace_report and CI consume.
+ *
+ * Both writers sort a copy of the events by timestamp (stable, so
+ * same-tick begin/end pairs keep their recording order) and emit each
+ * track as one named thread of a single process.  Writing happens
+ * once, after the run -- nothing here is on the simulation hot path.
+ */
+
+#ifndef PARADOX_OBS_TRACE_WRITER_HH
+#define PARADOX_OBS_TRACE_WRITER_HH
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace paradox
+{
+namespace obs
+{
+
+/** Schema identifier in every paradox-trace JSONL header record. */
+constexpr const char *traceSchema = "paradox-trace/1";
+
+/**
+ * Emit @p sink as Chrome trace-event JSON ("traceEvents" object
+ * form).  Timestamps become microseconds (the format's unit) at
+ * femtosecond precision; tracks become threads of pid 0 with
+ * thread_name metadata.
+ */
+void writeChromeJson(const TraceSink &sink, std::ostream &os,
+                     const std::string &tool);
+
+/**
+ * Emit @p sink as paradox-trace/1 JSONL: a header record, one record
+ * per track, then one record per event in timestamp order, with
+ * timestamps kept in integer femtoseconds.
+ */
+void writeTraceJsonl(const TraceSink &sink, std::ostream &os,
+                     const std::string &tool);
+
+/** @{ Write either serialization to @p path; false on I/O failure. */
+bool writeChromeJsonFile(const TraceSink &sink, const std::string &path,
+                         const std::string &tool);
+bool writeTraceJsonlFile(const TraceSink &sink, const std::string &path,
+                         const std::string &tool);
+/** @} */
+
+/**
+ * The JSONL sibling of a Chrome-trace path: "out.json" ->
+ * "out.jsonl", anything else gets ".jsonl" appended.
+ */
+std::string traceJsonlPath(const std::string &chrome_path);
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace obs
+} // namespace paradox
+
+#endif // PARADOX_OBS_TRACE_WRITER_HH

@@ -3,18 +3,84 @@
  * Status and error reporting helpers, following the gem5 convention:
  * panic() for internal invariant violations (simulator bugs), fatal()
  * for user-caused conditions the simulation cannot continue from, and
- * warn()/inform() for non-fatal notices.
+ * warn()/inform()/verbose() for non-fatal notices.
+ *
+ * Every message goes through one mutex-serialized sink that writes a
+ * fully assembled line with a single fwrite, so concurrent workers
+ * (exp::Runner --jobs N) never interleave partial lines on stderr.
+ * warn()/inform()/verbose() are gated on a global verbosity level:
+ *
+ *   0 (--quiet)    only panic/fatal
+ *   1 (default)    + warn and inform
+ *   2 (-v)         + verbose
  */
 
 #ifndef PARADOX_SIM_LOGGING_HH
 #define PARADOX_SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 
 namespace paradox
 {
+
+namespace detail
+{
+
+inline std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+inline std::atomic<int> &
+logLevelVar()
+{
+    static std::atomic<int> level{1};
+    return level;
+}
+
+} // namespace detail
+
+/** Current verbosity (0 quiet, 1 default, 2 verbose). */
+inline int
+logLevel()
+{
+    return detail::logLevelVar().load(std::memory_order_relaxed);
+}
+
+/** Set the global verbosity level. */
+inline void
+setLogLevel(int level)
+{
+    detail::logLevelVar().store(level, std::memory_order_relaxed);
+}
+
+/** Write @p text to stderr as-is under the log mutex (progress UIs). */
+inline void
+logRaw(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(detail::logMutex());
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
+}
+
+/** One serialized "prefix: msg\n" line on stderr. */
+inline void
+logLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    logRaw(line);
+}
 
 /**
  * Report an internal invariant violation and abort. Use only for
@@ -23,7 +89,7 @@ namespace paradox
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    logLine("panic", msg);
     std::abort();
 }
 
@@ -34,7 +100,7 @@ panic(const std::string &msg)
 [[noreturn]] inline void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    logLine("fatal", msg);
     std::exit(1);
 }
 
@@ -42,14 +108,24 @@ fatal(const std::string &msg)
 inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= 1)
+        logLine("warn", msg);
 }
 
 /** Report an informational status message. */
 inline void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= 1)
+        logLine("info", msg);
+}
+
+/** Report a debugging detail (shown only under -v). */
+inline void
+verbose(const std::string &msg)
+{
+    if (logLevel() >= 2)
+        logLine("debug", msg);
 }
 
 /** Abort with a message if @p cond does not hold. */

@@ -142,6 +142,11 @@ class Histogram : public Stat
     }
     /** Smallest value v such that >= p of samples are <= v. */
     double percentile(double p) const;
+    /** @{ Conventional latency percentiles (stats JSON output). */
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
+    /** @} */
 
     void print(std::ostream &os) const override;
     void reset() override;

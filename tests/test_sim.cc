@@ -287,6 +287,71 @@ TEST(Stats, HistogramReset)
     EXPECT_EQ(hist.buckets()[1], 0u);
 }
 
+TEST(Stats, HistogramPercentileEmpty)
+{
+    Histogram hist("h", "test", 0.0, 100.0, 10);
+    EXPECT_DOUBLE_EQ(hist.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(hist.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.p99(), 0.0);
+}
+
+TEST(Stats, HistogramPercentileSingleSample)
+{
+    Histogram hist("h", "test", 0.0, 100.0, 10);
+    hist.sample(42.0);
+    // Every percentile lands in the one occupied bucket [40, 50).
+    EXPECT_DOUBLE_EQ(hist.p50(), 50.0);
+    EXPECT_DOUBLE_EQ(hist.p95(), 50.0);
+    EXPECT_DOUBLE_EQ(hist.p99(), 50.0);
+}
+
+TEST(Stats, HistogramPercentileAccessors)
+{
+    Histogram hist("h", "test", 0.0, 1000.0, 1000);
+    for (int i = 0; i < 1000; ++i)
+        hist.sample(double(i) + 0.5);
+    EXPECT_NEAR(hist.p50(), 500.0, 1.5);
+    EXPECT_NEAR(hist.p95(), 950.0, 1.5);
+    EXPECT_NEAR(hist.p99(), 990.0, 1.5);
+}
+
+TEST(Stats, HistogramPercentileAllOverflow)
+{
+    Histogram hist("h", "test", 0.0, 10.0, 5);
+    hist.sample(100.0);
+    hist.sample(200.0);
+    // Both samples lie past the top edge; percentiles saturate there.
+    EXPECT_DOUBLE_EQ(hist.p50(), 10.0);
+    EXPECT_DOUBLE_EQ(hist.p99(), 10.0);
+}
+
+TEST(Stats, HistogramPercentileUnderflowOnly)
+{
+    Histogram hist("h", "test", 10.0, 20.0, 5);
+    hist.sample(1.0);
+    EXPECT_DOUBLE_EQ(hist.p50(), 10.0);
+}
+
+TEST(Stats, TimeSeriesEmptyAndSingle)
+{
+    stats::TimeSeries series("t", "test", 10);
+    EXPECT_TRUE(series.samples().empty());
+    series.sample(5, 1.5);
+    ASSERT_EQ(series.samples().size(), 1u);
+    EXPECT_EQ(series.samples()[0].first, 5u);
+    EXPECT_DOUBLE_EQ(series.samples()[0].second, 1.5);
+    series.reset();
+    EXPECT_TRUE(series.samples().empty());
+}
+
+TEST(Stats, TimeSeriesUnboundedKeepsEverything)
+{
+    stats::TimeSeries series("t", "test");  // capacity 0 = unbounded
+    for (Tick i = 0; i < 1000; ++i)
+        series.sample(i, double(i));
+    EXPECT_EQ(series.samples().size(), 1000u);
+}
+
 } // namespace
 
 #include "core/result_json.hh"

@@ -27,11 +27,18 @@
  * status is 0 iff the sweep saw no silent corruption and no crash.
  *
  *   fault_campaign [--smoke] [--scale N] [--seeds N] [--jobs N]
- *                  [--out FILE]
+ *                  [--out FILE] [--trace-dir DIR]
+ *
+ * With --trace-dir DIR every faulty run writes an execution trace to
+ * DIR/run-NNNN.json (NNNN = spec index, so names are deterministic
+ * across --jobs values) and its report record carries the filename
+ * in a "trace" field.
  */
 
+#include <sys/stat.h>
 #include <sys/wait.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
@@ -43,6 +50,7 @@
 #include "exp/runner.hh"
 #include "exp/sink.hh"
 #include "exp/spec.hh"
+#include "sim/logging.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -113,8 +121,10 @@ childRun(const exp::ExperimentSpec &spec, const Golden &golden)
        << "\",\"rate\":" << spec.faultRate << ",\"config\":\""
        << (spec.escalate ? "ladder" : "classic")
        << "\",\"pin_checker\":" << spec.pinChecker
-       << ",\"class\":\"" << cls
-       << "\",\"result\":" << core::toJson(r) << "}";
+       << ",\"class\":\"" << cls << "\"";
+    if (!out.tracePath.empty())
+        os << ",\"trace\":\"" << out.tracePath << "\"";
+    os << ",\"result\":" << core::toJson(r) << "}";
     return os.str();
 }
 
@@ -137,10 +147,12 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool quiet = false;
     unsigned scale = 2;
     unsigned seeds = 2;
     unsigned jobs = 1;
     std::string out_path;
+    std::string trace_dir;
     exp::Cli cli("fault_campaign",
                  "differential fault-injection campaign driver");
     cli.flag("smoke", smoke, "tiny sweep for CI");
@@ -148,8 +160,20 @@ main(int argc, char **argv)
     cli.opt("seeds", seeds, "seeds per configuration");
     cli.opt("jobs", jobs, "concurrent forked runs (0 = all cores)");
     cli.opt("out", out_path, "write the JSONL report to FILE");
+    cli.opt("trace-dir", trace_dir,
+            "write one execution trace per run into DIR");
+    cli.flag("quiet", quiet, "suppress warn/info/progress output");
+    cli.alias("q", "quiet");
     if (!cli.parse(argc, argv))
         return 2;
+    if (quiet)
+        setLogLevel(0);
+
+    if (!trace_dir.empty() && mkdir(trace_dir.c_str(), 0777) != 0 &&
+        errno != EEXIST) {
+        std::perror(trace_dir.c_str());
+        return 2;
+    }
 
     std::vector<std::string> names = {"bitcount", "stream"};
     std::vector<double> rates = {1e-6, 1e-5, 1e-4, 1e-3};
@@ -209,6 +233,9 @@ main(int argc, char **argv)
                             g.executed * 64 + 200000;
                         spec.limits.maxTicks =
                             g.time * 256 + ticksPerMs;
+                        if (!trace_dir.empty())
+                            spec.traceFile = exp::tracePathForJob(
+                                trace_dir, specs.size());
                         golden_of.push_back(goldens.size() - 1);
                         specs.push_back(std::move(spec));
                     }

@@ -20,6 +20,8 @@
 #include "exp/cli.hh"
 #include "exp/sink.hh"
 #include "exp/spec.hh"
+#include "obs/trace_writer.hh"
+#include "sim/logging.hh"
 #include "workloads/workload.hh"
 
 int
@@ -38,6 +40,7 @@ main(int argc, char **argv)
     std::string mode_name = "paradox";
     std::string persistence_name = "transient";
     bool stats = false, json = false, list = false;
+    bool quiet = false, verbose_flag = false;
 
     exp::Cli cli("paradox_sim",
                  "single-run driver for the modelled system");
@@ -69,8 +72,20 @@ main(int argc, char **argv)
     cli.flag("stats", stats, "dump the full statistics group");
     cli.flag("json", json, "emit a schema'd JSONL record");
     cli.flag("list", list, "list workloads and exit");
+    cli.opt("trace", spec.traceFile,
+            "write a Chrome-JSON execution trace (+ .jsonl twin)");
+    cli.opt("trace-metrics-us", spec.traceMetricsUs,
+            "metrics-counter sampling interval (simulated us)");
+    cli.flag("quiet", quiet, "suppress warn/info/progress output");
+    cli.flag("verbose", verbose_flag, "show debug-level messages");
+    cli.alias("q", "quiet");
+    cli.alias("v", "verbose");
     if (!cli.parse(argc, argv))
         return 2;
+    if (quiet)
+        setLogLevel(0);
+    else if (verbose_flag)
+        setLogLevel(2);
 
     if (list) {
         for (const auto &name : workloads::allNames())
@@ -149,6 +164,11 @@ main(int argc, char **argv)
                     (unsigned long long)r.panicResets,
                     (unsigned long long)r.watchdogTrips,
                     r.healthyCheckers);
+
+    if (!out.tracePath.empty())
+        std::printf("trace          %s (+ %s)\n",
+                    out.tracePath.c_str(),
+                    obs::traceJsonlPath(out.tracePath).c_str());
 
     if (stats)
         std::fputs(stats_text.c_str(), stdout);

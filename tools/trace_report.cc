@@ -1,0 +1,424 @@
+/**
+ * @file
+ * trace_report: offline analysis of paradox-trace/1 JSONL traces.
+ *
+ * Reads the .jsonl twin that every traced run writes next to its
+ * Chrome JSON (obs::writeTraceJsonl) and prints, per trace:
+ *
+ *   - per-track event summaries (spans / instants / counter samples)
+ *   - segment-latency percentiles (exact, over the recorded "fill"
+ *     and "check" span durations)
+ *   - a rollback timeline (every recovery span, with its cause)
+ *   - a time-in-voltage-level histogram (step-function weighting of
+ *     the "voltage" counter track -- the figure 11 view)
+ *   - error bursts: clusters of detection instants closer together
+ *     than --burst-gap-us, the signature of an intermittent or
+ *     latched fault source
+ *
+ * --json emits the same analysis as a single machine-readable JSON
+ * object instead.  Exit status 0 iff every input parsed.
+ *
+ *   trace_report [--json] [--burst-gap-us N] FILE.jsonl ...
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/cli.hh"
+#include "obs/trace.hh"
+#include "obs/trace_reader.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+using namespace paradox;
+
+/** Exact percentile over a sorted sample vector (nearest-rank). */
+double
+pctile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+usOf(Tick t)
+{
+    return double(t) / double(ticksPerUs);
+}
+
+/** AIMD voltage steps are ~0.1 mV; bin to 5 mV for the histogram. */
+double
+voltageBin(double v)
+{
+    return std::round(v / 0.005) * 0.005;
+}
+
+struct TrackSummary
+{
+    std::uint64_t spans = 0;
+    std::uint64_t instants = 0;
+    std::uint64_t counters = 0;
+    Tick busy = 0;  //!< summed span duration
+};
+
+struct SpanStats
+{
+    std::vector<double> durUs;  //!< sorted after collection
+
+    void
+    add(Tick dur)
+    {
+        durUs.push_back(usOf(dur));
+    }
+};
+
+struct Burst
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::size_t count = 0;
+};
+
+struct Analysis
+{
+    std::string path;
+    obs::ParsedTrace trace;
+    std::map<obs::TrackId, TrackSummary> perTrack;
+    std::map<std::string, SpanStats> spans;  //!< by event name
+    std::vector<const obs::ParsedEvent *> rollbacks;
+    /** (voltage level binned to 5 mV, time spent at it). */
+    std::map<double, Tick> voltageTime;
+    std::vector<Burst> bursts;
+    Tick span = 0;  //!< last event timestamp
+};
+
+bool
+isRollback(const std::string &name)
+{
+    return name == "rollback" || name == "due-rollback";
+}
+
+bool
+isDetect(const std::string &name)
+{
+    return name == "detect" || name == "main-fault" ||
+           name == "watchdog-trip";
+}
+
+void
+analyze(Analysis &a, Tick burst_gap)
+{
+    std::vector<Tick> detects;
+    const obs::ParsedEvent *last_voltage = nullptr;
+
+    for (const obs::ParsedEvent &e : a.trace.events) {
+        TrackSummary &t = a.perTrack[e.track];
+        a.span = std::max(a.span, e.ts + e.dur);
+        switch (e.phase) {
+          case obs::Phase::Complete:
+            ++t.spans;
+            t.busy += e.dur;
+            a.spans[e.name].add(e.dur);
+            if (isRollback(e.name))
+                a.rollbacks.push_back(&e);
+            break;
+          case obs::Phase::Begin:
+            // Begin/End pairs are rendered as one span; accumulate
+            // on End so unterminated pairs don't count.
+            break;
+          case obs::Phase::End:
+            break;
+          case obs::Phase::Instant:
+            ++t.instants;
+            if (isDetect(e.name))
+                detects.push_back(e.ts);
+            break;
+          case obs::Phase::Counter:
+            ++t.counters;
+            if (e.name == "voltage") {
+                if (last_voltage)
+                    a.voltageTime[voltageBin(last_voltage->value)] +=
+                        e.ts - last_voltage->ts;
+                last_voltage = &e;
+            }
+            break;
+        }
+    }
+
+    // Pair Begin/End spans (per track, LIFO nesting).
+    std::map<obs::TrackId, std::vector<const obs::ParsedEvent *>> open;
+    for (const obs::ParsedEvent &e : a.trace.events) {
+        if (e.phase == obs::Phase::Begin) {
+            open[e.track].push_back(&e);
+        } else if (e.phase == obs::Phase::End) {
+            auto &stack = open[e.track];
+            if (stack.empty())
+                continue;
+            const obs::ParsedEvent *b = stack.back();
+            stack.pop_back();
+            TrackSummary &t = a.perTrack[e.track];
+            ++t.spans;
+            t.busy += e.ts - b->ts;
+            a.spans[b->name.empty() ? e.name : b->name].add(e.ts -
+                                                           b->ts);
+        }
+    }
+
+    // Close the final voltage level at the end of the trace.
+    if (last_voltage && a.span > last_voltage->ts)
+        a.voltageTime[voltageBin(last_voltage->value)] +=
+            a.span - last_voltage->ts;
+
+    for (auto &kv : a.spans)
+        std::sort(kv.second.durUs.begin(), kv.second.durUs.end());
+
+    // Error bursts: runs of detection instants with gaps < burst_gap.
+    std::sort(detects.begin(), detects.end());
+    for (std::size_t i = 0; i < detects.size();) {
+        std::size_t j = i + 1;
+        while (j < detects.size() &&
+               detects[j] - detects[j - 1] < burst_gap)
+            ++j;
+        if (j - i >= 2)
+            a.bursts.push_back({detects[i], detects[j - 1], j - i});
+        i = j;
+    }
+
+    std::sort(a.rollbacks.begin(), a.rollbacks.end(),
+              [](const obs::ParsedEvent *x, const obs::ParsedEvent *y) {
+                  return x->ts < y->ts;
+              });
+}
+
+void
+printText(const Analysis &a)
+{
+    std::printf("== %s ==\n", a.path.c_str());
+    std::printf("tool %s, %zu tracks, %zu events, %.3f ms spanned",
+                a.trace.tool.empty() ? "?" : a.trace.tool.c_str(),
+                a.trace.tracks.size(), a.trace.events.size(),
+                usOf(a.span) / 1e3);
+    if (a.trace.dropped)
+        std::printf(" (%llu DROPPED)",
+                    (unsigned long long)a.trace.dropped);
+    std::printf("\n\ntracks:\n");
+    for (const auto &kv : a.perTrack) {
+        const TrackSummary &t = kv.second;
+        std::printf("  %-14s %6llu spans %6llu instants "
+                    "%6llu samples  busy %.3f ms\n",
+                    a.trace.trackName(kv.first).c_str(),
+                    (unsigned long long)t.spans,
+                    (unsigned long long)t.instants,
+                    (unsigned long long)t.counters,
+                    usOf(t.busy) / 1e3);
+    }
+
+    std::printf("\nlatency percentiles (us):\n");
+    std::printf("  %-14s %8s %8s %8s %8s %8s %8s\n", "span", "count",
+                "p50", "p90", "p95", "p99", "max");
+    for (const auto &kv : a.spans) {
+        const std::vector<double> &d = kv.second.durUs;
+        std::printf("  %-14s %8zu %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+                    kv.first.c_str(), d.size(), pctile(d, 0.50),
+                    pctile(d, 0.90), pctile(d, 0.95), pctile(d, 0.99),
+                    d.empty() ? 0.0 : d.back());
+    }
+
+    if (!a.rollbacks.empty()) {
+        std::printf("\nrollback timeline:\n");
+        for (const obs::ParsedEvent *e : a.rollbacks)
+            std::printf("  %12.3f us  %-12s %6.2f us%s%s\n",
+                        usOf(e->ts), e->name.c_str(), usOf(e->dur),
+                        e->detail.empty() ? "" : "  cause=",
+                        e->detail.c_str());
+    }
+
+    if (!a.voltageTime.empty()) {
+        Tick total = 0;
+        for (const auto &kv : a.voltageTime)
+            total += kv.second;
+        std::printf("\ntime in voltage level:\n");
+        for (const auto &kv : a.voltageTime)
+            std::printf("  %.4f V  %10.3f ms  %5.1f%%\n", kv.first,
+                        usOf(kv.second) / 1e3,
+                        total ? 100.0 * double(kv.second) /
+                                    double(total)
+                              : 0.0);
+    }
+
+    if (!a.bursts.empty()) {
+        std::printf("\nerror bursts:\n");
+        for (const Burst &b : a.bursts)
+            std::printf("  %12.3f us  %zu detections in %.2f us\n",
+                        usOf(b.start), b.count, usOf(b.end - b.start));
+    }
+    std::printf("\n");
+}
+
+void
+jsonEscapeTo(std::ostringstream &os, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+}
+
+std::string
+toJson(const Analysis &a)
+{
+    std::ostringstream os;
+    os << "{\"file\":\"";
+    jsonEscapeTo(os, a.path);
+    os << "\",\"tool\":\"";
+    jsonEscapeTo(os, a.trace.tool);
+    os << "\",\"events\":" << a.trace.events.size()
+       << ",\"dropped\":" << a.trace.dropped
+       << ",\"span_us\":" << usOf(a.span);
+    os << ",\"tracks\":{";
+    bool first = true;
+    for (const auto &kv : a.perTrack) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"";
+        jsonEscapeTo(os, a.trace.trackName(kv.first));
+        os << "\":{\"spans\":" << kv.second.spans
+           << ",\"instants\":" << kv.second.instants
+           << ",\"samples\":" << kv.second.counters
+           << ",\"busy_us\":" << usOf(kv.second.busy) << "}";
+    }
+    os << "},\"latency_us\":{";
+    first = true;
+    for (const auto &kv : a.spans) {
+        if (!first)
+            os << ",";
+        first = false;
+        const std::vector<double> &d = kv.second.durUs;
+        os << "\"";
+        jsonEscapeTo(os, kv.first);
+        os << "\":{\"count\":" << d.size()
+           << ",\"p50\":" << pctile(d, 0.50)
+           << ",\"p90\":" << pctile(d, 0.90)
+           << ",\"p95\":" << pctile(d, 0.95)
+           << ",\"p99\":" << pctile(d, 0.99)
+           << ",\"max\":" << (d.empty() ? 0.0 : d.back()) << "}";
+    }
+    os << "},\"rollbacks\":[";
+    first = true;
+    for (const obs::ParsedEvent *e : a.rollbacks) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"ts_us\":" << usOf(e->ts)
+           << ",\"dur_us\":" << usOf(e->dur) << ",\"kind\":\"";
+        jsonEscapeTo(os, e->name);
+        os << "\",\"cause\":\"";
+        jsonEscapeTo(os, e->detail);
+        os << "\"}";
+    }
+    os << "],\"voltage_time_ms\":{";
+    first = true;
+    for (const auto &kv : a.voltageTime) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << kv.first << "\":" << usOf(kv.second) / 1e3;
+    }
+    os << "},\"bursts\":[";
+    first = true;
+    for (const Burst &b : a.bursts) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"start_us\":" << usOf(b.start)
+           << ",\"span_us\":" << usOf(b.end - b.start)
+           << ",\"detections\":" << b.count << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    unsigned burst_gap_us = 50;
+    exp::Cli cli("trace_report",
+                 "summarize paradox-trace/1 execution traces");
+    cli.flag("json", json, "emit machine-readable JSON");
+    cli.opt("burst-gap-us", burst_gap_us,
+            "max gap between detections in one burst");
+
+    // Cli has no positional support; split them off by hand.
+    std::vector<std::string> flags, files;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help") {
+            cli.usage(stdout);
+            std::printf("\narguments:\n  FILE.jsonl ...        "
+                        "traces to analyze\n");
+            return 0;
+        }
+        if (arg.rfind("-", 0) == 0) {
+            flags.push_back(arg);
+            if (arg == "--burst-gap-us" && i + 1 < argc)
+                flags.push_back(argv[++i]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    std::string error;
+    if (!cli.parseArgs(flags, error)) {
+        std::fprintf(stderr, "trace_report: %s\n", error.c_str());
+        cli.usage(stderr);
+        return 2;
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "trace_report: no input traces (expected "
+                     "FILE.jsonl ...)\n");
+        return 2;
+    }
+
+    bool all_ok = true;
+    bool first = true;
+    if (json)
+        std::printf("[");
+    for (const std::string &path : files) {
+        Analysis a;
+        a.path = path;
+        if (!obs::readTraceJsonlFile(path, a.trace, error)) {
+            std::fprintf(stderr, "trace_report: %s: %s\n",
+                         path.c_str(), error.c_str());
+            all_ok = false;
+            continue;
+        }
+        analyze(a, Tick(burst_gap_us) * ticksPerUs);
+        if (json) {
+            std::printf("%s%s", first ? "" : ",\n",
+                        toJson(a).c_str());
+            first = false;
+        } else {
+            printText(a);
+        }
+    }
+    if (json)
+        std::printf("]\n");
+    return all_ok ? 0 : 1;
+}
