@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Static segment-cost model.
+ *
+ * Combines the interval engine's trip bounds with each block's
+ * instruction mix to predict, per workload: how many instructions a
+ * complete run commits (min/max), how many checkpoint segments that
+ * makes at a given segment length, and how many checker-core cycles
+ * verifying those segments costs.  The latency table mirrors
+ * cpu::CheckerParams (src/cpu/checker_timing.hh) but is duplicated
+ * here because the analysis library deliberately links only
+ * paradox_isa.
+ *
+ * min/maxDynInsts are *sound bounds*, cross-validated against
+ * paradox-trace/1 seg-insts events by `trace_report --cost`; the
+ * cycle and segment figures are estimates (the AIMD controller
+ * adapts segment length at run time).
+ */
+
+#ifndef PARADOX_ANALYSIS_COSTMODEL_HH
+#define PARADOX_ANALYSIS_COSTMODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "isa/program.hh"
+
+namespace paradox
+{
+namespace analysis
+{
+
+/** Latencies (checker cycles) and model knobs. */
+struct CostParams
+{
+    unsigned intAluLat = 1;
+    unsigned intMultLat = 4;
+    unsigned intDivLat = 24;
+    unsigned fpAluLat = 2;
+    unsigned fpMultLat = 3;
+    unsigned fpDivLat = 32;
+    unsigned logAccessLat = 1;
+    unsigned branchExtraLat = 2;
+
+    /** Checkpoint-segment length (insts); AIMD initial by default. */
+    std::uint64_t segmentLength = 1000;
+
+    /** Extra footprint regions (e.g. the ABI result cell). */
+    std::vector<isa::MemRegion> extraRegions;
+};
+
+/** The model's output for one program. */
+struct WorkloadCost
+{
+    static constexpr std::size_t numClasses =
+        std::size_t(isa::InstClass::NumClasses);
+
+    std::string program;
+
+    bool converged = false;   //!< interval fixpoint terminated
+    std::uint64_t sweeps = 0; //!< fixpoint RPO sweeps used
+    std::uint64_t loops = 0;
+    std::uint64_t boundedLoops = 0;
+
+    /**
+     * Sound bounds on committed instructions in any complete
+     * fault-free run.  @c maxDynInsts is only valid when @c bounded
+     * (reducible CFG, every loop bounded, no indirect jumps);
+     * @c minDynInsts only claims progress up to the first HALT or
+     * indirect jump and is always valid.
+     */
+    bool bounded = false;
+    std::uint64_t minDynInsts = 0;
+    std::uint64_t maxDynInsts = 0;
+
+    std::uint64_t footprintBytes = 0;  //!< merged declared+data+extra
+
+    /**
+     * Instruction mix by InstClass, weighted by per-block trip
+     * products when @c bounded (so it over-approximates the dynamic
+     * mix), else plain static counts.
+     */
+    std::uint64_t mix[numClasses] = {};
+    std::uint64_t mixTotal = 0;
+
+    double cyclesPerInst = 0.0;             //!< mix-weighted CPI
+    std::uint64_t segmentLength = 0;        //!< params.segmentLength
+    std::uint64_t checkerCyclesPerSegment = 0;
+    /** Upper bounds, valid only when @c bounded. */
+    std::uint64_t checkerCyclesTotal = 0;
+    std::uint64_t predictedSegments = 0;
+};
+
+class CostModel
+{
+  public:
+    static WorkloadCost compute(const isa::Program &prog,
+                                const CostParams &params = {});
+
+    /** Checker cycles one instruction of @p cls costs. */
+    static unsigned classLatency(const CostParams &params,
+                                 isa::InstClass cls);
+};
+
+/** paradox-cost/1 JSONL header line (flat, obs::jsonField-parsable). */
+std::string costJsonHeader();
+
+/** One flat paradox-cost/1 record line for @p c at @p scale. */
+std::string costJsonLine(const WorkloadCost &c, unsigned scale);
+
+} // namespace analysis
+} // namespace paradox
+
+#endif // PARADOX_ANALYSIS_COSTMODEL_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Signed-interval abstract value domain for the PDX64 analyses.
+ *
+ * An Interval over-approximates the set of 64-bit values a register
+ * can hold, interpreted as signed two's complement: [lo, hi] with
+ * lo <= hi, plus an explicit empty (bottom) element.  The executor's
+ * arithmetic wraps; every transfer here therefore computes candidate
+ * bounds in 128 bits and returns top() whenever any value in the
+ * input boxes could wrap, which keeps the domain sound without a
+ * wrapped-interval representation.
+ *
+ * The domain deliberately has infinite ascending chains; the fixpoint
+ * engine (ai.cc) applies widen() at loop heads to terminate and a
+ * short narrowing phase to recover precision.
+ */
+
+#ifndef PARADOX_ANALYSIS_INTERVAL_HH
+#define PARADOX_ANALYSIS_INTERVAL_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace paradox
+{
+namespace analysis
+{
+
+/** A signed 64-bit interval, or the empty set. */
+struct Interval
+{
+    static constexpr std::int64_t min64 =
+        std::numeric_limits<std::int64_t>::min();
+    static constexpr std::int64_t max64 =
+        std::numeric_limits<std::int64_t>::max();
+
+    std::int64_t lo = 0;
+    std::int64_t hi = -1;  //!< lo > hi encodes bottom (canonical 0,-1)
+
+    static constexpr Interval bottom() { return {0, -1}; }
+    static constexpr Interval top() { return {min64, max64}; }
+    static constexpr Interval constant(std::int64_t v) { return {v, v}; }
+
+    /** [a, b] clipped to canonical bottom when a > b. */
+    static constexpr Interval
+    range(std::int64_t a, std::int64_t b)
+    {
+        return a > b ? bottom() : Interval{a, b};
+    }
+
+    bool isBottom() const { return lo > hi; }
+    bool isTop() const { return lo == min64 && hi == max64; }
+    bool isConstant() const { return lo == hi; }
+    /** Both endpoints are finite (not pushed to the 64-bit rails). */
+    bool isBounded() const
+    { return !isBottom() && lo != min64 && hi != max64; }
+
+    bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+    bool
+    containsInterval(const Interval &o) const
+    {
+        return o.isBottom() || (!isBottom() && lo <= o.lo && o.hi <= hi);
+    }
+
+    /** Number of values, saturated at uint64 max. */
+    std::uint64_t width() const;
+
+    bool operator==(const Interval &) const = default;
+
+    std::string toString() const;  //!< "[lo, hi]", "bot", "top"
+};
+
+/** @{ Lattice operations. */
+Interval join(const Interval &a, const Interval &b);
+Interval meet(const Interval &a, const Interval &b);
+/** Classic endpoint widening: bounds still moving go to the rails. */
+Interval widen(const Interval &prev, const Interval &next);
+/** @} */
+
+/** @{ Transfer functions (sound over wrapping 64-bit semantics). */
+Interval intervalAdd(const Interval &a, const Interval &b);
+Interval intervalSub(const Interval &a, const Interval &b);
+Interval intervalMul(const Interval &a, const Interval &b);
+Interval intervalNeg(const Interval &a);
+/** rd for MULH: the high 64 bits of the signed 128-bit product. */
+Interval intervalMulHigh(const Interval &a, const Interval &b);
+/** Signed division truncating toward zero (RISC-V DIV, no trap). */
+Interval intervalDiv(const Interval &a, const Interval &b);
+Interval intervalRem(const Interval &a, const Interval &b);
+Interval intervalDivU(const Interval &a, const Interval &b);
+Interval intervalRemU(const Interval &a, const Interval &b);
+Interval intervalShl(const Interval &a, unsigned sh);
+Interval intervalShrLogical(const Interval &a, unsigned sh);
+Interval intervalShrArith(const Interval &a, unsigned sh);
+Interval intervalAnd(const Interval &a, const Interval &b);
+Interval intervalOr(const Interval &a, const Interval &b);
+Interval intervalXor(const Interval &a, const Interval &b);
+/** @} */
+
+/** Three-valued predicate verdict over intervals. */
+enum class Tri : std::uint8_t
+{
+    False,   //!< holds for no value pair
+    True,    //!< holds for every value pair
+    Unknown,
+};
+
+/** The six PDX64 branch predicates, as relations on (a, b). */
+enum class Cmp : std::uint8_t
+{
+    Eq, Ne, LtS, GeS, LtU, GeU,
+};
+
+/** Negation (the fallthrough edge of a branch on @p c). */
+Cmp negate(Cmp c);
+
+/** Evaluate `a <cmp> b` over the boxes. */
+Tri evalCmp(Cmp cmp, const Interval &a, const Interval &b);
+
+/**
+ * Refine @p a and @p b under the assumption `a <cmp> b` holds.
+ * Either result may become bottom: the guarded edge is infeasible.
+ */
+void refineCmp(Cmp cmp, Interval &a, Interval &b);
+
+} // namespace analysis
+} // namespace paradox
+
+#endif // PARADOX_ANALYSIS_INTERVAL_HH

@@ -1,8 +1,11 @@
 #include "analysis/linter.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 #include <sstream>
 
+#include "analysis/ai.hh"
 #include "analysis/cfg.hh"
 
 namespace paradox
@@ -25,15 +28,54 @@ Linter::lint(const isa::Program &prog) const
         return report;
     }
 
-    Cfg cfg = Cfg::build(prog, &report.diags);
+    // Problems the ProgramBuilder recorded but did not reject.
+    for (const std::string &w : prog.buildWarnings())
+        report.diags.push_back({Severity::Warning, "build",
+                                "overlapping-regions",
+                                Diagnostic::noIndex, "", "", w});
+
+    auto timed = [&](const char *name, auto &&fn) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::size_t before = report.diags.size();
+        fn();
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        report.passes.push_back({name,
+                                 report.diags.size() - before,
+                                 std::uint64_t(us)});
+    };
+
+    Cfg cfg;
+    timed("cfg", [&] { cfg = Cfg::build(prog, &report.diags); });
     report.blocks = cfg.blocks().size();
     const std::vector<bool> reachable = cfg.reachableBlocks();
 
     const Context ctx{prog, cfg, reachable, opts_};
-    checkReachability(ctx, report.diags);
-    checkDataflow(ctx, report.diags);
-    checkFootprint(ctx, report.diags);
-    checkTermination(ctx, report.diags);
+    timed("reach", [&] { checkReachability(ctx, report.diags); });
+    timed("dataflow", [&] { checkDataflow(ctx, report.diags); });
+    timed("footprint", [&] { checkFootprint(ctx, report.diags); });
+
+    std::optional<IntervalAnalysis> ai;
+    if (opts_.ranges)
+        timed("ranges", [&] {
+            ai = IntervalAnalysis::run(prog, cfg, reachable);
+            if (!ai->converged())
+                report.diags.push_back(
+                    {Severity::Warning, "ranges", "no-fixpoint",
+                     Diagnostic::noIndex, "", "",
+                     "interval analysis hit its sweep cap without "
+                     "converging; range diagnostics and trip bounds "
+                     "were skipped"});
+            else
+                checkRanges(ctx, *ai, report.diags);
+        });
+
+    timed("termination", [&] {
+        checkTermination(ctx, report.diags,
+                         ai && ai->converged() ? &*ai : nullptr);
+    });
 
     // Resolve source locations: nearest label and disassembly.
     for (auto &d : report.diags) {
@@ -52,11 +94,32 @@ Linter::lint(const isa::Program &prog) const
             return static_cast<int>(a.severity) >
                    static_cast<int>(b.severity);
         });
+
+    // Different paths (e.g. the constant and range footprint checks)
+    // may report the same finding at the same instruction; keep the
+    // first (most severe at that index).  For the per-access passes
+    // the (pass, code, pc) key alone identifies the finding even when
+    // the wording differs; elsewhere (e.g. one def-before-use per
+    // operand register) same-key diagnostics are distinct unless the
+    // message matches too.  Program-level diagnostics (noIndex, e.g.
+    // every overlapping-region pair) are never collapsed.
+    report.diags.erase(
+        std::unique(report.diags.begin(), report.diags.end(),
+                    [](const Diagnostic &a, const Diagnostic &b) {
+                        if (a.index != b.index ||
+                            a.index == Diagnostic::noIndex ||
+                            a.pass != b.pass || a.code != b.code)
+                            return false;
+                        return a.pass == "footprint" ||
+                               a.pass == "ranges" ||
+                               a.message == b.message;
+                    }),
+        report.diags.end());
     return report;
 }
 
 std::string
-Report::toText() const
+Report::toText(bool withStats) const
 {
     std::ostringstream os;
     os << "program '" << program << "': " << instructions
@@ -64,6 +127,12 @@ Report::toText() const
        << " error(s), " << warnings() << " warning(s)\n";
     for (const auto &d : diags)
         os << "  " << d.toString() << "\n";
+    if (withStats) {
+        os << "  pass stats:\n";
+        for (const auto &p : passes)
+            os << "    " << p.name << ": " << p.diagnostics
+               << " diagnostic(s), " << p.micros << " us\n";
+    }
     return os.str();
 }
 
@@ -78,7 +147,15 @@ Report::toJson() const
        << ",\"errors\":" << errors()
        << ",\"warnings\":" << warnings()
        << ",\"infos\":" << countSeverity(diags, Severity::Info)
-       << ",\"diagnostics\":[";
+       << ",\"passes\":[";
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"name\":\"" << jsonEscape(passes[i].name)
+           << "\",\"diagnostics\":" << passes[i].diagnostics
+           << ",\"micros\":" << passes[i].micros << "}";
+    }
+    os << "],\"diagnostics\":[";
     for (std::size_t i = 0; i < diags.size(); ++i) {
         if (i)
             os << ",";

@@ -4,10 +4,13 @@
  * isa::Program, and its Report.
  *
  * The linter runs CFG construction, reachability, register dataflow,
- * memory-footprint and termination passes in order, resolves every
- * diagnostic to the nearest label plus the disassembled instruction,
- * and returns a Report that renders either as human-readable text or
- * as a machine-readable JSON object (schema "paradox-lint/1").
+ * memory-footprint and termination passes in order -- plus the
+ * interval-based range passes when Options::ranges is set -- resolves
+ * every diagnostic to the nearest label plus the disassembled
+ * instruction, deduplicates reports that different paths raised for
+ * the same (pass, code, instruction), and returns a Report that
+ * renders either as human-readable text or as a machine-readable
+ * JSON object (schema "paradox-lint/1").
  *
  * A malformed workload therefore fails at lint time -- in
  * tests/test_analysis and in the `isa_lint --all --Werror` CI step --
@@ -17,6 +20,7 @@
 #ifndef PARADOX_ANALYSIS_LINTER_HH
 #define PARADOX_ANALYSIS_LINTER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,6 +33,14 @@ namespace paradox
 namespace analysis
 {
 
+/** Diagnostic count and wall-clock cost of one pass. */
+struct PassStat
+{
+    std::string name;
+    std::size_t diagnostics = 0;
+    std::uint64_t micros = 0;
+};
+
 /** Everything one lint run found about one program. */
 struct Report
 {
@@ -39,6 +51,7 @@ struct Report
     std::size_t instructions = 0; //!< code size in instructions
     std::size_t blocks = 0;       //!< CFG basic blocks
     std::vector<Diagnostic> diags;
+    std::vector<PassStat> passes; //!< per-pass stats, pipeline order
 
     std::size_t errors() const
     { return countSeverity(diags, Severity::Error); }
@@ -53,8 +66,9 @@ struct Report
         return errors() == 0 && (!warnAsError || warnings() == 0);
     }
 
-    /** Multi-line human-readable rendering. */
-    std::string toText() const;
+    /** Multi-line human-readable rendering; @p withStats appends the
+     *  per-pass table. */
+    std::string toText(bool withStats = false) const;
 
     /** One JSON object (single line). */
     std::string toJson() const;

@@ -30,6 +30,8 @@ namespace paradox
 namespace analysis
 {
 
+class IntervalAnalysis;
+
 /** Tuning knobs and environment facts for the passes. */
 struct Options
 {
@@ -42,6 +44,14 @@ struct Options
 
     bool warnDeadStores = true;    //!< report never-read register defs
     bool warnMaybeUninit = true;   //!< report path-dependent init
+
+    /**
+     * Run the interval abstract interpretation and the passes built
+     * on it: range-based footprint checks, dead branches, division /
+     * shift range checks, and loop trip bounds.  Off by default; the
+     * interval fixpoint costs more than every other pass combined.
+     */
+    bool ranges = false;
 };
 
 /** Shared read-only state handed to each pass. */
@@ -74,9 +84,34 @@ void checkFootprint(const Context &ctx, std::vector<Diagnostic> &diags);
  * Back-edge detection and loop termination heuristics: a loop with
  * no exit path is an error; a loop none of whose exit-condition
  * registers is updated inside the loop is a likely-infinite warning.
+ * When @p ai is non-null, loops it proved bounded are exempt from
+ * the likely-infinite heuristic.
  */
 void checkTermination(const Context &ctx,
-                      std::vector<Diagnostic> &diags);
+                      std::vector<Diagnostic> &diags,
+                      const IntervalAnalysis *ai = nullptr);
+
+/**
+ * Interval-based checks over @p ai: range-based footprint membership
+ * (constant-pass codes for definite violations so deduplication
+ * collapses double reports, "possible-*" warnings for finite ranges
+ * that straddle a region edge), provably dead branches, possible
+ * division by zero, and out-of-range register shift amounts.
+ */
+void checkRanges(const Context &ctx, const IntervalAnalysis &ai,
+                 std::vector<Diagnostic> &diags);
+
+/**
+ * The program's full footprint: declared regions, runs derived from
+ * the initial data image, and @p extras.  Unmerged.
+ */
+std::vector<isa::MemRegion>
+footprintRegions(const isa::Program &prog,
+                 const std::vector<isa::MemRegion> &extras);
+
+/** Merge @p regions into sorted, disjoint, maximal runs. */
+std::vector<isa::MemRegion>
+mergeRegions(std::vector<isa::MemRegion> regions);
 
 } // namespace analysis
 } // namespace paradox

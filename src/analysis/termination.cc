@@ -2,8 +2,8 @@
  * @file
  * Loop-termination heuristics.
  *
- * Back edges are found with a DFS over the reachable CFG; each back
- * edge's natural loop is recovered and classified:
+ * Natural loops are discovered via analysis::findLoops (shared with
+ * the interval engine) and classified:
  *
  *  - no exit edge, no halt, no indirect jump in the body: the loop
  *    provably never terminates (error);
@@ -16,13 +16,16 @@
  * passes both checks can still diverge -- but they catch the classic
  * hand-assembly mistakes (forgotten induction update, branch on the
  * wrong register) cheaply and with no false alarms on the suite.
+ * When the caller ran the interval engine, loops it bounded (a
+ * finite trip count is a termination proof) are exempt from the
+ * heuristic warning.
  */
 
-#include <algorithm>
 #include <cstdint>
-#include <set>
+#include <string>
 #include <vector>
 
+#include "analysis/ai.hh"
 #include "analysis/passes.hh"
 #include "analysis/regmodel.hh"
 
@@ -31,95 +34,29 @@ namespace paradox
 namespace analysis
 {
 
-namespace
-{
-
-/** DFS back-edge detection: returns (from, to) block-id pairs. */
-std::vector<std::pair<std::size_t, std::size_t>>
-findBackEdges(const Cfg &cfg, const std::vector<bool> &reachable)
-{
-    enum class Mark : std::uint8_t { White, Grey, Black };
-    const auto &blocks = cfg.blocks();
-    std::vector<Mark> mark(blocks.size(), Mark::White);
-    std::vector<std::pair<std::size_t, std::size_t>> backEdges;
-
-    // Iterative DFS with an explicit (block, next-successor) stack.
-    std::vector<std::pair<std::size_t, std::size_t>> stack;
-    auto visit = [&](std::size_t root) {
-        if (mark[root] != Mark::White)
-            return;
-        mark[root] = Mark::Grey;
-        stack.push_back({root, 0});
-        while (!stack.empty()) {
-            auto &[b, next] = stack.back();
-            if (next < blocks[b].succs.size()) {
-                std::size_t s = blocks[b].succs[next++];
-                if (mark[s] == Mark::Grey)
-                    backEdges.push_back({b, s});
-                else if (mark[s] == Mark::White) {
-                    mark[s] = Mark::Grey;
-                    stack.push_back({s, 0});
-                }
-            } else {
-                mark[b] = Mark::Black;
-                stack.pop_back();
-            }
-        }
-    };
-
-    for (std::size_t b = 0; b < blocks.size(); ++b)
-        if (reachable[b])
-            visit(b);
-    return backEdges;
-}
-
-/** Natural loop of back edge @p tail -> @p header. */
-std::set<std::size_t>
-naturalLoop(const Cfg &cfg, const std::vector<bool> &reachable,
-            std::size_t tail, std::size_t header)
-{
-    std::set<std::size_t> body = {header, tail};
-    std::vector<std::size_t> work;
-    if (tail != header)
-        work.push_back(tail);
-    while (!work.empty()) {
-        std::size_t b = work.back();
-        work.pop_back();
-        for (std::size_t p : cfg.blocks()[b].preds)
-            if (reachable[p] && body.insert(p).second)
-                work.push_back(p);
-    }
-    return body;
-}
-
-} // namespace
-
 void
-checkTermination(const Context &ctx, std::vector<Diagnostic> &diags)
+checkTermination(const Context &ctx, std::vector<Diagnostic> &diags,
+                 const IntervalAnalysis *ai)
 {
     const auto &blocks = ctx.cfg.blocks();
     const auto &code = ctx.prog.code();
 
-    const auto backEdges = findBackEdges(ctx.cfg, ctx.reachable);
+    const std::vector<Loop> localLoops =
+        ai ? std::vector<Loop>{} : findLoops(ctx.cfg, ctx.reachable);
+    const std::vector<Loop> &loops = ai ? ai->loops() : localLoops;
 
-    std::set<std::size_t> reportedHeaders;
-    for (const auto &[tail, header] : backEdges) {
-        if (!reportedHeaders.insert(header).second)
-            continue;  // one report per loop header
-        const auto body =
-            naturalLoop(ctx.cfg, ctx.reachable, tail, header);
-
+    for (const Loop &loop : loops) {
         bool hasEscape = false;       // halt or indirect jump inside
         bool hasExitEdge = false;
         std::uint64_t condRegs = 0;   // exit-branch condition slots
         std::uint64_t defsInLoop = 0;
 
-        for (std::size_t b : body) {
+        for (std::size_t b : loop.bodyBlocks) {
             if (blocks[b].indirect)
                 hasEscape = true;
             bool exits = false;
             for (std::size_t s : blocks[b].succs)
-                if (!body.count(s)) {
+                if (!loop.inBody[s]) {
                     exits = true;
                     hasExitEdge = true;
                 }
@@ -137,15 +74,15 @@ checkTermination(const Context &ctx, std::vector<Diagnostic> &diags)
             }
         }
 
-        const std::size_t at = blocks[header].first;
+        const std::size_t at = blocks[loop.header].first;
         if (!hasExitEdge && !hasEscape) {
             diags.push_back(
                 {Severity::Error, "termination", "infinite-loop", at,
                  "", "",
                  "loop headed at instruction " + std::to_string(at) +
                      " has no exit path, halt, or indirect jump"});
-        } else if (hasExitEdge && !hasEscape && condRegs != 0 &&
-                   (condRegs & defsInLoop) == 0) {
+        } else if (hasExitEdge && !hasEscape && !loop.bounded() &&
+                   condRegs != 0 && (condRegs & defsInLoop) == 0) {
             std::string regs;
             for (unsigned slot = 0; slot < numRegSlots; ++slot)
                 if (condRegs & slotBit(slot))

@@ -387,8 +387,15 @@ void
 System::closeSegmentAndDispatch()
 {
     filling_->close(archState_, instsInSegment_, mainCore_->now());
-    if (tracing())
+    if (tracing()) {
         traceEndFill(mainCore_->now());
+        // Committed-instruction count of the segment just closed;
+        // `trace_report --cost` sums these to cross-validate the
+        // static min/max dynamic-instruction bounds.
+        tracer_->instant(trSegments_, "seg-insts", mainCore_->now(),
+                         nullptr, double(instsInSegment_),
+                         filling_->id());
+    }
     // Taking the register checkpoint blocks commit (Table I).
     mainCore_->blockCommit(config_.regCheckpointCycles);
     Tick dispatch = mainCore_->now();

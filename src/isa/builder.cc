@@ -1,6 +1,8 @@
 #include "isa/builder.hh"
 
+#include <algorithm>
 #include <bit>
+#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -261,7 +263,39 @@ ProgramBuilder::build()
     if (!errors.empty())
         throw BuildError(std::move(errors));
     fixups_.clear();
-    return Program(name_, code_, data_, labels_, regions_);
+
+    // Overlapping declared regions are legal (a workload may alias a
+    // scratch window over an input array on purpose) but usually a
+    // copy-paste mistake, so they are recorded as warnings rather
+    // than rejected.  Sort a copy by base; any region starting before
+    // its predecessor ends overlaps it.
+    std::vector<std::string> warnings;
+    std::vector<MemRegion> sorted = regions_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const MemRegion &a, const MemRegion &b) {
+                  return a.base != b.base ? a.base < b.base
+                                          : a.size > b.size;
+              });
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        const MemRegion &a = sorted[i];
+        if (a.size == 0)
+            continue;
+        for (std::size_t j = i + 1; j < sorted.size(); ++j) {
+            const MemRegion &b = sorted[j];
+            if (b.base >= a.base + a.size)
+                break;
+            if (b.size == 0)
+                continue;
+            std::ostringstream os;
+            os << "declared regions '" << a.name << "' [0x" << std::hex
+               << a.base << ", 0x" << a.base + a.size << ") and '"
+               << b.name << "' [0x" << b.base << ", 0x"
+               << b.base + b.size << ") overlap in " << name_;
+            warnings.push_back(os.str());
+        }
+    }
+    return Program(name_, code_, data_, labels_, regions_,
+                   std::move(warnings));
 }
 
 } // namespace isa

@@ -62,10 +62,12 @@ class Program
     Program(std::string name, std::vector<Instruction> code,
             std::vector<DataInit> data,
             std::map<std::string, std::size_t> labels = {},
-            std::vector<MemRegion> regions = {})
+            std::vector<MemRegion> regions = {},
+            std::vector<std::string> buildWarnings = {})
         : name_(std::move(name)), code_(std::move(code)),
           data_(std::move(data)), labels_(std::move(labels)),
-          regions_(std::move(regions))
+          regions_(std::move(regions)),
+          buildWarnings_(std::move(buildWarnings))
     {}
 
     const std::string &name() const { return name_; }
@@ -103,6 +105,15 @@ class Program
     const std::vector<MemRegion> &regions() const { return regions_; }
 
     /**
+     * Suspicious-but-legal conditions the builder noticed (e.g.
+     * overlapping declared footprint regions).  Unlike BuildError
+     * these do not reject the program; the linter surfaces them as
+     * warnings.
+     */
+    const std::vector<std::string> &buildWarnings() const
+    { return buildWarnings_; }
+
+    /**
      * The nearest label at or before instruction @p idx, for
      * source-located diagnostics ("in 'kern_done'+2").  Empty string
      * when no label precedes @p idx.
@@ -132,6 +143,7 @@ class Program
     std::vector<DataInit> data_;
     std::map<std::string, std::size_t> labels_;
     std::vector<MemRegion> regions_;
+    std::vector<std::string> buildWarnings_;
 };
 
 } // namespace isa

@@ -137,13 +137,17 @@ buildOmnetpp(unsigned scale)
     b.add(x31, x31, x5);
     b.and_(x6, x5, x19);           // handler index
 
-    // Dispatch through a compare chain of unrolled handlers.
-    for (unsigned h = 0; h < numHandlers; ++h) {
+    // Dispatch through a compare chain of unrolled handlers.  The
+    // index is masked to [0, numHandlers), so after the first
+    // numHandlers-1 tests miss only the last handler remains -- its
+    // dispatch is an unconditional jump, not a 64th compare that
+    // could never fall through.
+    for (unsigned h = 0; h + 1 < numHandlers; ++h) {
         const std::string lbl = "h_" + std::to_string(h);
         b.ldi(x7, h);
         b.beq(x6, x7, lbl);
     }
-    b.j("h_0");
+    b.j("h_" + std::to_string(numHandlers - 1));
     for (unsigned h = 0; h < numHandlers; ++h) {
         b.label("h_" + std::to_string(h));
         b.mv(x8, x5);

@@ -70,6 +70,9 @@ buildTonto(unsigned scale)
     isa::ProgramBuilder b("tonto");
     emitDataF(b, matBase, mat);
     emitDataF(b, vBase, xs);
+    // w is written before it is read, so it has no initial data --
+    // declare the scratch range explicitly.
+    b.footprint(wBase, std::size_t(M) * 8, "w");
     b.dataF64(cBase, 0.25);
     b.dataF64(cBase + 8, 1.0);
     // Reciprocal-of-k table for the Horner loop (k = 1..polyTerms).

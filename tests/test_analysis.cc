@@ -13,10 +13,16 @@
 #include <algorithm>
 #include <string>
 
+#include "analysis/ai.hh"
 #include "analysis/cfg.hh"
+#include "analysis/costmodel.hh"
+#include "analysis/interval.hh"
 #include "analysis/linter.hh"
 #include "analysis/regmodel.hh"
 #include "isa/builder.hh"
+#include "isa/executor.hh"
+#include "mem/memory.hh"
+#include "obs/trace_reader.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -529,7 +535,404 @@ TEST(RegModel, WritesToX0AreNotDefs)
 }
 
 // ---------------------------------------------------------------------
-// The gate: every registered workload must lint clean
+// Interval domain
+// ---------------------------------------------------------------------
+
+TEST(Interval, LatticeBasics)
+{
+    const Interval a{0, 10}, b{5, 20};
+    EXPECT_EQ(join(a, b), (Interval{0, 20}));
+    EXPECT_EQ(meet(a, b), (Interval{5, 10}));
+    EXPECT_TRUE(meet(Interval{0, 4}, Interval{5, 9}).isBottom());
+    EXPECT_EQ(join(Interval::bottom(), a), a);
+    EXPECT_TRUE(meet(Interval::bottom(), a).isBottom());
+}
+
+TEST(Interval, WideningGoesToTheRails)
+{
+    // A still-moving upper bound is widened to max64; a stable lower
+    // bound stays put.
+    const Interval w = widen(Interval{0, 10}, Interval{0, 11});
+    EXPECT_EQ(w.lo, 0);
+    EXPECT_EQ(w.hi, Interval::max64);
+    // Nothing moved: widening is the identity.
+    EXPECT_EQ(widen(Interval{3, 7}, Interval{3, 7}), (Interval{3, 7}));
+}
+
+TEST(Interval, ArithmeticSaturatesToTopOnPossibleWrap)
+{
+    // max64 + 1 can wrap: the result must be top, not a lie.
+    EXPECT_TRUE(intervalAdd(Interval{Interval::max64, Interval::max64},
+                            Interval{1, 1})
+                    .isTop());
+    EXPECT_EQ(intervalAdd(Interval{1, 2}, Interval{10, 20}),
+              (Interval{11, 22}));
+    EXPECT_EQ(intervalMul(Interval{2, 3}, Interval{4, 5}),
+              (Interval{8, 15}));
+}
+
+TEST(Interval, RefineCmpNarrowsBothSides)
+{
+    Interval a{0, 100}, b{50, 50};
+    refineCmp(Cmp::LtS, a, b);      // assume a < 50
+    EXPECT_EQ(a, (Interval{0, 49}));
+    Interval c{0, 100}, d{200, 300};
+    refineCmp(Cmp::GeS, c, d);      // assume c >= d: infeasible
+    EXPECT_TRUE(c.isBottom() || d.isBottom());
+}
+
+// ---------------------------------------------------------------------
+// Range-based diagnostics (Options::ranges)
+// ---------------------------------------------------------------------
+
+/** Lint with the interval passes enabled. */
+Report
+lintRanges(ProgramBuilder &b)
+{
+    Options opts;
+    opts.ranges = true;
+    return Linter(opts).lint(b.build());
+}
+
+TEST(Ranges, InductionStoreStraddlingRegionEdgeIsPossibleOob)
+{
+    ProgramBuilder b("straddle");
+    b.footprint(0x1000, 64, "buf");     // 8 doublewords
+    b.ldi(r1, 0x1000);
+    b.ldi(r2, 10);                      // but 10 iterations
+    b.label("top");
+    b.sd(r0, r1, 0);
+    b.addi(r1, r1, 8);
+    b.addi(r2, r2, -1);
+    b.bne(r2, r0, "top");
+    b.halt();
+    const Report report = lintRanges(b);
+    const Diagnostic *d =
+        findCode(report, "possible-out-of-footprint-store");
+    ASSERT_NE(d, nullptr) << report.toText();
+    EXPECT_EQ(d->severity, Severity::Warning);
+    EXPECT_EQ(d->pass, "ranges");
+}
+
+TEST(Ranges, InductionLoadStraddlingRegionEdgeIsPossibleOob)
+{
+    ProgramBuilder b("lstraddle");
+    b.footprint(0x1000, 64, "buf");
+    b.ldi(r1, 0x1000);
+    b.ldi(r2, 10);
+    b.ldi(r3, 0);
+    b.label("top");
+    b.ld(r4, r1, 0);
+    b.add(r3, r3, r4);
+    b.addi(r1, r1, 8);
+    b.addi(r2, r2, -1);
+    b.bne(r2, r0, "top");
+    b.ldi(r4, 0x1000);
+    b.sd(r3, r4, 0);
+    b.halt();
+    const Report report = lintRanges(b);
+    EXPECT_NE(findCode(report, "possible-out-of-footprint-load"),
+              nullptr)
+        << report.toText();
+}
+
+TEST(Ranges, InBoundsInductionLoopIsClean)
+{
+    ProgramBuilder b("fits");
+    b.footprint(0x1000, 64, "buf");
+    b.ldi(r1, 0x1000);
+    b.ldi(r2, 8);                       // exactly fills the region
+    b.label("top");
+    b.sd(r0, r1, 0);
+    b.addi(r1, r1, 8);
+    b.addi(r2, r2, -1);
+    b.bne(r2, r0, "top");
+    b.halt();
+    const Report report = lintRanges(b);
+    EXPECT_TRUE(report.clean(/*warnAsError=*/true))
+        << report.toText();
+}
+
+TEST(Ranges, InductionStoreEntirelyOutsideIsDefiniteError)
+{
+    ProgramBuilder b("definite");
+    b.footprint(0x1000, 64, "buf");
+    b.ldi(r1, 0x2000);                  // never inside any region
+    b.ldi(r2, 4);
+    b.label("top");
+    b.sd(r0, r1, 0);
+    b.addi(r1, r1, 8);
+    b.addi(r2, r2, -1);
+    b.bne(r2, r0, "top");
+    b.halt();
+    const Report report = lintRanges(b);
+    // Definite violations reuse the constant pass's code (and Error
+    // severity) even though the address here is a varying interval.
+    const Diagnostic *d = findCode(report, "out-of-footprint-store");
+    ASSERT_NE(d, nullptr) << report.toText();
+    EXPECT_EQ(d->severity, Severity::Error);
+}
+
+TEST(Ranges, ProvablyConstantBranchIsDead)
+{
+    ProgramBuilder b("deadbr");
+    b.ldi(r1, 5);
+    b.beq(r1, r0, "skip");              // 5 == 0: never
+    b.addi(r1, r1, 1);
+    b.label("skip");
+    b.ldi(r2, 0x100);
+    b.sd(r1, r2, 0);
+    b.halt();
+    const Report report = lintRanges(b);
+    const Diagnostic *d = findCode(report, "dead-branch");
+    ASSERT_NE(d, nullptr) << report.toText();
+    EXPECT_NE(d->message.find("never"), std::string::npos);
+}
+
+TEST(Ranges, DivisorRangeContainingZeroWarns)
+{
+    ProgramBuilder b("div0");
+    b.ldi(r1, 100);
+    b.ldi(r2, 4);
+    b.ldi(r3, 0);
+    b.label("top");
+    b.addi(r2, r2, -1);
+    b.div(r4, r1, r2);                  // r2 hits 0 on the last trip
+    b.add(r3, r3, r4);
+    b.bne(r2, r0, "top");
+    b.ldi(r4, 0x100);
+    b.sd(r3, r4, 0);
+    b.halt();
+    const Report report = lintRanges(b);
+    EXPECT_NE(findCode(report, "possible-div-by-zero"), nullptr)
+        << report.toText();
+}
+
+TEST(Ranges, ShiftAmountRangePastSixtyThreeWarns)
+{
+    ProgramBuilder b("bigshift");
+    b.ldi(r1, 1);
+    b.ldi(r2, 60);
+    b.ldi(r3, 10);
+    b.ldi(r4, 0);
+    b.label("top");
+    b.sll(r4, r1, r2);                  // r2 grows to 69
+    b.addi(r2, r2, 1);
+    b.addi(r3, r3, -1);
+    b.bne(r3, r0, "top");
+    b.ldi(r2, 0x100);
+    b.sd(r4, r2, 0);
+    b.halt();
+    const Report report = lintRanges(b);
+    EXPECT_NE(findCode(report, "shift-range"), nullptr)
+        << report.toText();
+}
+
+TEST(Ranges, ConstantOobIsReportedExactlyOnce)
+{
+    // The constant footprint pass and the range pass both see this
+    // store; identical (pass, code, pc) must collapse to one report.
+    ProgramBuilder b("dedup");
+    b.footprint(0x1000, 64, "buf");
+    b.ldi(r1, 0x1000);
+    b.ldi(r2, 5);
+    b.sd(r2, r1, 64);
+    b.halt();
+    const Report report = lintRanges(b);
+    EXPECT_EQ(countCode(report, "out-of-footprint-store"), 1u)
+        << report.toText();
+}
+
+// ---------------------------------------------------------------------
+// Trip-count inference
+// ---------------------------------------------------------------------
+
+/** Run the interval engine alone over a built program. */
+IntervalAnalysis
+runAi(ProgramBuilder &b, Cfg &cfg)
+{
+    const Program prog = b.build();
+    cfg = Cfg::build(prog);
+    return IntervalAnalysis::run(prog, cfg, cfg.reachableBlocks());
+}
+
+TEST(Trips, CountedDownLoopGetsAnExactBound)
+{
+    ProgramBuilder b("count10");
+    b.ldi(r1, 10);
+    b.label("top");
+    b.addi(r1, r1, -1);
+    b.bne(r1, r0, "top");
+    b.halt();
+    Cfg cfg;
+    const IntervalAnalysis ai = runAi(b, cfg);
+    EXPECT_TRUE(ai.converged());
+    EXPECT_TRUE(ai.reducible());
+    ASSERT_EQ(ai.loops().size(), 1u);
+    EXPECT_EQ(ai.loops()[0].tripBound, 10u);
+}
+
+TEST(Trips, NestedLoopsMultiplyInTripProduct)
+{
+    ProgramBuilder b("nested");
+    b.ldi(r1, 4);
+    b.label("outer");
+    b.ldi(r2, 5);
+    b.label("inner");
+    b.addi(r2, r2, -1);
+    b.bne(r2, r0, "inner");
+    b.addi(r1, r1, -1);
+    b.bne(r1, r0, "outer");
+    b.halt();
+    Cfg cfg;
+    const IntervalAnalysis ai = runAi(b, cfg);
+    ASSERT_EQ(ai.loops().size(), 2u);
+    for (const Loop &l : ai.loops())
+        EXPECT_TRUE(l.bounded());
+    // The inner body block runs at most 4 * 5 = 20 times.
+    std::size_t innerBody = std::size_t(-1);
+    for (const Loop &l : ai.loops())
+        if (l.tripBound == 5u)
+            innerBody = l.header;
+    ASSERT_NE(innerBody, std::size_t(-1));
+    EXPECT_EQ(ai.tripProduct(innerBody), 20u);
+}
+
+TEST(Trips, DataDependentLoopStaysUnbounded)
+{
+    ProgramBuilder b("datadep");
+    b.data64(0x1000, 3);
+    b.ldi(r1, 0x1000);
+    b.ld(r1, r1, 0);                    // bound comes from memory
+    b.label("top");
+    b.addi(r1, r1, -1);
+    b.bne(r1, r0, "top");
+    b.halt();
+    Cfg cfg;
+    const IntervalAnalysis ai = runAi(b, cfg);
+    ASSERT_EQ(ai.loops().size(), 1u);
+    EXPECT_FALSE(ai.loops()[0].bounded());
+}
+
+// ---------------------------------------------------------------------
+// Fixpoint convergence on randomized CFGs
+// ---------------------------------------------------------------------
+
+TEST(Fixpoint, RandomizedCfgsAlwaysConverge)
+{
+    // Arbitrary branch topologies -- including irreducible loops and
+    // unreachable tails -- must reach a fixpoint within the sweep
+    // budget.  Deterministic LCG so a failure is reproducible by seed.
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        std::uint64_t s = seed * 0x9e3779b97f4a7c15ULL + 1;
+        auto rnd = [&](std::uint64_t m) {
+            s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+            return (s >> 33) % m;
+        };
+        const std::size_t nb = 3 + rnd(9);
+        ProgramBuilder b("rand" + std::to_string(seed));
+        for (unsigned r = 1; r <= 6; ++r)
+            b.ldi(XReg{std::uint8_t(r)}, std::int64_t(rnd(1000)));
+        auto reg = [&] { return XReg{std::uint8_t(1 + rnd(6))}; };
+        for (std::size_t i = 0; i < nb; ++i) {
+            b.label("b" + std::to_string(i));
+            const std::size_t ops = 1 + rnd(3);
+            for (std::size_t k = 0; k < ops; ++k) {
+                switch (rnd(5)) {
+                case 0: b.addi(reg(), reg(),
+                               std::int64_t(rnd(64)) - 32); break;
+                case 1: b.add(reg(), reg(), reg()); break;
+                case 2: b.mul(reg(), reg(), reg()); break;
+                case 3: b.srli(reg(), reg(), unsigned(rnd(63))); break;
+                default: b.xor_(reg(), reg(), reg()); break;
+                }
+            }
+            if (i + 1 == nb) {
+                b.halt();
+            } else {
+                const std::string t = "b" + std::to_string(rnd(nb));
+                if (rnd(3) == 0)
+                    b.j(t);
+                else
+                    b.bne(reg(), r0, t);
+            }
+        }
+        Cfg cfg;
+        const IntervalAnalysis ai = runAi(b, cfg);
+        const std::size_t blocks = cfg.blocks().size();
+        EXPECT_TRUE(ai.converged()) << "seed " << seed;
+        EXPECT_LE(ai.sweeps(), 100 + 10 * blocks) << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overlapping-region detection in the builder
+// ---------------------------------------------------------------------
+
+TEST(Builder, OverlappingRegionsProduceABuildWarning)
+{
+    ProgramBuilder b("ovl");
+    b.footprint(0x1000, 64, "a");
+    b.footprint(0x1020, 64, "b");       // overlaps the tail of 'a'
+    b.ldi(r1, 1);
+    b.halt();
+    const Program prog = b.build();
+    ASSERT_EQ(prog.buildWarnings().size(), 1u);
+    EXPECT_NE(prog.buildWarnings()[0].find("overlap"),
+              std::string::npos);
+    // The linter surfaces it as a diagnostic.
+    const Report report = Linter().lint(prog);
+    const Diagnostic *d = findCode(report, "overlapping-regions");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Warning);
+}
+
+TEST(Builder, AdjacentRegionsDoNotWarn)
+{
+    ProgramBuilder b("adj");
+    b.footprint(0x1000, 64, "a");
+    b.footprint(0x1040, 64, "b");       // touches, does not overlap
+    b.ldi(r1, 1);
+    b.halt();
+    EXPECT_TRUE(b.build().buildWarnings().empty());
+}
+
+TEST(Builder, AllOverlapPairsAreAggregated)
+{
+    ProgramBuilder b("multi");
+    b.footprint(0x1000, 0x100, "big");
+    b.footprint(0x1010, 8, "in1");
+    b.footprint(0x1020, 8, "in2");
+    b.ldi(r1, 1);
+    b.halt();
+    EXPECT_EQ(b.build().buildWarnings().size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------
+
+TEST(CostModel, JsonLinesAreFlatAndParsable)
+{
+    const auto w = paradox::workloads::build("stream", 1);
+    CostParams params;
+    params.extraRegions.push_back(
+        {paradox::workloads::resultAddr, 8, "result"});
+    const WorkloadCost c = CostModel::compute(w.program, params);
+    const std::string line = costJsonLine(c, 1);
+    std::string v;
+    ASSERT_TRUE(obs::jsonField(line, "program", v));
+    EXPECT_EQ(v, "stream");
+    ASSERT_TRUE(obs::jsonField(line, "min_dyn_insts", v));
+    EXPECT_EQ(std::stoull(v), c.minDynInsts);
+    ASSERT_TRUE(obs::jsonField(costJsonHeader(), "schema", v));
+    EXPECT_EQ(v, "paradox-cost/1");
+}
+
+// ---------------------------------------------------------------------
+// The gates: every registered workload must lint clean (with the
+// interval passes), and the cost model's instruction bounds must
+// contain real executions.
 // ---------------------------------------------------------------------
 
 TEST(Workloads, AllWorkloadsLintCleanUnderWerror)
@@ -537,12 +940,44 @@ TEST(Workloads, AllWorkloadsLintCleanUnderWerror)
     Options opts;
     opts.extraRegions.push_back(
         {paradox::workloads::resultAddr, 8, "result"});
+    opts.ranges = true;
     const Linter linter(opts);
     for (const auto &name : paradox::workloads::allNames()) {
         const auto w = paradox::workloads::build(name, 1);
         const Report report = linter.lint(w.program);
         EXPECT_TRUE(report.clean(/*warnAsError=*/true))
             << report.toText();
+    }
+}
+
+TEST(Workloads, CostBoundsContainFunctionalExecution)
+{
+    // The acceptance property behind `trace_report --cost`, without
+    // the trace round trip: actually execute the program and count
+    // retired instructions against the static bounds.
+    CostParams params;
+    params.extraRegions.push_back(
+        {paradox::workloads::resultAddr, 8, "result"});
+    for (const std::string name : {"stream", "mcf", "tonto"}) {
+        const auto w = paradox::workloads::build(name, 1);
+        const WorkloadCost c = CostModel::compute(w.program, params);
+        ASSERT_TRUE(c.bounded) << name;
+
+        mem::SimpleMemory memory;
+        isa::ArchState state;
+        isa::loadProgram(w.program, state, memory);
+        std::uint64_t executed = 0;
+        for (; executed <= c.maxDynInsts + 1; ++executed) {
+            const isa::ExecResult r =
+                isa::step(w.program, state, memory);
+            ASSERT_TRUE(r.valid) << name;
+            if (r.halted) {
+                ++executed;
+                break;
+            }
+        }
+        EXPECT_GE(executed, c.minDynInsts) << name;
+        EXPECT_LE(executed, c.maxDynInsts) << name;
     }
 }
 

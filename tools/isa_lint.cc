@@ -3,8 +3,9 @@
  * isa_lint: static analysis of the built-in PDX64 workloads.
  *
  * Runs the analysis::Linter pass pipeline (CFG, reachability,
- * register dataflow, memory footprint, termination heuristics) over
- * any subset of the registered workloads:
+ * register dataflow, memory footprint, termination heuristics, and
+ * optionally the interval range passes) over any subset of the
+ * registered workloads:
  *
  *   isa_lint --list                 # names, one per line
  *   isa_lint --all                  # lint every workload
@@ -12,18 +13,27 @@
  *   isa_lint --all --json           # one JSON report per line
  *   isa_lint --all --Werror         # warnings fail the run
  *   isa_lint --all --scale 4        # lint at benchmark scale
+ *   isa_lint --all --ranges         # interval ranges + trip bounds
+ *   isa_lint --all --stats          # per-pass counts and timings
+ *   isa_lint --all --ranges --cost --json   # paradox-cost/1 JSONL
+ *
+ * --cost replaces the lint reports on stdout with the static
+ * segment-cost model (one record per workload; JSONL under --json);
+ * lint still runs and failing workloads print their report to
+ * stderr, so the cost stream stays machine-parsable.
  *
  * Exit status: 0 when every linted program is clean, 1 when any
  * program has an error-severity diagnostic (or any warning under
- * --Werror), 2 on usage errors.  CI runs `isa_lint --all --Werror`,
- * so a malformed workload can never reach the fault-injection
- * experiments.
+ * --Werror), 2 on usage errors.  CI runs `isa_lint --all --ranges
+ * --Werror`, so a malformed workload can never reach the
+ * fault-injection experiments.
  */
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "analysis/costmodel.hh"
 #include "analysis/linter.hh"
 #include "exp/cli.hh"
 #include "isa/builder.hh"
@@ -35,6 +45,7 @@ main(int argc, char **argv)
     using namespace paradox;
 
     bool all = false, json = false, werror = false, list = false;
+    bool ranges = false, cost = false, stats = false;
     unsigned scale = 1;
 
     exp::Cli cli("isa_lint",
@@ -45,6 +56,16 @@ main(int argc, char **argv)
     cli.flag("list", list, "print workload names and exit");
     cli.flag("json", json, "one paradox-lint/1 JSON object per line");
     cli.flag("Werror", werror, "treat warnings as errors");
+    cli.flag("ranges", ranges,
+             "run the interval abstract interpretation: range-based "
+             "footprint checks, dead branches, div/shift ranges, "
+             "loop trip bounds");
+    cli.flag("cost", cost,
+             "emit the static segment-cost model instead of lint "
+             "reports (implies --ranges)");
+    cli.flag("stats", stats,
+             "append per-pass diagnostic counts and wall-clock "
+             "timings to text reports");
     cli.opt("scale", scale, "workload size multiplier");
 
     // Split positional workload names from flags; value-taking
@@ -80,19 +101,30 @@ main(int argc, char **argv)
                      "(pass names, --all, or --list)\n");
         return 2;
     }
+    if (cost)
+        ranges = true;
 
     // Every workload stores its checksum to the ABI result cell,
     // which is part of the footprint but not of any one program.
     analysis::Options opts;
     opts.extraRegions.push_back({workloads::resultAddr, 8, "result"});
+    opts.ranges = ranges;
     const analysis::Linter linter(opts);
+
+    analysis::CostParams cparams;
+    cparams.extraRegions = opts.extraRegions;
 
     bool failed = false;
     std::size_t totalErrors = 0, totalWarnings = 0;
+    if (cost && json)
+        std::printf("%s\n", analysis::costJsonHeader().c_str());
     for (const auto &name : names) {
         analysis::Report report;
+        bool built = false;
+        workloads::Workload w;
         try {
-            const workloads::Workload w = workloads::build(name, scale);
+            w = workloads::build(name, scale);
+            built = true;
             report = linter.lint(w.program);
         } catch (const isa::BuildError &err) {
             // Assembly-level failures become build diagnostics so the
@@ -107,13 +139,43 @@ main(int argc, char **argv)
         totalWarnings += report.warnings();
         if (!report.clean(werror))
             failed = true;
+
+        if (cost) {
+            if (!report.clean(werror))
+                std::fputs(report.toText(stats).c_str(), stderr);
+            if (!built)
+                continue;
+            const analysis::WorkloadCost c =
+                analysis::CostModel::compute(w.program, cparams);
+            if (json) {
+                std::printf("%s\n",
+                            analysis::costJsonLine(c, scale).c_str());
+            } else {
+                std::printf(
+                    "%s: %s, %llu loop(s) (%llu bounded), insts in "
+                    "[%llu, %llu], footprint %llu B, CPI %.2f, "
+                    "<=%llu segment(s), <=%llu checker cycle(s)\n",
+                    c.program.c_str(),
+                    c.bounded ? "bounded" : "unbounded",
+                    (unsigned long long)c.loops,
+                    (unsigned long long)c.boundedLoops,
+                    (unsigned long long)c.minDynInsts,
+                    (unsigned long long)c.maxDynInsts,
+                    (unsigned long long)c.footprintBytes,
+                    c.cyclesPerInst,
+                    (unsigned long long)c.predictedSegments,
+                    (unsigned long long)c.checkerCyclesTotal);
+            }
+            continue;
+        }
+
         if (json)
             std::printf("%s\n", report.toJson().c_str());
         else
-            std::fputs(report.toText().c_str(), stdout);
+            std::fputs(report.toText(stats).c_str(), stdout);
     }
 
-    if (!json)
+    if (!json && !cost)
         std::printf("%zu workload(s): %zu error(s), %zu warning(s)%s\n",
                     names.size(), totalErrors, totalWarnings,
                     werror ? " [-Werror]" : "");

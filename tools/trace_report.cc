@@ -15,15 +15,27 @@
  *     than --burst-gap-us, the signature of an intermittent or
  *     latched fault source
  *
- * --json emits the same analysis as a single machine-readable JSON
- * object instead.  Exit status 0 iff every input parsed.
+ * --cost COST.jsonl additionally cross-validates each trace against
+ * the static segment-cost model (`isa_lint --ranges --cost --json`):
+ * the summed "seg-insts" instants of a complete fault-free run must
+ * land inside the model's [min_dyn_insts, max_dyn_insts] bounds.
+ * Traces containing fault or recovery events are skipped (replayed
+ * instructions would be double-counted); a bound violation makes the
+ * exit status non-zero -- either the workload changed without
+ * re-emitting the model, or the abstract interpretation is unsound.
  *
- *   trace_report [--json] [--burst-gap-us N] FILE.jsonl ...
+ * --json emits the same analysis as a single machine-readable JSON
+ * object instead.  Exit status 0 iff every input parsed and no
+ * static cost bound was violated.
+ *
+ *   trace_report [--json] [--burst-gap-us N] [--cost COST.jsonl]
+ *                FILE.jsonl ...
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -102,7 +114,119 @@ struct Analysis
     std::map<double, Tick> voltageTime;
     std::vector<Burst> bursts;
     Tick span = 0;  //!< last event timestamp
+
+    /** @{ Static-cost cross-validation inputs. */
+    std::uint64_t segInsts = 0;   //!< summed "seg-insts" values
+    std::uint64_t segments = 0;   //!< number of "seg-insts" instants
+    bool faulty = false;          //!< any fault/recovery event seen
+    /** @} */
 };
+
+/** One paradox-cost/1 record, keyed by program name. */
+struct CostRec
+{
+    std::uint64_t minDyn = 0;
+    std::uint64_t maxDyn = 0;
+    bool bounded = false;
+};
+
+/** Outcome of checking one trace against the cost model. */
+struct CostCheck
+{
+    bool attempted = false;  //!< a matching cost record existed
+    bool skipped = false;    //!< trace had faults or no seg-insts
+    std::string skipReason;
+    bool ok = true;          //!< bounds held (when not skipped)
+    CostRec rec;
+};
+
+bool
+loadCostModel(const std::string &path,
+              std::map<std::string, CostRec> &out, std::string &error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::string line, v;
+    bool sawHeader = false;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (obs::jsonField(line, "schema", v)) {
+            if (v != "paradox-cost/1") {
+                error = path + ": unsupported schema '" + v + "'";
+                return false;
+            }
+            sawHeader = true;
+            continue;
+        }
+        if (!obs::jsonField(line, "record", v) || v != "cost")
+            continue;
+        std::string prog;
+        if (!obs::jsonField(line, "program", prog))
+            continue;
+        CostRec rec;
+        if (obs::jsonField(line, "min_dyn_insts", v))
+            rec.minDyn = std::strtoull(v.c_str(), nullptr, 10);
+        if (obs::jsonField(line, "max_dyn_insts", v))
+            rec.maxDyn = std::strtoull(v.c_str(), nullptr, 10);
+        if (obs::jsonField(line, "bounded", v))
+            rec.bounded = v == "1" || v == "true";
+        out[prog] = rec;
+    }
+    if (!sawHeader || out.empty()) {
+        error = path + ": no paradox-cost/1 records "
+                "(expected `isa_lint --ranges --cost --json` output)";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Check one analyzed trace against the model.  Only complete
+ * fault-free runs are comparable: any injection, detection, retry,
+ * rollback, or watchdog event means instructions were re-executed
+ * (or the run was cut short), so the seg-insts sum no longer counts
+ * each committed instruction exactly once.
+ */
+CostCheck
+checkCost(const Analysis &a,
+          const std::map<std::string, CostRec> &model)
+{
+    CostCheck c;
+    auto it = model.find(a.trace.tool);
+    if (it == model.end())
+        return c;
+    c.attempted = true;
+    c.rec = it->second;
+    if (a.faulty) {
+        c.skipped = true;
+        c.skipReason = "trace contains fault/recovery events";
+        return c;
+    }
+    if (a.segments == 0) {
+        c.skipped = true;
+        c.skipReason = "trace has no seg-insts events";
+        return c;
+    }
+    if (a.segInsts < c.rec.minDyn)
+        c.ok = false;
+    if (c.rec.bounded && a.segInsts > c.rec.maxDyn)
+        c.ok = false;
+    return c;
+}
+
+bool
+isFaultEvent(const std::string &name)
+{
+    return name == "inject" || name == "detect" ||
+           name == "main-fault" || name == "retry-save" ||
+           name == "watchdog-trip" || name == "ecc-due" ||
+           name == "rollback" || name == "due-rollback" ||
+           name == "panic-reset";
+}
 
 bool
 isRollback(const std::string &name)
@@ -133,6 +257,8 @@ analyze(Analysis &a, Tick burst_gap)
             a.spans[e.name].add(e.dur);
             if (isRollback(e.name))
                 a.rollbacks.push_back(&e);
+            if (isFaultEvent(e.name))
+                a.faulty = true;
             break;
           case obs::Phase::Begin:
             // Begin/End pairs are rendered as one span; accumulate
@@ -144,6 +270,12 @@ analyze(Analysis &a, Tick burst_gap)
             ++t.instants;
             if (isDetect(e.name))
                 detects.push_back(e.ts);
+            if (e.name == "seg-insts") {
+                a.segInsts += std::uint64_t(e.value);
+                ++a.segments;
+            }
+            if (isFaultEvent(e.name))
+                a.faulty = true;
             break;
           case obs::Phase::Counter:
             ++t.counters;
@@ -203,7 +335,31 @@ analyze(Analysis &a, Tick burst_gap)
 }
 
 void
-printText(const Analysis &a)
+printCostText(const Analysis &a, const CostCheck &c)
+{
+    std::printf("\ncost cross-validation:\n");
+    if (!c.attempted) {
+        std::printf("  no cost record for tool '%s'\n",
+                    a.trace.tool.c_str());
+        return;
+    }
+    if (c.skipped) {
+        std::printf("  skipped: %s\n", c.skipReason.c_str());
+        return;
+    }
+    std::printf("  %llu committed insts over %llu segment(s); "
+                "static bounds [%llu, %s]: %s\n",
+                (unsigned long long)a.segInsts,
+                (unsigned long long)a.segments,
+                (unsigned long long)c.rec.minDyn,
+                c.rec.bounded
+                    ? std::to_string(c.rec.maxDyn).c_str()
+                    : "unbounded",
+                c.ok ? "OK" : "VIOLATED");
+}
+
+void
+printText(const Analysis &a, const CostCheck *cost)
 {
     std::printf("== %s ==\n", a.path.c_str());
     std::printf("tool %s, %zu tracks, %zu events, %.3f ms spanned",
@@ -264,6 +420,8 @@ printText(const Analysis &a)
             std::printf("  %12.3f us  %zu detections in %.2f us\n",
                         usOf(b.start), b.count, usOf(b.end - b.start));
     }
+    if (cost)
+        printCostText(a, *cost);
     std::printf("\n");
 }
 
@@ -278,7 +436,7 @@ jsonEscapeTo(std::ostringstream &os, const std::string &s)
 }
 
 std::string
-toJson(const Analysis &a)
+toJson(const Analysis &a, const CostCheck *cost)
 {
     std::ostringstream os;
     os << "{\"file\":\"";
@@ -348,7 +506,30 @@ toJson(const Analysis &a)
            << ",\"span_us\":" << usOf(b.end - b.start)
            << ",\"detections\":" << b.count << "}";
     }
-    os << "]}";
+    os << "]";
+    if (cost) {
+        os << ",\"cost\":{\"attempted\":"
+           << (cost->attempted ? "true" : "false");
+        if (cost->attempted) {
+            os << ",\"skipped\":" << (cost->skipped ? "true" : "false");
+            if (cost->skipped) {
+                os << ",\"skip_reason\":\"";
+                jsonEscapeTo(os, cost->skipReason);
+                os << "\"";
+            } else {
+                os << ",\"seg_insts\":" << a.segInsts
+                   << ",\"segments\":" << a.segments
+                   << ",\"min_dyn_insts\":" << cost->rec.minDyn
+                   << ",\"bounded\":"
+                   << (cost->rec.bounded ? "true" : "false");
+                if (cost->rec.bounded)
+                    os << ",\"max_dyn_insts\":" << cost->rec.maxDyn;
+                os << ",\"ok\":" << (cost->ok ? "true" : "false");
+            }
+        }
+        os << "}";
+    }
+    os << "}";
     return os.str();
 }
 
@@ -359,11 +540,14 @@ main(int argc, char **argv)
 {
     bool json = false;
     unsigned burst_gap_us = 50;
+    std::string costPath;
     exp::Cli cli("trace_report",
                  "summarize paradox-trace/1 execution traces");
     cli.flag("json", json, "emit machine-readable JSON");
     cli.opt("burst-gap-us", burst_gap_us,
             "max gap between detections in one burst");
+    cli.opt("cost", costPath,
+            "paradox-cost/1 JSONL to cross-validate traces against");
 
     // Cli has no positional support; split them off by hand.
     std::vector<std::string> flags, files;
@@ -377,7 +561,8 @@ main(int argc, char **argv)
         }
         if (arg.rfind("-", 0) == 0) {
             flags.push_back(arg);
-            if (arg == "--burst-gap-us" && i + 1 < argc)
+            if ((arg == "--burst-gap-us" || arg == "--cost") &&
+                i + 1 < argc)
                 flags.push_back(argv[++i]);
         } else {
             files.push_back(arg);
@@ -396,8 +581,16 @@ main(int argc, char **argv)
         return 2;
     }
 
+    std::map<std::string, CostRec> costModel;
+    const bool haveCost = !costPath.empty();
+    if (haveCost && !loadCostModel(costPath, costModel, error)) {
+        std::fprintf(stderr, "trace_report: %s\n", error.c_str());
+        return 2;
+    }
+
     bool all_ok = true;
     bool first = true;
+    std::size_t costChecked = 0, costViolated = 0;
     if (json)
         std::printf("[");
     for (const std::string &path : files) {
@@ -410,15 +603,30 @@ main(int argc, char **argv)
             continue;
         }
         analyze(a, Tick(burst_gap_us) * ticksPerUs);
+        CostCheck check;
+        if (haveCost) {
+            check = checkCost(a, costModel);
+            if (check.attempted && !check.skipped) {
+                ++costChecked;
+                if (!check.ok) {
+                    ++costViolated;
+                    all_ok = false;
+                }
+            }
+        }
         if (json) {
             std::printf("%s%s", first ? "" : ",\n",
-                        toJson(a).c_str());
+                        toJson(a, haveCost ? &check : nullptr).c_str());
             first = false;
         } else {
-            printText(a);
+            printText(a, haveCost ? &check : nullptr);
         }
     }
     if (json)
         std::printf("]\n");
+    if (haveCost)
+        std::fprintf(stderr,
+                     "trace_report: cost model: %zu trace(s) checked, "
+                     "%zu violation(s)\n", costChecked, costViolated);
     return all_ok ? 0 : 1;
 }
