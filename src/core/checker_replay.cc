@@ -26,6 +26,27 @@ detectReasonName(DetectReason reason)
 namespace
 {
 
+/** Record a weak-cell fire in @p outcome (no-op outside chip mode). */
+void
+noteWeakHit(const faults::FaultHit &hit, ReplayOutcome &outcome)
+{
+    if (hit.site < 0)
+        return;
+    ++outcome.weakCellHits;
+    if (outcome.weakSites.size() < 16)
+        outcome.weakSites.push_back(std::uint32_t(hit.site));
+}
+
+/** Corrupt @p value per @p hit: stuck-at (chip mode) or XOR. */
+std::uint64_t
+applyHit(const faults::FaultHit &hit, std::uint64_t value)
+{
+    const std::uint64_t mask = std::uint64_t(1) << hit.bit;
+    if (hit.hasStuck)
+        return hit.stuckValue ? value | mask : value & ~mask;
+    return value ^ mask;
+}
+
 /**
  * The checker's data path: a queue view over the segment's log
  * entries.  Any skew between the checker's memory behaviour and the
@@ -35,9 +56,8 @@ class LogReplayMemory : public isa::MemIf
 {
   public:
     LogReplayMemory(const LogSegment &segment, faults::FaultPlan &plan,
-                    std::uint64_t *faults_injected)
-        : segment_(segment), plan_(plan),
-          faultsInjected_(faults_injected)
+                    ReplayOutcome *outcome)
+        : segment_(segment), plan_(plan), outcome_(outcome)
     {}
 
     std::uint64_t
@@ -87,11 +107,16 @@ class LogReplayMemory : public isa::MemIf
     std::uint64_t
     corrupt(std::uint64_t value, bool is_load)
     {
+        // next() has already advanced, so the entry being consumed
+        // is index_ - 1; chip mode maps it onto a physical log row.
+        const std::uint64_t entry_index = index_ - 1;
         for (auto &injector : plan_.injectors()) {
-            faults::FaultHit hit = injector.onLogEntry(is_load);
+            faults::FaultHit hit =
+                injector.onLogEntry(is_load, entry_index);
             if (hit.fires) {
-                value ^= std::uint64_t(1) << hit.bit;
-                ++*faultsInjected_;
+                value = applyHit(hit, value);
+                ++outcome_->faultsInjected;
+                noteWeakHit(hit, *outcome_);
             }
         }
         return value;
@@ -99,7 +124,7 @@ class LogReplayMemory : public isa::MemIf
 
     const LogSegment &segment_;
     faults::FaultPlan &plan_;
-    std::uint64_t *faultsInjected_;
+    ReplayOutcome *outcome_;
     std::size_t index_ = 0;
     bool diverged_ = false;
     DetectReason reason_ = DetectReason::None;
@@ -119,7 +144,7 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
     // (pinned permanent/intermittent) fault sources fire only when
     // the defective core is the one replaying.
     plan.setActiveChecker(int(checker_id));
-    LogReplayMemory log(segment, plan, &outcome.faultsInjected);
+    LogReplayMemory log(segment, plan, &outcome);
 
     // Watchdog budget: a healthy replay retires roughly one
     // instruction every few cycles; a corrupted one stuck in
@@ -169,14 +194,18 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
             if (!hit.fires)
                 continue;
             ++outcome.faultsInjected;
+            noteWeakHit(hit, outcome);
             if (injector.kind() == faults::FaultKind::FunctionalUnit) {
                 // Corrupt the register the instruction just wrote.
-                const std::uint64_t mask = std::uint64_t(1) << hit.bit;
                 if (r.wroteInt)
-                    state.writeX(r.rd, state.readX(r.rd) ^ mask);
+                    state.writeX(r.rd,
+                                 applyHit(hit, state.readX(r.rd)));
                 else if (r.wroteFp)
-                    state.writeFBits(r.rd,
-                                     state.readFBits(r.rd) ^ mask);
+                    state.writeFBits(
+                        r.rd, applyHit(hit, state.readFBits(r.rd)));
+            } else if (hit.hasStuck) {
+                state.writeBit(injector.config().targetCategory,
+                               hit.regIndex, hit.bit, hit.stuckValue);
             } else {
                 state.flipBit(injector.config().targetCategory,
                               hit.regIndex, hit.bit);

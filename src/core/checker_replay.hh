@@ -24,6 +24,7 @@
 #define PARADOX_CORE_CHECKER_REPLAY_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/lslog.hh"
 #include "cpu/checker_timing.hh"
@@ -65,6 +66,10 @@ struct ReplayOutcome
     unsigned instructionsExecuted = 0;
     /** Faults injected during this replay. */
     std::uint64_t faultsInjected = 0;
+    /** Of those, fires attributed to chip-map weak cells. */
+    std::uint64_t weakCellHits = 0;
+    /** Chip-map indices of the cells that fired (capped sample). */
+    std::vector<std::uint32_t> weakSites;
 };
 
 /**

@@ -36,6 +36,21 @@ toJson(const RunResult &result)
     os << ",\"ckpt_len_p99\":" << result.ckptLenP99;
     os << ",\"memory_fingerprint\":\"0x" << std::hex
        << result.memoryFingerprint << std::dec << "\"";
+    os << ",\"weak_cell_hits\":" << result.weakCellHits;
+    os << ",\"injectors\":[";
+    for (std::size_t i = 0; i < result.injectors.size(); ++i) {
+        const InjectorCounts &c = result.injectors[i];
+        if (i)
+            os << ",";
+        os << "{\"domain\":\"" << c.domain << "\",\"kind\":\""
+           << c.kind << "\",\"persistence\":\"" << c.persistence
+           << "\",\"target_checker\":" << c.targetChecker
+           << ",\"fired\":" << c.fired
+           << ",\"weak_cell_hits\":" << c.weakCellHits
+           << ",\"latched\":" << (c.latched ? "true" : "false")
+           << "}";
+    }
+    os << "]";
     os << ",\"wake_rates\":[";
     for (std::size_t i = 0; i < result.wakeRates.size(); ++i) {
         if (i)

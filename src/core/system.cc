@@ -215,13 +215,46 @@ System::traceOperatingPoint(Tick ts)
 void
 System::setFaultPlan(faults::FaultPlan plan)
 {
+    plan.validate(sched() ? sched()->count() : config_.checkers.count);
     faultPlan_ = std::move(plan);
+    if (chip_) {
+        faultPlan_.attachChip(chip_.get());
+        faultPlan_.setVoltage(currentVoltage_);
+    }
 }
 
 void
 System::setMainCoreFaultPlan(faults::FaultPlan plan)
 {
+    plan.validate(sched() ? sched()->count() : config_.checkers.count);
     mainCoreFaultPlan_ = std::move(plan);
+    if (chip_) {
+        mainCoreFaultPlan_.attachChip(chip_.get());
+        mainCoreFaultPlan_.setVoltage(currentVoltage_);
+    }
+}
+
+void
+System::setChipModel(std::shared_ptr<const faults::ChipModel> chip)
+{
+    chip_ = std::move(chip);
+    faultPlan_.attachChip(chip_.get());
+    mainCoreFaultPlan_.attachChip(chip_.get());
+    if (chip_) {
+        faultPlan_.setVoltage(currentVoltage_);
+        mainCoreFaultPlan_.setVoltage(currentVoltage_);
+    }
+}
+
+void
+System::setSupplyVoltage(double v)
+{
+    // A fixed undervolted rail: probabilities move with the supply,
+    // the clock deliberately stays nominal (margin elimination
+    // without frequency scaling -- the premise being stress-tested).
+    currentVoltage_ = v;
+    faultPlan_.setVoltage(v);
+    mainCoreFaultPlan_.setVoltage(v);
 }
 
 void
@@ -236,17 +269,32 @@ System::maybeMainCoreFault(const isa::Instruction &inst,
         if (!hit.fires)
             continue;
         ++faultsInjectedTotal_;
-        if (tracing())
+        if (tracing()) {
             tracer_->instant(trFaults_, "main-fault",
                              mainCore_->now(), nullptr,
                              double(hit.bit));
+            if (hit.site >= 0)
+                tracer_->instant(trFaults_, "weak-cell-hit",
+                                 mainCore_->now(), "main",
+                                 double(hit.site));
+        }
+        const std::uint64_t mask = std::uint64_t(1) << hit.bit;
+        const auto apply = [&](std::uint64_t v) {
+            if (hit.hasStuck)
+                return hit.stuckValue ? v | mask : v & ~mask;
+            return v ^ mask;
+        };
         if (injector.kind() == faults::FaultKind::FunctionalUnit) {
-            const std::uint64_t mask = std::uint64_t(1) << hit.bit;
             if (r.wroteInt)
-                archState_.writeX(r.rd, archState_.readX(r.rd) ^ mask);
+                archState_.writeX(r.rd,
+                                  apply(archState_.readX(r.rd)));
             else if (r.wroteFp)
                 archState_.writeFBits(
-                    r.rd, archState_.readFBits(r.rd) ^ mask);
+                    r.rd, apply(archState_.readFBits(r.rd)));
+        } else if (hit.hasStuck) {
+            archState_.writeBit(injector.config().targetCategory,
+                                hit.regIndex, hit.bit,
+                                hit.stuckValue);
         } else {
             archState_.flipBit(injector.config().targetCategory,
                                hit.regIndex, hit.bit);
@@ -261,6 +309,10 @@ System::enableDvfs(const faults::UndervoltErrorModel::Params &model)
     undervoltModel_.emplace(model);
     faultPlan_ = faults::uniformPlan(0.0, config_.seed);
     currentVoltage_ = config_.voltage.startVoltage;
+    if (chip_) {
+        faultPlan_.attachChip(chip_.get());
+        faultPlan_.setVoltage(currentVoltage_);
+    }
 }
 
 std::size_t
@@ -409,6 +461,10 @@ System::closeSegmentAndDispatch()
     if (tracing() && out.faultsInjected > 0)
         tracer_->instant(trFaults_, "inject", dispatch, nullptr,
                          double(out.faultsInjected), filling_->id());
+    if (tracing())
+        for (std::uint32_t site : out.weakSites)
+            tracer_->instant(trFaults_, "weak-cell-hit", dispatch,
+                             nullptr, double(site), filling_->id());
 
     bool detected = out.detected;
     Cycles total_cycles = out.totalCycles;
@@ -456,6 +512,10 @@ System::closeSegmentAndDispatch()
                                      nullptr,
                                      double(retry.faultsInjected),
                                      filling_->id());
+                for (std::uint32_t site : retry.weakSites)
+                    tracer_->instant(trFaults_, "weak-cell-hit",
+                                     retry_start, nullptr,
+                                     double(site), filling_->id());
             }
             if (!retry.detected) {
                 // Saved: strike the erring checker, credit the
@@ -905,6 +965,11 @@ System::applyOperatingPoint(Tick now)
         faultPlan_.setAllRates(
             undervoltModel_->perInstructionRate(currentVoltage_));
     }
+    if (chip_) {
+        // Chip mode: per-cell probabilities track the rail directly.
+        faultPlan_.setVoltage(currentVoltage_);
+        mainCoreFaultPlan_.setVoltage(currentVoltage_);
+    }
 }
 
 void
@@ -1196,6 +1261,25 @@ System::collectResult()
     result.watchdogTrips = watchdogTrips_;
     result.dueRollbacks = dueRollbacks_;
     result.healthyCheckers = sched()->healthyCount();
+    result.weakCellHits = faultPlan_.totalWeakCellHits() +
+                          mainCoreFaultPlan_.totalWeakCellHits();
+    const auto describe = [&result](const faults::FaultPlan &plan,
+                                    const char *domain) {
+        for (const auto &injector : plan.injectors()) {
+            InjectorCounts counts;
+            counts.domain = domain;
+            counts.kind = faults::faultKindName(injector.kind());
+            counts.persistence = faults::persistenceName(
+                injector.config().persistence);
+            counts.targetChecker = injector.config().targetChecker;
+            counts.fired = injector.fired();
+            counts.weakCellHits = injector.weakCellHits();
+            counts.latched = injector.latched();
+            result.injectors.push_back(counts);
+        }
+    };
+    describe(faultPlan_, "checker");
+    describe(mainCoreFaultPlan_, "main");
     result.finalState = archState_;
     result.memoryFingerprint = memory_.fingerprint();
     return result;

@@ -64,6 +64,18 @@ struct RunLimits
     Tick maxTicks = maxTick;
 };
 
+/** Per-injector accounting, for error attribution in result JSON. */
+struct InjectorCounts
+{
+    const char *domain = "checker"; //!< "checker" or "main"
+    const char *kind = "";          //!< fault family name
+    const char *persistence = "";
+    int targetChecker = -1;         //!< -1 = ambient
+    std::uint64_t fired = 0;
+    std::uint64_t weakCellHits = 0; //!< chip-mode fires
+    bool latched = false;           //!< permanent source stuck
+};
+
 /** Summary of one run. */
 struct RunResult
 {
@@ -93,6 +105,10 @@ struct RunResult
     double ckptLenP99 = 0.0;
     /** @} */
     std::vector<double> wakeRates;
+    /** Chip-mode fires attributed to weak cells (all domains). */
+    std::uint64_t weakCellHits = 0;
+    /** Per-injector fired/latched breakdown (checker + main plans). */
+    std::vector<InjectorCounts> injectors;
     isa::ArchState finalState;
     std::uint64_t memoryFingerprint = 0;
 
@@ -155,6 +171,25 @@ class System
      * rate is retuned at every checkpoint.
      */
     void enableDvfs(const faults::UndervoltErrorModel::Params &model);
+
+    /**
+     * Attach a persistent per-chip fault map: every installed fault
+     * plan (checker and main-core, including the one enableDvfs
+     * creates) switches to chip-map injection, with per-cell flip
+     * probabilities tracking the supply voltage.  Call after the
+     * plans are installed; later setFaultPlan/enableDvfs calls
+     * re-attach automatically.
+     */
+    void setChipModel(std::shared_ptr<const faults::ChipModel> chip);
+
+    /**
+     * Pin the supply to a fixed undervolted operating point (chip
+     * studies without the AIMD controller).  Models margin
+     * elimination alone: the voltage moves, the clock stays nominal,
+     * and chip-mode flip probabilities follow the new supply.
+     * Incompatible with enableDvfs (the controller owns the rail).
+     */
+    void setSupplyVoltage(double v);
 
     /**
      * Attach an execution tracer (src/obs/): segment lifecycle,
@@ -404,6 +439,7 @@ class System
     std::unique_ptr<Regulator> regulator_;
     faults::FaultPlan faultPlan_;
     faults::FaultPlan mainCoreFaultPlan_;
+    std::shared_ptr<const faults::ChipModel> chip_;
     std::optional<faults::UndervoltErrorModel> undervoltModel_;
     power::PowerModel powerModel_;
     power::FrequencyVoltageModel fvModel_;

@@ -66,6 +66,13 @@ recordJson(const ExperimentSpec &spec, const RunOutcome &outcome)
        << ",\"dvfs\":" << (spec.dvfs ? "true" : "false")
        << ",\"escalate\":" << (spec.escalate ? "true" : "false")
        << ",\"seed\":" << spec.seed;
+    if (spec.chipSeed != 0) {
+        os << ",\"chip_seed\":" << spec.chipSeed
+           << ",\"weak_cells\":" << spec.weakCells
+           << ",\"vmin_sigma\":" << spec.vminSigma;
+        if (spec.supplyVoltage > 0.0)
+            os << ",\"supply\":" << spec.supplyVoltage;
+    }
     if (!outcome.ok()) {
         os << ",\"error\":\"" << escape(outcome.error) << "\"}";
         return os.str();

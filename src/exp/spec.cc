@@ -65,14 +65,54 @@ runOne(const ExperimentSpec &spec)
             " out of range (only " +
             std::to_string(config.checkers.count) + " checkers)");
 
+    // Chip mode: sample this chip's persistent fault map.  The
+    // voltage->probability shape is the workload's own undervolt
+    // profile, so chip-mode and ambient-mode runs share calibration.
+    std::shared_ptr<const faults::ChipModel> chip;
+    if (spec.chipSeed != 0) {
+        faults::ChipConfig cc;
+        cc.chipSeed = spec.chipSeed;
+        cc.weakCells = spec.weakCells;
+        cc.checkerCount = config.checkers.count;
+        cc.logRows = unsigned(config.log.segmentBytes /
+                              config.log.loadEntryBytes);
+        cc.vminSigma = spec.vminSigma;
+        cc.shape = power::errorModelParams(spec.workload);
+        chip = std::make_shared<faults::ChipModel>(cc);
+    }
+    if (spec.supplyVoltage > 0.0) {
+        if (spec.dvfs)
+            throw std::invalid_argument(
+                "supplyVoltage conflicts with dvfs (the AIMD "
+                "controller owns the rail)");
+        if (!chip)
+            throw std::invalid_argument(
+                "supplyVoltage requires chip mode (chipSeed != 0)");
+    }
+
     core::System system(config, w.program);
-    if (spec.dvfs)
+    if (spec.dvfs) {
         system.enableDvfs(power::errorModelParams(spec.workload));
-    else if (spec.faultRate > 0.0)
+        if (chip)
+            // Replace the uniform pair: chip mode needs an injector
+            // per site class so every weak cell is reachable.
+            system.setFaultPlan(faults::chipPlan(
+                spec.seed, spec.persistence, spec.pinChecker));
+    } else if (chip) {
+        system.setFaultPlan(faults::chipPlan(
+            spec.seed, spec.persistence, spec.pinChecker));
+    } else if (spec.faultRate > 0.0) {
         system.setFaultPlan(faults::uniformPlan(
             spec.faultRate, spec.seed, spec.persistence,
             spec.pinChecker));
-    if (spec.mainCoreRate > 0.0) {
+    }
+    if (chip) {
+        // Weak cells in the main-core domain flip its committed
+        // state through the same plan machinery (ambient: the main
+        // core is one physical domain, never pinned to a checker).
+        system.setMainCoreFaultPlan(faults::chipPlan(
+            spec.seed * 31 + 7, spec.persistence, -1));
+    } else if (spec.mainCoreRate > 0.0) {
         faults::FaultConfig fc;
         fc.kind = faults::FaultKind::RegisterBitFlip;
         fc.rate = spec.mainCoreRate;
@@ -80,6 +120,11 @@ runOne(const ExperimentSpec &spec)
         faults::FaultPlan plan;
         plan.add(fc);
         system.setMainCoreFaultPlan(std::move(plan));
+    }
+    if (chip) {
+        system.setChipModel(chip);
+        if (spec.supplyVoltage > 0.0)
+            system.setSupplyVoltage(spec.supplyVoltage);
     }
 
     obs::TraceSink trace;

@@ -64,6 +64,16 @@ struct ExperimentSpec
     bool escalate = false;         //!< enable the escalation ladder
     /** @} */
 
+    /** @{ Chip-map injection (faults::ChipModel).  chipSeed != 0
+     *  replaces the geometric injectors with a persistent per-chip
+     *  weak-cell map; faultRate is then ignored. */
+    std::uint64_t chipSeed = 0;    //!< 0 = chip mode off
+    unsigned weakCells = 48;       //!< weak-cell population size
+    double vminSigma = 0.008;      //!< per-core Vmin spread (volts)
+    /** Fixed undervolted rail (> 0; requires chip mode, no dvfs). */
+    double supplyVoltage = 0.0;
+    /** @} */
+
     /** @{ Config overrides (0 = keep the mode's default). */
     unsigned checkers = 0;
     unsigned maxCheckpoint = 0;

@@ -1,0 +1,181 @@
+#include "faults/chip_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hh"
+
+namespace paradox
+{
+namespace faults
+{
+
+namespace
+{
+
+/** Microvolt quantization: keeps fingerprints/JSON byte-stable. */
+long
+microvolts(double v)
+{
+    return std::lround(v * 1e6);
+}
+
+} // namespace
+
+const char *
+siteKindName(SiteKind kind)
+{
+    switch (kind) {
+      case SiteKind::RegisterBit:    return "register_bit";
+      case SiteKind::LogRow:         return "log_row";
+      case SiteKind::FunctionalUnit: return "functional_unit";
+    }
+    return "unknown";
+}
+
+void
+ChipConfig::validate() const
+{
+    if (checkerCount == 0)
+        throw std::invalid_argument("ChipConfig: checkerCount == 0");
+    if (logRows == 0)
+        throw std::invalid_argument("ChipConfig: logRows == 0");
+    if (regCount == 0 || unitCount == 0)
+        throw std::invalid_argument(
+            "ChipConfig: regCount/unitCount == 0");
+    if (!(vminSigma >= 0.0) || !(cellSigma >= 0.0))
+        throw std::invalid_argument(
+            "ChipConfig: negative vminSigma/cellSigma");
+    if (!(shape.slope > 0.0))
+        throw std::invalid_argument("ChipConfig: slope <= 0");
+}
+
+ChipModel::ChipModel(const ChipConfig &config) : config_(config)
+{
+    config_.validate();
+    Rng rng(config_.chipSeed);
+
+    // Domain Vmin offsets first (fixed draw order keeps the map
+    // stable when only weakCells changes): [0] = main core.
+    coreOffsets_.resize(config_.checkerCount + 1);
+    for (auto &offset : coreOffsets_)
+        offset = rng.gaussian() * config_.vminSigma;
+
+    cells_.reserve(config_.weakCells);
+    for (unsigned i = 0; i < config_.weakCells; ++i) {
+        WeakCell cell;
+        const std::uint64_t domain =
+            rng.nextBounded(config_.checkerCount + 1);
+        cell.core = int(domain) - 1; // 0 => main core (-1)
+
+        // Site-class mix: register file and the log SRAM dominate;
+        // a minority of defects sit in combinational logic.
+        const std::uint64_t roll = rng.nextBounded(100);
+        if (roll < 50) {
+            cell.kind = SiteKind::RegisterBit;
+            cell.index = unsigned(rng.nextBounded(config_.regCount));
+        } else if (roll < 85) {
+            cell.kind = SiteKind::LogRow;
+            cell.index = unsigned(rng.nextBounded(config_.logRows));
+        } else {
+            cell.kind = SiteKind::FunctionalUnit;
+            cell.index = unsigned(rng.nextBounded(config_.unitCount));
+        }
+        cell.bit = unsigned(rng.nextBounded(64));
+        cell.stuckValue = (rng.next() & 1) != 0;
+        cell.vmin = config_.shape.vFloor +
+                    coreOffsets_[domain] +
+                    std::fabs(rng.gaussian()) * config_.cellSigma;
+        cells_.push_back(cell);
+    }
+
+    byDomainKind_.resize((config_.checkerCount + 1) * 3);
+    for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+        const WeakCell &cell = cells_[i];
+        const std::size_t domain = std::size_t(cell.core + 1);
+        byDomainKind_[domain * 3 + std::size_t(cell.kind)]
+            .push_back(i);
+    }
+}
+
+double
+ChipModel::coreVminOffset(int core) const
+{
+    const std::size_t domain = std::size_t(core + 1);
+    if (domain >= coreOffsets_.size())
+        return 0.0;
+    return coreOffsets_[domain];
+}
+
+const std::vector<std::uint32_t> &
+ChipModel::cellsFor(int core, SiteKind kind) const
+{
+    static const std::vector<std::uint32_t> none;
+    const std::size_t domain = std::size_t(core + 1);
+    if (domain > config_.checkerCount)
+        return none;
+    return byDomainKind_[domain * 3 + std::size_t(kind)];
+}
+
+double
+ChipModel::flipProbability(const WeakCell &cell, double v) const
+{
+    if (v <= cell.vmin)
+        return 1.0;
+    const double p =
+        std::exp(-config_.shape.slope * (v - cell.vmin));
+    return std::min(p, 1.0);
+}
+
+std::uint64_t
+ChipModel::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(config_.chipSeed);
+    mix(cells_.size());
+    for (const WeakCell &cell : cells_) {
+        mix(std::uint64_t(cell.kind));
+        mix(std::uint64_t(std::int64_t(cell.core)));
+        mix(cell.index);
+        mix(cell.bit);
+        mix(cell.stuckValue ? 1 : 0);
+        mix(std::uint64_t(std::int64_t(microvolts(cell.vmin))));
+    }
+    for (double offset : coreOffsets_)
+        mix(std::uint64_t(std::int64_t(microvolts(offset))));
+    return h;
+}
+
+std::string
+ChipModel::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"chip_seed\":" << config_.chipSeed
+       << ",\"weak_cells\":" << cells_.size()
+       << ",\"vmin_sigma_uv\":" << microvolts(config_.vminSigma)
+       << ",\"core_offsets_uv\":[";
+    for (std::size_t i = 0; i < coreOffsets_.size(); ++i)
+        os << (i ? "," : "") << microvolts(coreOffsets_[i]);
+    os << "],\"cells\":[";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const WeakCell &cell = cells_[i];
+        os << (i ? "," : "") << "{\"kind\":\""
+           << siteKindName(cell.kind) << "\",\"core\":" << cell.core
+           << ",\"index\":" << cell.index << ",\"bit\":" << cell.bit
+           << ",\"stuck\":" << (cell.stuckValue ? 1 : 0)
+           << ",\"vmin_uv\":" << microvolts(cell.vmin) << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace faults
+} // namespace paradox

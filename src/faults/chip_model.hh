@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Per-chip silicon fault map (ROADMAP item 4: fault-model realism).
+ *
+ * The baseline injectors model memoryless geometric errors, but real
+ * undervolted silicon misbehaves differently: Soyturk et al. observe
+ * that SRAM faults recur at *fixed physical locations* and depend on
+ * the *data stored*, and Papadimitriou et al. observe that Vmin
+ * varies chip-to-chip and core-to-core.  ChipModel captures all
+ * three effects as a persistent, seed-derived description of one
+ * physical chip:
+ *
+ *  - Weak-cell population.  A fixed set of physical sites -- register
+ *    file bits, load-store-log rows, checker functional units -- is
+ *    sampled once from the chip seed.  The same seed always yields
+ *    the same defect geography, across runs, voltages, and job
+ *    counts.
+ *
+ *  - Data-dependent flips.  Each weak cell has a preferred stuck
+ *    value: it only corrupts data holding the *opposite* bit (a cell
+ *    that decays towards 1 cannot disturb a stored 1).  Injection is
+ *    therefore a masked stuck-at write, not an unconditional XOR.
+ *
+ *  - Per-core Vmin variation.  Every checker domain and the main
+ *    core draw a Gaussian Vmin offset; each cell's own Vmin adds a
+ *    half-normal elevation above its domain.  Flip probability
+ *    follows the existing UndervoltErrorModel exponential shape but
+ *    anchored at the *cell's* Vmin, so undervolting hits cores
+ *    asymmetrically and quarantine pressure concentrates on the
+ *    weakest checkers.
+ *
+ * FaultInjector consults an attached ChipModel instead of uniform
+ * site sampling (see fault_model.hh); everything here is pure
+ * deterministic data with no simulation-time state.
+ */
+
+#ifndef PARADOX_FAULTS_CHIP_MODEL_HH
+#define PARADOX_FAULTS_CHIP_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/undervolt_model.hh"
+
+namespace paradox
+{
+namespace faults
+{
+
+/** Physical site class a weak cell lives in. */
+enum class SiteKind : std::uint8_t
+{
+    RegisterBit,    //!< one bit of one architectural register
+    LogRow,         //!< one bit of one load-store-log SRAM row
+    FunctionalUnit, //!< output stage of one functional-unit class
+};
+
+/** Human-readable site-kind name. */
+const char *siteKindName(SiteKind kind);
+
+/** Chip-level sampling parameters. */
+struct ChipConfig
+{
+    /** Identity of the physical chip; same seed => same map. */
+    std::uint64_t chipSeed = 1;
+    /** Weak cells sampled over the whole chip. */
+    unsigned weakCells = 48;
+    /** Checker-core count (domains = checkers + main core). */
+    unsigned checkerCount = 16;
+    /** Load-store-log rows per checker (segmentBytes / entryBytes). */
+    unsigned logRows = 384;
+    /** Std-dev of the per-core Vmin offset (volts). */
+    double vminSigma = 0.008;
+    /** Scale of the per-cell half-normal Vmin elevation (volts). */
+    double cellSigma = 0.015;
+    /** Architectural registers a RegisterBit site may land in. */
+    unsigned regCount = 32;
+    /** Functional-unit classes a FunctionalUnit site may land in. */
+    unsigned unitCount = 6;
+    /** Voltage->probability shape shared with the ambient model. */
+    UndervoltErrorModel::Params shape;
+
+    /** Throws std::invalid_argument on out-of-range parameters. */
+    void validate() const;
+};
+
+/** One persistent physical defect site. */
+struct WeakCell
+{
+    SiteKind kind = SiteKind::RegisterBit;
+    /** Owning voltage domain: -1 = main core, 0..N-1 = checker. */
+    int core = -1;
+    /** Register index / log row / InstClass ordinal, per kind. */
+    unsigned index = 0;
+    /** Bit position within the 64-bit site. */
+    unsigned bit = 0;
+    /** Preferred decay value: flips only data holding !stuckValue. */
+    bool stuckValue = false;
+    /** The cell's own minimum reliable voltage (volts). */
+    double vmin = 0.0;
+};
+
+/**
+ * Immutable fault map of one chip, fully determined by ChipConfig.
+ * Thread-safe to share (const) across concurrently replaying
+ * checkers and forked campaign children.
+ */
+class ChipModel
+{
+  public:
+    explicit ChipModel(const ChipConfig &config);
+
+    const ChipConfig &config() const { return config_; }
+    const std::vector<WeakCell> &cells() const { return cells_; }
+
+    /** Vmin offset of domain @p core (-1 = main core), volts. */
+    double coreVminOffset(int core) const;
+
+    /**
+     * Indices (into cells()) of the weak cells of @p kind owned by
+     * domain @p core; precomputed, empty if the domain drew none.
+     */
+    const std::vector<std::uint32_t> &cellsFor(int core,
+                                               SiteKind kind) const;
+
+    /**
+     * Probability that cell @p cell corrupts a targeted event at
+     * supply voltage @p v: 1 at or below the cell's Vmin, decaying
+     * with the configured exponential slope above it.
+     */
+    double flipProbability(const WeakCell &cell, double v) const;
+
+    /** Order-sensitive FNV hash of the quantized map (tests). */
+    std::uint64_t fingerprint() const;
+
+    /**
+     * JSON description of the map.  Voltages are quantized to
+     * integer microvolts so the text is byte-identical everywhere.
+     */
+    std::string toJson() const;
+
+  private:
+    ChipConfig config_;
+    std::vector<WeakCell> cells_;
+    std::vector<double> coreOffsets_; //!< [0] = main, [1+i] = checker i
+    /** [domain][kind] -> cell indices; domain 0 = main core. */
+    std::vector<std::vector<std::uint32_t>> byDomainKind_;
+};
+
+} // namespace faults
+} // namespace paradox
+
+#endif // PARADOX_FAULTS_CHIP_MODEL_HH

@@ -1,11 +1,24 @@
 #include "faults/fault_model.hh"
 
 #include <limits>
+#include <sstream>
+#include <stdexcept>
 
 namespace paradox
 {
 namespace faults
 {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LogBitFlip:      return "log_bit_flip";
+      case FaultKind::FunctionalUnit:  return "functional_unit";
+      case FaultKind::RegisterBitFlip: return "register_bit_flip";
+    }
+    return "unknown";
+}
 
 const char *
 persistenceName(Persistence persistence)
@@ -33,10 +46,57 @@ parsePersistence(const std::string &name, Persistence &out)
     return true;
 }
 
+void
+FaultConfig::validate() const
+{
+    if (!(rate >= 0.0 && rate <= 1.0))
+        throw std::invalid_argument(
+            "FaultConfig: rate must be in [0, 1]");
+    if (!(burstBias >= 0.0 && burstBias <= 1.0))
+        throw std::invalid_argument(
+            "FaultConfig: burstBias must be in [0, 1]");
+    if (burstLength == 0)
+        throw std::invalid_argument(
+            "FaultConfig: burstLength must be >= 1");
+    if (targetChecker < -1)
+        throw std::invalid_argument(
+            "FaultConfig: targetChecker must be -1 (ambient) or a "
+            "checker index");
+}
+
 FaultInjector::FaultInjector(const FaultConfig &config)
     : config_(config), rng_(config.seed)
 {
+    config_.validate();
     resample();
+}
+
+void
+FaultInjector::attachChip(const ChipModel *chip)
+{
+    chip_ = chip;
+    latched_ = false;
+    burstLeft_ = 0;
+    chipCell_ = 0;
+    if (chip_ == nullptr) {
+        cellProb_.clear();
+        return;
+    }
+    if (voltage_ <= 0.0)
+        voltage_ = chip_->config().shape.vNominal;
+    setVoltage(voltage_);
+}
+
+void
+FaultInjector::setVoltage(double v)
+{
+    voltage_ = v;
+    if (chip_ == nullptr)
+        return;
+    cellProb_.resize(chip_->cells().size());
+    for (std::size_t i = 0; i < cellProb_.size(); ++i)
+        cellProb_[i] =
+            chip_->flipProbability(chip_->cells()[i], voltage_);
 }
 
 void
@@ -62,6 +122,8 @@ FaultInjector::reset()
     latched_ = false;
     burstLeft_ = 0;
     siteChosen_ = false;
+    chipCell_ = 0;
+    weakCellHits_ = 0;
     resample();
 }
 
@@ -121,13 +183,92 @@ FaultInjector::chooseSite(unsigned reg_bound)
 }
 
 FaultHit
-FaultInjector::onLogEntry(bool is_load)
+FaultInjector::chipHit(std::uint32_t cell_index)
+{
+    const WeakCell &cell = chip_->cells()[cell_index];
+    FaultHit hit;
+    hit.fires = true;
+    hit.bit = cell.bit;
+    hit.regIndex = cell.index;
+    hit.site = int(cell_index);
+    hit.hasStuck = true;
+    hit.stuckValue = cell.stuckValue;
+    ++fired_;
+    ++weakCellHits_;
+    return hit;
+}
+
+FaultHit
+FaultInjector::chipEvent(SiteKind kind, unsigned match,
+                         bool constrained)
+{
+    FaultHit hit;
+    // A pinned source still only speaks for one physical core.
+    if (config_.targetChecker >= 0 &&
+        activeChecker_ != config_.targetChecker)
+        return hit;
+
+    const auto siteMatches = [&](const WeakCell &cell) {
+        return cell.core == activeChecker_ && cell.kind == kind &&
+               (!constrained || cell.index == match);
+    };
+
+    // A latched permanent defect recurs at its fixed physical site,
+    // but firing stays voltage-gated: chip-mode permanence is a
+    // Vmin violation, not physical damage, so restoring the margin
+    // (panic reset, AIMD backoff) quiets the cell.  Under deep
+    // undervolt p(cell) ~= 1 and the site corrupts every touch.
+    if (latched_) {
+        if (siteMatches(chip_->cells()[chipCell_]) &&
+            rng_.chance(cellProb_[chipCell_]))
+            return chipHit(chipCell_);
+        return hit;
+    }
+    // An open intermittent burst fires probabilistically, but only
+    // when the marginal cell's own site is the one being exercised.
+    if (burstLeft_ > 0) {
+        if (siteMatches(chip_->cells()[chipCell_])) {
+            --burstLeft_;
+            if (rng_.chance(config_.burstBias))
+                return chipHit(chipCell_);
+        }
+        return hit;
+    }
+
+    for (std::uint32_t ci : chip_->cellsFor(activeChecker_, kind)) {
+        const WeakCell &cell = chip_->cells()[ci];
+        if (constrained && cell.index != match)
+            continue;
+        if (!rng_.chance(cellProb_[ci]))
+            continue;
+        if (config_.persistence == Persistence::Permanent) {
+            latched_ = true;
+            chipCell_ = ci;
+        } else if (config_.persistence == Persistence::Intermittent) {
+            burstLeft_ = config_.burstLength;
+            chipCell_ = ci;
+        }
+        return chipHit(ci);
+    }
+    return hit;
+}
+
+FaultHit
+FaultInjector::onLogEntry(bool is_load, std::uint64_t entry_index)
 {
     FaultHit hit;
     if (config_.kind != FaultKind::LogBitFlip)
         return hit;
     if (is_load ? !config_.targetLoads : !config_.targetStores)
         return hit;
+    if (chip_ != nullptr) {
+        // The log is a circular SRAM: successive entries walk the
+        // physical rows, so a weak row is re-visited every logRows
+        // entries.
+        return chipEvent(
+            SiteKind::LogRow,
+            unsigned(entry_index % chip_->config().logRows), true);
+    }
     if (!consumeEvent())
         return hit;
     hit.fires = true;
@@ -146,6 +287,15 @@ FaultInjector::onInstruction(const isa::Instruction &inst, bool wrote_reg)
     FaultHit hit;
     switch (config_.kind) {
       case FaultKind::FunctionalUnit:
+        if (chip_ != nullptr) {
+            // Chip mode: the defective unit is the weak cell's own
+            // class, not the configured one; an instruction that
+            // writes no register latches nothing.
+            if (!wrote_reg)
+                return hit;
+            return chipEvent(SiteKind::FunctionalUnit,
+                             unsigned(inst.info().cls), true);
+        }
         if (inst.info().cls != config_.targetClass)
             return hit;
         if (!consumeEvent())
@@ -165,6 +315,8 @@ FaultInjector::onInstruction(const isa::Instruction &inst, bool wrote_reg)
         return hit;
 
       case FaultKind::RegisterBitFlip:
+        if (chip_ != nullptr)
+            return chipEvent(SiteKind::RegisterBit, 0, false);
         if (!consumeEvent())
             return hit;
         hit.fires = true;
@@ -198,10 +350,38 @@ FaultPlan::setAllRates(double rate)
 }
 
 void
+FaultPlan::attachChip(const ChipModel *chip)
+{
+    for (auto &injector : injectors_)
+        injector.attachChip(chip);
+}
+
+void
+FaultPlan::setVoltage(double v)
+{
+    for (auto &injector : injectors_)
+        injector.setVoltage(v);
+}
+
+void
 FaultPlan::setActiveChecker(int id)
 {
     for (auto &injector : injectors_)
         injector.setActiveChecker(id);
+}
+
+void
+FaultPlan::validate(unsigned checker_count) const
+{
+    for (const auto &injector : injectors_) {
+        const int target = injector.config().targetChecker;
+        if (target >= int(checker_count)) {
+            std::ostringstream os;
+            os << "FaultConfig: targetChecker " << target
+               << " out of range (" << checker_count << " checkers)";
+            throw std::invalid_argument(os.str());
+        }
+    }
 }
 
 std::uint64_t
@@ -210,6 +390,15 @@ FaultPlan::totalFired() const
     std::uint64_t total = 0;
     for (const auto &injector : injectors_)
         total += injector.fired();
+    return total;
+}
+
+std::uint64_t
+FaultPlan::totalWeakCellHits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &injector : injectors_)
+        total += injector.weakCellHits();
     return total;
 }
 
@@ -247,6 +436,35 @@ uniformPlan(double rate, std::uint64_t seed, Persistence persistence,
     log.persistence = persistence;
     log.targetChecker = target_checker;
     plan.add(log);
+    return plan;
+}
+
+FaultPlan
+chipPlan(std::uint64_t seed, Persistence persistence,
+         int target_checker)
+{
+    FaultPlan plan;
+    FaultConfig reg;
+    reg.kind = FaultKind::RegisterBitFlip;
+    reg.targetCategory = isa::RegCategory::Integer;
+    reg.seed = seed;
+    reg.persistence = persistence;
+    reg.targetChecker = target_checker;
+    plan.add(reg);
+
+    FaultConfig log;
+    log.kind = FaultKind::LogBitFlip;
+    log.seed = seed ^ 0xabcdef0123456789ULL;
+    log.persistence = persistence;
+    log.targetChecker = target_checker;
+    plan.add(log);
+
+    FaultConfig unit;
+    unit.kind = FaultKind::FunctionalUnit;
+    unit.seed = seed ^ 0x5ca1ab1e0ddba11ULL;
+    unit.persistence = persistence;
+    unit.targetChecker = target_checker;
+    plan.add(unit);
     return plan;
 }
 

@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/chip_model.hh"
 #include "isa/arch_state.hh"
 #include "isa/instruction.hh"
 #include "sim/rng.hh"
@@ -77,6 +78,9 @@ enum class Persistence : std::uint8_t
     Intermittent, //!< bursty recurrence at a fixed per-burst site
     Permanent,    //!< sticky: first firing latches a stuck location
 };
+
+/** Human-readable fault-family name. */
+const char *faultKindName(FaultKind kind);
 
 /** Human-readable persistence name. */
 const char *persistenceName(Persistence persistence);
@@ -111,6 +115,15 @@ struct FaultConfig
      * checkers entirely: their gap does not advance.
      */
     int targetChecker = -1;
+
+    /**
+     * Reject malformed parameters (rate/burstBias outside [0,1],
+     * zero burstLength, targetChecker below -1) with
+     * std::invalid_argument.  The checker-count upper bound is
+     * enforced later by FaultPlan::validate (the plan does not know
+     * the pool size).  Called by the FaultInjector constructor.
+     */
+    void validate() const;
 };
 
 /** A decision returned by an injector when it fires. */
@@ -119,6 +132,11 @@ struct FaultHit
     bool fires = false;
     unsigned bit = 0;      //!< bit position to flip
     unsigned regIndex = 0; //!< target register (RegisterBitFlip)
+    /** Chip mode: index of the weak cell in the chip map, else -1. */
+    int site = -1;
+    /** Chip mode: apply stuck-at @ref stuckValue, not an XOR. */
+    bool hasStuck = false;
+    bool stuckValue = false;
 };
 
 /**
@@ -148,8 +166,26 @@ class FaultInjector
      */
     void setActiveChecker(int id) { activeChecker_ = id; }
 
-    /** A checker consumed a load-store-log data value. */
-    FaultHit onLogEntry(bool is_load);
+    /**
+     * Switch to chip-map mode: instead of geometric gaps over
+     * uniform-random sites, every targeted event consults @p chip's
+     * weak cells for the active domain.  A matching cell fires with
+     * its voltage-dependent probability and returns a stuck-at hit
+     * (FaultHit::hasStuck).  Persistence applies per cell: a
+     * Permanent source latches the first firing cell, an
+     * Intermittent one bursts at it.  nullptr detaches.  @p chip
+     * must outlive the injector.
+     */
+    void attachChip(const ChipModel *chip);
+
+    /** Chip mode: supply voltage driving per-cell probabilities. */
+    void setVoltage(double v);
+
+    bool chipMode() const { return chip_ != nullptr; }
+
+    /** A checker consumed a load-store-log data value.  Chip mode
+     *  maps @p entry_index onto a physical log row. */
+    FaultHit onLogEntry(bool is_load, std::uint64_t entry_index = 0);
 
     /**
      * A checker executed @p inst, writing a register iff @p wrote_reg.
@@ -160,6 +196,9 @@ class FaultInjector
 
     /** Total number of faults this injector has fired. */
     std::uint64_t fired() const { return fired_; }
+
+    /** Fires attributed to chip weak cells (== fired in chip mode). */
+    std::uint64_t weakCellHits() const { return weakCellHits_; }
 
     /** A permanent fault has latched its stuck location. */
     bool latched() const { return latched_; }
@@ -172,6 +211,10 @@ class FaultInjector
     void resample();
     /** Choose (or reuse) the fault site for a firing event. */
     void chooseSite(unsigned reg_bound);
+    /** Chip mode: one targeted event against the weak-cell map. */
+    FaultHit chipEvent(SiteKind kind, unsigned match, bool constrained);
+    /** Build the firing hit for weak cell @p cell_index. */
+    FaultHit chipHit(std::uint32_t cell_index);
 
     FaultConfig config_;
     Rng rng_;
@@ -186,6 +229,14 @@ class FaultInjector
     bool siteChosen_ = false;
     unsigned siteBit_ = 0;
     unsigned siteReg_ = 0;
+
+    // Chip-map mode (attachChip): per-cell probabilities cached at
+    // the current voltage; chipCell_ is the latched/bursting cell.
+    const ChipModel *chip_ = nullptr;
+    double voltage_ = 0.0;
+    std::vector<double> cellProb_;
+    std::uint32_t chipCell_ = 0;
+    std::uint64_t weakCellHits_ = 0;
 };
 
 /** A set of concurrently active injectors. */
@@ -200,8 +251,21 @@ class FaultPlan
     /** Retune every injector to @p rate (voltage-driven operation). */
     void setAllRates(double rate);
 
+    /** Attach the chip fault map to every injector (nullptr off). */
+    void attachChip(const ChipModel *chip);
+
+    /** Chip mode: propagate the supply voltage to every injector. */
+    void setVoltage(double v);
+
     /** Attribute subsequent events to checker @p id (-1 = none). */
     void setActiveChecker(int id);
+
+    /**
+     * Enforce the bounds FaultConfig::validate cannot: every pinned
+     * injector must target a checker below @p checker_count.  Throws
+     * std::invalid_argument.
+     */
+    void validate(unsigned checker_count) const;
 
     std::vector<FaultInjector> &injectors() { return injectors_; }
     const std::vector<FaultInjector> &injectors() const
@@ -212,6 +276,9 @@ class FaultPlan
     bool empty() const { return injectors_.empty(); }
 
     std::uint64_t totalFired() const;
+
+    /** Sum of per-injector weak-cell fires (0 outside chip mode). */
+    std::uint64_t totalWeakCellHits() const;
 
     void reset();
 
@@ -232,6 +299,15 @@ FaultPlan uniformPlan(double rate, std::uint64_t seed);
  */
 FaultPlan uniformPlan(double rate, std::uint64_t seed,
                       Persistence persistence, int target_checker);
+
+/**
+ * The chip-mode plan: one injector per site class (register file,
+ * load-store log, functional units) so every weak cell in an
+ * attached ChipModel is reachable.  Rates are zero -- chip mode
+ * fires from per-cell probabilities, not geometric gaps.
+ */
+FaultPlan chipPlan(std::uint64_t seed, Persistence persistence,
+                   int target_checker);
 
 } // namespace faults
 } // namespace paradox

@@ -75,5 +75,37 @@ ArchState::flipBit(RegCategory cat, unsigned idx, unsigned bit)
     }
 }
 
+void
+ArchState::writeBit(RegCategory cat, unsigned idx, unsigned bit,
+                    bool value)
+{
+    const std::uint64_t mask = std::uint64_t(1) << (bit & 63);
+    switch (cat) {
+      case RegCategory::Integer: {
+        // Same mapping as flipBit: x0 is hard-wired, not a latch.
+        std::uint64_t &reg = x_[1 + idx % (numIntRegs - 1)];
+        reg = value ? reg | mask : reg & ~mask;
+        break;
+      }
+      case RegCategory::Float: {
+        std::uint64_t &reg = f_[idx % numFpRegs];
+        reg = value ? reg | mask : reg & ~mask;
+        break;
+      }
+      case RegCategory::Flags: {
+        const std::uint64_t m = mask & 0x7;
+        fflags_ = value ? fflags_ | m : fflags_ & ~m;
+        break;
+      }
+      case RegCategory::Misc: {
+        const Addr m = mask & ~Addr(instBytes - 1);
+        pc_ = value ? pc_ | m : pc_ & ~m;
+        break;
+      }
+      default:
+        break;
+    }
+}
+
 } // namespace isa
 } // namespace paradox

@@ -87,6 +87,15 @@ class ArchState
      */
     void flipBit(RegCategory cat, unsigned idx, unsigned bit);
 
+    /**
+     * Force bit @p bit of element @p idx within @p cat to @p value
+     * -- the stuck-at form of flipBit for data-dependent weak-cell
+     * faults (a no-op when the stored bit already equals @p value).
+     * Same site mapping and wrapping rules as flipBit.
+     */
+    void writeBit(RegCategory cat, unsigned idx, unsigned bit,
+                  bool value);
+
     /** FP flag bit positions. */
     static constexpr std::uint64_t flagInvalid = 1;
     static constexpr std::uint64_t flagDivZero = 2;

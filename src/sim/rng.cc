@@ -116,4 +116,15 @@ Rng::exponential(double lambda)
     return -std::log(u) / lambda;
 }
 
+double
+Rng::gaussian()
+{
+    double u1 = nextDouble();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double u2 = nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
 } // namespace paradox

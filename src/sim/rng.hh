@@ -49,6 +49,9 @@ class Rng
     /** Exponential variate with rate @p lambda (mean 1/lambda). */
     double exponential(double lambda);
 
+    /** Standard-normal variate (Box-Muller; two uniforms per call). */
+    double gaussian();
+
   private:
     std::uint64_t s_[4];
 };

@@ -120,6 +120,55 @@ TEST(ExpRunner, SeedsDoNotBleedAcrossJobs)
     EXPECT_TRUE(any_pair_differs);
 }
 
+TEST(ExpRunner, ChipSpecsDeterministicAcrossJobCounts)
+{
+    // Chip-mode batch spanning chip seeds, persistence classes, and
+    // both rail regimes (AIMD undervolting and a fixed supply).  The
+    // emitted JSONL record -- chip fields, per-injector counters,
+    // weak-cell hits and all -- must be byte-identical whether the
+    // batch runs serially or 4-wide.
+    std::vector<exp::ExperimentSpec> specs;
+    for (std::uint64_t chip : {101ULL, 202ULL}) {
+        for (faults::Persistence persistence :
+             {faults::Persistence::Transient,
+              faults::Persistence::Permanent}) {
+            exp::ExperimentSpec spec =
+                faultySpec("bitcount", 0.0, 12345);
+            spec.chipSeed = chip;
+            spec.persistence = persistence;
+            spec.escalate = true;
+            spec.supplyVoltage = 0.87;
+            specs.push_back(spec);
+            spec.supplyVoltage = 0.0;
+            spec.dvfs = true;
+            specs.push_back(spec);
+        }
+    }
+
+    exp::RunnerOptions serial_opt;
+    serial_opt.jobs = 1;
+    std::vector<exp::RunOutcome> serial =
+        exp::Runner(serial_opt).run(specs);
+
+    exp::RunnerOptions par_opt;
+    par_opt.jobs = 4;
+    std::vector<exp::RunOutcome> parallel =
+        exp::Runner(par_opt).run(specs);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok()) << serial[i].error;
+        // Zero silent corruption: every chip run either finishes
+        // with the golden checksum or halts detectably short.
+        if (serial[i].result.halted)
+            EXPECT_TRUE(serial[i].correct)
+                << "silent corruption in chip spec " << i;
+        EXPECT_EQ(exp::recordJson(specs[i], serial[i]),
+                  exp::recordJson(specs[i], parallel[i]))
+            << "chip spec " << i << " diverged across job counts";
+    }
+}
+
 TEST(ExpRunner, ThrowingJobReportedWithoutAbortingBatch)
 {
     std::vector<exp::ExperimentSpec> specs = {

@@ -191,4 +191,212 @@ TEST(UndervoltModel, InverseRoundTrips)
     }
 }
 
+TEST(FaultConfig, ValidationRejectsMalformedParameters)
+{
+    FaultConfig good;
+    EXPECT_NO_THROW(good.validate());
+
+    FaultConfig fc = good;
+    fc.rate = -0.1;
+    EXPECT_THROW(fc.validate(), std::invalid_argument);
+    fc.rate = 1.5;
+    EXPECT_THROW(fc.validate(), std::invalid_argument);
+
+    fc = good;
+    fc.burstBias = 1.5;
+    EXPECT_THROW(fc.validate(), std::invalid_argument);
+
+    fc = good;
+    fc.burstLength = 0;
+    EXPECT_THROW(fc.validate(), std::invalid_argument);
+
+    fc = good;
+    fc.targetChecker = -2;
+    EXPECT_THROW(fc.validate(), std::invalid_argument);
+
+    // The injector validates at construction, so a malformed config
+    // cannot even be instantiated, let alone run.
+    EXPECT_THROW(FaultInjector{fc}, std::invalid_argument);
+}
+
+TEST(ChipModel, SameSeedYieldsIdenticalMap)
+{
+    ChipConfig cc;
+    cc.chipSeed = 42;
+    ChipModel a(cc), b(cc);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.toJson(), b.toJson());
+    ASSERT_EQ(a.cells().size(), b.cells().size());
+}
+
+TEST(ChipModel, DifferentSeedsYieldDistinctMaps)
+{
+    ChipConfig cc;
+    cc.chipSeed = 1;
+    ChipModel a(cc);
+    cc.chipSeed = 2;
+    ChipModel b(cc);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(a.toJson(), b.toJson());
+}
+
+TEST(ChipModel, MapIsWellFormed)
+{
+    ChipConfig cc;
+    cc.chipSeed = 7;
+    cc.weakCells = 96;
+    ChipModel chip(cc);
+    ASSERT_EQ(chip.cells().size(), cc.weakCells);
+
+    std::size_t partitioned = 0;
+    for (int core = -1; core < int(cc.checkerCount); ++core)
+        for (SiteKind kind :
+             {SiteKind::RegisterBit, SiteKind::LogRow,
+              SiteKind::FunctionalUnit})
+            partitioned += chip.cellsFor(core, kind).size();
+    EXPECT_EQ(partitioned, chip.cells().size());
+
+    for (const WeakCell &cell : chip.cells()) {
+        EXPECT_GE(cell.core, -1);
+        EXPECT_LT(cell.core, int(cc.checkerCount));
+        EXPECT_LT(cell.bit, 64u);
+        EXPECT_GE(cell.vmin, cc.shape.vFloor +
+                                 chip.coreVminOffset(cell.core));
+        switch (cell.kind) {
+          case SiteKind::RegisterBit:
+            EXPECT_LT(cell.index, cc.regCount);
+            break;
+          case SiteKind::LogRow:
+            EXPECT_LT(cell.index, cc.logRows);
+            break;
+          case SiteKind::FunctionalUnit:
+            EXPECT_LT(cell.index, cc.unitCount);
+            break;
+        }
+    }
+}
+
+TEST(ChipModel, FlipProbabilityAnchorsAtCellVmin)
+{
+    ChipConfig cc;
+    cc.chipSeed = 11;
+    ChipModel chip(cc);
+    const WeakCell &cell = chip.cells().front();
+
+    EXPECT_DOUBLE_EQ(chip.flipProbability(cell, cell.vmin), 1.0);
+    EXPECT_DOUBLE_EQ(chip.flipProbability(cell, cell.vmin - 0.05),
+                     1.0);
+    double prev = 1.0;
+    for (double dv = 0.005; dv <= 0.2; dv += 0.005) {
+        double p = chip.flipProbability(cell, cell.vmin + dv);
+        EXPECT_LE(p, prev);
+        prev = p;
+    }
+    EXPECT_LT(chip.flipProbability(cell, cc.shape.vNominal), 1e-12);
+}
+
+TEST(FaultInjector, ChipModeStuckAtReportsSite)
+{
+    ChipConfig cc;
+    cc.chipSeed = 5;
+    cc.weakCells = 256; // dense map: every domain draws cells
+    ChipModel chip(cc);
+
+    // Find a checker domain owning a register-file weak cell.
+    int core = -1;
+    for (int c = 0; c < int(cc.checkerCount); ++c)
+        if (!chip.cellsFor(c, SiteKind::RegisterBit).empty()) {
+            core = c;
+            break;
+        }
+    ASSERT_GE(core, 0) << "dense map has no register cells at all";
+
+    FaultConfig fc;
+    fc.kind = FaultKind::RegisterBitFlip;
+    fc.seed = 99;
+    FaultInjector injector(fc);
+    injector.attachChip(&chip);
+    injector.setVoltage(0.60); // far below every cell's Vmin: p == 1
+    injector.setActiveChecker(core);
+
+    FaultHit hit = injector.onInstruction(makeInst(isa::Opcode::ADD),
+                                          true);
+    ASSERT_TRUE(hit.fires);
+    EXPECT_TRUE(hit.hasStuck);
+    ASSERT_GE(hit.site, 0);
+    const WeakCell &cell = chip.cells()[unsigned(hit.site)];
+    EXPECT_EQ(cell.core, core);
+    EXPECT_EQ(cell.kind, SiteKind::RegisterBit);
+    EXPECT_EQ(hit.stuckValue, cell.stuckValue);
+    EXPECT_EQ(hit.bit, cell.bit);
+    EXPECT_EQ(injector.weakCellHits(), 1u);
+}
+
+TEST(FaultInjector, ChipModePermanentLatchPinsSite)
+{
+    ChipConfig cc;
+    cc.chipSeed = 5;
+    cc.weakCells = 256;
+    ChipModel chip(cc);
+
+    int core = -1;
+    for (int c = 0; c < int(cc.checkerCount); ++c)
+        if (!chip.cellsFor(c, SiteKind::RegisterBit).empty()) {
+            core = c;
+            break;
+        }
+    ASSERT_GE(core, 0);
+
+    FaultConfig fc;
+    fc.kind = FaultKind::RegisterBitFlip;
+    fc.persistence = Persistence::Permanent;
+    fc.seed = 99;
+    FaultInjector injector(fc);
+    injector.attachChip(&chip);
+    injector.setVoltage(0.60);
+    injector.setActiveChecker(core);
+
+    auto inst = makeInst(isa::Opcode::ADD);
+    FaultHit first = injector.onInstruction(inst, true);
+    ASSERT_TRUE(first.fires);
+    for (int i = 0; i < 50; ++i) {
+        FaultHit hit = injector.onInstruction(inst, true);
+        ASSERT_TRUE(hit.fires);
+        EXPECT_EQ(hit.site, first.site)
+            << "permanent latch wandered off its pinned cell";
+        EXPECT_EQ(hit.bit, first.bit);
+        EXPECT_EQ(hit.stuckValue, first.stuckValue);
+    }
+    EXPECT_TRUE(injector.latched());
+
+    // The latch is a Vmin violation, not physical damage: back at
+    // nominal voltage the pinned site goes quiet again.
+    injector.setVoltage(cc.shape.vNominal);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(injector.onInstruction(inst, true).fires);
+}
+
+TEST(FaultInjector, ChipModeQuietAtNominalVoltage)
+{
+    ChipConfig cc;
+    cc.chipSeed = 5;
+    cc.weakCells = 256;
+    ChipModel chip(cc);
+
+    FaultConfig fc;
+    fc.kind = FaultKind::RegisterBitFlip;
+    fc.seed = 99;
+    FaultInjector injector(fc);
+    injector.attachChip(&chip);
+    injector.setVoltage(cc.shape.vNominal);
+
+    auto inst = makeInst(isa::Opcode::ADD);
+    for (int core = 0; core < int(cc.checkerCount); ++core) {
+        injector.setActiveChecker(core);
+        for (int i = 0; i < 200; ++i)
+            EXPECT_FALSE(injector.onInstruction(inst, true).fires);
+    }
+    EXPECT_EQ(injector.weakCellHits(), 0u);
+}
+
 } // namespace

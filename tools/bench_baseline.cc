@@ -1,0 +1,174 @@
+/**
+ * @file
+ * bench_baseline: wall-clock throughput baseline for the simulator.
+ *
+ * Runs a small fixed set of workloads fault-free through the full
+ * ParaDox pipeline (main core + checkers + load-store log) and
+ * reports simulated instructions per wall-clock second.  The output
+ * is a single schema'd JSON document ("paradox-bench/1") meant to be
+ * checked in as BENCH_baseline.json so perf regressions show up as
+ * a diff in review rather than as a surprise months later.
+ *
+ * Each workload runs --reps times (default 3) and the *best* wall
+ * time is kept: the minimum is the least noisy estimator for a
+ * deterministic CPU-bound job on a shared machine.
+ *
+ * Exit status 0 iff every run completed with the golden checksum.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exp/cli.hh"
+#include "exp/spec.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+struct BenchResult
+{
+    std::string name;
+    std::uint64_t simInstructions = 0;
+    std::uint64_t executed = 0;
+    double wallMs = 0.0;
+    double instPerSec = 0.0;
+    bool correct = false;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace paradox;
+    using Clock = std::chrono::steady_clock;
+
+    std::string workloads_arg = "bitcount,stream,mcf";
+    std::string out_path;
+    unsigned scale = 2;
+    unsigned reps = 3;
+    bool quiet = false;
+
+    exp::Cli cli("bench_baseline",
+                 "wall-clock simulator throughput baseline");
+    cli.opt("workloads", workloads_arg,
+            "comma-separated workload list");
+    cli.opt("scale", scale, "workload size multiplier");
+    cli.opt("reps", reps, "repetitions per workload (best kept)");
+    cli.opt("out", out_path, "write the JSON report here");
+    cli.flag("quiet", quiet, "suppress progress output");
+    cli.alias("q", "quiet");
+    if (!cli.parse(argc, argv))
+        return 2;
+    if (quiet)
+        setLogLevel(0);
+    if (reps == 0)
+        reps = 1;
+
+    std::vector<std::string> names;
+    std::string cur;
+    for (char c : workloads_arg + ",") {
+        if (c == ',') {
+            if (!cur.empty())
+                names.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+
+    std::vector<BenchResult> results;
+    bool all_correct = true;
+    for (const auto &name : names) {
+        exp::ExperimentSpec spec;
+        spec.workload = name;
+        spec.scale = scale;
+        spec.mode = core::Mode::ParaDox;
+        spec.checkers = 16;
+        spec.maxCheckpoint = 5000;
+        spec.limits.maxExecuted = 2'000'000'000ULL;
+        spec.limits.maxTicks = ticksPerMs * 30000;
+
+        BenchResult best;
+        best.name = name;
+        for (unsigned rep = 0; rep < reps; ++rep) {
+            exp::RunOutcome out;
+            const auto t0 = Clock::now();
+            try {
+                out = exp::runOne(spec);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "bench_baseline: %s: %s\n",
+                             name.c_str(), e.what());
+                return 2;
+            }
+            const auto t1 = Clock::now();
+            const double ms =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
+            if (rep == 0 || ms < best.wallMs) {
+                best.wallMs = ms;
+                best.simInstructions = out.result.instructions;
+                best.executed = out.result.executed;
+                best.correct = out.correct;
+            }
+            if (!out.correct)
+                best.correct = false;
+            if (!quiet)
+                std::fprintf(stderr,
+                             "bench_baseline: %-10s rep %u/%u: "
+                             "%.1f ms%s\n",
+                             name.c_str(), rep + 1, reps, ms,
+                             out.correct ? "" : "  [WRONG RESULT]");
+        }
+        best.instPerSec =
+            best.wallMs > 0.0
+                ? double(best.executed) / (best.wallMs / 1e3)
+                : 0.0;
+        all_correct = all_correct && best.correct;
+        results.push_back(best);
+    }
+
+    std::string json = "{\"schema\":\"paradox-bench/1\","
+                       "\"tool\":\"bench_baseline\",";
+    json += "\"scale\":" + std::to_string(scale) +
+            ",\"reps\":" + std::to_string(reps) + ",\"workloads\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":\"%s\",\"sim_instructions\":%llu,"
+                      "\"executed\":%llu,\"wall_ms\":%.1f,"
+                      "\"inst_per_sec\":%.0f,\"correct\":%s}",
+                      i ? "," : "", r.name.c_str(),
+                      (unsigned long long)r.simInstructions,
+                      (unsigned long long)r.executed, r.wallMs,
+                      r.instPerSec, r.correct ? "true" : "false");
+        json += buf;
+    }
+    json += "]}";
+
+    if (out_path.empty()) {
+        std::printf("%s\n", json.c_str());
+    } else {
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench_baseline: cannot write %s\n",
+                         out_path.c_str());
+            return 2;
+        }
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+    }
+
+    for (const BenchResult &r : results)
+        std::fprintf(stderr,
+                     "bench_baseline: %-10s %8.1f ms  "
+                     "%11.0f sim-inst/s%s\n",
+                     r.name.c_str(), r.wallMs, r.instPerSec,
+                     r.correct ? "" : "  [WRONG RESULT]");
+    return all_correct ? 0 : 1;
+}

@@ -26,13 +26,22 @@
  * byte-identical across --jobs values), and a summary line.  Exit
  * status is 0 iff the sweep saw no silent corruption and no crash.
  *
- *   fault_campaign [--smoke] [--scale N] [--seeds N] [--jobs N]
- *                  [--out FILE] [--trace-dir DIR]
+ *   fault_campaign [--smoke] [--correlated] [--scale N] [--seeds N]
+ *                  [--jobs N] [--out FILE] [--trace-dir DIR]
  *
  * With --trace-dir DIR every faulty run writes an execution trace to
  * DIR/run-NNNN.json (NNNN = spec index, so names are deterministic
  * across --jobs values) and its report record carries the filename
  * in a "trace" field.
+ *
+ * --correlated switches from i.i.d. geometric injection to the
+ * chip-map model (faults::ChipModel): the sweep crosses chip seeds x
+ * persistence classes x operating points (two fixed undervolted
+ * rails plus the AIMD controller), always with the escalation
+ * ladder, and the report adds one "chip_summary" record per chip
+ * seed with its SDC/DUE/recovery breakdown.  AIMD runs carry an
+ * "aimd_converged" field: the controller settled below v_safe while
+ * ending bit-identical to golden.
  */
 
 #include <sys/stat.h>
@@ -50,6 +59,7 @@
 #include "exp/runner.hh"
 #include "exp/sink.hh"
 #include "exp/spec.hh"
+#include "power/undervolt_data.hh"
 #include "sim/logging.hh"
 #include "workloads/workload.hh"
 
@@ -90,12 +100,19 @@ goldenRun(const std::string &workload, unsigned scale)
     return g;
 }
 
+/** Correlated-mode metadata for one spec. */
+struct SpecMeta
+{
+    std::string configName; //!< fixed_hi | fixed_lo | aimd
+};
+
 /**
  * Execute one faulty run (inside the forked child) and return its
- * classified JSON record.
+ * classified JSON record.  @p meta non-null = correlated mode.
  */
 std::string
-childRun(const exp::ExperimentSpec &spec, const Golden &golden)
+childRun(const exp::ExperimentSpec &spec, const Golden &golden,
+         const SpecMeta *meta = nullptr)
 {
     exp::RunOutcome out = exp::runOne(spec);
     const core::RunResult &r = out.result;
@@ -119,9 +136,25 @@ childRun(const exp::ExperimentSpec &spec, const Golden &golden)
        << "\",\"seed\":" << spec.seed << ",\"persistence\":\""
        << faults::persistenceName(spec.persistence)
        << "\",\"rate\":" << spec.faultRate << ",\"config\":\""
-       << (spec.escalate ? "ladder" : "classic")
-       << "\",\"pin_checker\":" << spec.pinChecker
-       << ",\"class\":\"" << cls << "\"";
+       << (meta ? meta->configName
+                : (spec.escalate ? "ladder" : "classic"))
+       << "\",\"pin_checker\":" << spec.pinChecker;
+    if (spec.chipSeed != 0) {
+        os << ",\"chip_seed\":" << spec.chipSeed;
+        if (spec.supplyVoltage > 0.0)
+            os << ",\"supply\":" << spec.supplyVoltage;
+        if (spec.dvfs) {
+            // Converged: the controller settled the rail below the
+            // margined v_safe point and the run still ended
+            // bit-identical to golden.
+            const bool converged = r.halted && identical &&
+                                   r.avgVoltage > 0.0 &&
+                                   r.avgVoltage < 0.95;
+            os << ",\"aimd_converged\":"
+               << (converged ? "true" : "false");
+        }
+    }
+    os << ",\"class\":\"" << cls << "\"";
     if (!out.tracePath.empty())
         os << ",\"trace\":\"" << out.tracePath << "\"";
     os << ",\"result\":" << core::toJson(r) << "}";
@@ -136,9 +169,22 @@ crashRecord(const exp::ExperimentSpec &spec, int status)
        << "\",\"seed\":" << spec.seed << ",\"persistence\":\""
        << faults::persistenceName(spec.persistence)
        << "\",\"rate\":" << spec.faultRate << ",\"config\":\""
-       << (spec.escalate ? "ladder" : "classic")
-       << "\",\"class\":\"crash\",\"status\":" << status << "}";
+       << (spec.escalate ? "ladder" : "classic") << "\"";
+    if (spec.chipSeed != 0)
+        os << ",\"chip_seed\":" << spec.chipSeed;
+    os << ",\"class\":\"crash\",\"status\":" << status << "}";
     return os.str();
+}
+
+/** First integer following @p key in @p payload (0 if absent). */
+std::uint64_t
+extractU64(const std::string &payload, const char *key)
+{
+    const std::size_t pos = payload.find(key);
+    if (pos == std::string::npos)
+        return 0;
+    return std::strtoull(
+        payload.c_str() + pos + std::strlen(key), nullptr, 10);
 }
 
 } // namespace
@@ -147,6 +193,7 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool correlated = false;
     bool quiet = false;
     unsigned scale = 2;
     unsigned seeds = 2;
@@ -156,6 +203,9 @@ main(int argc, char **argv)
     exp::Cli cli("fault_campaign",
                  "differential fault-injection campaign driver");
     cli.flag("smoke", smoke, "tiny sweep for CI");
+    cli.flag("correlated", correlated,
+             "chip-map sweep: chip seeds x persistence x operating "
+             "points (spatially correlated errors)");
     cli.opt("scale", scale, "workload size multiplier");
     cli.opt("seeds", seeds, "seeds per configuration");
     cli.opt("jobs", jobs, "concurrent forked runs (0 = all cores)");
@@ -182,11 +232,37 @@ main(int argc, char **argv)
         rates = {1e-4};
         seeds = 1;
     }
-    const faults::Persistence kinds[] = {
+    std::vector<faults::Persistence> kinds = {
         faults::Persistence::Transient,
         faults::Persistence::Intermittent,
         faults::Persistence::Permanent,
     };
+
+    // Correlated mode: the grid crosses physical chips (distinct
+    // weak-cell maps) with operating points instead of rates.  Two
+    // fixed undervolted rails bracket the weak-cell Vmin band (the
+    // margin above each workload's p==1 floor), and the AIMD
+    // configuration lets the controller find the chip's own safe
+    // point -- with an accelerated decrease step so equilibrium is
+    // reached within campaign-scale runs.
+    struct OpPoint
+    {
+        const char *name;
+        double marginAboveFloor; //!< fixed rail: vFloor + this
+        bool aimd;
+    };
+    std::vector<std::uint64_t> chip_seeds = {101, 202, 303, 404};
+    std::vector<OpPoint> points = {
+        {"fixed_hi", 0.060, false},
+        {"fixed_lo", 0.045, false},
+        {"aimd", 0.0, true},
+    };
+    if (correlated && smoke) {
+        chip_seeds = {101, 202};
+        kinds = {faults::Persistence::Transient,
+                 faults::Persistence::Permanent};
+        points = {{"fixed_lo", 0.045, false}, {"aimd", 0.0, true}};
+    }
 
     FILE *report = stdout;
     if (!out_path.empty()) {
@@ -200,8 +276,56 @@ main(int argc, char **argv)
     // The sweep, in fixed nested order; reports are reproducible
     // across job counts because records are emitted in spec order.
     std::vector<exp::ExperimentSpec> specs;
+    std::vector<SpecMeta> metas;         // parallel (correlated mode)
     std::vector<std::size_t> golden_of;  // spec index -> golden index
     std::vector<Golden> goldens;
+    if (correlated) {
+        for (const std::string &name : names) {
+            goldens.push_back(goldenRun(name, scale));
+            const Golden &g = goldens.back();
+            const double floor_v =
+                power::errorModelParams(name).vFloor;
+            for (std::uint64_t chip : chip_seeds) {
+                for (faults::Persistence kind : kinds) {
+                    for (const OpPoint &pt : points) {
+                        exp::ExperimentSpec spec;
+                        spec.workload = name;
+                        spec.scale = scale;
+                        spec.seed = 12345;
+                        spec.persistence = kind;
+                        spec.escalate = true;
+                        spec.chipSeed = chip;
+                        if (pt.aimd) {
+                            spec.dvfs = true;
+                            spec.configure =
+                                [](core::SystemConfig &cfg) {
+                                    cfg.voltage.decreaseStep = 0.002;
+                                };
+                        } else {
+                            spec.supplyVoltage =
+                                floor_v + pt.marginAboveFloor;
+                        }
+                        // Chip-correlated faults can livelock harder
+                        // than ambient ones (a latched main-core
+                        // defect re-detects every segment); the
+                        // floor keeps AIMD runs long enough to reach
+                        // equilibrium.
+                        spec.limits.maxExecuted =
+                            std::max<std::uint64_t>(
+                                g.executed * 64 + 200000, 4'000'000);
+                        spec.limits.maxTicks =
+                            g.time * 256 + ticksPerMs;
+                        if (!trace_dir.empty())
+                            spec.traceFile = exp::tracePathForJob(
+                                trace_dir, specs.size());
+                        golden_of.push_back(goldens.size() - 1);
+                        metas.push_back(SpecMeta{pt.name});
+                        specs.push_back(std::move(spec));
+                    }
+                }
+            }
+        }
+    } else {
     for (const std::string &name : names) {
         goldens.push_back(goldenRun(name, scale));
         for (unsigned s = 0; s < seeds; ++s) {
@@ -243,6 +367,7 @@ main(int argc, char **argv)
             }
         }
     }
+    }
 
     exp::RunnerOptions opt;
     opt.jobs = jobs;
@@ -252,7 +377,8 @@ main(int argc, char **argv)
     std::vector<exp::IsolatedResult> results = exp::runIsolated(
         specs.size(),
         [&](std::size_t i) {
-            return childRun(specs[i], goldens[golden_of[i]]);
+            return childRun(specs[i], goldens[golden_of[i]],
+                            correlated ? &metas[i] : nullptr);
         },
         opt);
 
@@ -263,6 +389,8 @@ main(int argc, char **argv)
         std::ostringstream extra;
         extra << "\"scale\":" << scale << ",\"seeds\":" << seeds
               << ",\"smoke\":" << (smoke ? "true" : "false");
+        if (correlated)
+            extra << ",\"correlated\":true";
         sink.header(extra.str());
     }
 
@@ -287,6 +415,63 @@ main(int argc, char **argv)
             ++n_incomplete;
         else
             ++n_silent;
+    }
+
+    // Correlated mode: one breakdown per physical chip, in seed
+    // order (deterministic across --jobs), so campaigns can tell a
+    // weak chip's behaviour from a healthy one's at a glance.
+    if (correlated) {
+        for (std::uint64_t chip : chip_seeds) {
+            unsigned runs = 0, c_ok = 0, c_det = 0, c_inc = 0,
+                     c_silent = 0, c_crash = 0, aimd_runs = 0,
+                     aimd_conv = 0;
+            std::uint64_t due = 0, rollbacks = 0, quarantines = 0,
+                          weak_hits = 0;
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                if (specs[i].chipSeed != chip)
+                    continue;
+                ++runs;
+                if (results[i].crashed) {
+                    ++c_crash;
+                    continue;
+                }
+                const std::string &p = results[i].payload;
+                if (p.find("\"class\":\"ok\"") != std::string::npos)
+                    ++c_ok;
+                else if (p.find("\"class\":\"detected_ok\"") !=
+                         std::string::npos)
+                    ++c_det;
+                else if (p.find("\"class\":\"incomplete\"") !=
+                         std::string::npos)
+                    ++c_inc;
+                else
+                    ++c_silent;
+                due += extractU64(p, "\"due_rollbacks\":");
+                rollbacks += extractU64(p, "\"rollbacks\":");
+                quarantines += extractU64(p, "\"quarantines\":");
+                weak_hits += extractU64(p, "\"weak_cell_hits\":");
+                if (specs[i].dvfs) {
+                    ++aimd_runs;
+                    if (p.find("\"aimd_converged\":true") !=
+                        std::string::npos)
+                        ++aimd_conv;
+                }
+            }
+            std::ostringstream cs;
+            cs << "{\"record\":\"chip_summary\",\"chip_seed\":"
+               << chip << ",\"runs\":" << runs << ",\"ok\":" << c_ok
+               << ",\"detected_ok\":" << c_det
+               << ",\"incomplete\":" << c_inc
+               << ",\"silent_corruption\":" << c_silent
+               << ",\"crash\":" << c_crash
+               << ",\"rollbacks\":" << rollbacks
+               << ",\"due_rollbacks\":" << due
+               << ",\"quarantines\":" << quarantines
+               << ",\"weak_cell_hits\":" << weak_hits
+               << ",\"aimd_runs\":" << aimd_runs
+               << ",\"aimd_converged\":" << aimd_conv << "}";
+            sink.writeLine(cs.str());
+        }
     }
 
     std::ostringstream summary;

@@ -57,6 +57,14 @@ main(int argc, char **argv)
             "restrict the injector to checker N");
     cli.opt("main-rate", spec.mainCoreRate,
             "fault rate on the *main core* itself");
+    cli.opt("chip-seed", spec.chipSeed,
+            "per-chip weak-cell fault map (0 = off)");
+    cli.opt("weak-cells", spec.weakCells,
+            "weak cells sampled over the chip");
+    cli.opt("vmin-sigma", spec.vminSigma,
+            "per-core Vmin spread in volts");
+    cli.opt("supply", spec.supplyVoltage,
+            "fixed undervolted rail (chip mode, no --dvfs)");
     cli.flag("dvfs", spec.dvfs,
              "error-seeking undervolting (per-workload model)");
     cli.flag("escalate", spec.escalate,
@@ -145,6 +153,14 @@ main(int argc, char **argv)
     std::printf("errors         %llu detected, %llu faults injected\n",
                 (unsigned long long)r.errorsDetected,
                 (unsigned long long)r.faultsInjected);
+    if (spec.chipSeed != 0)
+        std::printf("chip           seed %llu, %u weak cells, "
+                    "%llu weak-cell hits\n",
+                    (unsigned long long)spec.chipSeed, spec.weakCells,
+                    (unsigned long long)r.weakCellHits);
+    if (spec.supplyVoltage > 0.0)
+        std::printf("supply         %.4f V fixed\n",
+                    spec.supplyVoltage);
     if (spec.dvfs) {
         std::printf("voltage        %.4f V average\n", r.avgVoltage);
         std::printf("power          %.3f of nominal\n", r.avgPower);
