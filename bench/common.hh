@@ -1,10 +1,9 @@
 /**
  * @file
  * Shared helpers for the figure-regeneration harnesses: table
- * printing that matches the paper's rows/series, plus thin
- * compatibility aliases onto the exp:: experiment API (the
- * harnesses themselves build exp::ExperimentSpec batches and sweep
- * them through exp::Runner).
+ * printing that matches the paper's rows/series.  The harnesses
+ * build exp::ExperimentSpec batches and sweep them through
+ * exp::Runner.
  */
 
 #ifndef PARADOX_BENCH_COMMON_HH
@@ -29,21 +28,6 @@ defaultLimits()
 {
     return exp::defaultLimits();
 }
-
-/**
- * @{ Deprecated compatibility shims, kept for one release: the
- * duplicated per-harness spec type and serial runner are now
- * exp::ExperimentSpec / exp::runOne.
- */
-using RunSpec [[deprecated("use exp::ExperimentSpec")]] =
-    exp::ExperimentSpec;
-
-[[deprecated("use exp::runOne")]] inline core::RunResult
-runSpec(const exp::ExperimentSpec &spec)
-{
-    return exp::runOne(spec).result;
-}
-/** @} */
 
 /**
  * Parse the one flag every harness shares: --jobs N (0 = all

@@ -7,6 +7,7 @@
 #include "analysis/ai.hh"
 #include "analysis/diagnostic.hh"
 #include "analysis/passes.hh"
+#include "isa/decoded.hh"
 
 namespace paradox
 {
@@ -91,8 +92,16 @@ CostModel::compute(const isa::Program &prog, const CostParams &params)
             c.bounded = false;
     }
 
-    // Weighted instruction mix and the total-instruction bound.
+    // Weighted instruction mix and the total-instruction bound.  The
+    // per-instruction classes come from the decoded micro-op image --
+    // the same pre-classified representation the production engine
+    // executes -- so the cost bounds describe exactly what superblock
+    // execution retires (the "decoded" lint pass cross-checks the
+    // image against the instruction table and the CFG).
     const auto &code = prog.code();
+    const auto dp = isa::DecodedProgram::get(prog);
+    c.decodedUops = dp->size();
+    c.decodedHash = dp->contentHash();
     for (std::size_t b = 0; b < nb; ++b) {
         if (!reachable[b])
             continue;
@@ -100,8 +109,8 @@ CostModel::compute(const isa::Program &prog, const CostParams &params)
             c.bounded ? ai.tripProduct(b) : 1;
         for (std::size_t i = blocks[b].first; i <= blocks[b].last;
              ++i)
-            c.mix[std::size_t(code[i].info().cls)] =
-                satAdd(c.mix[std::size_t(code[i].info().cls)], weight);
+            c.mix[std::size_t(dp->at(i).cls)] =
+                satAdd(c.mix[std::size_t(dp->at(i).cls)], weight);
         if (c.bounded)
             c.maxDynInsts = satAdd(
                 c.maxDynInsts, satMul(blocks[b].size(), weight));
@@ -192,6 +201,8 @@ costJsonLine(const WorkloadCost &c, unsigned scale)
     num("min_dyn_insts", c.minDynInsts);
     num("max_dyn_insts", c.maxDynInsts);
     num("footprint_bytes", c.footprintBytes);
+    num("decoded_uops", c.decodedUops);
+    num("decoded_hash", c.decodedHash);
     for (std::size_t k = 0; k < WorkloadCost::numClasses; ++k) {
         // "IntAlu" -> "mix_int_alu"
         std::string key = "mix_";

@@ -78,6 +78,18 @@ struct WorkloadCost
     std::uint64_t footprintBytes = 0;  //!< merged declared+data+extra
 
     /**
+     * @{ Identity of the decoded micro-op image the mix was counted
+     * over: micro-op count and isa::DecodedProgram content hash.
+     * `trace_report --cost` re-decodes the workload and verifies
+     * both, so a stale cost file (workload changed after the model
+     * was emitted) fails the cross-validation instead of silently
+     * comparing against the wrong program.
+     */
+    std::uint64_t decodedUops = 0;
+    std::uint64_t decodedHash = 0;
+    /** @} */
+
+    /**
      * Instruction mix by InstClass, weighted by per-block trip
      * products when @c bounded (so it over-approximates the dynamic
      * mix), else plain static counts.

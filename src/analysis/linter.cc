@@ -56,6 +56,7 @@ Linter::lint(const isa::Program &prog) const
     timed("reach", [&] { checkReachability(ctx, report.diags); });
     timed("dataflow", [&] { checkDataflow(ctx, report.diags); });
     timed("footprint", [&] { checkFootprint(ctx, report.diags); });
+    timed("decoded", [&] { checkDecoded(ctx, report.diags); });
 
     std::optional<IntervalAnalysis> ai;
     if (opts_.ranges)

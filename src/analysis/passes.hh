@@ -102,6 +102,15 @@ void checkRanges(const Context &ctx, const IntervalAnalysis &ai,
                  std::vector<Diagnostic> &diags);
 
 /**
+ * Decoded-image consistency: the pre-decoded micro-op image
+ * (isa::DecodedProgram) must agree with the CFG and the instruction
+ * table -- resolved branch targets on CFG edges, superblock run
+ * lengths stopping at control transfers, and the per-class counts
+ * the cost model consumes matching an independent instruction walk.
+ */
+void checkDecoded(const Context &ctx, std::vector<Diagnostic> &diags);
+
+/**
  * The program's full footprint: declared regions, runs derived from
  * the initial data image, and @p extras.  Unmerged.
  */

@@ -1,5 +1,6 @@
 #include "core/checker_replay.hh"
 
+#include "isa/decoded_run.hh"
 #include "isa/executor.hh"
 
 namespace paradox
@@ -132,11 +133,45 @@ class LogReplayMemory : public isa::MemIf
 
 } // namespace
 
+std::uint64_t
+applyInstructionFaults(
+    faults::FaultPlan &plan, const isa::Instruction &inst,
+    const isa::ExecResult &r, isa::ArchState &state,
+    const std::function<void(const faults::FaultHit &)> &on_hit)
+{
+    std::uint64_t fired = 0;
+    for (auto &injector : plan.injectors()) {
+        faults::FaultHit hit =
+            injector.onInstruction(inst, r.wroteInt || r.wroteFp);
+        if (!hit.fires)
+            continue;
+        ++fired;
+        if (on_hit)
+            on_hit(hit);
+        if (injector.kind() == faults::FaultKind::FunctionalUnit) {
+            // Corrupt the register the instruction just wrote.
+            if (r.wroteInt)
+                state.writeX(r.rd, applyHit(hit, state.readX(r.rd)));
+            else if (r.wroteFp)
+                state.writeFBits(r.rd,
+                                 applyHit(hit, state.readFBits(r.rd)));
+        } else if (hit.hasStuck) {
+            state.writeBit(injector.config().targetCategory,
+                           hit.regIndex, hit.bit, hit.stuckValue);
+        } else {
+            state.flipBit(injector.config().targetCategory,
+                          hit.regIndex, hit.bit);
+        }
+    }
+    return fired;
+}
+
 ReplayOutcome
 replaySegment(const isa::Program &prog, const LogSegment &segment,
               unsigned checker_id, cpu::CheckerTiming &timing,
               faults::FaultPlan &plan, unsigned final_compare_cycles,
-              unsigned timeout_factor, Addr timing_offset)
+              unsigned timeout_factor, Addr timing_offset,
+              const isa::DecodedProgram *decoded)
 {
     ReplayOutcome outcome;
     isa::ArchState state = segment.startState();
@@ -155,8 +190,51 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
             ? ~Cycles(0)
             : Cycles(timeout_factor) * (segment.instCount() + 16);
 
+    const unsigned count = segment.instCount();
     Cycles cycles = 0;
-    for (unsigned i = 0; i < segment.instCount(); ++i) {
+
+    if (decoded && plan.empty()) {
+        // Fast path: the threaded-dispatch inner loop, devirtualized
+        // over the log-replay adapter.  Only taken with no injectors
+        // installed -- injectors may corrupt the pc between
+        // instructions, which the reference loop re-fetches but the
+        // decoded loop's carried indices would not observe.
+        isa::runDecoded(
+            *decoded, state, log, count,
+            [&](const isa::CommitRecord &r) -> bool {
+                if (!r.valid) {
+                    // Wild fetch: invalid checker behaviour, caught
+                    // by the hardware as an exception (figure 7).
+                    outcome.detected = true;
+                    outcome.reason = DetectReason::InvalidBehavior;
+                    return false;
+                }
+                cycles += timing.instCycles(
+                    checker_id, r.pc + timing_offset, *r.inst);
+                ++outcome.instructionsExecuted;
+                if (log.diverged()) {
+                    outcome.detected = true;
+                    outcome.reason = log.reason();
+                    return false;
+                }
+                if (r.halted &&
+                    outcome.instructionsExecuted != count) {
+                    outcome.detected = true;
+                    outcome.reason = DetectReason::InvalidBehavior;
+                    return false;
+                }
+                // The reference loop checks the watchdog before each
+                // fetch; mirror that between instructions.
+                if (outcome.instructionsExecuted != count &&
+                    cycles > watchdog) {
+                    outcome.detected = true;
+                    outcome.reason = DetectReason::Timeout;
+                    return false;
+                }
+                return true;
+            });
+    } else {
+    for (unsigned i = 0; i < count; ++i) {
         if (cycles > watchdog) {
             outcome.detected = true;
             outcome.reason = DetectReason::Timeout;
@@ -181,36 +259,20 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
             outcome.reason = log.reason();
             break;
         }
-        if (r.halted && i + 1 != segment.instCount()) {
+        if (r.halted && i + 1 != count) {
             outcome.detected = true;
             outcome.reason = DetectReason::InvalidBehavior;
             break;
         }
 
         // Architectural-state fault injection after the instruction.
-        for (auto &injector : plan.injectors()) {
-            faults::FaultHit hit =
-                injector.onInstruction(*inst, r.wroteInt || r.wroteFp);
-            if (!hit.fires)
-                continue;
-            ++outcome.faultsInjected;
-            noteWeakHit(hit, outcome);
-            if (injector.kind() == faults::FaultKind::FunctionalUnit) {
-                // Corrupt the register the instruction just wrote.
-                if (r.wroteInt)
-                    state.writeX(r.rd,
-                                 applyHit(hit, state.readX(r.rd)));
-                else if (r.wroteFp)
-                    state.writeFBits(
-                        r.rd, applyHit(hit, state.readFBits(r.rd)));
-            } else if (hit.hasStuck) {
-                state.writeBit(injector.config().targetCategory,
-                               hit.regIndex, hit.bit, hit.stuckValue);
-            } else {
-                state.flipBit(injector.config().targetCategory,
-                              hit.regIndex, hit.bit);
-            }
-        }
+        if (!plan.empty())
+            outcome.faultsInjected += applyInstructionFaults(
+                plan, *inst, r, state,
+                [&outcome](const faults::FaultHit &hit) {
+                    noteWeakHit(hit, outcome);
+                });
+    }
     }
 
     if (!outcome.detected) {

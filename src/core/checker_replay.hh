@@ -24,6 +24,7 @@
 #define PARADOX_CORE_CHECKER_REPLAY_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/lslog.hh"
@@ -33,6 +34,11 @@
 
 namespace paradox
 {
+namespace isa
+{
+class DecodedProgram;
+} // namespace isa
+
 namespace core
 {
 
@@ -86,6 +92,11 @@ struct ReplayOutcome
  *        instruction, I-cache-thrashing code at ~8) sit far below
  *        it, while corrupted wrong-path execution stuck in divide
  *        chains (32+ cycles per instruction) trips it.  0 disables.
+ * @param decoded  optional pre-decoded image of @p prog.  When given
+ *        and no fault injectors are active, the replay runs the
+ *        threaded-dispatch inner loop (isa/decoded_run.hh) instead of
+ *        the per-step reference decoder; every divergence check,
+ *        the watchdog and the timing accounting are identical.
  */
 ReplayOutcome replaySegment(const isa::Program &prog,
                             const LogSegment &segment,
@@ -94,7 +105,26 @@ ReplayOutcome replaySegment(const isa::Program &prog,
                             faults::FaultPlan &plan,
                             unsigned final_compare_cycles,
                             unsigned timeout_factor = 24,
-                            Addr timing_offset = 0);
+                            Addr timing_offset = 0,
+                            const isa::DecodedProgram *decoded = nullptr);
+
+/**
+ * Apply post-commit architectural fault injection for one committed
+ * instruction: every firing injector in @p plan corrupts @p state --
+ * functional-unit faults flip a bit of the register the instruction
+ * just wrote, latch faults flip/stick a bit of the targeted
+ * category.  Shared by the main-core commit loop (System) and the
+ * checker replay so the two domains interpret a commit record's
+ * destination fields identically.
+ *
+ * @param on_hit optional observer invoked for each firing hit
+ *        (tracing, weak-cell accounting)
+ * @return the number of faults that fired
+ */
+std::uint64_t applyInstructionFaults(
+    faults::FaultPlan &plan, const isa::Instruction &inst,
+    const isa::ExecResult &r, isa::ArchState &state,
+    const std::function<void(const faults::FaultHit &)> &on_hit = {});
 
 } // namespace core
 } // namespace paradox

@@ -51,23 +51,26 @@ LogSegment::appendStore(Addr addr, unsigned size, std::uint64_t value,
     bytesUsed_ += entry_bytes;
 }
 
+std::vector<mem::EccWord>
+LineCopy::eccWords() const
+{
+    std::vector<mem::EccWord> ecc;
+    ecc.reserve(bytes.size() / 8);
+    for (std::size_t i = 0; i + 8 <= bytes.size(); i += 8) {
+        std::uint64_t word = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            word |= std::uint64_t(bytes[i + b]) << (8 * b);
+        ecc.push_back(mem::Secded::encode(word));
+    }
+    return ecc;
+}
+
 void
 LogSegment::appendLineCopy(Addr line_addr,
                            const std::vector<std::uint8_t> &bytes,
                            unsigned copy_bytes)
 {
-    LineCopy copy;
-    copy.lineAddr = line_addr;
-    copy.bytes = bytes;
-    // The paper copies the line's ECC along with its data; here the
-    // encode reproduces the exact bits the cache would have held.
-    for (std::size_t i = 0; i + 8 <= bytes.size(); i += 8) {
-        std::uint64_t word = 0;
-        for (unsigned b = 0; b < 8; ++b)
-            word |= std::uint64_t(bytes[i + b]) << (8 * b);
-        copy.ecc.push_back(mem::Secded::encode(word));
-    }
-    lines_.push_back(std::move(copy));
+    lines_.push_back(LineCopy{line_addr, bytes});
     bytesUsed_ += copy_bytes;
 }
 

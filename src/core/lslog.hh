@@ -48,7 +48,16 @@ struct LineCopy
 {
     Addr lineAddr;
     std::vector<std::uint8_t> bytes;       //!< pre-write line image
-    std::vector<mem::EccWord> ecc;         //!< per-64-bit ECC words
+
+    /**
+     * The line's per-64-bit ECC words, reproducing the exact bits
+     * the cache would have held alongside the data.  Encoded on
+     * demand: most copies are discarded when their segment verifies,
+     * and only a rollback (or an explicit ECC audit) ever reads the
+     * protection bits, so paying Secded::encode at capture time for
+     * every store's line would be pure overhead on the common path.
+     */
+    std::vector<mem::EccWord> eccWords() const;
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "isa/decoded.hh"
+#include "isa/decoded_run.hh"
 #include "sim/logging.hh"
 
 namespace paradox
@@ -28,6 +30,16 @@ System::System(const SystemConfig &config, const isa::Program &program,
       statGroup_("system")
 {
     config_.validate();
+    engine_ = isa::makeEngine(config_.engine, program_);
+    if (engine_->kind() == isa::EngineKind::Decoded)
+        decodedProg_ = static_cast<const isa::DecodedEngine &>(*engine_)
+                           .decodedPtr();
+    // Superblock batching commits many instructions per stepOnce().
+    // A multicore interleaves cores min-local-time-first, one
+    // stepOnce() at a time, so shared L2/DRAM accesses happen in
+    // simulated-time order -- batching would let one core race
+    // thousands of instructions ahead of its siblings' clocks.
+    batchingAllowed_ = uncore == nullptr;
     if (uncore) {
         hierarchy_ = std::make_unique<mem::CacheHierarchy>(
             config_.hierarchy, mainClock_, uncore->l2.get(),
@@ -258,18 +270,17 @@ System::setSupplyVoltage(double v)
 }
 
 void
-System::maybeMainCoreFault(const isa::Instruction &inst,
-                           const isa::ExecResult &r)
+System::maybeMainCoreFault(const isa::CommitRecord &r)
 {
     if (mainCoreFaultPlan_.empty())
         return;
-    for (auto &injector : mainCoreFaultPlan_.injectors()) {
-        faults::FaultHit hit =
-            injector.onInstruction(inst, r.wroteInt || r.wroteFp);
-        if (!hit.fires)
-            continue;
-        ++faultsInjectedTotal_;
-        if (tracing()) {
+    // The corruption logic itself (which register, stuck-at vs flip)
+    // is shared with the checker replay: applyInstructionFaults.
+    faultsInjectedTotal_ += applyInstructionFaults(
+        mainCoreFaultPlan_, *r.inst, r, archState_,
+        [this](const faults::FaultHit &hit) {
+            if (!tracing())
+                return;
             tracer_->instant(trFaults_, "main-fault",
                              mainCore_->now(), nullptr,
                              double(hit.bit));
@@ -277,29 +288,7 @@ System::maybeMainCoreFault(const isa::Instruction &inst,
                 tracer_->instant(trFaults_, "weak-cell-hit",
                                  mainCore_->now(), "main",
                                  double(hit.site));
-        }
-        const std::uint64_t mask = std::uint64_t(1) << hit.bit;
-        const auto apply = [&](std::uint64_t v) {
-            if (hit.hasStuck)
-                return hit.stuckValue ? v | mask : v & ~mask;
-            return v ^ mask;
-        };
-        if (injector.kind() == faults::FaultKind::FunctionalUnit) {
-            if (r.wroteInt)
-                archState_.writeX(r.rd,
-                                  apply(archState_.readX(r.rd)));
-            else if (r.wroteFp)
-                archState_.writeFBits(
-                    r.rd, apply(archState_.readFBits(r.rd)));
-        } else if (hit.hasStuck) {
-            archState_.writeBit(injector.config().targetCategory,
-                                hit.regIndex, hit.bit,
-                                hit.stuckValue);
-        } else {
-            archState_.flipBit(injector.config().targetCategory,
-                               hit.regIndex, hit.bit);
-        }
-    }
+        });
 }
 
 void
@@ -316,18 +305,18 @@ System::enableDvfs(const faults::UndervoltErrorModel::Params &model)
 }
 
 std::size_t
-System::bytesNeeded(const isa::ExecResult &r) const
+System::bytesNeeded(const isa::MemPeek &p) const
 {
     const LogParams &log = config_.log;
     std::size_t bytes = 0;
-    if (r.isLoad) {
+    if (p.isLoad) {
         bytes += log.loadEntryBytes;
-    } else if (r.isStore) {
+    } else if (p.isStore) {
         bytes += log.storeEntryBytes;
         if (config_.lineGranularityRollback) {
             const unsigned lb = hierarchy_->lineBytes();
-            Addr first = r.memAddr & ~Addr(lb - 1);
-            Addr last = (r.memAddr + r.memSize - 1) & ~Addr(lb - 1);
+            Addr first = p.addr & ~Addr(lb - 1);
+            Addr last = (p.addr + p.size - 1) & ~Addr(lb - 1);
             for (Addr line = first; line <= last; line += lb) {
                 if (!linesCopiedThisCkpt_.count(line))
                     bytes += log.lineCopyBytes;
@@ -340,7 +329,7 @@ System::bytesNeeded(const isa::ExecResult &r) const
 }
 
 void
-System::captureLineCopies(const isa::ExecResult &r)
+System::captureLineCopies(const isa::CommitRecord &r)
 {
     const unsigned lb = hierarchy_->lineBytes();
     Addr first = r.memAddr & ~Addr(lb - 1);
@@ -368,7 +357,7 @@ System::captureLineCopies(const isa::ExecResult &r)
 }
 
 void
-System::logResult(const isa::ExecResult &r)
+System::logResult(const isa::CommitRecord &r)
 {
     const LogParams &log = config_.log;
     if (r.isLoad) {
@@ -455,7 +444,8 @@ System::closeSegmentAndDispatch()
     ReplayOutcome out = replaySegment(
         program_, *filling_, unsigned(fillingChecker_), *checkerTiming(),
         faultPlan_, config_.rollback.finalCompareCycles,
-        config_.checkerTimeoutFactor, config_.physicalOffset);
+        config_.checkerTimeoutFactor, config_.physicalOffset,
+        decodedProg_.get());
     checkerInstructions_ += out.instructionsExecuted;
     faultsInjectedTotal_ += out.faultsInjected;
     if (tracing() && out.faultsInjected > 0)
@@ -484,7 +474,8 @@ System::closeSegmentAndDispatch()
                 program_, *filling_, unsigned(retry_id),
                 *checkerTiming(), faultPlan_,
                 config_.rollback.finalCompareCycles,
-                config_.checkerTimeoutFactor, config_.physicalOffset);
+                config_.checkerTimeoutFactor, config_.physicalOffset,
+                decodedProg_.get());
             checkerInstructions_ += retry.instructionsExecuted;
             faultsInjectedTotal_ += retry.faultsInjected;
             // The retry starts when the first replay signals.
@@ -618,6 +609,8 @@ System::closeSegmentAndDispatch()
             }
         }
     }
+    if (pc.detected)
+        ++detectedPending_;
     pending_.push_back(std::move(pc));
 
     fillingChecker_ = -1;
@@ -640,7 +633,7 @@ System::drainChecks()
 }
 
 bool
-System::maybeEccEvent(const isa::ExecResult &r)
+System::maybeEccEvent(const isa::CommitRecord &r)
 {
     if (!r.isLoad)
         return false;
@@ -783,7 +776,7 @@ System::undoSegmentMemory(const LogSegment &segment)
             // Line copies hold physical addresses; the backing store
             // is virtual, so invert the (linear) mapping.
             Addr addr = it->lineAddr - config_.physicalOffset;
-            for (const mem::EccWord &word : it->ecc) {
+            for (const mem::EccWord &word : it->eccWords()) {
                 mem::EccDecode decoded = mem::Secded::decode(word);
                 memory_.write(addr, 8, decoded.data);
                 addr += 8;
@@ -805,6 +798,8 @@ System::undoSegmentMemory(const LogSegment &segment)
 bool
 System::processDetections(Tick now)
 {
+    if (detectedPending_ == 0)
+        return false;
     bool any = false;
     for (;;) {
         std::size_t best = pending_.size();
@@ -897,6 +892,10 @@ System::performRollback(std::size_t idx, Tick stop)
     }
     pending_.erase(pending_.begin() + std::ptrdiff_t(idx),
                    pending_.end());
+    detectedPending_ = 0;
+    for (const PendingCheck &p : pending_)
+        if (p.detected)
+            ++detectedPending_;
 
     Tick resume = stop + cost;
     if (tracing()) {
@@ -1023,7 +1022,7 @@ System::run(const RunLimits &limits)
 void
 System::beginRun(const RunLimits &limits)
 {
-    isa::loadProgram(program_, archState_, memory_);
+    engine_->reset(archState_, memory_);
     limits_ = limits;
     halted_ = false;
     lastProgressTick_ = mainCore_->now();
@@ -1089,8 +1088,26 @@ System::stepInstruction()
         }
     }
 
-    const isa::Instruction *inst = program_.fetch(archState_.pc());
-    if (!inst) {
+    // Superblock fast path: commit straight through the decoded
+    // image in one pass.  Guarded so it is provably equivalent to
+    // single-stepping -- an injected main-core fault could corrupt
+    // the pc the batch carries as an index, and a pending detection's
+    // firing tick could land mid-batch; both fall back below.
+    if (batchingAllowed_ && decodedProg_ && mainCoreFaultPlan_.empty() &&
+        detectedPending_ == 0) {
+        if (stepSuperblock())
+            return;
+        // A load/store without guaranteed log headroom: run the
+        // exact peek-and-cut path.
+    }
+
+    // Peek the next instruction's memory behaviour without executing
+    // it: a wild fetch surfaces here, and the segment-capacity cut
+    // happens *before* execution (the old path executed, undid the
+    // architectural/memory effects, and re-executed into the fresh
+    // segment).
+    const isa::MemPeek peek = engine_->peekMem(archState_);
+    if (!peek.valid) {
         // Only an injected main-core PC corruption can take fetch
         // outside the image.  The corrupted pc is part of the
         // recorded checkpoint, so the clean checker replay is
@@ -1105,23 +1122,21 @@ System::stepInstruction()
         return;
     }
 
-    isa::ArchState prev = archState_;
-    isa::ExecResult r = isa::step(program_, archState_, memory_);
-
     if (config_.mode != Mode::Baseline) {
-        std::size_t need = bytesNeeded(r);
+        const std::size_t need = bytesNeeded(peek);
         if (filling_->wouldOverflow(need, config_.log.segmentBytes)) {
-            // Undo this instruction, cut the segment at the
-            // boundary, and re-execute into the new segment.
-            archState_ = prev;
-            if (r.isStore)
-                memory_.write(r.memAddr, r.memSize, r.storeOld);
+            // Cut the segment at the boundary; the instruction
+            // executes into the new segment.
             ++*capacityCuts_;
             closeSegmentAndDispatch();
             if (!openSegment())
-                return;  // instruction undone; retried next step
-            r = isa::step(program_, archState_, memory_);
+                return;  // nothing executed; retried next step
         }
+    }
+
+    const isa::CommitRecord r = engine_->step(archState_, memory_);
+
+    if (config_.mode != Mode::Baseline) {
         logResult(r);
         ++instsInSegment_;
     }
@@ -1137,7 +1152,7 @@ System::stepInstruction()
     // Main-core corruption lands *after* commit: subsequent
     // instructions, the log, and the recorded end-of-segment
     // checkpoint all see it, exactly as a latch upset would.
-    maybeMainCoreFault(*inst, r);
+    maybeMainCoreFault(r);
 
     const bool mmio_store = r.isStore && isMmio(r.memAddr);
     const std::uint64_t pin_seg =
@@ -1150,20 +1165,20 @@ System::stepInstruction()
         // timing path runs on physical addresses, and TLB-miss walks
         // stall the pipeline.  Checkers replay the log's virtual
         // addresses untranslated.
-        isa::ExecResult tr = r;
-        mem::Translation ifetch = itlb_->translate(r.pc);
-        tr.pc = ifetch.paddr;
-        tr.nextPc += config_.physicalOffset;
+        const mem::Translation ifetch = itlb_->translate(r.pc);
+        Addr mem_paddr = r.memAddr;
         unsigned walk_cycles = ifetch.extraCycles;
-        if (tr.isLoad || tr.isStore) {
-            mem::Translation data = dtlb_->translate(r.memAddr);
-            tr.memAddr = data.paddr;
+        if (r.isLoad || r.isStore) {
+            const mem::Translation data = dtlb_->translate(r.memAddr);
+            mem_paddr = data.paddr;
             walk_cycles += data.extraCycles;
         }
         if (walk_cycles > 0)
             mainCore_->stallUntil(mainCore_->now() +
                                   mainClock_.cyclesToTicks(walk_cycles));
-        mainCore_->advance(*inst, tr, pin_seg, stamp);
+        mainCore_->advance(r, ifetch.paddr, mem_paddr,
+                           r.nextPc + config_.physicalOffset, pin_seg,
+                           stamp);
     }
 
     if (config_.mode != Mode::Baseline) {
@@ -1184,28 +1199,145 @@ System::stepInstruction()
         }
     }
 
-    if (r.halted) {
-        if (config_.mode == Mode::Baseline) {
-            halted_ = true;
-            phase_ = Phase::Done;
-            return;
-        }
-        // Close (or return) the trailing segment, then wait out the
-        // in-flight checks one completion at a time.
-        if (filling_ && instsInSegment_ > 0) {
-            closeSegmentAndDispatch();
-        } else if (filling_) {
-            sched()->release(unsigned(fillingChecker_),
-                             mainCore_->now());
-            if (config_.lowestIdScheduling)
-                checkerTiming()->powerGated(unsigned(fillingChecker_));
-            if (tracing())
-                traceEndFill(mainCore_->now());
-            filling_.reset();
-            fillingChecker_ = -1;
-        }
-        phase_ = Phase::Draining;
+    if (r.halted)
+        noteHaltCommitted();
+}
+
+void
+System::noteHaltCommitted()
+{
+    if (config_.mode == Mode::Baseline) {
+        halted_ = true;
+        phase_ = Phase::Done;
+        return;
     }
+    // Close (or return) the trailing segment, then wait out the
+    // in-flight checks one completion at a time.
+    if (filling_ && instsInSegment_ > 0) {
+        closeSegmentAndDispatch();
+    } else if (filling_) {
+        sched()->release(unsigned(fillingChecker_), mainCore_->now());
+        if (config_.lowestIdScheduling)
+            checkerTiming()->powerGated(unsigned(fillingChecker_));
+        if (tracing())
+            traceEndFill(mainCore_->now());
+        filling_.reset();
+        fillingChecker_ = -1;
+    }
+    phase_ = Phase::Draining;
+}
+
+bool
+System::stepSuperblock()
+{
+    // Bound the batch so target cuts and instruction limits land on
+    // exactly the boundaries the single-step path would produce.
+    std::uint64_t max_uops =
+        std::min(limits_.maxInstructions - netIndex_,
+                 limits_.maxExecuted - executed_);
+    if (config_.mode != Mode::Baseline) {
+        const unsigned target = ckptCtrl_.target();
+        if (instsInSegment_ >= target)
+            return false;
+        max_uops = std::min<std::uint64_t>(max_uops,
+                                           target - instsInSegment_);
+    }
+    if (max_uops == 0)
+        return false;
+
+    // Worst-case log bytes one load/store can consume.  While the
+    // open segment has at least this much headroom a memory op cannot
+    // overflow it, so the op commits inside the batch; below that the
+    // gate stops the batch *before* executing it and stepInstruction
+    // performs the exact peeked bytesNeeded() cut.
+    const LogParams &log = config_.log;
+    std::size_t store_worst = log.storeEntryBytes;
+    if (config_.lineGranularityRollback)
+        store_worst += 2 * std::size_t(log.lineCopyBytes);
+    else if (config_.rollbackSupported)
+        store_worst += log.storeOldValueBytes;
+    const std::size_t worst =
+        std::max<std::size_t>(log.loadEntryBytes, store_worst);
+
+    bool stopped = false;   // the sink handled a phase change itself
+    bool progressed = false;
+
+    auto gate = [this, worst]() -> bool {
+        return !filling_ ||
+               !filling_->wouldOverflow(worst, config_.log.segmentBytes);
+    };
+
+    // Per-record commit pipeline: the same sequence stepInstruction
+    // runs, minus the no-ops its entry conditions rule out (an empty
+    // main-core fault plan and no pending detections).
+    auto sink = [&](const isa::CommitRecord &r) -> bool {
+        if (!r.valid)
+            panic("System: main core fetched outside the image");
+        if (config_.mode != Mode::Baseline) {
+            logResult(r);
+            ++instsInSegment_;
+        }
+        ++executed_;
+        ++netIndex_;
+        progressed = true;
+        if (maybeEccEvent(r)) {
+            machineCheckRollback();
+            stopped = true;
+            return false;
+        }
+        const bool mmio_store = r.isStore && isMmio(r.memAddr);
+        const std::uint64_t pin_seg =
+            (config_.bufferUncheckedStores && filling_ && !mmio_store)
+                ? filling_->id()
+                : mem::noPin;
+        const std::uint64_t stamp = filling_ ? filling_->id() : 0;
+        {
+            const mem::Translation ifetch = itlb_->translate(r.pc);
+            Addr mem_paddr = r.memAddr;
+            unsigned walk_cycles = ifetch.extraCycles;
+            if (r.isLoad || r.isStore) {
+                const mem::Translation data =
+                    dtlb_->translate(r.memAddr);
+                mem_paddr = data.paddr;
+                walk_cycles += data.extraCycles;
+            }
+            if (walk_cycles > 0)
+                mainCore_->stallUntil(
+                    mainCore_->now() +
+                    mainClock_.cyclesToTicks(walk_cycles));
+            mainCore_->advance(r, ifetch.paddr, mem_paddr,
+                               r.nextPc + config_.physicalOffset,
+                               pin_seg, stamp);
+        }
+        if (config_.mode != Mode::Baseline && mmio_store) {
+            ++mmioDrains_;
+            if (tracing())
+                tracer_->instant(trMain_, "mmio-drain",
+                                 mainCore_->now());
+            if (filling_ && instsInSegment_ > 0)
+                closeSegmentAndDispatch();
+            drainChecks();
+            stopped = true;
+            return false;
+        }
+        if (r.halted) {
+            noteHaltCommitted();
+            stopped = true;
+            return false;
+        }
+        // Tick limit: stop so the next stepInstruction() entry check
+        // ends the run before anything else commits, exactly as the
+        // single-step path would.
+        return mainCore_->now() < limits_.maxTicks;
+    };
+
+    const isa::RunStop stop = isa::runDecoded(
+        *decodedProg_, archState_, memory_, max_uops, sink, gate);
+    if (stopped)
+        return true;
+    if (stop == isa::RunStop::MemNext && !progressed)
+        return false;
+    return true;
 }
 
 void

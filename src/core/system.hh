@@ -37,6 +37,7 @@
 #include "cpu/main_core.hh"
 #include "faults/fault_model.hh"
 #include "faults/undervolt_model.hh"
+#include "isa/engine.hh"
 #include "isa/executor.hh"
 #include "isa/program.hh"
 #include "mem/hierarchy.hh"
@@ -327,7 +328,7 @@ class System
      * uncorrectable.
      * @return true iff a DUE fired (caller must machine-check).
      */
-    bool maybeEccEvent(const isa::ExecResult &r);
+    bool maybeEccEvent(const isa::CommitRecord &r);
 
     /**
      * Machine-check response to a detected-but-uncorrectable memory
@@ -352,9 +353,8 @@ class System
             lastProgressTick_ = when;
     }
 
-    /** Apply main-core fault injection after a committed result. */
-    void maybeMainCoreFault(const isa::Instruction &inst,
-                            const isa::ExecResult &r);
+    /** Apply main-core fault injection after a committed record. */
+    void maybeMainCoreFault(const isa::CommitRecord &r);
 
     /** @{ Resolve possibly-shared checker resources. */
     CheckerScheduler *sched() { return schedPtr_; }
@@ -368,17 +368,38 @@ class System
     /** One Running-phase instruction; updates phase_. */
     void stepInstruction();
 
+    /**
+     * Batched Running-phase commit: run a superblock of decoded
+     * micro-ops through the commit pipeline in one runDecoded() pass,
+     * without the per-instruction engine round trip.  Only entered
+     * when the batch is provably equivalent to single-stepping (no
+     * main-core fault plan that could corrupt the carried pc, no
+     * pending detection whose firing tick could land mid-batch); a
+     * load/store without guaranteed log headroom stops the batch so
+     * the exact peeked capacity cut runs in stepInstruction().
+     * @return false if nothing committed (caller must single-step).
+     */
+    bool stepSuperblock();
+
+    /** Shared halt handling once HALT has committed; updates phase_. */
+    void noteHaltCommitted();
+
     /** One Draining-phase wait; updates phase_. */
     void stepDrain();
 
     /** Append @p r's memory activity to the filling segment. */
-    void logResult(const isa::ExecResult &r);
+    void logResult(const isa::CommitRecord &r);
 
-    /** Log bytes instruction result @p r will consume. */
-    std::size_t bytesNeeded(const isa::ExecResult &r) const;
+    /**
+     * Log bytes the *next* instruction will consume, from its peeked
+     * memory behaviour.  Evaluated before execution so the commit
+     * loop can cut the segment at the boundary instead of executing,
+     * undoing and re-executing.
+     */
+    std::size_t bytesNeeded(const isa::MemPeek &p) const;
 
     /** Capture pre-store line images for line-granularity rollback. */
-    void captureLineCopies(const isa::ExecResult &r);
+    void captureLineCopies(const isa::CommitRecord &r);
 
     /** Handle any detection due at or before @p now. */
     bool processDetections(Tick now);
@@ -423,6 +444,16 @@ class System
     SystemConfig config_;
     const isa::Program &program_;
 
+    /** Execution engine (config_.engine) for the main core's
+     * functional path; owns fetch and decode. */
+    std::unique_ptr<isa::Engine> engine_;
+    /** Shared decoded image (null with the reference engine); feeds
+     * the checker-replay fast path. */
+    std::shared_ptr<const isa::DecodedProgram> decodedProg_;
+    /** Superblock commits permitted (false under a shared uncore:
+     * the multicore interleave needs per-instruction granularity). */
+    bool batchingAllowed_ = false;
+
     mem::SimpleMemory memory_;
     isa::ArchState archState_;
     ClockDomain mainClock_;
@@ -453,6 +484,9 @@ class System
 
     // Dispatched segments, oldest first.
     std::deque<PendingCheck> pending_;
+    /** Entries of pending_ with detected == true (gates the
+     * per-instruction detection scan). */
+    std::size_t detectedPending_ = 0;
 
     // Run-scoped counters.
     std::uint64_t segSeq_ = 1;

@@ -1,13 +1,34 @@
 #include "cpu/branch_pred.hh"
 
+#include "sim/logging.hh"
+
 namespace paradox
 {
 namespace cpu
 {
 
+namespace
+{
+
+unsigned
+tableMask(unsigned entries, const char *what)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        fatal(std::string("TournamentPredictor: ") + what +
+              " must be a power of two");
+    return entries - 1;
+}
+
+} // namespace
+
 TournamentPredictor::TournamentPredictor(const Params &params)
     : params_(params)
 {
+    localMask_ = tableMask(params_.localEntries, "localEntries");
+    globalMask_ = tableMask(params_.globalEntries, "globalEntries");
+    chooserMask_ = tableMask(params_.chooserEntries, "chooserEntries");
+    btbMask_ = tableMask(params_.btbEntries, "btbEntries");
+    rasMask_ = tableMask(params_.rasEntries, "rasEntries");
     localHistory_.assign(params_.localEntries, 0);
     localCounters_.assign(params_.localEntries, 3);  // weakly not-taken
     globalCounters_.assign(params_.globalEntries, 1);
@@ -43,25 +64,25 @@ TournamentPredictor::train(std::uint8_t &c, bool taken, std::uint8_t max)
 unsigned
 TournamentPredictor::localIndex(Addr pc) const
 {
-    return (pc / isa::instBytes) % params_.localEntries;
+    return (pc / isa::instBytes) & localMask_;
 }
 
 unsigned
 TournamentPredictor::globalIndex() const
 {
-    return globalHistory_ % params_.globalEntries;
+    return globalHistory_ & globalMask_;
 }
 
 unsigned
 TournamentPredictor::chooserIndex(Addr pc) const
 {
-    return (pc / isa::instBytes) % params_.chooserEntries;
+    return (pc / isa::instBytes) & chooserMask_;
 }
 
 unsigned
 TournamentPredictor::btbIndex(Addr pc) const
 {
-    return (pc / isa::instBytes) % params_.btbEntries;
+    return (pc / isa::instBytes) & btbMask_;
 }
 
 bool
@@ -89,7 +110,7 @@ TournamentPredictor::predict(Addr pc, const isa::Instruction &inst)
     if (ii.isJump) {
         pred.taken = true;
         if (isReturn(inst) && rasTop_ > 0) {
-            pred.target = ras_[(rasTop_ - 1) % params_.rasEntries];
+            pred.target = ras_[(rasTop_ - 1) & rasMask_];
             pred.targetKnown = true;
             --rasTop_;
         } else {
@@ -100,14 +121,14 @@ TournamentPredictor::predict(Addr pc, const isa::Instruction &inst)
             }
         }
         if (isCall(inst)) {
-            ras_[rasTop_ % params_.rasEntries] = pc + isa::instBytes;
+            ras_[rasTop_ & rasMask_] = pc + isa::instBytes;
             ++rasTop_;
         }
     } else if (ii.isBranch) {
         const unsigned li = localIndex(pc);
         const std::uint16_t hist = localHistory_[li];
         const bool local_taken = counterTaken(
-            localCounters_[hist % params_.localEntries], 7);
+            localCounters_[hist & localMask_], 7);
         const bool global_taken =
             counterTaken(globalCounters_[globalIndex()], 3);
         lastChoseGlobal_ = counterTaken(chooser_[chooserIndex(pc)], 3);
@@ -136,7 +157,7 @@ TournamentPredictor::update(Addr pc, const isa::Instruction &inst,
         const unsigned li = localIndex(pc);
         const std::uint16_t hist = localHistory_[li];
         std::uint8_t &local_ctr =
-            localCounters_[hist % params_.localEntries];
+            localCounters_[hist & localMask_];
         std::uint8_t &global_ctr = globalCounters_[globalIndex()];
         const bool local_taken = counterTaken(local_ctr, 7);
         const bool global_taken = counterTaken(global_ctr, 3);

@@ -79,6 +79,13 @@ class TournamentPredictor
     bool isReturn(const isa::Instruction &inst) const;
 
     Params params_;
+    /** Table sizes are power-of-two (checked in the ctor), so the
+     *  per-lookup index math is a mask, not a runtime modulo. */
+    unsigned localMask_ = 0;
+    unsigned globalMask_ = 0;
+    unsigned chooserMask_ = 0;
+    unsigned btbMask_ = 0;
+    unsigned rasMask_ = 0;
     std::vector<std::uint16_t> localHistory_;
     std::vector<std::uint8_t> localCounters_;   //!< 3-bit
     std::vector<std::uint8_t> globalCounters_;  //!< 2-bit

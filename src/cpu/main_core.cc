@@ -26,26 +26,19 @@ MainCore::MainCore(const MainCoreParams &params, ClockDomain &clock,
 }
 
 Tick
-MainCore::sourceReady(const isa::Instruction &inst) const
+MainCore::sourceReady(const isa::CommitRecord &r) const
 {
-    const isa::InstInfo &ii = inst.info();
+    // The per-opcode operand roles are resolved at decode time
+    // (isa::decodeSources); here the scoreboard just walks the
+    // encoded sources.
     Tick ready = 0;
-    if (inst.op == isa::Opcode::FSD) {
-        // FP store: integer base address + FP data source.
-        ready = std::max(regReadyX_[inst.rs1], regReadyF_[inst.rs2]);
-    } else if (ii.readsFp) {
-        ready = std::max(ready, regReadyF_[inst.rs1]);
-        if (inst.op != isa::Opcode::FSQRT &&
-            inst.op != isa::Opcode::FNEG &&
-            inst.op != isa::Opcode::FABS &&
-            inst.op != isa::Opcode::FCVT_L_D &&
-            inst.op != isa::Opcode::FMV_X_D)
-            ready = std::max(ready, regReadyF_[inst.rs2]);
-        if (inst.op == isa::Opcode::FMADD)
-            ready = std::max(ready, regReadyF_[inst.rd]);
-    } else {
-        ready = std::max(ready, regReadyX_[inst.rs1]);
-        ready = std::max(ready, regReadyX_[inst.rs2]);
+    const std::uint8_t srcs[3] = {r.srcA, r.srcB, r.srcC};
+    for (std::uint8_t s : srcs) {
+        if (s == isa::srcNone)
+            continue;
+        const Tick t = isa::srcIsFp(s) ? regReadyF_[isa::srcIdx(s)]
+                                       : regReadyX_[isa::srcIdx(s)];
+        ready = std::max(ready, t);
     }
     return ready;
 }
@@ -64,14 +57,15 @@ MainCore::useFu(std::vector<Tick> &group, Tick ready, unsigned latency,
 }
 
 CommitTiming
-MainCore::advance(const isa::Instruction &inst, const isa::ExecResult &r,
-                  std::uint64_t pin_seg, std::uint64_t stamp)
+MainCore::advance(const isa::CommitRecord &r, Addr fetch_pc,
+                  Addr mem_addr, Addr next_pc, std::uint64_t pin_seg,
+                  std::uint64_t stamp)
 {
     CommitTiming timing;
 
     // ---- Fetch ----------------------------------------------------
     Tick fetch_start = std::max(fetchReadyAt_, nextFetchSlot_);
-    Tick fetch_done = hierarchy_.instFetch(r.pc, fetch_start);
+    Tick fetch_done = hierarchy_.instFetch(fetch_pc, fetch_start);
     // Bandwidth: 'width' sequential fetches per cycle; an I-cache
     // miss additionally holds the in-order frontend.
     nextFetchSlot_ = std::max(fetch_start + slotTicks(),
@@ -89,7 +83,7 @@ MainCore::advance(const isa::Instruction &inst, const isa::ExecResult &r,
         dispatch = std::max(dispatch, sqRing_[sqHead_]);
 
     // ---- Operand readiness ----------------------------------------
-    Tick ready = std::max(dispatch, sourceReady(inst));
+    Tick ready = std::max(dispatch, sourceReady(r));
 
     // ---- Issue + execute ------------------------------------------
     Tick complete = ready;
@@ -98,7 +92,7 @@ MainCore::advance(const isa::Instruction &inst, const isa::ExecResult &r,
         Tick issue = ready;
         if (r.isLoad) {
             for (;;) {
-                auto d = hierarchy_.dataAccess(r.memAddr, r.pc, false,
+                auto d = hierarchy_.dataAccess(mem_addr, fetch_pc, false,
                                                issue, mem::noPin, stamp);
                 if (!d.blockedPinned) {
                     complete = d.completeAt;
@@ -150,10 +144,11 @@ MainCore::advance(const isa::Instruction &inst, const isa::ExecResult &r,
 
     // ---- Branch resolution ----------------------------------------
     if (r.isBranch || r.isJump) {
-        predictor_.predict(r.pc, inst);
+        predictor_.predict(fetch_pc, *r.inst);
         const bool actually_taken = r.isJump ? true : r.taken;
         const bool miss =
-            predictor_.update(r.pc, inst, actually_taken, r.nextPc);
+            predictor_.update(fetch_pc, *r.inst, actually_taken,
+                              next_pc);
         if (miss) {
             timing.mispredicted = true;
             ++mispredicts_;
@@ -174,7 +169,7 @@ MainCore::advance(const isa::Instruction &inst, const isa::ExecResult &r,
     if (r.isStore) {
         Tick at = commit;
         for (;;) {
-            auto d = hierarchy_.dataAccess(r.memAddr, r.pc, true, at,
+            auto d = hierarchy_.dataAccess(mem_addr, fetch_pc, true, at,
                                            pin_seg, stamp);
             if (!d.blockedPinned) {
                 timing.l1dHit = d.l1Hit;
@@ -199,16 +194,20 @@ MainCore::advance(const isa::Instruction &inst, const isa::ExecResult &r,
         regReadyF_[r.rd] = complete;
 
     robRing_[robHead_] = commit;
-    robHead_ = (robHead_ + 1) % robRing_.size();
+    if (++robHead_ == robRing_.size())
+        robHead_ = 0;
     iqRing_[iqHead_] = complete;
-    iqHead_ = (iqHead_ + 1) % iqRing_.size();
+    if (++iqHead_ == iqRing_.size())
+        iqHead_ = 0;
     if (r.isLoad) {
         lqRing_[lqHead_] = commit;
-        lqHead_ = (lqHead_ + 1) % lqRing_.size();
+        if (++lqHead_ == lqRing_.size())
+            lqHead_ = 0;
     }
     if (r.isStore) {
         sqRing_[sqHead_] = commit;
-        sqHead_ = (sqHead_ + 1) % sqRing_.size();
+        if (++sqHead_ == sqRing_.size())
+            sqHead_ = 0;
     }
 
     timing.commitAt = commit;

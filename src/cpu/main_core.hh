@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "cpu/branch_pred.hh"
-#include "isa/executor.hh"
+#include "isa/engine.hh"
 #include "mem/hierarchy.hh"
 #include "sim/clock.hh"
 #include "sim/types.hh"
@@ -88,15 +88,29 @@ class MainCore
 
     /**
      * Account timing for one committed instruction.
-     * @param inst the decoded instruction (source-register indices)
-     * @param r functional result (already executed)
+     * @param r commit record from the execution engine (functional
+     *        outcome plus decode metadata: fetched instruction and
+     *        encoded source registers)
      * @param pin_seg segment id to pin written lines under (mem::noPin
      *        to disable unchecked-store buffering)
      * @param stamp checkpoint id for line-granularity rollback copies
      */
-    CommitTiming advance(const isa::Instruction &inst,
-                         const isa::ExecResult &r, std::uint64_t pin_seg,
-                         std::uint64_t stamp);
+    CommitTiming advance(const isa::CommitRecord &r,
+                         std::uint64_t pin_seg, std::uint64_t stamp)
+    {
+        return advance(r, r.pc, r.memAddr, r.nextPc, pin_seg, stamp);
+    }
+
+    /**
+     * As above, with the main core's redundantly translated physical
+     * addresses passed alongside the (virtual-addressed) record: the
+     * timing path -- fetch, data access, and predictor indexing --
+     * runs on @p fetch_pc / @p mem_addr / @p next_pc so the commit
+     * loop does not have to copy and patch the whole record.
+     */
+    CommitTiming advance(const isa::CommitRecord &r, Addr fetch_pc,
+                         Addr mem_addr, Addr next_pc,
+                         std::uint64_t pin_seg, std::uint64_t stamp);
 
     /** Set the handler for pinned-set stalls. */
     void setPinnedStallResolver(PinnedStallResolver resolver)
@@ -131,10 +145,24 @@ class MainCore
 
   private:
     Tick cycles(unsigned n) const { return clock_.cyclesToTicks(n); }
-    Tick slotTicks() const { return clock_.period() / params_.width; }
 
-    /** Ready tick of an instruction's source registers. */
-    Tick sourceReady(const isa::Instruction &inst) const;
+    /**
+     * period / width, memoized: DVFS can retune the clock between
+     * instructions, so the quotient is revalidated with a compare
+     * rather than recomputed with a divide per fetch/commit slot.
+     */
+    Tick
+    slotTicks() const
+    {
+        if (clock_.period() != slotPeriod_) {
+            slotPeriod_ = clock_.period();
+            slotTicks_ = slotPeriod_ / params_.width;
+        }
+        return slotTicks_;
+    }
+
+    /** Ready tick of a record's encoded source registers. */
+    Tick sourceReady(const isa::CommitRecord &r) const;
 
     /** Issue through a functional-unit group; returns complete tick. */
     Tick useFu(std::vector<Tick> &group, Tick ready, unsigned latency,
@@ -162,6 +190,9 @@ class MainCore
     std::vector<Tick> intAluBusy_;
     std::vector<Tick> fpAluBusy_;
     std::vector<Tick> multDivBusy_;
+
+    mutable Tick slotPeriod_ = 0;  //!< clock period slotTicks_ is for
+    mutable Tick slotTicks_ = 0;
 
     std::uint64_t committed_ = 0;
     std::uint64_t mispredicts_ = 0;

@@ -53,6 +53,7 @@ runOne(const ExperimentSpec &spec)
     }
     if (spec.timeoutFactor)
         config.checkerTimeoutFactor = spec.timeoutFactor;
+    config.engine = spec.engine;
     config.memoryEccFaultRate = spec.eccRate;
     if (spec.escalate)
         config.enableEscalation();

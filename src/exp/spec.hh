@@ -80,6 +80,10 @@ struct ExperimentSpec
     unsigned timeoutFactor = 0;
     /** @} */
 
+    /** Execution engine ("decoded" default; "reference" for the
+     * legacy per-step decoder -- differential/debug runs). */
+    isa::EngineKind engine = isa::EngineKind::Decoded;
+
     /** @{ Execution tracing (src/obs). Empty traceFile = off. */
     std::string traceFile;         //!< Chrome JSON path (+ .jsonl twin)
     unsigned traceMetricsUs = 10;  //!< metrics sampling interval

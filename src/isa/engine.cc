@@ -1,0 +1,123 @@
+#include "isa/engine.hh"
+
+#include "isa/decoded.hh"
+
+namespace paradox
+{
+namespace isa
+{
+
+SourceRegs
+decodeSources(const Instruction &inst)
+{
+    SourceRegs s;
+    const InstInfo &ii = instInfo(inst.op);
+    if (inst.op == Opcode::FSD) {
+        // FP store: integer base address + FP data source.
+        s.a = inst.rs1;
+        s.b = std::uint8_t(inst.rs2 | srcFpBit);
+    } else if (ii.readsFp) {
+        s.a = std::uint8_t(inst.rs1 | srcFpBit);
+        if (inst.op != Opcode::FSQRT && inst.op != Opcode::FNEG &&
+            inst.op != Opcode::FABS && inst.op != Opcode::FCVT_L_D &&
+            inst.op != Opcode::FMV_X_D)
+            s.b = std::uint8_t(inst.rs2 | srcFpBit);
+        if (inst.op == Opcode::FMADD)
+            s.c = std::uint8_t(inst.rd | srcFpBit);
+    } else {
+        // Integer ops (including loads, stores, branches and the
+        // int->FP moves) source the integer file; unused rs fields
+        // are 0 and x0 is always ready, so keeping them preserves
+        // the scoreboard behaviour exactly.
+        s.a = inst.rs1;
+        s.b = inst.rs2;
+    }
+    return s;
+}
+
+CommitRecord
+makeCommitRecord(const Instruction &inst, const ExecResult &r)
+{
+    CommitRecord rec;
+    static_cast<ExecResult &>(rec) = r;
+    rec.inst = &inst;
+    const SourceRegs s = decodeSources(inst);
+    rec.srcA = s.a;
+    rec.srcB = s.b;
+    rec.srcC = s.c;
+    return rec;
+}
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::Reference: return "reference";
+      case EngineKind::Decoded: return "decoded";
+    }
+    return "?";
+}
+
+bool
+parseEngineKind(const std::string &name, EngineKind &out)
+{
+    if (name == "reference") {
+        out = EngineKind::Reference;
+    } else if (name == "decoded") {
+        out = EngineKind::Decoded;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+Engine::reset(ArchState &state, MemIf &mem) const
+{
+    loadProgram(prog_, state, mem);
+}
+
+MemPeek
+ReferenceEngine::peekMem(const ArchState &state) const
+{
+    MemPeek p;
+    const Instruction *inst = prog_.fetch(state.pc());
+    if (!inst)
+        return p;
+    p.valid = true;
+    const InstInfo &ii = inst->info();
+    if (ii.isLoad || ii.isStore) {
+        p.isLoad = ii.isLoad;
+        p.isStore = ii.isStore;
+        p.addr = state.readX(inst->rs1) + std::uint64_t(inst->imm);
+        p.size = ii.memSize;
+    }
+    return p;
+}
+
+CommitRecord
+ReferenceEngine::step(ArchState &state, MemIf &mem)
+{
+    const Addr pc = state.pc();
+    CommitRecord r;
+    static_cast<ExecResult &>(r) = isa::step(prog_, state, mem);
+    if (!r.valid)
+        return r;
+    r.inst = prog_.fetch(pc);
+    const SourceRegs s = decodeSources(*r.inst);
+    r.srcA = s.a;
+    r.srcB = s.b;
+    r.srcC = s.c;
+    return r;
+}
+
+std::unique_ptr<Engine>
+makeEngine(EngineKind kind, const Program &prog)
+{
+    if (kind == EngineKind::Reference)
+        return std::make_unique<ReferenceEngine>(prog);
+    return std::make_unique<DecodedEngine>(prog);
+}
+
+} // namespace isa
+} // namespace paradox

@@ -10,84 +10,6 @@ namespace isa
 namespace
 {
 
-constexpr InstInfo
-info(const char *mnem, InstClass cls, bool wi, bool wf, bool rf,
-     bool ld, bool st, bool br, bool jp, std::uint8_t sz)
-{
-    return InstInfo{mnem, cls, wi, wf, rf, ld, st, br, jp, sz};
-}
-
-// Shorthand rows. Columns: mnemonic, class, writesInt, writesFp,
-// readsFp, isLoad, isStore, isBranch, isJump, memSize.
-const InstInfo infoTable[static_cast<unsigned>(Opcode::NumOpcodes)] = {
-    info("add",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("sub",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("and",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("or",   InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("xor",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("sll",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("srl",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("sra",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("slt",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("sltu", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("mul",  InstClass::IntMult,1,0,0, 0,0,0,0, 0),
-    info("mulh", InstClass::IntMult,1,0,0, 0,0,0,0, 0),
-    info("div",  InstClass::IntDiv, 1,0,0, 0,0,0,0, 0),
-    info("divu", InstClass::IntDiv, 1,0,0, 0,0,0,0, 0),
-    info("rem",  InstClass::IntDiv, 1,0,0, 0,0,0,0, 0),
-    info("remu", InstClass::IntDiv, 1,0,0, 0,0,0,0, 0),
-    info("addi", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("andi", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("ori",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("xori", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("slli", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("srli", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("srai", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("slti", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("ldi",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
-    info("lb",   InstClass::Load,  1,0,0, 1,0,0,0, 1),
-    info("lbu",  InstClass::Load,  1,0,0, 1,0,0,0, 1),
-    info("lh",   InstClass::Load,  1,0,0, 1,0,0,0, 2),
-    info("lhu",  InstClass::Load,  1,0,0, 1,0,0,0, 2),
-    info("lw",   InstClass::Load,  1,0,0, 1,0,0,0, 4),
-    info("lwu",  InstClass::Load,  1,0,0, 1,0,0,0, 4),
-    info("ld",   InstClass::Load,  1,0,0, 1,0,0,0, 8),
-    info("sb",   InstClass::Store, 0,0,0, 0,1,0,0, 1),
-    info("sh",   InstClass::Store, 0,0,0, 0,1,0,0, 2),
-    info("sw",   InstClass::Store, 0,0,0, 0,1,0,0, 4),
-    info("sd",   InstClass::Store, 0,0,0, 0,1,0,0, 8),
-    info("fld",  InstClass::Load,  0,1,0, 1,0,0,0, 8),
-    info("fsd",  InstClass::Store, 0,0,1, 0,1,0,0, 8),
-    info("beq",  InstClass::Branch,0,0,0, 0,0,1,0, 0),
-    info("bne",  InstClass::Branch,0,0,0, 0,0,1,0, 0),
-    info("blt",  InstClass::Branch,0,0,0, 0,0,1,0, 0),
-    info("bge",  InstClass::Branch,0,0,0, 0,0,1,0, 0),
-    info("bltu", InstClass::Branch,0,0,0, 0,0,1,0, 0),
-    info("bgeu", InstClass::Branch,0,0,0, 0,0,1,0, 0),
-    info("jal",  InstClass::Jump,  1,0,0, 0,0,0,1, 0),
-    info("jalr", InstClass::Jump,  1,0,0, 0,0,0,1, 0),
-    info("fadd", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
-    info("fsub", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
-    info("fmul", InstClass::FpMult,0,1,1, 0,0,0,0, 0),
-    info("fdiv", InstClass::FpDiv, 0,1,1, 0,0,0,0, 0),
-    info("fsqrt",InstClass::FpDiv, 0,1,1, 0,0,0,0, 0),
-    info("fmin", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
-    info("fmax", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
-    info("fneg", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
-    info("fabs", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
-    info("fmadd",InstClass::FpMult,0,1,1, 0,0,0,0, 0),
-    info("fcvt.d.l", InstClass::FpAlu, 0,1,0, 0,0,0,0, 0),
-    info("fcvt.l.d", InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
-    info("fmv.x.d",  InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
-    info("fmv.d.x",  InstClass::FpAlu, 0,1,0, 0,0,0,0, 0),
-    info("feq",  InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
-    info("flt",  InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
-    info("fle",  InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
-    info("nop",  InstClass::Other, 0,0,0, 0,0,0,0, 0),
-    info("syscall", InstClass::Other, 1,0,0, 0,0,0,0, 0),
-    info("halt", InstClass::Other, 0,0,0, 0,0,0,0, 0),
-};
-
 const char *classNames[static_cast<unsigned>(InstClass::NumClasses)] = {
     "IntAlu", "IntMult", "IntDiv", "FpAlu", "FpMult", "FpDiv",
     "Load", "Store", "Branch", "Jump", "Other",
@@ -95,14 +17,16 @@ const char *classNames[static_cast<unsigned>(InstClass::NumClasses)] = {
 
 } // namespace
 
-const InstInfo &
-instInfo(Opcode op)
+namespace detail
 {
-    auto idx = static_cast<unsigned>(op);
-    if (idx >= static_cast<unsigned>(Opcode::NumOpcodes))
-        panic("instInfo: opcode out of range");
-    return infoTable[idx];
+
+void
+instInfoOutOfRange()
+{
+    panic("instInfo: opcode out of range");
 }
+
+} // namespace detail
 
 const char *
 mnemonic(Opcode op)

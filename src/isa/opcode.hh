@@ -93,8 +93,105 @@ struct InstInfo
     std::uint8_t memSize; //!< access width in bytes (0 if not memory)
 };
 
-/** Look up the static properties of @p op. */
-const InstInfo &instInfo(Opcode op);
+namespace detail
+{
+
+/** Abort on a corrupt opcode (out-of-line: keeps instInfo tiny). */
+[[noreturn]] void instInfoOutOfRange();
+
+// Shorthand rows. Columns: mnemonic, class, writesInt, writesFp,
+// readsFp, isLoad, isStore, isBranch, isJump, memSize.
+constexpr InstInfo
+infoRow(const char *mnem, InstClass cls, bool wi, bool wf, bool rf,
+        bool ld, bool st, bool br, bool jp, std::uint8_t sz)
+{
+    return InstInfo{mnem, cls, wi, wf, rf, ld, st, br, jp, sz};
+}
+
+inline constexpr InstInfo
+    infoTable[static_cast<unsigned>(Opcode::NumOpcodes)] = {
+    infoRow("add",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("sub",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("and",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("or",   InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("xor",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("sll",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("srl",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("sra",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("slt",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("sltu", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("mul",  InstClass::IntMult,1,0,0, 0,0,0,0, 0),
+    infoRow("mulh", InstClass::IntMult,1,0,0, 0,0,0,0, 0),
+    infoRow("div",  InstClass::IntDiv, 1,0,0, 0,0,0,0, 0),
+    infoRow("divu", InstClass::IntDiv, 1,0,0, 0,0,0,0, 0),
+    infoRow("rem",  InstClass::IntDiv, 1,0,0, 0,0,0,0, 0),
+    infoRow("remu", InstClass::IntDiv, 1,0,0, 0,0,0,0, 0),
+    infoRow("addi", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("andi", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("ori",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("xori", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("slli", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("srli", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("srai", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("slti", InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("ldi",  InstClass::IntAlu, 1,0,0, 0,0,0,0, 0),
+    infoRow("lb",   InstClass::Load,  1,0,0, 1,0,0,0, 1),
+    infoRow("lbu",  InstClass::Load,  1,0,0, 1,0,0,0, 1),
+    infoRow("lh",   InstClass::Load,  1,0,0, 1,0,0,0, 2),
+    infoRow("lhu",  InstClass::Load,  1,0,0, 1,0,0,0, 2),
+    infoRow("lw",   InstClass::Load,  1,0,0, 1,0,0,0, 4),
+    infoRow("lwu",  InstClass::Load,  1,0,0, 1,0,0,0, 4),
+    infoRow("ld",   InstClass::Load,  1,0,0, 1,0,0,0, 8),
+    infoRow("sb",   InstClass::Store, 0,0,0, 0,1,0,0, 1),
+    infoRow("sh",   InstClass::Store, 0,0,0, 0,1,0,0, 2),
+    infoRow("sw",   InstClass::Store, 0,0,0, 0,1,0,0, 4),
+    infoRow("sd",   InstClass::Store, 0,0,0, 0,1,0,0, 8),
+    infoRow("fld",  InstClass::Load,  0,1,0, 1,0,0,0, 8),
+    infoRow("fsd",  InstClass::Store, 0,0,1, 0,1,0,0, 8),
+    infoRow("beq",  InstClass::Branch,0,0,0, 0,0,1,0, 0),
+    infoRow("bne",  InstClass::Branch,0,0,0, 0,0,1,0, 0),
+    infoRow("blt",  InstClass::Branch,0,0,0, 0,0,1,0, 0),
+    infoRow("bge",  InstClass::Branch,0,0,0, 0,0,1,0, 0),
+    infoRow("bltu", InstClass::Branch,0,0,0, 0,0,1,0, 0),
+    infoRow("bgeu", InstClass::Branch,0,0,0, 0,0,1,0, 0),
+    infoRow("jal",  InstClass::Jump,  1,0,0, 0,0,0,1, 0),
+    infoRow("jalr", InstClass::Jump,  1,0,0, 0,0,0,1, 0),
+    infoRow("fadd", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
+    infoRow("fsub", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
+    infoRow("fmul", InstClass::FpMult,0,1,1, 0,0,0,0, 0),
+    infoRow("fdiv", InstClass::FpDiv, 0,1,1, 0,0,0,0, 0),
+    infoRow("fsqrt",InstClass::FpDiv, 0,1,1, 0,0,0,0, 0),
+    infoRow("fmin", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
+    infoRow("fmax", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
+    infoRow("fneg", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
+    infoRow("fabs", InstClass::FpAlu, 0,1,1, 0,0,0,0, 0),
+    infoRow("fmadd",InstClass::FpMult,0,1,1, 0,0,0,0, 0),
+    infoRow("fcvt.d.l", InstClass::FpAlu, 0,1,0, 0,0,0,0, 0),
+    infoRow("fcvt.l.d", InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
+    infoRow("fmv.x.d",  InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
+    infoRow("fmv.d.x",  InstClass::FpAlu, 0,1,0, 0,0,0,0, 0),
+    infoRow("feq",  InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
+    infoRow("flt",  InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
+    infoRow("fle",  InstClass::FpAlu, 1,0,1, 0,0,0,0, 0),
+    infoRow("nop",  InstClass::Other, 0,0,0, 0,0,0,0, 0),
+    infoRow("syscall", InstClass::Other, 1,0,0, 0,0,0,0, 0),
+    infoRow("halt", InstClass::Other, 0,0,0, 0,0,0,0, 0),
+};
+
+} // namespace detail
+
+/**
+ * Look up the static properties of @p op.  Inline: this sits on the
+ * per-instruction hot paths (decode, timing, replay).
+ */
+inline const InstInfo &
+instInfo(Opcode op)
+{
+    const auto idx = static_cast<unsigned>(op);
+    if (idx >= static_cast<unsigned>(Opcode::NumOpcodes))
+        detail::instInfoOutOfRange();
+    return detail::infoTable[idx];
+}
 
 /** Human-readable mnemonic of @p op. */
 const char *mnemonic(Opcode op);

@@ -21,24 +21,29 @@ Cache::Cache(const CacheParams &params) : params_(params)
         fatal("Cache: set count must be a positive power of two");
     lines_.resize(numSets_ * params_.assoc);
     mshrBusy_.assign(std::max(1u, params_.mshrs), 0);
+    while ((1u << lineShift_) < params_.lineBytes)
+        ++lineShift_;
+    while ((std::size_t(1) << setShift_) < numSets_)
+        ++setShift_;
+    setMask_ = numSets_ - 1;
 }
 
 std::uint64_t
 Cache::tagOf(Addr addr) const
 {
-    return (addr / params_.lineBytes) / numSets_;
+    return (addr >> lineShift_) >> setShift_;
 }
 
 std::size_t
 Cache::setOf(Addr addr) const
 {
-    return (addr / params_.lineBytes) % numSets_;
+    return (addr >> lineShift_) & setMask_;
 }
 
 Addr
 Cache::lineAddr(std::uint64_t tag, std::size_t set) const
 {
-    return (tag * numSets_ + set) * params_.lineBytes;
+    return ((tag << setShift_) + set) << lineShift_;
 }
 
 CacheAccessResult
@@ -46,15 +51,21 @@ Cache::access(Addr addr, bool is_write, Tick now, std::uint64_t pin_seg,
               std::uint64_t stamp)
 {
     CacheAccessResult result;
-    const std::uint64_t tag = tagOf(addr);
-    const std::size_t set = setOf(addr);
-    Line *base = &lines_[set * params_.assoc];
+    const std::uint64_t lineId = addr >> lineShift_;
+    const std::uint64_t tag = lineId >> setShift_;
+    const std::size_t set = lineId & setMask_;
 
     Line *line = nullptr;
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            line = &base[w];
-            break;
+    if (lineId == mruLineId_ && mruLine_ && mruLine_->valid &&
+        mruLine_->tag == tag) {
+        line = mruLine_;
+    } else {
+        Line *base = &lines_[set * params_.assoc];
+        for (unsigned w = 0; w < params_.assoc; ++w) {
+            if (base[w].valid && base[w].tag == tag) {
+                line = &base[w];
+                break;
+            }
         }
     }
 
@@ -62,6 +73,7 @@ Cache::access(Addr addr, bool is_write, Tick now, std::uint64_t pin_seg,
         ++hits_;
         result.outcome = CacheOutcome::Hit;
     } else {
+        Line *base = &lines_[set * params_.assoc];
         // Victim selection: invalid way first, then LRU among the
         // unpinned ways. A fully pinned set cannot evict.
         Line *victim = nullptr;
@@ -100,6 +112,8 @@ Cache::access(Addr addr, bool is_write, Tick now, std::uint64_t pin_seg,
         line = victim;
     }
 
+    mruLineId_ = lineId;
+    mruLine_ = line;
     line->lastUsed = now;
     result.lineStampMatched = line->stamp == stamp;
     if (is_write) {

@@ -133,7 +133,24 @@ class Cache
 
     CacheParams params_;
     std::size_t numSets_;
+    /** Geometry is power-of-two (checked in the ctor): index math is
+     *  shift/mask, not the runtime divides the compiler would have to
+     *  emit for the configurable params_ values. */
+    unsigned lineShift_ = 0;
+    unsigned setShift_ = 0;
+    std::uint64_t setMask_ = 0;
     std::vector<Line> lines_;   //!< numSets_ * assoc, set-major
+    /**
+     * Last line resolved by access(): consecutive accesses to one
+     * line (instruction fetch, stack traffic) skip the way scan.  The
+     * memo is self-validating -- the line id fixes the set, and the
+     * cached way's valid+tag check is exactly the scan's hit
+     * condition -- so hit/miss counts, LRU order, and pin state are
+     * bit-identical with or without it.  lines_ never reallocates
+     * after construction.
+     */
+    std::uint64_t mruLineId_ = ~std::uint64_t(0);
+    Line *mruLine_ = nullptr;
     std::vector<Tick> mshrBusy_;
 
     std::uint64_t hits_ = 0;

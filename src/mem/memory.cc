@@ -1,5 +1,8 @@
 #include "mem/memory.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace paradox
@@ -10,16 +13,24 @@ namespace mem
 SimpleMemory::Page *
 SimpleMemory::findPage(Addr addr) const
 {
-    auto it = pages_.find(addr / pageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+    const Addr num = addr / pageBytes;
+    if (num == lastPageNum_)
+        return lastPage_;
+    auto it = pages_.find(num);
+    lastPageNum_ = num;
+    lastPage_ = it == pages_.end() ? nullptr : it->second.get();
+    return lastPage_;
 }
 
 SimpleMemory::Page &
 SimpleMemory::touchPage(Addr addr)
 {
-    auto &slot = pages_[addr / pageBytes];
+    const Addr num = addr / pageBytes;
+    auto &slot = pages_[num];
     if (!slot)
         slot = std::make_unique<Page>();
+    lastPageNum_ = num;
+    lastPage_ = slot.get();
     return *slot;
 }
 
@@ -28,6 +39,16 @@ SimpleMemory::read(Addr addr, unsigned size)
 {
     if (size == 0 || size > 8)
         panic("SimpleMemory::read: bad size");
+    const std::size_t off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= std::uint64_t((*page)[off + i]) << (8 * i);
+        return v;
+    }
     std::uint64_t v = 0;
     for (unsigned i = 0; i < size; ++i)
         v |= std::uint64_t(readByte(addr + i)) << (8 * i);
@@ -39,6 +60,16 @@ SimpleMemory::write(Addr addr, unsigned size, std::uint64_t value)
 {
     if (size == 0 || size > 8)
         panic("SimpleMemory::write: bad size");
+    const std::size_t off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        Page &page = touchPage(addr);
+        std::uint64_t old = 0;
+        for (unsigned i = 0; i < size; ++i) {
+            old |= std::uint64_t(page[off + i]) << (8 * i);
+            page[off + i] = std::uint8_t(value >> (8 * i));
+        }
+        return old;
+    }
     std::uint64_t old = 0;
     for (unsigned i = 0; i < size; ++i) {
         old |= std::uint64_t(readByte(addr + i)) << (8 * i);
@@ -63,15 +94,31 @@ SimpleMemory::writeByte(Addr addr, std::uint8_t value)
 void
 SimpleMemory::readBlock(Addr addr, std::uint8_t *out, std::size_t n) const
 {
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = readByte(addr + i);
+    while (n != 0) {
+        const std::size_t off = addr % pageBytes;
+        const std::size_t chunk = std::min(n, pageBytes - off);
+        const Page *page = findPage(addr);
+        if (page)
+            std::memcpy(out, page->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        n -= chunk;
+    }
 }
 
 void
 SimpleMemory::writeBlock(Addr addr, const std::uint8_t *in, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        writeByte(addr + i, in[i]);
+    while (n != 0) {
+        const std::size_t off = addr % pageBytes;
+        const std::size_t chunk = std::min(n, pageBytes - off);
+        std::memcpy(touchPage(addr).data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        n -= chunk;
+    }
 }
 
 std::uint64_t
@@ -80,10 +127,15 @@ SimpleMemory::fingerprint() const
     std::uint64_t acc = 0;
     for (const auto &[pageNum, page] : pages_) {
         std::uint64_t h = 0xcbf29ce484222325ULL ^ pageNum;
-        bool nonZero = false;
-        for (std::uint8_t byte : *page) {
-            nonZero |= byte != 0;
-            h = (h ^ byte) * 0x100000001b3ULL;
+        std::uint64_t nonZero = 0;
+        const std::uint8_t *data = page->data();
+        // FNV over 64-bit words; fingerprints are only ever compared
+        // between runs of the same binary, never persisted.
+        for (std::size_t i = 0; i < pageBytes; i += 8) {
+            std::uint64_t word;
+            std::memcpy(&word, data + i, 8);
+            nonZero |= word;
+            h = (h ^ word) * 0x100000001b3ULL;
         }
         // All-zero pages contribute nothing: content equality must
         // not depend on which pages happen to be materialized.

@@ -65,6 +65,18 @@ class SimpleMemory : public isa::MemIf
     Page &touchPage(Addr addr);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    /**
+     * Memo of the last page looked up.  Accesses are strongly
+     * page-local (the commit loop hammers the stack and a few data
+     * pages), so this turns the per-access hash lookup into a single
+     * compare.  Page storage is node-stable (unique_ptr in a node
+     * map) and pages are never deallocated, so a cached pointer can
+     * only go stale one way: a page materializing after a null was
+     * memoized -- touchPage refreshes the memo to cover that.
+     */
+    mutable Addr lastPageNum_ = ~Addr(0);
+    mutable Page *lastPage_ = nullptr;
 };
 
 } // namespace mem

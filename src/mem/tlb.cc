@@ -15,6 +15,11 @@ Tlb::Tlb(const TlbParams &params, Addr physical_base)
     sets_ = params_.entries / params_.assoc;
     if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0)
         fatal("Tlb: set count must be a power of two");
+    if (params_.pageBytes == 0 ||
+        (params_.pageBytes & (params_.pageBytes - 1)) != 0)
+        fatal("Tlb: page size must be a power of two");
+    while ((1u << pageShift_) < params_.pageBytes)
+        ++pageShift_;
     entries_.resize(params_.entries);
 }
 
@@ -25,13 +30,19 @@ Tlb::translate(Addr vaddr)
     Translation result;
     result.paddr = vaddr + base_;
 
-    const std::uint64_t vpn = vaddr / params_.pageBytes;
-    Entry *set = &entries_[(vpn % sets_) * params_.assoc];
+    const std::uint64_t vpn = vaddr >> pageShift_;
+    if (mru_ && mru_->valid && mru_->vpn == vpn) {
+        mru_->lastUsed = clock_;
+        ++hits_;
+        return result;
+    }
+    Entry *set = &entries_[(vpn & (sets_ - 1)) * params_.assoc];
 
     for (unsigned w = 0; w < params_.assoc; ++w) {
         if (set[w].valid && set[w].vpn == vpn) {
             set[w].lastUsed = clock_;
             ++hits_;
+            mru_ = &set[w];
             return result;
         }
     }
@@ -52,6 +63,7 @@ Tlb::translate(Addr vaddr)
     victim->valid = true;
     victim->vpn = vpn;
     victim->lastUsed = clock_;
+    mru_ = victim;
     return result;
 }
 

@@ -85,6 +85,15 @@ class Tlb
     Addr base_;
     std::size_t sets_;
     std::vector<Entry> entries_;
+    /**
+     * Most-recently-hit entry: consecutive accesses to one page are
+     * the overwhelmingly common case, and the memoized entry's vpn
+     * check subsumes the set scan exactly (same hit/miss counts,
+     * same LRU ordering).  entries_ never reallocates after
+     * construction; flush() invalidates via the valid flag.
+     */
+    Entry *mru_ = nullptr;
+    unsigned pageShift_ = 0;    //!< log2(pageBytes), checked in ctor
     std::uint64_t clock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -55,9 +55,10 @@ TEST(LogSegment, LineCopiesCarryDecodableEcc)
     EXPECT_TRUE(seg.hasLineCopy(0x1000));
     EXPECT_FALSE(seg.hasLineCopy(0x1040));
     const LineCopy &copy = seg.lineCopies()[0];
-    ASSERT_EQ(copy.ecc.size(), 8u);
+    const std::vector<mem::EccWord> ecc = copy.eccWords();
+    ASSERT_EQ(ecc.size(), 8u);
     for (std::size_t i = 0; i < 8; ++i) {
-        auto d = mem::Secded::decode(copy.ecc[i]);
+        auto d = mem::Secded::decode(ecc[i]);
         EXPECT_EQ(d.status, mem::EccStatus::Ok);
         std::uint64_t expect = 0;
         for (unsigned k = 0; k < 8; ++k)

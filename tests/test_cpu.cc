@@ -139,7 +139,7 @@ struct CoreFixture
         r.nextPc = pc + instBytes;
         r.wroteInt = rd != 0;
         r.rd = inst.rd;
-        return core->advance(inst, r, mem::noPin, 0);
+        return core->advance(makeCommitRecord(inst, r), mem::noPin, 0);
     }
 };
 
@@ -195,7 +195,7 @@ TEST(MainCore, DivIsSlowerThanAdd)
             r.nextPc = r.pc + instBytes;
             r.wroteInt = true;
             r.rd = 1;
-            f.core->advance(inst, r, mem::noPin, 0);
+            f.core->advance(makeCommitRecord(inst, r), mem::noPin, 0);
         }
         return f.core->now() - start;
     };
@@ -270,7 +270,8 @@ TEST(MainCore, LoadsPayCacheLatency)
         r.memSize = 8;
         r.wroteInt = true;
         r.rd = 2;
-        return f.core->advance(inst, r, mem::noPin, 0);
+        return f.core->advance(makeCommitRecord(inst, r), mem::noPin,
+                               0);
     };
     auto miss = feed_load(0x200000);
     auto hit = feed_load(0x200000);
@@ -393,7 +394,7 @@ TEST(MainCoreExtra, MispredictsDelayFetch)
             r.isBranch = true;
             r.taken = random_dir ? rng.chance(0.5) : true;
             r.nextPc = r.taken ? 0x0 : 0x44;
-            core.advance(br, r, mem::noPin, 0);
+            core.advance(isa::makeCommitRecord(br, r), mem::noPin, 0);
         }
         return core.now();
     };

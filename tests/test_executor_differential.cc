@@ -13,11 +13,16 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "isa/builder.hh"
+#include "isa/decoded.hh"
+#include "isa/decoded_run.hh"
+#include "isa/engine.hh"
 #include "isa/executor.hh"
 #include "mem/memory.hh"
 #include "sim/rng.hh"
+#include "workloads/workload.hh"
 
 namespace
 {
@@ -197,6 +202,260 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+// ---------------------------------------------------------------------
+// Engine lockstep: the decoded threaded-dispatch engine against the
+// reference engine, asserting identical per-instruction commit
+// records and architectural state.
+
+/** Pretty commit-record mismatch context. */
+std::string
+describeRecord(const CommitRecord &r)
+{
+    std::string s = "pc=" + std::to_string(r.pc) +
+                    " op=" + (r.valid ? mnemonic(r.op) : "<wild>") +
+                    " nextPc=" + std::to_string(r.nextPc) +
+                    " dest=" + std::to_string(r.destValue);
+    if (r.isLoad || r.isStore)
+        s += " mem@" + std::to_string(r.memAddr) + "/" +
+             std::to_string(r.memSize);
+    return s;
+}
+
+/**
+ * Run @p prog on both engines in lockstep for up to @p max_steps,
+ * requiring bit-identical commit records, register state and memory
+ * at every instruction boundary.
+ */
+void
+lockstepSingleStep(const Program &prog, std::uint64_t max_steps)
+{
+    auto ref = makeEngine(EngineKind::Reference, prog);
+    auto dec = makeEngine(EngineKind::Decoded, prog);
+    EXPECT_EQ(ref->kind(), EngineKind::Reference);
+    EXPECT_EQ(dec->kind(), EngineKind::Decoded);
+
+    ArchState refState, decState;
+    mem::SimpleMemory refMem, decMem;
+    ref->reset(refState, refMem);
+    dec->reset(decState, decMem);
+    EXPECT_EQ(refState, decState);
+
+    std::uint64_t steps = 0;
+    for (; steps < max_steps; ++steps) {
+        const MemPeek refPeek = ref->peekMem(refState);
+        const MemPeek decPeek = dec->peekMem(decState);
+        EXPECT_EQ(refPeek.valid, decPeek.valid);
+        EXPECT_EQ(refPeek.isLoad, decPeek.isLoad);
+        EXPECT_EQ(refPeek.isStore, decPeek.isStore);
+        EXPECT_EQ(refPeek.addr, decPeek.addr);
+        EXPECT_EQ(refPeek.size, decPeek.size);
+
+        const CommitRecord a = ref->step(refState, refMem);
+        const CommitRecord b = dec->step(decState, decMem);
+        ASSERT_TRUE(a.sameAs(b))
+            << prog.name() << " step " << steps << "\n  ref: "
+            << describeRecord(a) << "\n  dec: " << describeRecord(b);
+        ASSERT_EQ(refState, decState)
+            << prog.name() << " state diverged at step " << steps;
+        // The peek must agree with what actually executed.
+        if (a.valid) {
+            EXPECT_EQ(refPeek.isLoad, a.isLoad);
+            EXPECT_EQ(refPeek.isStore, a.isStore);
+            if (a.isLoad || a.isStore) {
+                EXPECT_EQ(refPeek.addr, a.memAddr);
+                EXPECT_EQ(refPeek.size, a.memSize);
+            }
+        }
+        if (!a.valid || a.halted)
+            break;
+    }
+    EXPECT_EQ(refMem.fingerprint(), decMem.fingerprint())
+        << prog.name() << " memory diverged";
+}
+
+/**
+ * Run the decoded program through the *batch* threaded-dispatch loop
+ * (the checker-replay fast path, which carries resolved target
+ * indices between micro-ops) against the reference engine stepping
+ * one instruction at a time.
+ */
+void
+lockstepBatch(const Program &prog, std::uint64_t max_steps)
+{
+    auto ref = makeEngine(EngineKind::Reference, prog);
+    auto dp = DecodedProgram::get(prog);
+    ASSERT_EQ(dp->size(), prog.size());
+
+    ArchState refState, decState;
+    mem::SimpleMemory refMem, decMem;
+    ref->reset(refState, refMem);
+    isa::loadProgram(prog, decState, decMem);
+
+    std::uint64_t steps = 0;
+    bool diverged = false;
+    runDecoded(*dp, decState, decMem, max_steps,
+               [&](const CommitRecord &b) {
+                   const CommitRecord a = ref->step(refState, refMem);
+                   EXPECT_TRUE(a.sameAs(b))
+                       << prog.name() << " batch step " << steps
+                       << "\n  ref: " << describeRecord(a)
+                       << "\n  dec: " << describeRecord(b);
+                   EXPECT_EQ(refState, decState)
+                       << prog.name() << " batch state diverged at step "
+                       << steps;
+                   ++steps;
+                   diverged = !a.sameAs(b) || !(refState == decState);
+                   return !diverged;
+               });
+    EXPECT_FALSE(diverged);
+    EXPECT_EQ(refMem.fingerprint(), decMem.fingerprint())
+        << prog.name() << " batch memory diverged";
+}
+
+class EngineWorkloadDifferential
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EngineWorkloadDifferential, BatchLockstepBitIdentical)
+{
+    workloads::Workload w = workloads::build(GetParam(), 1);
+    lockstepBatch(w.program, 150000);
+}
+
+TEST_P(EngineWorkloadDifferential, SingleStepLockstepBitIdentical)
+{
+    workloads::Workload w = workloads::build(GetParam(), 1);
+    lockstepSingleStep(w.program, 50000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, EngineWorkloadDifferential,
+    ::testing::ValuesIn(workloads::allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(EngineDifferential, DecodedImageMatchesCode)
+{
+    for (const auto &name : workloads::allNames()) {
+        workloads::Workload w = workloads::build(name, 1);
+        auto dp = DecodedProgram::get(w.program);
+        ASSERT_EQ(dp->size(), w.program.size()) << name;
+        for (std::size_t i = 0; i < dp->size(); ++i) {
+            const MicroOp &u = dp->at(i);
+            const Instruction &inst = w.program.code()[i];
+            ASSERT_EQ(u.op, inst.op) << name << " @" << i;
+            ASSERT_EQ(u.inst, &inst) << name << " @" << i;
+            const InstInfo &ii = inst.info();
+            ASSERT_EQ(u.cls, ii.cls);
+            ASSERT_EQ(u.isLoad, ii.isLoad);
+            ASSERT_EQ(u.isStore, ii.isStore);
+            // Superblock runs must stop at (and only at) control
+            // transfers, HALT, or the image end.
+            const bool endsRun = ii.isBranch || ii.isJump ||
+                                 inst.op == Opcode::HALT ||
+                                 i + 1 == dp->size();
+            ASSERT_EQ(u.runLen == 1, endsRun) << name << " @" << i;
+            if (!endsRun) {
+                ASSERT_EQ(u.runLen, dp->at(i + 1).runLen + 1);
+            }
+        }
+    }
+}
+
+TEST(EngineDifferential, DecodeIsMemoizedPerProgram)
+{
+    workloads::Workload w = workloads::build("bitcount", 1);
+    auto a = DecodedProgram::get(w.program);
+    auto b = DecodedProgram::get(w.program);
+    EXPECT_EQ(a.get(), b.get());
+
+    // A different Program object decodes separately (micro-ops point
+    // into their own image).
+    workloads::Workload w2 = workloads::build("bitcount", 1);
+    auto c = DecodedProgram::get(w2.program);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(a->contentHash(), c->contentHash());
+}
+
+/** Seeded random program: terminating, mostly-sane, sometimes wild. */
+Program
+randomProgram(std::uint64_t seed, unsigned insts)
+{
+    Rng rng(seed);
+    std::vector<Instruction> code;
+    code.reserve(insts + 1);
+    const auto numOps = std::uint64_t(Opcode::NumOpcodes);
+    for (unsigned i = 0; i < insts; ++i) {
+        Instruction inst;
+        inst.op = Opcode(rng.nextBounded(numOps));
+        if (inst.op == Opcode::HALT && i + 1 != insts)
+            inst.op = Opcode::ADD;  // keep programs long enough
+        inst.rd = std::uint8_t(rng.nextBounded(isa::numIntRegs));
+        inst.rs1 = std::uint8_t(rng.nextBounded(isa::numIntRegs));
+        inst.rs2 = std::uint8_t(rng.nextBounded(isa::numIntRegs));
+        const InstInfo &ii = instInfo(inst.op);
+        if (ii.isBranch || inst.op == Opcode::JAL) {
+            // Mostly in-image targets, occasionally wild/misaligned.
+            if (rng.nextBounded(16) == 0)
+                inst.imm = std::int64_t(rng.next() & 0xffff);
+            else
+                inst.imm = std::int64_t(
+                    rng.nextBounded(insts) * instBytes);
+        } else if (ii.isLoad || ii.isStore) {
+            inst.imm = std::int64_t(0x2000 + rng.nextBounded(0x4000));
+            inst.rs1 = 0;  // x0 base: bounded, deterministic footprint
+        } else {
+            inst.imm = std::int64_t(rng.next() & 0xffff) - 0x8000;
+        }
+        code.push_back(inst);
+    }
+    code.push_back(Instruction{Opcode::HALT, 0, 0, 0, 0});
+    return Program("random-" + std::to_string(seed), std::move(code),
+                   {});
+}
+
+TEST(EngineDifferential, RandomProgramsLockstep)
+{
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        Program prog = randomProgram(0x5eedULL * seed + seed, 96);
+        lockstepSingleStep(prog, 4000);
+        lockstepBatch(prog, 4000);
+    }
+}
+
+TEST(EngineDifferential, WildFetchLeavesStateUntouched)
+{
+    // A JAL straight out of the image.
+    std::vector<Instruction> code;
+    code.push_back(Instruction{Opcode::JAL, 1, 0, 0, 0x100000});
+    Program prog("wild", std::move(code), {});
+
+    auto dec = makeEngine(EngineKind::Decoded, prog);
+    ArchState state;
+    mem::SimpleMemory memory;
+    dec->reset(state, memory);
+
+    CommitRecord jump = dec->step(state, memory);
+    EXPECT_TRUE(jump.valid);
+    EXPECT_TRUE(jump.isJump);
+    EXPECT_EQ(state.pc(), Addr(0x100000));
+
+    const ArchState before = state;
+    CommitRecord wild = dec->step(state, memory);
+    EXPECT_FALSE(wild.valid);
+    EXPECT_EQ(wild.pc, Addr(0x100000));
+    EXPECT_EQ(wild.nextPc, Addr(0));
+    EXPECT_EQ(state, before);
+    EXPECT_EQ(wild.inst, nullptr);
+    EXPECT_FALSE(dec->peekMem(state).valid);
+}
 
 TEST(MemOpDifferential, AllWidthsRoundTripThroughMemory)
 {

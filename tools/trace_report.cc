@@ -42,9 +42,11 @@
 #include <vector>
 
 #include "exp/cli.hh"
+#include "isa/decoded.hh"
 #include "obs/trace.hh"
 #include "obs/trace_reader.hh"
 #include "sim/types.hh"
+#include "workloads/workload.hh"
 
 namespace
 {
@@ -128,6 +130,12 @@ struct CostRec
     std::uint64_t minDyn = 0;
     std::uint64_t maxDyn = 0;
     bool bounded = false;
+    std::uint64_t scale = 1;
+    /** @{ Decoded-image identity the model's mix was counted over
+     *  (0 when the record predates decoded_uops/decoded_hash). */
+    std::uint64_t decodedUops = 0;
+    std::uint64_t decodedHash = 0;
+    /** @} */
 };
 
 /** Outcome of checking one trace against the cost model. */
@@ -137,6 +145,12 @@ struct CostCheck
     bool skipped = false;    //!< trace had faults or no seg-insts
     std::string skipReason;
     bool ok = true;          //!< bounds held (when not skipped)
+    /** @{ Decoded-image verification: the record's decoded identity
+     *  vs a fresh decode of the workload at the record's scale. */
+    bool decodedChecked = false;
+    bool decodedOk = true;
+    std::string decodedNote;
+    /** @} */
     CostRec rec;
 };
 
@@ -174,6 +188,12 @@ loadCostModel(const std::string &path,
             rec.maxDyn = std::strtoull(v.c_str(), nullptr, 10);
         if (obs::jsonField(line, "bounded", v))
             rec.bounded = v == "1" || v == "true";
+        if (obs::jsonField(line, "scale", v))
+            rec.scale = std::strtoull(v.c_str(), nullptr, 10);
+        if (obs::jsonField(line, "decoded_uops", v))
+            rec.decodedUops = std::strtoull(v.c_str(), nullptr, 10);
+        if (obs::jsonField(line, "decoded_hash", v))
+            rec.decodedHash = std::strtoull(v.c_str(), nullptr, 10);
         out[prog] = rec;
     }
     if (!sawHeader || out.empty()) {
@@ -201,6 +221,37 @@ checkCost(const Analysis &a,
         return c;
     c.attempted = true;
     c.rec = it->second;
+
+    // Verify the decoded-image identity the cost record was counted
+    // over against a fresh decode of the same workload at the
+    // record's scale: a stale cost file (the workload changed after
+    // `isa_lint --cost` ran) must fail loudly, not slip a wrong
+    // bound past the seg-insts comparison below.
+    if (c.rec.decodedUops != 0) {
+        c.decodedChecked = true;
+        try {
+            const workloads::Workload w =
+                workloads::build(a.trace.tool,
+                                 unsigned(c.rec.scale));
+            const auto dp = isa::DecodedProgram::get(w.program);
+            if (dp->size() != c.rec.decodedUops ||
+                dp->contentHash() != c.rec.decodedHash) {
+                c.decodedOk = false;
+                c.ok = false;
+                c.decodedNote =
+                    "cost record decode (" +
+                    std::to_string(c.rec.decodedUops) +
+                    " uops) does not match the current workload (" +
+                    std::to_string(dp->size()) +
+                    " uops) -- stale cost file?";
+            }
+        } catch (const std::exception &e) {
+            // Not a registered workload (custom tool name): nothing
+            // to re-decode against.
+            c.decodedChecked = false;
+        }
+    }
+
     if (a.faulty) {
         c.skipped = true;
         c.skipReason = "trace contains fault/recovery events";
@@ -343,6 +394,11 @@ printCostText(const Analysis &a, const CostCheck &c)
                     a.trace.tool.c_str());
         return;
     }
+    if (c.decodedChecked)
+        std::printf("  decoded image: %llu uop(s), %s\n",
+                    (unsigned long long)c.rec.decodedUops,
+                    c.decodedOk ? "matches current decode"
+                                : c.decodedNote.c_str());
     if (c.skipped) {
         std::printf("  skipped: %s\n", c.skipReason.c_str());
         return;
@@ -511,6 +567,11 @@ toJson(const Analysis &a, const CostCheck *cost)
         os << ",\"cost\":{\"attempted\":"
            << (cost->attempted ? "true" : "false");
         if (cost->attempted) {
+            if (cost->decodedChecked) {
+                os << ",\"decoded_uops\":" << cost->rec.decodedUops
+                   << ",\"decoded_ok\":"
+                   << (cost->decodedOk ? "true" : "false");
+            }
             os << ",\"skipped\":" << (cost->skipped ? "true" : "false");
             if (cost->skipped) {
                 os << ",\"skip_reason\":\"";
@@ -606,6 +667,9 @@ main(int argc, char **argv)
         CostCheck check;
         if (haveCost) {
             check = checkCost(a, costModel);
+            if (check.attempted && check.decodedChecked &&
+                !check.decodedOk)
+                all_ok = false;
             if (check.attempted && !check.skipped) {
                 ++costChecked;
                 if (!check.ok) {
