@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <sstream>
 
 #include "analysis/ai.hh"
 #include "analysis/cfg.hh"
+#include "analysis/vuln.hh"
 
 namespace paradox
 {
@@ -77,6 +79,32 @@ Linter::lint(const isa::Program &prog) const
         checkTermination(ctx, report.diags,
                          ai && ai->converged() ? &*ai : nullptr);
     });
+
+    if (opts_.vuln)
+        timed("vuln", [&] {
+            VulnOptions vo;
+            vo.extraRegions = opts_.extraRegions;
+            vo.intervals = ai && ai->converged() ? &*ai : nullptr;
+            const VulnAnalysis va =
+                VulnAnalysis::run(prog, cfg, reachable, vo);
+            const VulnAnalysis::Stats &st = va.stats();
+            std::ostringstream msg;
+            msg << "vulnerability: " << st.regBitsLive << "/"
+                << st.regBitsTotal << " register bits live-into-output";
+            char pct[16];
+            std::snprintf(pct, sizeof pct, " (%.1f%%)",
+                          100.0 * st.liveFraction);
+            msg << pct << ", " << st.prunedEdges
+                << " interval-pruned edge(s)";
+            if (st.footprintAnalyzed)
+                msg << ", " << st.footprintLiveAtEntry << "/"
+                    << st.footprintBytes
+                    << " footprint bytes live at entry";
+            report.diags.push_back({Severity::Info, "vuln",
+                                    "live-bit-summary",
+                                    Diagnostic::noIndex, "", "",
+                                    msg.str()});
+        });
 
     // Resolve source locations: nearest label and disassembly.
     for (auto &d : report.diags) {

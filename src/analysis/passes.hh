@@ -52,6 +52,13 @@ struct Options
      * interval fixpoint costs more than every other pass combined.
      */
     bool ranges = false;
+
+    /**
+     * Run the fault-vulnerability (live-bit/ACE) analysis and report
+     * its aggregate live fractions.  Pair with ranges=true to let
+     * interval facts prune provably-masked bits.
+     */
+    bool vuln = false;
 };
 
 /** Shared read-only state handed to each pass. */

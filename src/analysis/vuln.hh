@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Static fault-vulnerability analysis: bit-granular ACE masks.
+ *
+ * A backward liveness fixpoint over the CFG computes, for every
+ * instruction and every one of the 64 register slots (32 integer +
+ * 32 floating point), the mask of bits whose value immediately after
+ * that instruction commits can still reach *architectural output*.
+ * Architectural output is what the ParaDox checker compares besides
+ * the final register file: store values and addresses in the segment
+ * log, load addresses, control flow (which governs the entry count
+ * and the watchdog), and the memory image the campaign fingerprints.
+ *
+ * A (instruction, slot, bit) site whose bit is NOT in the mask is
+ * *statically dead* (un-ACE): flipping it after the instruction
+ * commits cannot change the program's memory image or result word,
+ * and cannot be detected by the checker as anything other than a
+ * FinalStateMismatch (the register files are compared at segment end
+ * whether or not the difference matters).  That is exactly the class
+ * of fault ParaDox pays a rollback for without needing to: the
+ * masked-fault rollback fraction reported by fault_campaign --vuln.
+ *
+ * Soundness contract (the dynamic oracle in core::System checks it):
+ * if every fault injected into a segment hits a statically-dead
+ * site, the replay may detect FinalStateMismatch but never
+ * StoreMismatch, LoadEntryMismatch, InvalidBehavior,
+ * EntryCountMismatch, or Timeout, and the architectural output is
+ * byte-identical to the fault-free run.  The transfer functions are
+ * therefore *value independent*: branch operands, load/store base
+ * registers, and store values (to their access width) are always
+ * live, so control flow and the log stream cannot be steered by a
+ * "dead" corruption.  Interval facts (PR 5) are only used to prune
+ * bits that some *live* (hence uncorrupted) operand provably masks.
+ */
+
+#ifndef PARADOX_ANALYSIS_VULN_HH
+#define PARADOX_ANALYSIS_VULN_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/regmodel.hh"
+#include "faults/chip_model.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace paradox
+{
+namespace analysis
+{
+
+class IntervalAnalysis;
+
+/** Static verdict for one fault site. */
+enum class SiteVerdict : std::uint8_t
+{
+    Unknown = 0,  //!< analysis has no claim (treated as live)
+    Live = 1,     //!< may reach architectural output
+    Dead = 2,     //!< provably masked: at worst a FinalStateMismatch
+};
+
+const char *toString(SiteVerdict v);
+
+/** Tuning knobs for VulnAnalysis::run(). */
+struct VulnOptions
+{
+    /** Extra footprint regions (e.g. the ABI result cell). */
+    std::vector<isa::MemRegion> extraRegions;
+
+    /**
+     * Converged interval results used to prune provably-masked bits
+     * (AND/OR with a bounded operand, infeasible CFG edges) and to
+     * resolve load/store addresses for the byte-liveness pass.  May
+     * be null: the analysis stays sound, just less precise.
+     */
+    const IntervalAnalysis *intervals = nullptr;
+
+    /** Skip the byte-granular footprint pass above this size. */
+    std::size_t footprintByteCap = std::size_t(1) << 16;
+};
+
+/** Bit-granular register + byte-granular memory ACE analysis. */
+class VulnAnalysis
+{
+  public:
+    /** One live mask per register slot. */
+    using SlotMasks = std::array<std::uint64_t, numRegSlots>;
+
+    /** Aggregate statistics for reports and the JSONL model. */
+    struct Stats
+    {
+        std::uint64_t regBitsTotal = 0;  //!< reachable insts * 64 * 64
+        std::uint64_t regBitsLive = 0;   //!< thereof live-out bits
+        double liveFraction = 0.0;       //!< regBitsLive/regBitsTotal
+        /** Per basic block: live fraction over its instructions. */
+        std::vector<double> blockLiveFraction;
+        std::uint64_t prunedEdges = 0;   //!< interval-infeasible edges
+        bool intervalsUsed = false;
+
+        bool footprintAnalyzed = false;  //!< false if over the cap
+        std::uint64_t footprintBytes = 0;
+        std::uint64_t footprintLiveAtEntry = 0;
+    };
+
+    /** Run the fixpoint; @p reachable is Cfg::reachableBlocks(). */
+    static VulnAnalysis run(const isa::Program &prog, const Cfg &cfg,
+                            const std::vector<bool> &reachable,
+                            const VulnOptions &opts = {});
+
+    /**
+     * Convenience for runtime consumers (exp::runOne, tools): build
+     * the CFG and the interval fixpoint internally and run with them.
+     * Shared so one model serves every checker of a core::System.
+     */
+    static std::shared_ptr<const VulnAnalysis>
+    build(const isa::Program &prog,
+          const std::vector<isa::MemRegion> &extraRegions = {});
+
+    /**
+     * Mask of live bits of @p slot immediately after instruction
+     * @p instIdx commits; 0 for unreachable instructions (they never
+     * execute while the contract holds).
+     */
+    std::uint64_t liveOutMask(std::size_t instIdx, unsigned slot) const;
+
+    /** Verdict for flipping @p bit of @p slot after @p instIdx. */
+    SiteVerdict regBitVerdict(std::size_t instIdx, unsigned slot,
+                              unsigned bit) const;
+
+    /** Union of liveOutMask(i, slot) over all reachable i. */
+    std::uint64_t everLiveMask(unsigned slot) const
+    { return everLive_[slot]; }
+
+    /**
+     * Union of destination live-out masks over reachable instructions
+     * of @p cls -- the ACE mask of that functional unit's result bus.
+     */
+    std::uint64_t classDestLiveMask(isa::InstClass cls) const
+    { return classDestLive_[std::size_t(cls)]; }
+
+    /**
+     * Verdict for one physical weak cell of a faults::ChipModel,
+     * mirroring how FaultInjector applies its hits (LogRow cells stay
+     * Live: store rows always matter and load rows depend on the
+     * consuming instruction, judged per hit at runtime).
+     */
+    SiteVerdict cellVerdict(const faults::WeakCell &cell) const;
+
+    /**
+     * Verdict for flipping @p bit of the value carried by a *load*
+     * log entry consumed by @p inst at @p instIdx.  Bits at or above
+     * the access width are re-extended away by the executor; below
+     * it the flip lands in the destination register (store entries
+     * are always live -- any value flip is a StoreMismatch).
+     */
+    SiteVerdict loadEntryVerdict(const isa::Instruction &inst,
+                                 std::size_t instIdx,
+                                 unsigned bit) const;
+
+    const Stats &stats() const { return stats_; }
+
+    /** FNV-1a over the instruction stream; keys model staleness. */
+    std::uint64_t programHash() const { return hash_; }
+
+    std::size_t instructionCount() const { return liveOut_.size(); }
+
+  private:
+    std::vector<SlotMasks> liveOut_;  //!< per instruction
+    SlotMasks everLive_{};
+    std::array<std::uint64_t, std::size_t(isa::InstClass::NumClasses)>
+        classDestLive_{};
+    Stats stats_;
+    std::uint64_t hash_ = 0;
+};
+
+/** @{ paradox-vuln/1 JSONL rendering (consumed by fault_campaign). */
+std::string vulnJsonHeader();
+std::string vulnJsonLine(const VulnAnalysis &va,
+                         const std::string &program, unsigned scale);
+/** Per-cell ACE verdicts for one chip's weak-cell map. */
+std::string vulnChipJsonLine(const VulnAnalysis &va,
+                             const faults::ChipModel &chip,
+                             const std::string &program);
+/** @} */
+
+} // namespace analysis
+} // namespace paradox
+
+#endif // PARADOX_ANALYSIS_VULN_HH

@@ -1,5 +1,6 @@
 #include "core/checker_replay.hh"
 
+#include "analysis/vuln.hh"
 #include "isa/decoded_run.hh"
 #include "isa/executor.hh"
 
@@ -48,6 +49,65 @@ applyHit(const faults::FaultHit &hit, std::uint64_t value)
     return value ^ mask;
 }
 
+/** Tally a stamped verdict into the replay counters. */
+void
+tallyVerdict(std::uint8_t verdict, ReplayOutcome &outcome)
+{
+    if (verdict == std::uint8_t(analysis::SiteVerdict::Dead))
+        ++outcome.deadFaults;
+    else if (verdict == std::uint8_t(analysis::SiteVerdict::Live))
+        ++outcome.liveFaults;
+    else
+        ++outcome.unknownFaults;
+}
+
+/**
+ * Static verdict for an instruction-level hit, replicating exactly
+ * how the injection below lands in the register file: functional
+ * -unit hits corrupt the just-written destination, register hits go
+ * through ArchState::flipBit/writeBit whose index wraps onto x1..x31
+ * (integer) or f0..f31 (float).
+ */
+std::uint8_t
+instHitVerdict(const analysis::VulnAnalysis &vuln,
+               const faults::FaultInjector &injector,
+               const faults::FaultHit &hit, const isa::ExecResult &r,
+               std::size_t inst_idx)
+{
+    using analysis::SiteVerdict;
+    SiteVerdict v = SiteVerdict::Unknown;
+    if (injector.kind() == faults::FaultKind::FunctionalUnit) {
+        if (r.wroteInt)
+            v = r.rd == 0 ? SiteVerdict::Dead  // writeX(0) discards
+                          : vuln.regBitVerdict(
+                                inst_idx, analysis::xslot(r.rd),
+                                hit.bit);
+        else if (r.wroteFp)
+            v = vuln.regBitVerdict(inst_idx, analysis::fslot(r.rd),
+                                   hit.bit);
+    } else {
+        switch (injector.config().targetCategory) {
+          case isa::RegCategory::Integer:
+            v = vuln.regBitVerdict(
+                inst_idx,
+                1 + hit.regIndex % (isa::numIntRegs - 1), hit.bit);
+            break;
+          case isa::RegCategory::Float:
+            v = vuln.regBitVerdict(
+                inst_idx,
+                analysis::fslot(hit.regIndex % isa::numFpRegs),
+                hit.bit);
+            break;
+          default:
+            // fflags / pc corruption steers state the analysis does
+            // not model bit-wise: stay conservative.
+            v = SiteVerdict::Live;
+            break;
+        }
+    }
+    return std::uint8_t(v);
+}
+
 /**
  * The checker's data path: a queue view over the segment's log
  * entries.  Any skew between the checker's memory behaviour and the
@@ -57,9 +117,24 @@ class LogReplayMemory : public isa::MemIf
 {
   public:
     LogReplayMemory(const LogSegment &segment, faults::FaultPlan &plan,
-                    ReplayOutcome *outcome)
-        : segment_(segment), plan_(plan), outcome_(outcome)
+                    ReplayOutcome *outcome,
+                    const analysis::VulnAnalysis *vuln = nullptr)
+        : segment_(segment), plan_(plan), outcome_(outcome),
+          vuln_(vuln)
     {}
+
+    /**
+     * Tell the log which instruction is about to execute, so a log
+     * -entry fault during its load can be judged against the static
+     * model (the entry's influence depends on the consuming opcode's
+     * width, extension and destination liveness).
+     */
+    void
+    setContext(const isa::Instruction *inst, std::size_t inst_idx)
+    {
+        curInst_ = inst;
+        curIdx_ = inst_idx;
+    }
 
     std::uint64_t
     read(Addr addr, unsigned size) override
@@ -115,6 +190,16 @@ class LogReplayMemory : public isa::MemIf
             faults::FaultHit hit =
                 injector.onLogEntry(is_load, entry_index);
             if (hit.fires) {
+                if (vuln_) {
+                    // Store entries are always compared at access
+                    // width: any value flip is a StoreMismatch.
+                    hit.verdict =
+                        is_load && curInst_
+                            ? std::uint8_t(vuln_->loadEntryVerdict(
+                                  *curInst_, curIdx_, hit.bit))
+                            : std::uint8_t(analysis::SiteVerdict::Live);
+                    tallyVerdict(hit.verdict, *outcome_);
+                }
                 value = applyHit(hit, value);
                 ++outcome_->faultsInjected;
                 noteWeakHit(hit, *outcome_);
@@ -126,6 +211,9 @@ class LogReplayMemory : public isa::MemIf
     const LogSegment &segment_;
     faults::FaultPlan &plan_;
     ReplayOutcome *outcome_;
+    const analysis::VulnAnalysis *vuln_;
+    const isa::Instruction *curInst_ = nullptr;
+    std::size_t curIdx_ = 0;
     std::size_t index_ = 0;
     bool diverged_ = false;
     DetectReason reason_ = DetectReason::None;
@@ -137,7 +225,8 @@ std::uint64_t
 applyInstructionFaults(
     faults::FaultPlan &plan, const isa::Instruction &inst,
     const isa::ExecResult &r, isa::ArchState &state,
-    const std::function<void(const faults::FaultHit &)> &on_hit)
+    const std::function<void(const faults::FaultHit &)> &on_hit,
+    const analysis::VulnAnalysis *vuln, std::size_t inst_idx)
 {
     std::uint64_t fired = 0;
     for (auto &injector : plan.injectors()) {
@@ -146,6 +235,9 @@ applyInstructionFaults(
         if (!hit.fires)
             continue;
         ++fired;
+        if (vuln)
+            hit.verdict =
+                instHitVerdict(*vuln, injector, hit, r, inst_idx);
         if (on_hit)
             on_hit(hit);
         if (injector.kind() == faults::FaultKind::FunctionalUnit) {
@@ -171,7 +263,8 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
               unsigned checker_id, cpu::CheckerTiming &timing,
               faults::FaultPlan &plan, unsigned final_compare_cycles,
               unsigned timeout_factor, Addr timing_offset,
-              const isa::DecodedProgram *decoded)
+              const isa::DecodedProgram *decoded,
+              const analysis::VulnAnalysis *vuln)
 {
     ReplayOutcome outcome;
     isa::ArchState state = segment.startState();
@@ -179,7 +272,7 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
     // (pinned permanent/intermittent) fault sources fire only when
     // the defective core is the one replaying.
     plan.setActiveChecker(int(checker_id));
-    LogReplayMemory log(segment, plan, &outcome);
+    LogReplayMemory log(segment, plan, &outcome, vuln);
 
     // Watchdog budget: a healthy replay retires roughly one
     // instruction every few cycles; a corrupted one stuck in
@@ -251,6 +344,9 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
         cycles += timing.instCycles(checker_id,
                                     state.pc() + timing_offset, *inst);
 
+        const std::size_t inst_idx =
+            std::size_t(state.pc() / isa::instBytes);
+        log.setContext(inst, inst_idx);
         isa::ExecResult r = isa::step(prog, state, log);
         ++outcome.instructionsExecuted;
 
@@ -269,9 +365,12 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
         if (!plan.empty())
             outcome.faultsInjected += applyInstructionFaults(
                 plan, *inst, r, state,
-                [&outcome](const faults::FaultHit &hit) {
+                [&outcome, vuln](const faults::FaultHit &hit) {
                     noteWeakHit(hit, outcome);
-                });
+                    if (vuln)
+                        tallyVerdict(hit.verdict, outcome);
+                },
+                vuln, inst_idx);
     }
     }
 

@@ -39,6 +39,11 @@ namespace isa
 class DecodedProgram;
 } // namespace isa
 
+namespace analysis
+{
+class VulnAnalysis;
+} // namespace analysis
+
 namespace core
 {
 
@@ -76,6 +81,15 @@ struct ReplayOutcome
     std::uint64_t weakCellHits = 0;
     /** Chip-map indices of the cells that fired (capped sample). */
     std::vector<std::uint32_t> weakSites;
+    /**
+     * Static ACE verdicts of the injected faults (zero unless a
+     * vulnerability model was handed to replaySegment).  deadFaults
+     * counts hits at provably-masked sites: they may surface only as
+     * a FinalStateMismatch, never as any other detection reason.
+     */
+    std::uint64_t deadFaults = 0;
+    std::uint64_t liveFaults = 0;
+    std::uint64_t unknownFaults = 0;
 };
 
 /**
@@ -97,6 +111,10 @@ struct ReplayOutcome
  *        threaded-dispatch inner loop (isa/decoded_run.hh) instead of
  *        the per-step reference decoder; every divergence check,
  *        the watchdog and the timing accounting are identical.
+ * @param vuln     optional static vulnerability model.  When given,
+ *        every firing fault is stamped with the model's verdict for
+ *        its site and tallied into ReplayOutcome::deadFaults /
+ *        liveFaults / unknownFaults.
  */
 ReplayOutcome replaySegment(const isa::Program &prog,
                             const LogSegment &segment,
@@ -106,7 +124,8 @@ ReplayOutcome replaySegment(const isa::Program &prog,
                             unsigned final_compare_cycles,
                             unsigned timeout_factor = 24,
                             Addr timing_offset = 0,
-                            const isa::DecodedProgram *decoded = nullptr);
+                            const isa::DecodedProgram *decoded = nullptr,
+                            const analysis::VulnAnalysis *vuln = nullptr);
 
 /**
  * Apply post-commit architectural fault injection for one committed
@@ -118,13 +137,18 @@ ReplayOutcome replaySegment(const isa::Program &prog,
  * destination fields identically.
  *
  * @param on_hit optional observer invoked for each firing hit
- *        (tracing, weak-cell accounting)
+ *        (tracing, weak-cell accounting); the hit carries the static
+ *        verdict for its site when @p vuln is given
+ * @param vuln optional vulnerability model for verdict stamping
+ * @param inst_idx index of @p inst in its program (verdict lookup)
  * @return the number of faults that fired
  */
 std::uint64_t applyInstructionFaults(
     faults::FaultPlan &plan, const isa::Instruction &inst,
     const isa::ExecResult &r, isa::ArchState &state,
-    const std::function<void(const faults::FaultHit &)> &on_hit = {});
+    const std::function<void(const faults::FaultHit &)> &on_hit = {},
+    const analysis::VulnAnalysis *vuln = nullptr,
+    std::size_t inst_idx = 0);
 
 } // namespace core
 } // namespace paradox

@@ -37,6 +37,12 @@ toJson(const RunResult &result)
     os << ",\"memory_fingerprint\":\"0x" << std::hex
        << result.memoryFingerprint << std::dec << "\"";
     os << ",\"weak_cell_hits\":" << result.weakCellHits;
+    os << ",\"vuln_dead_fired\":" << result.vulnDeadFired;
+    os << ",\"vuln_live_fired\":" << result.vulnLiveFired;
+    os << ",\"vuln_unknown_fired\":" << result.vulnUnknownFired;
+    os << ",\"masked_rollbacks\":" << result.maskedRollbacks;
+    os << ",\"masked_detections\":" << result.maskedDetections;
+    os << ",\"vuln_dead_divergences\":" << result.vulnDeadDivergences;
     os << ",\"injectors\":[";
     for (std::size_t i = 0; i < result.injectors.size(); ++i) {
         const InjectorCounts &c = result.injectors[i];

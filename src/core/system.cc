@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "analysis/vuln.hh"
 #include "isa/decoded.hh"
 #include "isa/decoded_run.hh"
 #include "sim/logging.hh"
@@ -270,6 +271,12 @@ System::setSupplyVoltage(double v)
 }
 
 void
+System::setVulnModel(std::shared_ptr<const analysis::VulnAnalysis> vuln)
+{
+    vuln_ = std::move(vuln);
+}
+
+void
 System::maybeMainCoreFault(const isa::CommitRecord &r)
 {
     if (mainCoreFaultPlan_.empty())
@@ -279,6 +286,21 @@ System::maybeMainCoreFault(const isa::CommitRecord &r)
     faultsInjectedTotal_ += applyInstructionFaults(
         mainCoreFaultPlan_, *r.inst, r, archState_,
         [this](const faults::FaultHit &hit) {
+            if (vuln_) {
+                ++mainFiredInSeg_;
+                switch (hit.verdict) {
+                  case 2:
+                    ++mainDeadInSeg_;
+                    ++vulnDeadFired_;
+                    break;
+                  case 1:
+                    ++vulnLiveFired_;
+                    break;
+                  default:
+                    ++vulnUnknownFired_;
+                    break;
+                }
+            }
             if (!tracing())
                 return;
             tracer_->instant(trFaults_, "main-fault",
@@ -288,7 +310,8 @@ System::maybeMainCoreFault(const isa::CommitRecord &r)
                 tracer_->instant(trFaults_, "weak-cell-hit",
                                  mainCore_->now(), "main",
                                  double(hit.site));
-        });
+        },
+        vuln_.get(), std::size_t(r.pc / isa::instBytes));
 }
 
 void
@@ -390,6 +413,8 @@ System::openSegment()
             filling_->open(segSeq_++, archState_, netIndex_,
                            mainCore_->now());
             instsInSegment_ = 0;
+            mainFiredInSeg_ = 0;
+            mainDeadInSeg_ = 0;
             linesCopiedThisCkpt_.clear();
             if (tracing()) {
                 tracer_->begin(trSegments_, "fill", mainCore_->now(),
@@ -445,9 +470,30 @@ System::closeSegmentAndDispatch()
         program_, *filling_, unsigned(fillingChecker_), *checkerTiming(),
         faultPlan_, config_.rollback.finalCompareCycles,
         config_.checkerTimeoutFactor, config_.physicalOffset,
-        decodedProg_.get());
+        decodedProg_.get(), vuln_.get());
     checkerInstructions_ += out.instructionsExecuted;
     faultsInjectedTotal_ += out.faultsInjected;
+    vulnDeadFired_ += out.deadFaults;
+    vulnLiveFired_ += out.liveFaults;
+    vulnUnknownFired_ += out.unknownFaults;
+    // Faults that fired in this segment's window, on either side of
+    // the main/checker pair, and how many were statically dead.  The
+    // deadness contract: a flip at a provably-masked site may surface
+    // only as a FinalStateMismatch (registers dead at segment end are
+    // compared anyway) -- any other detection reason from an
+    // all-dead-fault segment falsifies the static model.
+    std::uint64_t segFired = out.deadFaults + out.liveFaults +
+                             out.unknownFaults + mainFiredInSeg_;
+    std::uint64_t segDead = out.deadFaults + mainDeadInSeg_;
+    const auto deadDivergence = [this](const ReplayOutcome &o,
+                                       std::uint64_t fired,
+                                       std::uint64_t dead) {
+        if (vuln_ && o.detected &&
+            o.reason != DetectReason::FinalStateMismatch && fired > 0 &&
+            dead == fired)
+            ++deadDivergences_;
+    };
+    deadDivergence(out, segFired, segDead);
     if (tracing() && out.faultsInjected > 0)
         tracer_->instant(trFaults_, "inject", dispatch, nullptr,
                          double(out.faultsInjected), filling_->id());
@@ -475,9 +521,22 @@ System::closeSegmentAndDispatch()
                 *checkerTiming(), faultPlan_,
                 config_.rollback.finalCompareCycles,
                 config_.checkerTimeoutFactor, config_.physicalOffset,
-                decodedProg_.get());
+                decodedProg_.get(), vuln_.get());
             checkerInstructions_ += retry.instructionsExecuted;
             faultsInjectedTotal_ += retry.faultsInjected;
+            vulnDeadFired_ += retry.deadFaults;
+            vulnLiveFired_ += retry.liveFaults;
+            vulnUnknownFired_ += retry.unknownFaults;
+            segFired += retry.deadFaults + retry.liveFaults +
+                        retry.unknownFaults;
+            segDead += retry.deadFaults;
+            // The retry replays the same (possibly main-corrupted)
+            // log, so main-side hits stay in its fault population;
+            // the first checker's do not.
+            deadDivergence(retry,
+                           retry.deadFaults + retry.liveFaults +
+                               retry.unknownFaults + mainFiredInSeg_,
+                           retry.deadFaults + mainDeadInSeg_);
             // The retry starts when the first replay signals.
             const Cycles retry_end =
                 detect_cycles + retry.totalCycles;
@@ -515,6 +574,8 @@ System::closeSegmentAndDispatch()
                 ++*retrySavesStat_;
                 ++detections_;
                 ++reasonCounts_[static_cast<std::size_t>(out.reason)];
+                if (vuln_ && segFired > 0 && segDead == segFired)
+                    ++maskedDetections_;
                 if (tracing())
                     tracer_->instant(trFaults_, "retry-save",
                                      dispatch,
@@ -575,6 +636,8 @@ System::closeSegmentAndDispatch()
     pc.detectTick =
         dispatch + checkerTiming()->cyclesToTicks(detect_cycles);
     pc.reason = out.reason;
+    pc.segFired = segFired;
+    pc.segDead = segDead;
 
     if (tracing()) {
         // The replay's timing is resolved synchronously, so the whole
@@ -835,6 +898,13 @@ System::performRollback(std::size_t idx, Tick stop)
     ++detections_;
     ++rollbacks_;
     ++reasonCounts_[static_cast<std::size_t>(pc.reason)];
+    if (vuln_ && pc.segFired > 0 && pc.segDead == pc.segFired) {
+        // Every fault that fired in this segment's window was at a
+        // provably-masked site: the whole rollback recovers from
+        // corruption that could never reach architectural output.
+        ++maskedRollbacks_;
+        ++maskedDetections_;
+    }
     wastedNs_->sample(ticksToNs(stop > seg.startTick()
                                     ? stop - seg.startTick()
                                     : 0));
@@ -1395,6 +1465,12 @@ System::collectResult()
     result.healthyCheckers = sched()->healthyCount();
     result.weakCellHits = faultPlan_.totalWeakCellHits() +
                           mainCoreFaultPlan_.totalWeakCellHits();
+    result.vulnDeadFired = vulnDeadFired_;
+    result.vulnLiveFired = vulnLiveFired_;
+    result.vulnUnknownFired = vulnUnknownFired_;
+    result.maskedRollbacks = maskedRollbacks_;
+    result.maskedDetections = maskedDetections_;
+    result.vulnDeadDivergences = deadDivergences_;
     const auto describe = [&result](const faults::FaultPlan &plan,
                                     const char *domain) {
         for (const auto &injector : plan.injectors()) {

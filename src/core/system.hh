@@ -110,6 +110,21 @@ struct RunResult
     std::uint64_t weakCellHits = 0;
     /** Per-injector fired/latched breakdown (checker + main plans). */
     std::vector<InjectorCounts> injectors;
+    /** @{ Static-verdict accounting (zero without setVulnModel). */
+    std::uint64_t vulnDeadFired = 0;    //!< fired hits at dead sites
+    std::uint64_t vulnLiveFired = 0;    //!< fired hits at live sites
+    std::uint64_t vulnUnknownFired = 0; //!< model had no claim
+    /** Rollbacks whose segment saw only provably-dead faults. */
+    std::uint64_t maskedRollbacks = 0;
+    /** Detections (incl. retry-saves) from only-dead-fault segments. */
+    std::uint64_t maskedDetections = 0;
+    /**
+     * Soundness violations: a replay of a segment whose every fault
+     * was statically dead detected something other than a
+     * FinalStateMismatch.  Must be zero for a sound model.
+     */
+    std::uint64_t vulnDeadDivergences = 0;
+    /** @} */
     isa::ArchState finalState;
     std::uint64_t memoryFingerprint = 0;
 
@@ -191,6 +206,18 @@ class System
      * Incompatible with enableDvfs (the controller owns the rail).
      */
     void setSupplyVoltage(double v);
+
+    /**
+     * Install a static fault-vulnerability model (live-bit/ACE
+     * masks) for the program this System executes.  Every fault that
+     * fires -- checker-replay or main-core -- is stamped with the
+     * model's verdict for its site, and the run accounts masked
+     * rollbacks (recovery spent on provably-dead faults) and
+     * soundness violations (a segment whose every fault was
+     * statically dead detecting anything but a FinalStateMismatch).
+     * nullptr detaches.
+     */
+    void setVulnModel(std::shared_ptr<const analysis::VulnAnalysis> vuln);
 
     /**
      * Attach an execution tracer (src/obs/): segment lifecycle,
@@ -299,6 +326,11 @@ class System
         bool detected = false;
         Tick detectTick = 0;
         DetectReason reason = DetectReason::None;
+        /** @{ Verdict-stamped fault count for this segment (replay +
+         *  main-core fill), and how many of them were static-dead. */
+        std::uint64_t segFired = 0;
+        std::uint64_t segDead = 0;
+        /** @} */
     };
 
     /** @{ Segment lifecycle. */
@@ -471,6 +503,8 @@ class System
     faults::FaultPlan faultPlan_;
     faults::FaultPlan mainCoreFaultPlan_;
     std::shared_ptr<const faults::ChipModel> chip_;
+    /** Static vulnerability model (null = no verdict stamping). */
+    std::shared_ptr<const analysis::VulnAnalysis> vuln_;
     std::optional<faults::UndervoltErrorModel> undervoltModel_;
     power::PowerModel powerModel_;
     power::FrequencyVoltageModel fvModel_;
@@ -497,6 +531,17 @@ class System
     std::uint64_t detections_ = 0;
     std::uint64_t checkerInstructions_ = 0;
     std::uint64_t faultsInjectedTotal_ = 0;
+    /** @{ Static-verdict accounting (all zero without vuln_). */
+    std::uint64_t vulnDeadFired_ = 0;
+    std::uint64_t vulnLiveFired_ = 0;
+    std::uint64_t vulnUnknownFired_ = 0;
+    std::uint64_t maskedRollbacks_ = 0;
+    std::uint64_t maskedDetections_ = 0;
+    std::uint64_t deadDivergences_ = 0;
+    /** Verdict-stamped main-core fires in the filling segment. */
+    std::uint64_t mainFiredInSeg_ = 0;
+    std::uint64_t mainDeadInSeg_ = 0;
+    /** @} */
     std::array<std::uint64_t,
                static_cast<std::size_t>(DetectReason::NumReasons)>
         reasonCounts_{};

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "analysis/vuln.hh"
 #include "obs/trace.hh"
 #include "obs/trace_writer.hh"
 #include "power/undervolt_data.hh"
@@ -127,6 +128,11 @@ runOne(const ExperimentSpec &spec)
         if (spec.supplyVoltage > 0.0)
             system.setSupplyVoltage(spec.supplyVoltage);
     }
+    if (spec.vuln)
+        // The result word is architectural output beyond the declared
+        // footprint; everything else follows from the program.
+        system.setVulnModel(analysis::VulnAnalysis::build(
+            w.program, {{workloads::resultAddr, 8, "result"}}));
 
     obs::TraceSink trace;
     if (!spec.traceFile.empty()) {

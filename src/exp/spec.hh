@@ -84,6 +84,14 @@ struct ExperimentSpec
      * legacy per-step decoder -- differential/debug runs). */
     isa::EngineKind engine = isa::EngineKind::Decoded;
 
+    /**
+     * Install the static vulnerability model (analysis::VulnAnalysis
+     * over the workload program + result word): every firing fault is
+     * stamped live/dead/unknown and the run reports masked-rollback
+     * and dead-divergence counters (RunResult).
+     */
+    bool vuln = false;
+
     /** @{ Execution tracing (src/obs). Empty traceFile = off. */
     std::string traceFile;         //!< Chrome JSON path (+ .jsonl twin)
     unsigned traceMetricsUs = 10;  //!< metrics sampling interval

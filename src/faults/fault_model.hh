@@ -137,6 +137,14 @@ struct FaultHit
     /** Chip mode: apply stuck-at @ref stuckValue, not an XOR. */
     bool hasStuck = false;
     bool stuckValue = false;
+    /**
+     * Static ACE verdict for the hit site, stamped by the consumer
+     * when a vulnerability model (analysis::VulnAnalysis) is
+     * installed: 0 = unknown/no model, 1 = live, 2 = provably dead
+     * (raw so this layer stays analysis-free; values mirror
+     * analysis::SiteVerdict).
+     */
+    std::uint8_t verdict = 0;
 };
 
 /**

@@ -28,6 +28,19 @@
  *
  *   fault_campaign [--smoke] [--correlated] [--scale N] [--seeds N]
  *                  [--jobs N] [--out FILE] [--trace-dir DIR]
+ *                  [--vuln MODEL.jsonl]
+ *
+ * --vuln MODEL closes the static/dynamic loop: MODEL is the
+ * paradox-vuln/1 JSONL emitted by `isa_lint --all --vuln --json`
+ * (validated against freshly built per-workload program hashes --
+ * a stale or garbled model aborts with exit 2).  Every run then
+ * stamps each injected fault with the model's live/dead verdict for
+ * its site, the per-run records carry the verdict tallies, the
+ * chip summaries report the fraction of rollbacks spent on
+ * provably-masked faults, and the campaign gains a soundness gate:
+ * any statically-dead injection that produces a silent corruption or
+ * a non-final-state detection divergence counts as a
+ * vuln_violation and fails the sweep (exit 1).
  *
  * With --trace-dir DIR every faulty run writes an execution trace to
  * DIR/run-NNNN.json (NNNN = spec index, so names are deterministic
@@ -54,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/vuln.hh"
 #include "core/result_json.hh"
 #include "exp/cli.hh"
 #include "exp/runner.hh"
@@ -187,6 +201,93 @@ extractU64(const std::string &payload, const char *key)
         payload.c_str() + pos + std::strlen(key), nullptr, 10);
 }
 
+/** Hex value following @p key (expects "key":"0x..."; 0 if absent). */
+std::uint64_t
+extractHex(const std::string &payload, const char *key)
+{
+    const std::size_t pos = payload.find(key);
+    if (pos == std::string::npos)
+        return 0;
+    const char *p = payload.c_str() + pos + std::strlen(key);
+    while (*p == '"' || *p == ' ')
+        ++p;
+    return std::strtoull(p, nullptr, 16);
+}
+
+/**
+ * Validate a paradox-vuln/1 model file against the campaign's own
+ * workload set: the schema header must be present and every
+ * workload must have a "vuln" record at the campaign scale whose
+ * program_hash matches a freshly built analysis.  Returns false
+ * with a diagnostic in @p error; "unusable" means the file itself
+ * is unreadable or garbled, "stale" that it describes different
+ * programs.
+ */
+bool
+validateVulnModel(const std::string &path,
+                  const std::vector<std::string> &names, unsigned scale,
+                  std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f) {
+        error = "vuln model unusable: cannot open '" + path + "'";
+        return false;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    if (text.find("\"schema\":\"paradox-vuln/1\"") ==
+        std::string::npos) {
+        error = "vuln model unusable: '" + path +
+                "' has no paradox-vuln/1 schema header (regenerate "
+                "with isa_lint --all --vuln --json)";
+        return false;
+    }
+    for (const std::string &name : names) {
+        const std::string key = "\"record\":\"vuln\",\"program\":\"" +
+                                name + "\"";
+        const std::size_t pos = text.find(key);
+        if (pos == std::string::npos) {
+            error = "stale vuln model: no record for workload '" +
+                    name + "' in '" + path + "'";
+            return false;
+        }
+        const std::size_t eol = text.find('\n', pos);
+        const std::string line = text.substr(
+            pos, eol == std::string::npos ? std::string::npos
+                                          : eol - pos);
+        const std::uint64_t rec_scale =
+            extractU64(line, "\"scale\":");
+        const std::uint64_t rec_hash =
+            extractHex(line, "\"program_hash\":");
+        if (rec_scale == 0 || rec_hash == 0) {
+            error = "vuln model unusable: garbled record for "
+                    "workload '" + name + "' in '" + path + "'";
+            return false;
+        }
+        if (rec_scale != scale) {
+            error = "stale vuln model: '" + name + "' was analyzed "
+                    "at scale " + std::to_string(rec_scale) +
+                    ", campaign runs at scale " +
+                    std::to_string(scale);
+            return false;
+        }
+        const workloads::Workload w = workloads::build(name, scale);
+        const auto va = analysis::VulnAnalysis::build(
+            w.program, {{workloads::resultAddr, 8, "result"}});
+        if (rec_hash != va->programHash()) {
+            error = "stale vuln model: program_hash mismatch for '" +
+                    name + "' (model was built for a different "
+                    "program; regenerate with isa_lint)";
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -200,6 +301,7 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     std::string out_path;
     std::string trace_dir;
+    std::string vuln_path;
     exp::Cli cli("fault_campaign",
                  "differential fault-injection campaign driver");
     cli.flag("smoke", smoke, "tiny sweep for CI");
@@ -212,6 +314,10 @@ main(int argc, char **argv)
     cli.opt("out", out_path, "write the JSONL report to FILE");
     cli.opt("trace-dir", trace_dir,
             "write one execution trace per run into DIR");
+    cli.opt("vuln", vuln_path,
+            "paradox-vuln/1 model (isa_lint --vuln --json): stamp "
+            "every fault with its static verdict and gate on zero "
+            "dead-site divergences");
     cli.flag("quiet", quiet, "suppress warn/info/progress output");
     cli.alias("q", "quiet");
     if (!cli.parse(argc, argv))
@@ -262,6 +368,16 @@ main(int argc, char **argv)
         kinds = {faults::Persistence::Transient,
                  faults::Persistence::Permanent};
         points = {{"fixed_lo", 0.045, false}, {"aimd", 0.0, true}};
+    }
+
+    const bool vuln = !vuln_path.empty();
+    if (vuln) {
+        std::string error;
+        if (!validateVulnModel(vuln_path, names, scale, error)) {
+            std::fprintf(stderr, "fault_campaign: %s\n",
+                         error.c_str());
+            return 2;
+        }
     }
 
     FILE *report = stdout;
@@ -368,6 +484,9 @@ main(int argc, char **argv)
         }
     }
     }
+    if (vuln)
+        for (exp::ExperimentSpec &spec : specs)
+            spec.vuln = true;
 
     exp::RunnerOptions opt;
     opt.jobs = jobs;
@@ -391,11 +510,19 @@ main(int argc, char **argv)
               << ",\"smoke\":" << (smoke ? "true" : "false");
         if (correlated)
             extra << ",\"correlated\":true";
+        if (vuln)
+            extra << ",\"vuln\":true";
         sink.header(extra.str());
     }
 
     unsigned total = 0, n_ok = 0, n_detected = 0, n_incomplete = 0,
              n_silent = 0, n_crash = 0;
+    // Soundness gate (--vuln): a statically-dead fault must be
+    // invisible -- a run falsifies the model when it diverges from a
+    // dead-only fault population (SDC) or reports a non-final-state
+    // detection attributed entirely to dead sites (dead_divergences,
+    // counted inside core::System with per-segment attribution).
+    unsigned vuln_violations = 0;
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const exp::IsolatedResult &res = results[i];
         ++total;
@@ -405,16 +532,42 @@ main(int argc, char **argv)
             continue;
         }
         sink.writeLine(res.payload);
-        if (res.payload.find("\"class\":\"ok\"") != std::string::npos)
+        const std::string &p = res.payload;
+        const bool silent =
+            p.find("\"class\":\"silent_corruption\"") !=
+            std::string::npos;
+        if (p.find("\"class\":\"ok\"") != std::string::npos)
             ++n_ok;
-        else if (res.payload.find("\"class\":\"detected_ok\"") !=
+        else if (p.find("\"class\":\"detected_ok\"") !=
                  std::string::npos)
             ++n_detected;
-        else if (res.payload.find("\"class\":\"incomplete\"") !=
+        else if (p.find("\"class\":\"incomplete\"") !=
                  std::string::npos)
             ++n_incomplete;
         else
             ++n_silent;
+        if (vuln) {
+            const std::uint64_t divergences =
+                extractU64(p, "\"vuln_dead_divergences\":");
+            const std::uint64_t dead =
+                extractU64(p, "\"vuln_dead_fired\":");
+            const std::uint64_t live =
+                extractU64(p, "\"vuln_live_fired\":");
+            const std::uint64_t unknown =
+                extractU64(p, "\"vuln_unknown_fired\":");
+            const bool dead_sdc =
+                silent && dead > 0 && live == 0 && unknown == 0;
+            if (divergences > 0 || dead_sdc) {
+                ++vuln_violations;
+                std::fprintf(
+                    stderr,
+                    "fault_campaign: static-verdict violation in "
+                    "run %zu (%s): %llu dead-site divergence(s)%s\n",
+                    i, specs[i].workload.c_str(),
+                    (unsigned long long)divergences,
+                    dead_sdc ? ", SDC from dead-only faults" : "");
+            }
+        }
     }
 
     // Correlated mode: one breakdown per physical chip, in seed
@@ -426,7 +579,8 @@ main(int argc, char **argv)
                      c_silent = 0, c_crash = 0, aimd_runs = 0,
                      aimd_conv = 0;
             std::uint64_t due = 0, rollbacks = 0, quarantines = 0,
-                          weak_hits = 0;
+                          weak_hits = 0, masked_rb = 0, v_dead = 0,
+                          v_live = 0, v_divg = 0;
             for (std::size_t i = 0; i < specs.size(); ++i) {
                 if (specs[i].chipSeed != chip)
                     continue;
@@ -450,6 +604,11 @@ main(int argc, char **argv)
                 rollbacks += extractU64(p, "\"rollbacks\":");
                 quarantines += extractU64(p, "\"quarantines\":");
                 weak_hits += extractU64(p, "\"weak_cell_hits\":");
+                masked_rb += extractU64(p, "\"masked_rollbacks\":");
+                v_dead += extractU64(p, "\"vuln_dead_fired\":");
+                v_live += extractU64(p, "\"vuln_live_fired\":");
+                v_divg +=
+                    extractU64(p, "\"vuln_dead_divergences\":");
                 if (specs[i].dvfs) {
                     ++aimd_runs;
                     if (p.find("\"aimd_converged\":true") !=
@@ -469,8 +628,30 @@ main(int argc, char **argv)
                << ",\"quarantines\":" << quarantines
                << ",\"weak_cell_hits\":" << weak_hits
                << ",\"aimd_runs\":" << aimd_runs
-               << ",\"aimd_converged\":" << aimd_conv << "}";
+               << ",\"aimd_converged\":" << aimd_conv;
+            if (vuln)
+                cs << ",\"masked_rollbacks\":" << masked_rb
+                   << ",\"vuln_dead_fired\":" << v_dead
+                   << ",\"vuln_live_fired\":" << v_live
+                   << ",\"vuln_dead_divergences\":" << v_divg;
+            cs << "}";
             sink.writeLine(cs.str());
+            if (vuln)
+                // The headline of the static/dynamic loop: how much
+                // of this chip's recovery effort went to faults the
+                // analysis had already proven harmless.
+                std::fprintf(stderr,
+                             "fault_campaign: chip %llu: %llu/%llu "
+                             "rollback(s) on provably-masked faults "
+                             "(%.1f%%), %llu dead-site "
+                             "divergence(s)\n",
+                             (unsigned long long)chip,
+                             (unsigned long long)masked_rb,
+                             (unsigned long long)rollbacks,
+                             rollbacks ? 100.0 * double(masked_rb) /
+                                             double(rollbacks)
+                                       : 0.0,
+                             (unsigned long long)v_divg);
         }
     }
 
@@ -479,7 +660,10 @@ main(int argc, char **argv)
             << ",\"ok\":" << n_ok << ",\"detected_ok\":" << n_detected
             << ",\"incomplete\":" << n_incomplete
             << ",\"silent_corruption\":" << n_silent
-            << ",\"crash\":" << n_crash << "}";
+            << ",\"crash\":" << n_crash;
+    if (vuln)
+        summary << ",\"vuln_violations\":" << vuln_violations;
+    summary << "}";
     sink.writeLine(summary.str());
     if (report != stdout)
         std::fclose(report);
@@ -489,5 +673,13 @@ main(int argc, char **argv)
                  "%u incomplete, %u silent, %u crash\n",
                  total, n_ok, n_detected, n_incomplete, n_silent,
                  n_crash);
-    return (n_silent == 0 && n_crash == 0) ? 0 : 1;
+    if (vuln && vuln_violations > 0)
+        std::fprintf(stderr,
+                     "fault_campaign: %u static-verdict "
+                     "violation(s) -- the vulnerability model is "
+                     "unsound for this sweep\n",
+                     vuln_violations);
+    return (n_silent == 0 && n_crash == 0 && vuln_violations == 0)
+               ? 0
+               : 1;
 }

@@ -16,11 +16,17 @@
  *   isa_lint --all --ranges         # interval ranges + trip bounds
  *   isa_lint --all --stats          # per-pass counts and timings
  *   isa_lint --all --ranges --cost --json   # paradox-cost/1 JSONL
+ *   isa_lint --all --vuln --json            # paradox-vuln/1 JSONL
+ *   isa_lint --all --vuln --chip-seed 101 --json  # + cell verdicts
  *
  * --cost replaces the lint reports on stdout with the static
  * segment-cost model (one record per workload; JSONL under --json);
  * lint still runs and failing workloads print their report to
- * stderr, so the cost stream stays machine-parsable.
+ * stderr, so the cost stream stays machine-parsable.  --vuln does
+ * the same with the static fault-vulnerability model (live-bit/ACE
+ * masks; implies --ranges so interval facts prune provably-masked
+ * ranges); --chip-seed additionally emits per-weak-cell verdicts for
+ * that chip's fault map.
  *
  * Exit status: 0 when every linted program is clean, 1 when any
  * program has an error-severity diagnostic (or any warning under
@@ -35,8 +41,12 @@
 
 #include "analysis/costmodel.hh"
 #include "analysis/linter.hh"
+#include "analysis/vuln.hh"
+#include "core/config.hh"
 #include "exp/cli.hh"
+#include "faults/chip_model.hh"
 #include "isa/builder.hh"
+#include "power/undervolt_data.hh"
 #include "workloads/workload.hh"
 
 int
@@ -45,8 +55,9 @@ main(int argc, char **argv)
     using namespace paradox;
 
     bool all = false, json = false, werror = false, list = false;
-    bool ranges = false, cost = false, stats = false;
+    bool ranges = false, cost = false, stats = false, vuln = false;
     unsigned scale = 1;
+    std::uint64_t chipSeed = 0;
 
     exp::Cli cli("isa_lint",
                  "static analysis (CFG, dataflow, footprint, "
@@ -66,11 +77,19 @@ main(int argc, char **argv)
     cli.flag("stats", stats,
              "append per-pass diagnostic counts and wall-clock "
              "timings to text reports");
+    cli.flag("vuln", vuln,
+             "emit the static fault-vulnerability model (live-bit/ACE "
+             "masks, paradox-vuln/1 JSONL under --json) instead of "
+             "lint reports (implies --ranges)");
     cli.opt("scale", scale, "workload size multiplier");
+    cli.opt("chip-seed", chipSeed,
+            "with --vuln: also emit per-weak-cell ACE verdicts for "
+            "this chip's fault map (0 = off)");
 
     // Split positional workload names from flags; value-taking
     // options keep their value glued to them.
-    const std::vector<std::string> valueOpts = {"--scale"};
+    const std::vector<std::string> valueOpts = {"--scale",
+                                                "--chip-seed"};
     std::vector<std::string> names;
     std::vector<char *> flagArgs = {argv[0]};
     for (int i = 1; i < argc; ++i) {
@@ -101,7 +120,13 @@ main(int argc, char **argv)
                      "(pass names, --all, or --list)\n");
         return 2;
     }
-    if (cost)
+    if (vuln && cost) {
+        std::fprintf(stderr,
+                     "isa_lint: --vuln and --cost are mutually "
+                     "exclusive (one model stream per run)\n");
+        return 2;
+    }
+    if (cost || vuln)
         ranges = true;
 
     // Every workload stores its checksum to the ABI result cell,
@@ -109,6 +134,10 @@ main(int argc, char **argv)
     analysis::Options opts;
     opts.extraRegions.push_back({workloads::resultAddr, 8, "result"});
     opts.ranges = ranges;
+    // The vulnerability pass rides along with the interval passes:
+    // its live-bit summary lands in lint reports (and its counts and
+    // timing in --stats) whether or not the model itself is emitted.
+    opts.vuln = ranges;
     const analysis::Linter linter(opts);
 
     analysis::CostParams cparams;
@@ -118,6 +147,8 @@ main(int argc, char **argv)
     std::size_t totalErrors = 0, totalWarnings = 0;
     if (cost && json)
         std::printf("%s\n", analysis::costJsonHeader().c_str());
+    if (vuln && json)
+        std::printf("%s\n", analysis::vulnJsonHeader().c_str());
     for (const auto &name : names) {
         analysis::Report report;
         bool built = false;
@@ -169,13 +200,70 @@ main(int argc, char **argv)
             continue;
         }
 
+        if (vuln) {
+            if (!report.clean(werror))
+                std::fputs(report.toText(stats).c_str(), stderr);
+            if (!built)
+                continue;
+            const auto va = analysis::VulnAnalysis::build(
+                w.program, opts.extraRegions);
+            if (json) {
+                std::printf(
+                    "%s\n",
+                    analysis::vulnJsonLine(*va, name, scale).c_str());
+            } else {
+                const analysis::VulnAnalysis::Stats &st = va->stats();
+                std::printf(
+                    "%s: %llu/%llu register bits live (%.1f%%), "
+                    "%llu interval-pruned edge(s), "
+                    "%llu/%llu footprint bytes live at entry\n",
+                    name.c_str(), (unsigned long long)st.regBitsLive,
+                    (unsigned long long)st.regBitsTotal,
+                    100.0 * st.liveFraction,
+                    (unsigned long long)st.prunedEdges,
+                    (unsigned long long)st.footprintLiveAtEntry,
+                    (unsigned long long)st.footprintBytes);
+            }
+            if (chipSeed != 0) {
+                // Rebuild the chip exactly as exp::runOne samples it,
+                // so the fingerprint matches chip-mode campaign runs.
+                const core::SystemConfig sys =
+                    core::SystemConfig::forMode(core::Mode::ParaDox);
+                faults::ChipConfig cc;
+                cc.chipSeed = chipSeed;
+                cc.checkerCount = sys.checkers.count;
+                cc.logRows = unsigned(sys.log.segmentBytes /
+                                      sys.log.loadEntryBytes);
+                cc.shape = power::errorModelParams(name);
+                const faults::ChipModel chip(cc);
+                if (json) {
+                    std::printf("%s\n",
+                                analysis::vulnChipJsonLine(*va, chip,
+                                                           name)
+                                    .c_str());
+                } else {
+                    unsigned dead = 0;
+                    for (const auto &cell : chip.cells())
+                        if (va->cellVerdict(cell) ==
+                            analysis::SiteVerdict::Dead)
+                            ++dead;
+                    std::printf("%s: chip %llu: %u/%zu weak cell(s) "
+                                "provably dead\n",
+                                name.c_str(),
+                                (unsigned long long)chipSeed, dead,
+                                chip.cells().size());
+                }
+            }
+            continue;
+        }
+
         if (json)
             std::printf("%s\n", report.toJson().c_str());
         else
             std::fputs(report.toText(stats).c_str(), stdout);
     }
 
-    if (!json && !cost)
+    if (!json && !cost && !vuln)
         std::printf("%zu workload(s): %zu error(s), %zu warning(s)%s\n",
                     names.size(), totalErrors, totalWarnings,
                     werror ? " [-Werror]" : "");

@@ -26,7 +26,10 @@
  *
  * --json emits the same analysis as a single machine-readable JSON
  * object instead.  Exit status 0 iff every input parsed and no
- * static cost bound was violated.
+ * static cost bound was violated; 1 on a violation or unreadable
+ * trace; 2 on usage errors; 3 when the --cost model itself is
+ * unreadable or garbled (distinct so CI can tell "the model is
+ * wrong" from "the model could not be loaded").
  *
  *   trace_report [--json] [--burst-gap-us N] [--cost COST.jsonl]
  *                FILE.jsonl ...
@@ -179,13 +182,32 @@ loadCostModel(const std::string &path,
         if (!obs::jsonField(line, "record", v) || v != "cost")
             continue;
         std::string prog;
-        if (!obs::jsonField(line, "program", prog))
-            continue;
+        if (!obs::jsonField(line, "program", prog) || prog.empty()) {
+            error = path + ": cost record without a program name";
+            return false;
+        }
         CostRec rec;
-        if (obs::jsonField(line, "min_dyn_insts", v))
-            rec.minDyn = std::strtoull(v.c_str(), nullptr, 10);
-        if (obs::jsonField(line, "max_dyn_insts", v))
-            rec.maxDyn = std::strtoull(v.c_str(), nullptr, 10);
+        // A record that lost its bound fields (truncated write,
+        // hand-edited file) must fail loudly: silently defaulting
+        // the bounds to zero would turn every trace into a
+        // "violation" of a model that was never computed.
+        if (!obs::jsonField(line, "min_dyn_insts", v)) {
+            error = path + ": garbled cost record for '" + prog +
+                    "' (missing min_dyn_insts)";
+            return false;
+        }
+        rec.minDyn = std::strtoull(v.c_str(), nullptr, 10);
+        if (!obs::jsonField(line, "max_dyn_insts", v)) {
+            error = path + ": garbled cost record for '" + prog +
+                    "' (missing max_dyn_insts)";
+            return false;
+        }
+        rec.maxDyn = std::strtoull(v.c_str(), nullptr, 10);
+        if (rec.maxDyn < rec.minDyn) {
+            error = path + ": garbled cost record for '" + prog +
+                    "' (max_dyn_insts < min_dyn_insts)";
+            return false;
+        }
         if (obs::jsonField(line, "bounded", v))
             rec.bounded = v == "1" || v == "true";
         if (obs::jsonField(line, "scale", v))
@@ -645,8 +667,15 @@ main(int argc, char **argv)
     std::map<std::string, CostRec> costModel;
     const bool haveCost = !costPath.empty();
     if (haveCost && !loadCostModel(costPath, costModel, error)) {
-        std::fprintf(stderr, "trace_report: %s\n", error.c_str());
-        return 2;
+        // Exit 3, distinct from both a bound violation (1) and a
+        // usage error (2): the model could not be used at all, so
+        // nothing was cross-validated.
+        std::fprintf(stderr,
+                     "trace_report: cost model unusable: %s (no "
+                     "traces were checked; this is not a bound "
+                     "violation)\n",
+                     error.c_str());
+        return 3;
     }
 
     bool all_ok = true;
