@@ -3,6 +3,7 @@
 #include "analysis/vuln.hh"
 #include "isa/decoded_run.hh"
 #include "isa/executor.hh"
+#include "obs/profiler.hh"
 
 namespace paradox
 {
@@ -266,6 +267,7 @@ replaySegment(const isa::Program &prog, const LogSegment &segment,
               const isa::DecodedProgram *decoded,
               const analysis::VulnAnalysis *vuln)
 {
+    PARADOX_PROF_SCOPE("checker-replay");
     ReplayOutcome outcome;
     isa::ArchState state = segment.startState();
     // Attribute injected events to this checker so per-checker

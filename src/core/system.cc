@@ -6,6 +6,7 @@
 #include "analysis/vuln.hh"
 #include "isa/decoded.hh"
 #include "isa/decoded_run.hh"
+#include "obs/profiler.hh"
 #include "sim/logging.hh"
 
 namespace paradox
@@ -27,8 +28,7 @@ System::System(const SystemConfig &config, const isa::Program &program,
           config.checkers.count, 0.02}),
       fvModel_(power::FrequencyVoltageModel::Params{
           config.mainFreqHz, config.voltage.vSafe, 0.45}),
-      energy_(powerModel_),
-      statGroup_("system")
+      energy_(powerModel_)
 {
     config_.validate();
     engine_ = isa::makeEngine(config_.engine, program_);
@@ -87,44 +87,91 @@ System::System(const SystemConfig &config, const isa::Program &program,
         watchdogTicks_ = Tick(config_.escalation.progressWatchdogUs *
                               double(ticksPerUs));
 
-    rollbackNs_ = &statGroup_.add<stats::Distribution>(
+    // The "system" group registers first so its classic lines lead
+    // the dump, exactly as before the registry migration.
+    stats::StatGroup &sys = registry_.group("system");
+    rollbackNs_ = &sys.add<stats::Distribution>(
         "rollbackNs", "memory rollback time per recovery (ns)");
-    wastedNs_ = &statGroup_.add<stats::Distribution>(
+    wastedNs_ = &sys.add<stats::Distribution>(
         "wastedExecNs", "execution wasted per recovery (ns)");
-    ckptLen_ = &statGroup_.add<stats::Distribution>(
+    ckptLen_ = &sys.add<stats::Distribution>(
         "checkpointLength", "instructions per checkpoint");
-    ckptHist_ = &statGroup_.add<stats::Histogram>(
+    ckptHist_ = &sys.add<stats::Histogram>(
         "checkpointLengthHist",
         "distribution of instructions per checkpoint", 0.0, 5000.0,
         50);
-    evictionCuts_ = &statGroup_.add<stats::Counter>(
+    evictionCuts_ = &sys.add<stats::Counter>(
         "evictionCuts", "checkpoints cut by pinned-line evictions");
-    capacityCuts_ = &statGroup_.add<stats::Counter>(
+    capacityCuts_ = &sys.add<stats::Counter>(
         "capacityCuts", "checkpoints cut by log capacity");
-    targetCuts_ = &statGroup_.add<stats::Counter>(
+    targetCuts_ = &sys.add<stats::Counter>(
         "targetCuts", "checkpoints cut by reaching the AIMD target");
-    checkerWaitStalls_ = &statGroup_.add<stats::Counter>(
+    checkerWaitStalls_ = &sys.add<stats::Counter>(
         "checkerWaitStalls", "stalls waiting for a free checker");
-    retriesStat_ = &statGroup_.add<stats::Counter>(
+    retriesStat_ = &sys.add<stats::Counter>(
         "escalationRetries",
         "flagged segments re-verified on a second checker");
-    retrySavesStat_ = &statGroup_.add<stats::Counter>(
+    retrySavesStat_ = &sys.add<stats::Counter>(
         "escalationRetrySaves",
         "re-verifications that retired the segment without rollback");
-    quarantinesStat_ = &statGroup_.add<stats::Counter>(
+    quarantinesStat_ = &sys.add<stats::Counter>(
         "escalationQuarantines",
         "checkers retired from the pool by clustered detections");
-    panicResetsStat_ = &statGroup_.add<stats::Counter>(
+    panicResetsStat_ = &sys.add<stats::Counter>(
         "escalationPanicResets",
         "voltage-island panic resets to v_safe with backoff");
-    watchdogTripsStat_ = &statGroup_.add<stats::Counter>(
+    watchdogTripsStat_ = &sys.add<stats::Counter>(
         "escalationWatchdogTrips",
         "forward-progress watchdog escalations");
-    dueRollbacksStat_ = &statGroup_.add<stats::Counter>(
+    dueRollbacksStat_ = &sys.add<stats::Counter>(
         "escalationDueRollbacks",
         "machine-check rollbacks from uncorrectable ECC errors");
-    voltTrace_ = &statGroup_.add<stats::TimeSeries>(
+    voltTrace_ = &sys.add<stats::TimeSeries>(
         "voltage", "main-core supply voltage over time", 200000);
+
+    // Component counters, published as Gauges over the raw members.
+    stats::StatGroup &main_g = registry_.group("main");
+    mainCore_->registerStats(main_g);
+    main_g.add<stats::Gauge>("checkpoints", "checkpoints taken",
+                             [this] { return double(checkpoints_); });
+    main_g.add<stats::Gauge>("checkers_busy", "checker cores busy",
+                             [this] {
+                                 return double(sched()->busyCount());
+                             });
+    mainCore_->predictor().registerStats(registry_.group("main.bpred"));
+    stats::StatGroup &faults_g = registry_.group("faults");
+    faults_g.add<stats::Gauge>("rollbacks", "rollback recoveries",
+                               [this] { return double(rollbacks_); });
+    faults_g.add<stats::Gauge>("detections", "errors detected",
+                               [this] { return double(detections_); });
+    faults_g.add<stats::Gauge>("injected", "faults injected",
+                               [this] {
+                                   return double(faultsInjectedTotal_);
+                               });
+    hierarchy_->registerStats(registry_);
+    dtlb_->registerStats(registry_.group("mem.dtlb"));
+    itlb_->registerStats(registry_.group("mem.itlb"));
+
+    // Mark the stats the tracer samples periodically.  The series
+    // names are the counter-track event names the trace schema has
+    // always used, so trace consumers see no rename.
+    const auto mark = [this](const char *stat, const char *series) {
+        if (stats::Stat *s = registry_.find(stat))
+            s->setSeries(series);
+        else
+            panic("System: sampled stat missing from registry");
+    };
+    mark("main.committed", "committed");
+    mark("main.mispredicts", "mispredicts");
+    mark("main.checkpoints", "checkpoints");
+    mark("main.checkers_busy", "checkers_busy");
+    mark("faults.rollbacks", "rollbacks");
+    mark("faults.detections", "detections");
+    mark("faults.injected", "faults_injected");
+    mark("mem.l1d.misses", "l1d_misses");
+    mark("mem.l2.misses", "l2_misses");
+    mark("mem.l1d.pinned_lines", "pinned_lines");
+    mark("mem.l1d.pinned_blocks", "pinned_blocks");
 
     mainCore_->setPinnedStallResolver([this](Tick now) -> Tick {
         // An eviction attempt on a fully pinned set: the paper cuts
@@ -174,38 +221,21 @@ System::setTracer(obs::TraceSink *sink, Tick metrics_interval)
     trFaults_ = sink->addTrack("faults");
     trMem_ = sink->addTrack("mem");
 
+    // Counter tracks come generically from the stats registry: every
+    // stat marked with a series name in the ctor becomes a probe,
+    // routed to a track by its group prefix.  Adding a sampled metric
+    // is now one setSeries call, not a hand-wired probe here.
     metrics_ = std::make_unique<obs::MetricsSampler>(
         *sink, metrics_interval);
-    metrics_->probe(trMain_, "committed", [this] {
-        return double(mainCore_->committed());
-    });
-    metrics_->probe(trMain_, "mispredicts", [this] {
-        return double(mainCore_->mispredicts());
-    });
-    metrics_->probe(trMain_, "checkpoints",
-                    [this] { return double(checkpoints_); });
-    metrics_->probe(trMain_, "checkers_busy", [this] {
-        return double(sched()->busyCount());
-    });
-    metrics_->probe(trFaults_, "rollbacks",
-                    [this] { return double(rollbacks_); });
-    metrics_->probe(trFaults_, "detections",
-                    [this] { return double(detections_); });
-    metrics_->probe(trFaults_, "faults_injected", [this] {
-        return double(faultsInjectedTotal_);
-    });
-    metrics_->probe(trMem_, "l1d_misses", [this] {
-        return double(hierarchy_->l1d().misses());
-    });
-    metrics_->probe(trMem_, "l2_misses", [this] {
-        return double(hierarchy_->l2().misses());
-    });
-    metrics_->probe(trMem_, "pinned_lines", [this] {
-        return double(hierarchy_->l1d().pinnedLineCount());
-    });
-    metrics_->probe(trMem_, "pinned_blocks", [this] {
-        return double(hierarchy_->l1d().pinnedBlocks());
-    });
+    metrics_->probeRegistry(
+        registry_, [this](const stats::Stat &s) -> obs::TrackId {
+            const std::string &n = s.name();
+            if (n.rfind("mem.", 0) == 0)
+                return trMem_;
+            if (n.rfind("faults.", 0) == 0)
+                return trFaults_;
+            return trMain_;
+        });
 }
 
 void
@@ -281,6 +311,7 @@ System::maybeMainCoreFault(const isa::CommitRecord &r)
 {
     if (mainCoreFaultPlan_.empty())
         return;
+    PARADOX_PROF_SCOPE("fault-inject");
     // The corruption logic itself (which register, stuck-at vs flip)
     // is shared with the checker replay: applyInstructionFaults.
     faultsInjectedTotal_ += applyInstructionFaults(
@@ -748,6 +779,7 @@ System::maybeEccEvent(const isa::CommitRecord &r)
 void
 System::machineCheckRollback()
 {
+    PARADOX_PROF_SCOPE("due-rollback");
     // Detected-but-uncorrectable memory error: discard the open
     // segment and restart it from its checkpoint.  Rollback rewrites
     // every touched location through the log's ECC-protected copies,
@@ -887,6 +919,7 @@ System::processDetections(Tick now)
 void
 System::performRollback(std::size_t idx, Tick stop)
 {
+    PARADOX_PROF_SCOPE("rollback");
     if (!config_.rollbackSupported)
         panic("detection fired but rollback is unsupported in this mode");
 
@@ -1122,6 +1155,7 @@ System::stepOnce()
 void
 System::stepInstruction()
 {
+    PARADOX_PROF_SCOPE("step");
     if (netIndex_ >= limits_.maxInstructions ||
         executed_ >= limits_.maxExecuted ||
         mainCore_->now() >= limits_.maxTicks) {
@@ -1300,6 +1334,7 @@ System::noteHaltCommitted()
 bool
 System::stepSuperblock()
 {
+    PARADOX_PROF_SCOPE("dispatch");
     // Bound the batch so target cuts and instruction limits land on
     // exactly the boundaries the single-step path would produce.
     std::uint64_t max_uops =
@@ -1413,6 +1448,7 @@ System::stepSuperblock()
 void
 System::stepDrain()
 {
+    PARADOX_PROF_SCOPE("drain");
     if (pending_.empty()) {
         halted_ = true;
         phase_ = Phase::Done;
@@ -1520,7 +1556,7 @@ makeSharedUncore(const SystemConfig &config, unsigned shared_checkers)
 void
 System::dumpStats(std::ostream &os) const
 {
-    statGroup_.dump(os);
+    registry_.dump(os);
 }
 
 } // namespace core

@@ -315,6 +315,9 @@ class System
     /** Dump all registered statistics. */
     void dumpStats(std::ostream &os) const;
 
+    /** The unified stats registry (text/JSON dump, sampling). */
+    const stats::Registry &registry() const { return registry_; }
+
   private:
     /** A dispatched segment awaiting (in-order) verification. */
     struct PendingCheck
@@ -584,8 +587,11 @@ class System
     std::vector<obs::TrackId> trCheckers_;
     bool fillSpanOpen_ = false;
 
-    // Statistics.
-    stats::StatGroup statGroup_;
+    // Statistics: every stat -- the system-level aggregates below and
+    // the component counters (mem.*, main.*, faults.*) published as
+    // Gauges -- lives in this one registry; dumpStats and the generic
+    // metrics sampling both enumerate it.
+    stats::Registry registry_;
     stats::Distribution *rollbackNs_;
     stats::Distribution *wastedNs_;
     stats::Distribution *ckptLen_;

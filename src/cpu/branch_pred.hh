@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "isa/instruction.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace paradox
@@ -62,6 +63,16 @@ class TournamentPredictor
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t mispredicts() const { return mispredicts_; }
     /** @} */
+
+    /** Publish the raw counters as Gauges in @p g. */
+    void
+    registerStats(stats::StatGroup &g) const
+    {
+        g.add<stats::Gauge>("lookups", "predictor lookups",
+                            [this] { return double(lookups_); });
+        g.add<stats::Gauge>("mispredicts", "mispredicted branches",
+                            [this] { return double(mispredicts_); });
+    }
 
     /** Drop all learned state. */
     void reset();

@@ -143,6 +143,16 @@ class MainCore
     TournamentPredictor &predictor() { return predictor_; }
     /** @} */
 
+    /** Publish the raw counters as Gauges in @p g. */
+    void
+    registerStats(stats::StatGroup &g) const
+    {
+        g.add<stats::Gauge>("committed", "instructions committed",
+                            [this] { return double(committed_); });
+        g.add<stats::Gauge>("mispredicts", "commit-time mispredicts",
+                            [this] { return double(mispredicts_); });
+    }
+
   private:
     Tick cycles(unsigned n) const { return clock_.cyclesToTicks(n); }
 

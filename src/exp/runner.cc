@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 #include <mutex>
@@ -29,26 +30,44 @@ using Clock = std::chrono::steady_clock;
 class ProgressMeter
 {
   public:
-    ProgressMeter(const RunnerOptions &opt, std::size_t total)
+    ProgressMeter(const RunnerOptions &opt, std::size_t total,
+                  unsigned workers)
         : enabled_(opt.progress && total > 0 && logLevel() >= 1),
-          label_(opt.label), total_(total), start_(Clock::now())
+          label_(opt.label), total_(total),
+          workers_(workers ? workers : 1), start_(Clock::now())
     {
     }
 
+    /**
+     * One job finished, taking @p job_seconds of wall clock (< 0 if
+     * the caller could not time it).  Timed jobs drive the ETA: mean
+     * job time x the number of worker waves left, which converges
+     * much faster than elapsed/done extrapolation when job sizes are
+     * uniform and the pool is wide.
+     */
     void
-    tick()
+    tick(double job_seconds)
     {
         if (!enabled_)
             return;
         std::lock_guard<std::mutex> lock(mutex_);
         ++done_;
+        if (job_seconds >= 0.0) {
+            jobSeconds_ += job_seconds;
+            ++timed_;
+        }
         const double elapsed =
             std::chrono::duration<double>(Clock::now() - start_)
                 .count();
-        const double eta =
-            done_ ? elapsed / double(done_) *
-                        double(total_ - done_)
-                  : 0.0;
+        double eta = 0.0;
+        if (timed_ > 0) {
+            const double mean = jobSeconds_ / double(timed_);
+            const double waves = std::ceil(double(total_ - done_) /
+                                           double(workers_));
+            eta = mean * waves;
+        } else if (done_ > 0) {
+            eta = elapsed / double(done_) * double(total_ - done_);
+        }
         char line[160];
         int len = std::snprintf(
             line, sizeof line,
@@ -66,9 +85,12 @@ class ProgressMeter
     const bool enabled_;
     const std::string label_;
     const std::size_t total_;
+    const unsigned workers_;
     const Clock::time_point start_;
     std::mutex mutex_;
     std::size_t done_ = 0;
+    std::size_t timed_ = 0;
+    double jobSeconds_ = 0.0;
 };
 
 } // namespace
@@ -82,19 +104,19 @@ defaultJobs()
 
 void
 Runner::dispatch(std::size_t n,
-                 const std::function<void(std::size_t)> &job)
+                 const std::function<double(std::size_t)> &job)
 {
     const unsigned jobs = opt_.jobs ? opt_.jobs : defaultJobs();
-    ProgressMeter meter(opt_, n);
 
     if (jobs <= 1 || n <= 1) {
-        for (std::size_t i = 0; i < n; ++i) {
-            job(i);
-            meter.tick();
-        }
+        ProgressMeter meter(opt_, n, 1);
+        for (std::size_t i = 0; i < n; ++i)
+            meter.tick(job(i));
         return;
     }
 
+    const unsigned spawn = unsigned(std::min<std::size_t>(jobs, n));
+    ProgressMeter meter(opt_, n, spawn);
     std::atomic<std::size_t> next{0};
     std::mutex error_mutex;
     std::exception_ptr first_error;
@@ -105,19 +127,19 @@ Runner::dispatch(std::size_t n,
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
+            double secs = -1.0;
             try {
-                job(i);
+                secs = job(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error)
                     first_error = std::current_exception();
             }
-            meter.tick();
+            meter.tick(secs);
         }
     };
 
     std::vector<std::thread> pool;
-    const unsigned spawn = unsigned(std::min<std::size_t>(jobs, n));
     pool.reserve(spawn);
     for (unsigned t = 0; t < spawn; ++t)
         pool.emplace_back(worker);
@@ -131,13 +153,26 @@ std::vector<RunOutcome>
 Runner::run(const std::vector<ExperimentSpec> &specs)
 {
     std::vector<RunOutcome> results(specs.size());
-    dispatch(specs.size(), [&](std::size_t i) {
+    const auto batch_start = Clock::now();
+    dispatch(specs.size(), [&](std::size_t i) -> double {
+        const auto start = Clock::now();
         try {
             results[i] = runOne(specs[i]);
         } catch (const std::exception &e) {
             results[i] = RunOutcome{};
             results[i].error = e.what();
         }
+        const double wall = std::chrono::duration<double>(
+                                Clock::now() - start)
+                                .count();
+        // Host timing always lands in the outcome; whether it is
+        // *emitted* is the spec's recordTimings decision (sink.cc).
+        results[i].jobWallMs = wall * 1e3;
+        results[i].jobQueueMs =
+            std::chrono::duration<double, std::milli>(start -
+                                                      batch_start)
+                .count();
+        return wall;
     });
     return results;
 }
@@ -152,13 +187,16 @@ runIsolated(std::size_t n,
         pid_t pid = -1;
         int fd = -1;
         std::size_t index = 0;
+        Clock::time_point forked{};
     };
 
     const unsigned jobs =
         std::max(1u, opt.jobs ? opt.jobs : defaultJobs());
     std::vector<IsolatedResult> results(n);
     std::vector<Child> inflight;
-    ProgressMeter meter(opt, n);
+    ProgressMeter meter(opt, n,
+                        unsigned(std::min<std::size_t>(jobs, n)));
+    const auto batch_start = Clock::now();
     std::size_t launched = 0;
 
     auto launch = [&]() -> bool {
@@ -201,7 +239,11 @@ runIsolated(std::size_t n,
             _exit(rc);
         }
         close(fds[1]);
-        inflight.push_back({pid, fds[0], idx});
+        inflight.push_back({pid, fds[0], idx, Clock::now()});
+        results[idx].queueMs =
+            std::chrono::duration<double, std::milli>(
+                inflight.back().forked - batch_start)
+                .count();
         return true;
     };
 
@@ -214,7 +256,11 @@ runIsolated(std::size_t n,
         IsolatedResult &r = results[c.index];
         r.status = status;
         r.crashed = !WIFEXITED(status) || r.payload.empty();
-        meter.tick();
+        const double wall_s =
+            std::chrono::duration<double>(Clock::now() - c.forked)
+                .count();
+        r.wallMs = wall_s * 1e3;
+        meter.tick(wall_s);
     };
 
     while (launch() && inflight.size() < jobs) {

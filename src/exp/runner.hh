@@ -22,6 +22,7 @@
 #ifndef PARADOX_EXP_RUNNER_HH
 #define PARADOX_EXP_RUNNER_HH
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -70,7 +71,13 @@ class Runner
     map(std::size_t n, const std::function<R(std::size_t)> &fn)
     {
         std::vector<R> results(n);
-        dispatch(n, [&](std::size_t i) { results[i] = fn(i); });
+        dispatch(n, [&](std::size_t i) {
+            const auto start = std::chrono::steady_clock::now();
+            results[i] = fn(i);
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                .count();
+        });
         return results;
     }
 
@@ -79,10 +86,12 @@ class Runner
   private:
     /**
      * Run job(0..n-1) across the pool; rethrows the first job
-     * exception once all workers have stopped.
+     * exception once all workers have stopped.  A job returns its
+     * wall-clock seconds (< 0 if unknown), which feed the progress
+     * meter's ETA.
      */
     void dispatch(std::size_t n,
-                  const std::function<void(std::size_t)> &job);
+                  const std::function<double(std::size_t)> &job);
 
     RunnerOptions opt_;
 };
@@ -93,6 +102,8 @@ struct IsolatedResult
     std::string payload;  //!< everything fn wrote back (via return)
     int status = 0;       //!< raw waitpid() status
     bool crashed = false; //!< abnormal exit or empty payload
+    double wallMs = -1.0; //!< child lifetime, fork to reap
+    double queueMs = -1.0;//!< batch start to fork
 };
 
 /**

@@ -81,6 +81,17 @@ recordJson(const ExperimentSpec &spec, const RunOutcome &outcome)
        << ",\"ecc_corrected\":" << outcome.eccCorrected;
     if (!outcome.tracePath.empty())
         os << ",\"trace\":\"" << escape(outcome.tracePath) << "\"";
+    // Host timing only on request: it differs run to run, and the
+    // default output must stay byte-identical serial vs parallel.
+    if (spec.recordTimings && outcome.jobWallMs >= 0.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf,
+                      ",\"job_wall_ms\":%.3f,\"job_queue_ms\":%.3f",
+                      outcome.jobWallMs,
+                      outcome.jobQueueMs >= 0.0 ? outcome.jobQueueMs
+                                                : 0.0);
+        os << buf;
+    }
     os << ",\"result\":" << core::toJson(outcome.result) << "}";
     return os.str();
 }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 #include "analysis/vuln.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "obs/trace_writer.hh"
 #include "power/undervolt_data.hh"
@@ -35,6 +37,12 @@ summarize(const stats::Distribution &d)
 RunOutcome
 runOne(const ExperimentSpec &spec)
 {
+    PARADOX_PROF_SCOPE("run");
+    // The setup phase is scoped with an optional so it closes before
+    // "sim" opens even when construction throws.
+    std::optional<obs::ScopedPhase> setup_phase;
+    setup_phase.emplace("setup");
+
     const auto &names = workloads::allNames();
     if (std::find(names.begin(), names.end(), spec.workload) ==
         names.end())
@@ -142,8 +150,13 @@ runOne(const ExperimentSpec &spec)
         system.setTracer(&trace, Tick(spec.traceMetricsUs) * ticksPerUs);
     }
 
+    setup_phase.reset();
+
     RunOutcome out;
-    out.result = system.run(spec.limits);
+    {
+        PARADOX_PROF_SCOPE("sim");
+        out.result = system.run(spec.limits);
+    }
     out.finalValue = system.memory().read(workloads::resultAddr, 8);
     out.expected = w.expectedResult;
     out.correct = out.result.halted && out.finalValue == out.expected;
@@ -152,6 +165,7 @@ runOne(const ExperimentSpec &spec)
     out.wastedNs = summarize(system.wastedExecNs());
     out.ckptLen = summarize(system.checkpointLengths());
     if (!spec.traceFile.empty() && obs::tracingCompiledIn) {
+        PARADOX_PROF_SCOPE("trace-write");
         const std::string tool =
             spec.label.empty() ? spec.workload : spec.label;
         if (!obs::writeChromeJsonFile(trace, spec.traceFile, tool))
@@ -167,8 +181,10 @@ runOne(const ExperimentSpec &spec)
                  std::to_string(trace.dropped()) +
                  " events (buffer full)");
     }
-    if (spec.observe)
+    if (spec.observe) {
+        PARADOX_PROF_SCOPE("observe");
         spec.observe(system, out);
+    }
     return out;
 }
 

@@ -97,6 +97,14 @@ struct ExperimentSpec
     unsigned traceMetricsUs = 10;  //!< metrics sampling interval
     /** @} */
 
+    /**
+     * Emit per-job host timing (job_wall_ms / job_queue_ms) in result
+     * JSONL records.  Off by default: timing varies run to run, and
+     * campaign outputs are expected to be byte-identical between
+     * serial and parallel executions of the same specs.
+     */
+    bool recordTimings = false;
+
     std::uint64_t seed = 12345;
     core::RunLimits limits = defaultLimits();
 
@@ -133,6 +141,11 @@ struct RunOutcome
     DistSummary ckptLen;
     std::string tracePath;         //!< Chrome JSON written (if traced)
     std::string error;             //!< non-empty: the job threw
+    /** @{ Host-side job timing, stamped by exp::Runner (< 0 when the
+     *  spec ran outside a Runner batch). */
+    double jobWallMs = -1.0;       //!< wall-clock spent in runOne()
+    double jobQueueMs = -1.0;      //!< batch start to job start
+    /** @} */
 
     bool ok() const { return error.empty(); }
 };

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace paradox
@@ -115,6 +116,22 @@ class Cache
     std::uint64_t pinnedBlocks() const { return pinnedBlocks_; }
     std::uint64_t pinnedLineCount() const;
     /** @} */
+
+    /** Publish the raw counters as Gauges in @p g. */
+    void
+    registerStats(stats::StatGroup &g) const
+    {
+        g.add<stats::Gauge>("hits", "cache hits",
+                            [this] { return double(hits_); });
+        g.add<stats::Gauge>("misses", "cache misses",
+                            [this] { return double(misses_); });
+        g.add<stats::Gauge>("evictions", "lines evicted",
+                            [this] { return double(evictions_); });
+        g.add<stats::Gauge>("pinned_lines", "currently pinned lines",
+                            [this] { return double(pinnedLineCount()); });
+        g.add<stats::Gauge>("pinned_blocks", "misses blocked on pins",
+                            [this] { return double(pinnedBlocks_); });
+    }
 
   private:
     struct Line

@@ -67,6 +67,18 @@ class Dram
     std::uint64_t rowMisses() const { return rowMisses_; }
     /** @} */
 
+    /** Publish the raw counters as Gauges in @p g. */
+    void
+    registerStats(stats::StatGroup &g) const
+    {
+        g.add<stats::Gauge>("row_hits", "open-row hits",
+                            [this] { return double(rowHits_); });
+        g.add<stats::Gauge>("row_conflicts", "row-buffer conflicts",
+                            [this] { return double(rowConflicts_); });
+        g.add<stats::Gauge>("row_misses", "closed-bank accesses",
+                            [this] { return double(rowMisses_); });
+    }
+
   private:
     struct Bank
     {

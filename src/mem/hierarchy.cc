@@ -26,6 +26,16 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
 {
 }
 
+void
+CacheHierarchy::registerStats(stats::Registry &reg) const
+{
+    l1i_.registerStats(reg.group("mem.l1i"));
+    l1d_.registerStats(reg.group("mem.l1d"));
+    l2_->registerStats(reg.group("mem.l2"));
+    dram_->registerStats(reg.group("mem.dram"));
+    prefetcher_.registerStats(reg.group("mem.pf"));
+}
+
 Tick
 CacheHierarchy::l2Access(Addr addr, Addr pc, bool is_write, Tick start,
                          bool *l2_hit, bool demand)

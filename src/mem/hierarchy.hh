@@ -103,6 +103,14 @@ class CacheHierarchy
 
     unsigned lineBytes() const { return l1d_.params().lineBytes; }
 
+    /**
+     * Register every level's counters under @p reg as the groups
+     * mem.l1i, mem.l1d, mem.l2, mem.dram, mem.pf.  For hierarchies
+     * sharing an L2/DRAM the shared components report whole-chip
+     * totals, so only one hierarchy per chip should register them.
+     */
+    void registerStats(stats::Registry &reg) const;
+
   private:
     Tick cycles(unsigned n) const { return clock_.cyclesToTicks(n); }
 

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace paradox
@@ -45,6 +46,14 @@ class StridePrefetcher
     std::optional<Addr> observe(Addr pc, Addr addr);
 
     std::uint64_t issued() const { return issued_; }
+
+    /** Publish the raw counters as Gauges in @p g. */
+    void
+    registerStats(stats::StatGroup &g) const
+    {
+        g.add<stats::Gauge>("issued", "prefetches issued",
+                            [this] { return double(issued_); });
+    }
 
   private:
     struct Entry

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace paradox
@@ -70,6 +71,16 @@ class Tlb
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     /** @} */
+
+    /** Publish the raw counters as Gauges in @p g. */
+    void
+    registerStats(stats::StatGroup &g) const
+    {
+        g.add<stats::Gauge>("hits", "TLB hits",
+                            [this] { return double(hits_); });
+        g.add<stats::Gauge>("misses", "TLB misses (page walks)",
+                            [this] { return double(misses_); });
+    }
 
     const TlbParams &params() const { return params_; }
 

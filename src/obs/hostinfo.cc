@@ -1,0 +1,103 @@
+#include "obs/hostinfo.hh"
+
+#include <fstream>
+#include <thread>
+
+// Stamped by the build system (src/obs/CMakeLists.txt); the
+// fallbacks keep non-CMake compiles working.
+#ifndef PARADOX_GIT_SHA
+#define PARADOX_GIT_SHA "unknown"
+#endif
+#ifndef PARADOX_BUILD_FLAGS
+#define PARADOX_BUILD_FLAGS "unknown"
+#endif
+
+namespace paradox
+{
+namespace obs
+{
+
+namespace
+{
+
+std::string
+detectCpuModel()
+{
+    std::ifstream is("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(is, line)) {
+        const auto key = line.find("model name");
+        if (key != 0)
+            continue;
+        const auto colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        auto start = line.find_first_not_of(" \t", colon + 1);
+        if (start == std::string::npos)
+            break;
+        return line.substr(start);
+    }
+    return "unknown";
+}
+
+std::string
+detectCompiler()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("g++ ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const HostInfo &
+hostInfo()
+{
+    static const HostInfo info = [] {
+        HostInfo h;
+        h.cpuModel = detectCpuModel();
+        h.cores = std::thread::hardware_concurrency();
+        h.compiler = detectCompiler();
+        h.flags = PARADOX_BUILD_FLAGS;
+        h.gitSha = PARADOX_GIT_SHA;
+        return h;
+    }();
+    return info;
+}
+
+std::string
+hostJsonFields()
+{
+    const HostInfo &h = hostInfo();
+    std::string out = "\"cpu\":\"" + jsonEscape(h.cpuModel) + "\"";
+    out += ",\"cores\":" + std::to_string(h.cores);
+    out += ",\"compiler\":\"" + jsonEscape(h.compiler) + "\"";
+    out += ",\"flags\":\"" + jsonEscape(h.flags) + "\"";
+    out += ",\"git\":\"" + jsonEscape(h.gitSha) + "\"";
+    return out;
+}
+
+} // namespace obs
+} // namespace paradox

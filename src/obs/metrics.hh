@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/trace.hh"
+#include "sim/stats.hh"
 
 namespace paradox
 {
@@ -43,6 +44,27 @@ class MetricsSampler
           std::function<double()> read)
     {
         probes_.push_back({track, name, std::move(read)});
+    }
+
+    /**
+     * Register a probe for every sampleable stat in @p reg that has
+     * been marked for export with Stat::setSeries().  The series name
+     * (not the hierarchical stat name) becomes the counter-track
+     * event name, so legacy track names stay stable across stats
+     * reorganisations.  @p route maps each stat to the track it
+     * belongs on.  The registry must outlive this sampler: probes
+     * keep pointers into it.
+     */
+    void
+    probeRegistry(const stats::Registry &reg,
+                  const std::function<TrackId(const stats::Stat &)> &route)
+    {
+        reg.forEach([&](const stats::Stat &s) {
+            if (!s.sampleable() || s.series().empty())
+                return;
+            probes_.push_back({route(s), s.series().c_str(),
+                               [&s] { return s.sampleValue(); }});
+        });
     }
 
     /** Sample every probe if the interval has elapsed since last. */

@@ -1,0 +1,407 @@
+#include "obs/profiler.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/hostinfo.hh"
+#include "obs/trace_reader.hh"
+
+namespace paradox
+{
+namespace obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One phase node in a thread's tree; node 0 is the synthetic root. */
+struct Node
+{
+    const char *name = nullptr;
+    std::uint32_t parent = 0;
+    std::vector<std::uint32_t> children;
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+};
+
+struct Frame
+{
+    std::uint32_t node = 0;
+    Clock::time_point start{};
+};
+
+/**
+ * A thread's accumulation state.  Registered globally as a
+ * shared_ptr so the tree outlives the thread (Runner workers exit
+ * before the harness snapshots).
+ */
+struct ThreadProfile
+{
+    std::vector<Node> nodes;
+    std::vector<Frame> stack;
+
+    ThreadProfile()
+    {
+        nodes.emplace_back();
+        stack.push_back({0, {}});
+    }
+};
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<std::shared_ptr<ThreadProfile>> &
+profileRegistry()
+{
+    static std::vector<std::shared_ptr<ThreadProfile>> v;
+    return v;
+}
+
+ThreadProfile &
+localProfile()
+{
+    thread_local std::shared_ptr<ThreadProfile> tls;
+    if (!tls) {
+        tls = std::make_shared<ThreadProfile>();
+        std::lock_guard<std::mutex> lock(registryMutex());
+        profileRegistry().push_back(tls);
+    }
+    return *tls;
+}
+
+/** Merged (cross-thread) tree node, built during snapshot(). */
+struct MergedNode
+{
+    std::string name;
+    std::vector<std::uint32_t> children;
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+};
+
+void
+mergeInto(std::vector<MergedNode> &merged, std::uint32_t mparent,
+          const ThreadProfile &profile, std::uint32_t node)
+{
+    const Node &n = profile.nodes[node];
+    std::uint32_t target = 0;
+    for (std::uint32_t c : merged[mparent].children) {
+        if (merged[c].name == n.name) {
+            target = c;
+            break;
+        }
+    }
+    if (target == 0) {
+        target = std::uint32_t(merged.size());
+        merged.push_back({n.name, {}, 0, 0});
+        merged[mparent].children.push_back(target);
+    }
+    merged[target].count += n.count;
+    merged[target].totalNs += n.totalNs;
+    for (std::uint32_t c : n.children)
+        mergeInto(merged, target, profile, c);
+}
+
+void
+emitPreorder(const std::vector<MergedNode> &merged, std::uint32_t node,
+             const std::string &parent_path, unsigned depth,
+             std::vector<ProfPhase> &out)
+{
+    const MergedNode &n = merged[node];
+    ProfPhase phase;
+    phase.name = n.name;
+    phase.path = parent_path.empty() ? n.name : parent_path + "/" + n.name;
+    phase.depth = depth;
+    phase.count = n.count;
+    phase.totalNs = n.totalNs;
+    std::uint64_t child_total = 0;
+    for (std::uint32_t c : n.children)
+        child_total += merged[c].totalNs;
+    phase.selfNs =
+        n.totalNs > child_total ? n.totalNs - child_total : 0;
+    // Copied, not referenced: the recursive push_backs can
+    // reallocate `out` while the children still need this path.
+    const std::string path = phase.path;
+    out.push_back(std::move(phase));
+    for (std::uint32_t c : n.children)
+        emitPreorder(merged, c, path, depth + 1, out);
+}
+
+/** Minimal JSON string escaping for header fields. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+bool
+parseU64(const std::string &raw, std::uint64_t &out)
+{
+    try {
+        out = std::stoull(raw);
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Profiler::pushPhase(const char *name)
+{
+    ThreadProfile &p = localProfile();
+    const std::uint32_t parent = p.stack.back().node;
+    std::uint32_t idx = 0;
+    for (std::uint32_t c : p.nodes[parent].children) {
+        // Pointer equality first: names are interned literals, so
+        // the strcmp fallback only matters across translation units.
+        if (p.nodes[c].name == name ||
+            std::strcmp(p.nodes[c].name, name) == 0) {
+            idx = c;
+            break;
+        }
+    }
+    if (idx == 0) {
+        idx = std::uint32_t(p.nodes.size());
+        Node n;
+        n.name = name;
+        n.parent = parent;
+        p.nodes.push_back(std::move(n));
+        p.nodes[parent].children.push_back(idx);
+    }
+    p.stack.push_back({idx, Clock::now()});
+}
+
+void
+Profiler::popPhase()
+{
+    ThreadProfile &p = localProfile();
+    if (p.stack.size() <= 1)
+        return; // unbalanced pop; drop rather than corrupt the root
+    const Frame f = p.stack.back();
+    p.stack.pop_back();
+    Node &n = p.nodes[f.node];
+    ++n.count;
+    n.totalNs += std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - f.start)
+            .count());
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    for (auto &p : profileRegistry()) {
+        p->nodes.clear();
+        p->nodes.emplace_back();
+        p->stack.clear();
+        p->stack.push_back({0, {}});
+    }
+}
+
+std::vector<ProfPhase>
+Profiler::snapshot()
+{
+    std::vector<MergedNode> merged;
+    merged.push_back({"", {}, 0, 0});
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        for (const auto &p : profileRegistry())
+            for (std::uint32_t c : p->nodes[0].children)
+                mergeInto(merged, 0, *p, c);
+    }
+    std::vector<ProfPhase> out;
+    for (std::uint32_t c : merged[0].children)
+        emitPreorder(merged, c, "", 0, out);
+    return out;
+}
+
+std::uint64_t
+Profiler::rootTotalNs(const std::vector<ProfPhase> &phases)
+{
+    std::uint64_t total = 0;
+    for (const ProfPhase &p : phases)
+        if (p.depth == 0)
+            total += p.totalNs;
+    return total;
+}
+
+unsigned
+Profiler::threadCount()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    unsigned n = 0;
+    for (const auto &p : profileRegistry())
+        if (p->nodes.size() > 1)
+            ++n;
+    return n;
+}
+
+bool
+writeProfJsonl(std::ostream &os, const std::vector<ProfPhase> &phases,
+               const ProfMeta &meta)
+{
+    os << "{\"record\":\"header\",\"schema\":\"paradox-prof/1\","
+       << "\"tool\":\"" << jsonEscape(meta.tool) << "\"";
+    if (!meta.workload.empty())
+        os << ",\"workload\":\"" << jsonEscape(meta.workload) << "\"";
+    os << ",\"threads\":" << Profiler::threadCount() << ","
+       << hostJsonFields();
+    if (meta.simInstructions)
+        os << ",\"sim_instructions\":" << meta.simInstructions;
+    if (meta.wallNs)
+        os << ",\"wall_ns\":" << meta.wallNs;
+    os << "}\n";
+
+    for (const ProfPhase &p : phases) {
+        os << "{\"record\":\"phase\",\"path\":\"" << jsonEscape(p.path)
+           << "\",\"name\":\"" << jsonEscape(p.name)
+           << "\",\"depth\":" << p.depth << ",\"count\":" << p.count
+           << ",\"total_ns\":" << p.totalNs
+           << ",\"self_ns\":" << p.selfNs;
+        if (meta.simInstructions && p.selfNs > 0) {
+            const double ips = double(meta.simInstructions) /
+                               (double(p.selfNs) * 1e-9);
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.0f", ips);
+            os << ",\"self_inst_per_sec\":" << buf;
+        }
+        os << "}\n";
+    }
+
+    os << "{\"record\":\"summary\",\"phases\":" << phases.size()
+       << ",\"root_total_ns\":" << Profiler::rootTotalNs(phases)
+       << "}\n";
+    return bool(os);
+}
+
+bool
+writeProfJsonlFile(const std::string &path,
+                   const std::vector<ProfPhase> &phases,
+                   const ProfMeta &meta)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    return writeProfJsonl(os, phases, meta);
+}
+
+bool
+readProfJsonl(std::istream &is, ParsedProf &out, std::string &error)
+{
+    std::string line;
+    bool saw_header = false;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::string record;
+        if (!jsonField(line, "record", record)) {
+            error = "line " + std::to_string(line_no) +
+                    ": missing 'record' field";
+            return false;
+        }
+        if (record == "header") {
+            std::string schema;
+            if (!jsonField(line, "schema", schema) ||
+                schema != "paradox-prof/1") {
+                error = "line " + std::to_string(line_no) +
+                        ": bad schema (want paradox-prof/1)";
+                return false;
+            }
+            saw_header = true;
+            jsonField(line, "tool", out.tool);
+            jsonField(line, "workload", out.workload);
+            std::string raw;
+            std::uint64_t v = 0;
+            if (jsonField(line, "threads", raw) && parseU64(raw, v))
+                out.threads = unsigned(v);
+            if (jsonField(line, "sim_instructions", raw) &&
+                parseU64(raw, v))
+                out.simInstructions = v;
+            if (jsonField(line, "wall_ns", raw) && parseU64(raw, v))
+                out.wallNs = v;
+        } else if (record == "phase") {
+            if (!saw_header) {
+                error = "line " + std::to_string(line_no) +
+                        ": phase before header";
+                return false;
+            }
+            ProfPhase p;
+            std::string raw;
+            std::uint64_t v = 0;
+            if (!jsonField(line, "path", p.path) ||
+                !jsonField(line, "name", p.name)) {
+                error = "line " + std::to_string(line_no) +
+                        ": phase record missing path/name";
+                return false;
+            }
+            if (jsonField(line, "depth", raw) && parseU64(raw, v))
+                p.depth = unsigned(v);
+            if (!jsonField(line, "count", raw) || !parseU64(raw, p.count) ||
+                !jsonField(line, "total_ns", raw) ||
+                !parseU64(raw, p.totalNs) ||
+                !jsonField(line, "self_ns", raw) ||
+                !parseU64(raw, p.selfNs)) {
+                error = "line " + std::to_string(line_no) +
+                        ": phase record missing count/total_ns/self_ns";
+                return false;
+            }
+            out.phases.push_back(std::move(p));
+        } else if (record == "summary") {
+            std::string raw;
+            if (jsonField(line, "root_total_ns", raw))
+                parseU64(raw, out.rootTotalNs);
+        } else {
+            error = "line " + std::to_string(line_no) +
+                    ": unknown record '" + record + "'";
+            return false;
+        }
+    }
+    if (!saw_header) {
+        error = "empty stream (no header record)";
+        return false;
+    }
+    return true;
+}
+
+bool
+readProfJsonlFile(const std::string &path, ParsedProf &out,
+                  std::string &error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    return readProfJsonl(is, out, error);
+}
+
+} // namespace obs
+} // namespace paradox

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Host-side self-profiler: low-overhead scoped phase timers over
+ * steady_clock, accumulated into a per-thread phase tree and merged
+ * on snapshot.
+ *
+ * The simulator's observability so far (trace.hh, metrics.hh) covers
+ * *simulated* time; this covers where the simulator's own host
+ * wall-clock goes -- the measurement ROADMAP item 5 (per-component
+ * tick domains) will be designed from.  Instrumented code brackets a
+ * phase with PARADOX_PROF_SCOPE("name"); nesting forms the tree
+ * (system tick -> main-core step -> decoded-engine dispatch / memory
+ * hierarchy / branch predictor / checker replay / ...).
+ *
+ * Three cost regimes, mirroring trace.hh:
+ *
+ *  - compile time: -DPARADOX_PROFILING=0 turns profilingCompiledIn
+ *    into a constant false and every scope folds away entirely;
+ *
+ *  - runtime disabled (the default): one relaxed atomic load per
+ *    scope site;
+ *
+ *  - enabled: two clock reads plus a child-pointer walk per scope.
+ *    Accumulation is thread-local, so exp::Runner jobs never contend
+ *    on shared profiler state; a worker's tree outlives the worker
+ *    and is merged by phase path at snapshot time.
+ *
+ * snapshot()/reset()/writeProfJsonl() require quiescence: no thread
+ * may be inside an enabled scope while they run (in practice they are
+ * called between runs, after workers joined).
+ *
+ * Serialized form is the versioned `paradox-prof/1` JSONL: a header
+ * record (host metadata, optional workload / sim-instruction /
+ * wall-clock context), one "phase" record per merged node with
+ * self/total nanoseconds, call count and -- when the header carries
+ * sim_instructions -- per-phase sim-instructions-per-host-second,
+ * and a trailing summary record.  tools/prof_report consumes it.
+ */
+
+#ifndef PARADOX_OBS_PROFILER_HH
+#define PARADOX_OBS_PROFILER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#ifndef PARADOX_PROFILING
+#define PARADOX_PROFILING 1
+#endif
+
+namespace paradox
+{
+namespace obs
+{
+
+/** True when the profiling hooks were compiled in. */
+constexpr bool profilingCompiledIn = PARADOX_PROFILING != 0;
+
+namespace detail
+{
+/** Global runtime switch (relaxed: a scope missing one toggle by a
+ * few instructions is harmless). */
+inline std::atomic<bool> profilingEnabled{false};
+} // namespace detail
+
+/** One merged phase in a profile snapshot (tree preorder). */
+struct ProfPhase
+{
+    std::string path;        //!< "run/sim/step" ('/'-joined names)
+    std::string name;        //!< leaf name ("step")
+    unsigned depth = 0;      //!< root phases are depth 0
+    std::uint64_t count = 0; //!< scope entries
+    std::uint64_t totalNs = 0; //!< inclusive wall time
+    std::uint64_t selfNs = 0;  //!< total minus children's totals
+};
+
+/**
+ * Process-wide profiler facade.  All state lives in thread-local
+ * trees registered on first use; the static API controls the runtime
+ * switch and merges/serializes the trees.
+ */
+class Profiler
+{
+  public:
+    /** Runtime switch; scopes entered while disabled record nothing. */
+    static void setEnabled(bool on)
+    {
+        detail::profilingEnabled.store(on, std::memory_order_relaxed);
+    }
+
+    static bool
+    enabled()
+    {
+        return profilingCompiledIn &&
+               detail::profilingEnabled.load(std::memory_order_relaxed);
+    }
+
+    /** Discard every thread's recorded tree (requires quiescence). */
+    static void reset();
+
+    /**
+     * Merge all threads' trees by phase path and return the merged
+     * tree in preorder (requires quiescence).
+     */
+    static std::vector<ProfPhase> snapshot();
+
+    /** Sum of the depth-0 totals of @p phases (attributed wall). */
+    static std::uint64_t rootTotalNs(const std::vector<ProfPhase> &phases);
+
+    /** Threads that recorded at least one phase. */
+    static unsigned threadCount();
+
+    /** @{ Scope entry/exit; prefer ScopedPhase / PARADOX_PROF_SCOPE.
+     * @p name must be a string literal (interned; never copied on
+     * the hot path).  Calls must nest LIFO per thread. */
+    static void pushPhase(const char *name);
+    static void popPhase();
+    /** @} */
+};
+
+/** RAII phase scope; see PARADOX_PROF_SCOPE. */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(const char *name)
+    {
+        if (Profiler::enabled()) {
+            live_ = true;
+            Profiler::pushPhase(name);
+        }
+    }
+
+    ~ScopedPhase()
+    {
+        if (live_)
+            Profiler::popPhase();
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    bool live_ = false;
+};
+
+/** Context stamped into a profile's header record. */
+struct ProfMeta
+{
+    std::string tool;            //!< producing tool name
+    std::string workload;        //!< optional workload tag
+    std::uint64_t simInstructions = 0; //!< 0 = unknown
+    std::uint64_t wallNs = 0;    //!< externally measured wall (0 = unknown)
+};
+
+/** @{ Serialize a snapshot as paradox-prof/1 JSONL. */
+bool writeProfJsonl(std::ostream &os,
+                    const std::vector<ProfPhase> &phases,
+                    const ProfMeta &meta);
+bool writeProfJsonlFile(const std::string &path,
+                        const std::vector<ProfPhase> &phases,
+                        const ProfMeta &meta);
+/** @} */
+
+/** A fully parsed paradox-prof/1 stream. */
+struct ParsedProf
+{
+    std::string tool;
+    std::string workload;
+    unsigned threads = 0;
+    std::uint64_t simInstructions = 0;
+    std::uint64_t wallNs = 0;
+    std::uint64_t rootTotalNs = 0; //!< from the summary record
+    std::vector<ProfPhase> phases; //!< in stream (preorder) order
+};
+
+/** @{ Parse paradox-prof/1; false + @p error on a malformed stream. */
+bool readProfJsonl(std::istream &is, ParsedProf &out,
+                   std::string &error);
+bool readProfJsonlFile(const std::string &path, ParsedProf &out,
+                       std::string &error);
+/** @} */
+
+} // namespace obs
+} // namespace paradox
+
+#define PARADOX_PROF_CONCAT2(a, b) a##b
+#define PARADOX_PROF_CONCAT(a, b) PARADOX_PROF_CONCAT2(a, b)
+
+/** Profile the enclosing scope as phase @p name (a string literal). */
+#define PARADOX_PROF_SCOPE(name)                                       \
+    ::paradox::obs::ScopedPhase PARADOX_PROF_CONCAT(                   \
+        paradoxProfScope_, __LINE__)(name)
+
+#endif // PARADOX_OBS_PROFILER_HH

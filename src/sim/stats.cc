@@ -9,6 +9,22 @@ namespace paradox
 namespace stats
 {
 
+namespace
+{
+
+/** Render a double as a JSON-legal number (no inf/nan literals). */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << 0;
+        return;
+    }
+    os << v;
+}
+
+} // namespace
+
 void
 Counter::print(std::ostream &os) const
 {
@@ -16,9 +32,33 @@ Counter::print(std::ostream &os) const
 }
 
 void
+Counter::printJson(std::ostream &os) const
+{
+    os << value_;
+}
+
+void
 Scalar::print(std::ostream &os) const
 {
     os << name() << " " << value_ << " # " << description() << "\n";
+}
+
+void
+Scalar::printJson(std::ostream &os) const
+{
+    jsonNumber(os, value_);
+}
+
+void
+Gauge::print(std::ostream &os) const
+{
+    os << name() << " " << value() << " # " << description() << "\n";
+}
+
+void
+Gauge::printJson(std::ostream &os) const
+{
+    jsonNumber(os, value());
 }
 
 void
@@ -53,6 +93,20 @@ Distribution::print(std::ostream &os) const
     os << name() << " count=" << count_ << " mean=" << mean()
        << " min=" << min() << " max=" << max()
        << " stddev=" << stddev() << " # " << description() << "\n";
+}
+
+void
+Distribution::printJson(std::ostream &os) const
+{
+    os << "{\"count\":" << count_ << ",\"mean\":";
+    jsonNumber(os, mean());
+    os << ",\"min\":";
+    jsonNumber(os, min());
+    os << ",\"max\":";
+    jsonNumber(os, max());
+    os << ",\"stddev\":";
+    jsonNumber(os, stddev());
+    os << "}";
 }
 
 void
@@ -113,6 +167,18 @@ Histogram::print(std::ostream &os) const
 }
 
 void
+Histogram::printJson(std::ostream &os) const
+{
+    os << "{\"count\":" << count_ << ",\"p50\":";
+    jsonNumber(os, p50());
+    os << ",\"p95\":";
+    jsonNumber(os, p95());
+    os << ",\"p99\":";
+    jsonNumber(os, p99());
+    os << "}";
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -154,6 +220,12 @@ TimeSeries::reset()
 }
 
 void
+TimeSeries::printJson(std::ostream &os) const
+{
+    os << "{\"samples\":" << data_.size() << "}";
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &stat : stats_)
@@ -165,6 +237,77 @@ StatGroup::resetAll()
 {
     for (const auto &stat : stats_)
         stat->reset();
+}
+
+Stat *
+StatGroup::find(const std::string &full_name)
+{
+    for (const auto &stat : stats_)
+        if (stat->name() == full_name)
+            return stat.get();
+    return nullptr;
+}
+
+StatGroup &
+Registry::group(const std::string &prefix)
+{
+    for (const auto &g : groups_)
+        if (g->prefix() == prefix)
+            return *g;
+    groups_.emplace_back(std::make_unique<StatGroup>(prefix));
+    return *groups_.back();
+}
+
+Stat *
+Registry::find(const std::string &full_name)
+{
+    for (const auto &g : groups_)
+        if (Stat *s = g->find(full_name))
+            return s;
+    return nullptr;
+}
+
+const Stat *
+Registry::find(const std::string &full_name) const
+{
+    return const_cast<Registry *>(this)->find(full_name);
+}
+
+void
+Registry::forEach(const std::function<void(const Stat &)> &fn) const
+{
+    for (const auto &g : groups_)
+        for (const auto &stat : g->stats())
+            fn(*stat);
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    for (const auto &g : groups_)
+        g->dump(os);
+}
+
+void
+Registry::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    forEach([&](const Stat &s) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << s.name() << "\":";
+        s.printJson(os);
+    });
+    os << "}";
+}
+
+void
+Registry::resetAll()
+{
+    for (const auto &g : groups_)
+        g->resetAll();
 }
 
 } // namespace stats

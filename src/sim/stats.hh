@@ -4,18 +4,27 @@
  *
  * Modelled loosely on gem5's stats: every model component owns named
  * statistics registered in a StatGroup, and the harness dumps them at
- * the end of a run.  Four kinds cover everything the ParaDox
+ * the end of a run.  The kinds cover everything the ParaDox
  * evaluation needs: Counter (monotonic event counts), Scalar
- * (settable values), Distribution (running mean/min/max/stddev used
- * for e.g. rollback and wasted-execution times in figure 9), and
- * TimeSeries (tick-stamped samples used for the voltage trace in
- * figure 11).
+ * (settable values), Gauge (a live value read through a callback, so
+ * components keep their raw hot-path counters and still publish
+ * them), Distribution (running mean/min/max/stddev used for e.g.
+ * rollback and wasted-execution times in figure 9), and TimeSeries
+ * (tick-stamped samples used for the voltage trace in figure 11).
+ *
+ * A Registry owns StatGroups under hierarchical dotted prefixes
+ * ("mem.l1d", "faults") and is the one enumerable place consumers
+ * pull from: text dump, flat JSON dump, and generic periodic
+ * sampling -- a stat marked with a series name (setSeries) is picked
+ * up by obs::MetricsSampler::probeRegistry without any hand-wired
+ * probe list.
  */
 
 #ifndef PARADOX_SIM_STATS_HH
 #define PARADOX_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -44,12 +53,31 @@ class Stat
     /** Render one dump line (or several) to @p os. */
     virtual void print(std::ostream &os) const = 0;
 
+    /** Render this stat's value as one JSON value (no name). */
+    virtual void printJson(std::ostream &os) const = 0;
+
     /** Clear back to the just-constructed state. */
     virtual void reset() = 0;
+
+    /** @{
+     * Generic numeric sampling.  A stat that can be read as one
+     * number reports sampleable(); marking it with a series name
+     * opts it into periodic time-series export (the sampler uses
+     * the series as the counter-track name, so legacy track names
+     * stay stable across the registry migration).  The series
+     * string is owned here, so probes may keep a pointer to it for
+     * the stat's lifetime.
+     */
+    virtual bool sampleable() const { return false; }
+    virtual double sampleValue() const { return 0.0; }
+    const std::string &series() const { return series_; }
+    void setSeries(std::string series) { series_ = std::move(series); }
+    /** @} */
 
   private:
     std::string name_;
     std::string desc_;
+    std::string series_;
 };
 
 /** Monotonically increasing event count. */
@@ -64,7 +92,11 @@ class Counter : public Stat
     std::uint64_t value() const { return value_; }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
+
+    bool sampleable() const override { return true; }
+    double sampleValue() const override { return double(value_); }
 
   private:
     std::uint64_t value_ = 0;
@@ -80,10 +112,42 @@ class Scalar : public Stat
     double value() const { return value_; }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { value_ = 0.0; }
+
+    bool sampleable() const override { return true; }
+    double sampleValue() const override { return value_; }
 
   private:
     double value_ = 0.0;
+};
+
+/**
+ * A live value read through a callback.  Components keep their raw
+ * hot-path counters (plain uint64_t members, zero registration cost
+ * per event) and publish them by registering a Gauge over the
+ * accessor; the registry reads the current value on dump or sample.
+ */
+class Gauge : public Stat
+{
+  public:
+    Gauge(std::string name, std::string desc,
+          std::function<double()> read)
+        : Stat(std::move(name), std::move(desc)), read_(std::move(read))
+    {}
+
+    double value() const { return read_(); }
+
+    void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    /** The underlying component owns the state; nothing to clear. */
+    void reset() override {}
+
+    bool sampleable() const override { return true; }
+    double sampleValue() const override { return read_(); }
+
+  private:
+    std::function<double()> read_;
 };
 
 /** Running distribution: count, mean, min, max, sample stddev. */
@@ -104,6 +168,7 @@ class Distribution : public Stat
     double stddev() const;
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -149,6 +214,7 @@ class Histogram : public Stat
     /** @} */
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -185,6 +251,7 @@ class TimeSeries : public Stat
     }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -220,9 +287,56 @@ class StatGroup
 
     const std::string &prefix() const { return prefix_; }
 
+    /** Registered stats, in registration order. */
+    const std::vector<std::unique_ptr<Stat>> &stats() const
+    {
+        return stats_;
+    }
+
+    /** Find a stat by its full (prefixed) name; null if absent. */
+    Stat *find(const std::string &full_name);
+
   private:
     std::string prefix_;
     std::vector<std::unique_ptr<Stat>> stats_;
+};
+
+/**
+ * A hierarchy of StatGroups under dotted prefixes, owned in creation
+ * order (which is also dump and sampling order, so output stays
+ * stable as components register).
+ */
+class Registry
+{
+  public:
+    /** Get the group registered under @p prefix, creating it. */
+    StatGroup &group(const std::string &prefix);
+
+    /** Groups in creation order. */
+    const std::vector<std::unique_ptr<StatGroup>> &groups() const
+    {
+        return groups_;
+    }
+
+    /** @{ Find a stat by full dotted name; null if absent. */
+    Stat *find(const std::string &full_name);
+    const Stat *find(const std::string &full_name) const;
+    /** @} */
+
+    /** Visit every stat, group by group, in registration order. */
+    void forEach(const std::function<void(const Stat &)> &fn) const;
+
+    /** Text dump (the classic `name value # desc` lines). */
+    void dump(std::ostream &os) const;
+
+    /** One flat JSON object keyed by full stat names. */
+    void dumpJson(std::ostream &os) const;
+
+    /** Reset every stat in every group. */
+    void resetAll();
+
+  private:
+    std::vector<std::unique_ptr<StatGroup>> groups_;
 };
 
 } // namespace stats

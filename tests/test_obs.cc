@@ -7,13 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include "core/system.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "obs/trace_reader.hh"
 #include "obs/trace_writer.hh"
+#include "sim/stats.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -342,6 +347,239 @@ TEST(SystemTracing, DeterministicAcrossIdenticalRuns)
         GTEST_SKIP() << "built with PARADOX_TRACING=0";
     EXPECT_EQ(tracedRunJsonl(1e-4), tracedRunJsonl(1e-4));
     EXPECT_EQ(tracedRunJsonl(0.0), tracedRunJsonl(0.0));
+}
+
+const obs::ProfPhase *
+findPhase(const std::vector<obs::ProfPhase> &phases,
+          const std::string &path)
+{
+    for (const obs::ProfPhase &p : phases)
+        if (p.path == path)
+            return &p;
+    return nullptr;
+}
+
+TEST(Profiler, NestingBuildsTree)
+{
+    if (!obs::profilingCompiledIn)
+        GTEST_SKIP() << "built with PARADOX_PROFILING=0";
+    obs::Profiler::reset();
+    obs::Profiler::setEnabled(true);
+    {
+        PARADOX_PROF_SCOPE("outer");
+        for (int i = 0; i < 3; ++i) {
+            PARADOX_PROF_SCOPE("inner");
+        }
+    }
+    obs::Profiler::setEnabled(false);
+
+    std::vector<obs::ProfPhase> phases = obs::Profiler::snapshot();
+    const obs::ProfPhase *outer = findPhase(phases, "outer");
+    const obs::ProfPhase *inner = findPhase(phases, "outer/inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->depth, 0u);
+    EXPECT_EQ(inner->depth, 1u);
+    EXPECT_EQ(outer->count, 1u);
+    EXPECT_EQ(inner->count, 3u);
+    EXPECT_EQ(inner->name, "inner");
+    // Inclusive time covers the children; self excludes them.
+    EXPECT_GE(outer->totalNs, inner->totalNs);
+    EXPECT_EQ(outer->selfNs, outer->totalNs - inner->totalNs);
+    EXPECT_EQ(inner->selfNs, inner->totalNs);
+    EXPECT_EQ(obs::Profiler::rootTotalNs(phases), outer->totalNs);
+    obs::Profiler::reset();
+}
+
+TEST(Profiler, ThreadsMergeByPath)
+{
+    if (!obs::profilingCompiledIn)
+        GTEST_SKIP() << "built with PARADOX_PROFILING=0";
+    obs::Profiler::reset();
+    obs::Profiler::setEnabled(true);
+    auto work = [] {
+        for (int i = 0; i < 5; ++i) {
+            PARADOX_PROF_SCOPE("worker");
+        }
+    };
+    std::thread a(work), b(work);
+    a.join();
+    b.join();
+    obs::Profiler::setEnabled(false);
+
+    // Both workers' trees survive their threads and merge by path.
+    std::vector<obs::ProfPhase> phases = obs::Profiler::snapshot();
+    const obs::ProfPhase *worker = findPhase(phases, "worker");
+    ASSERT_NE(worker, nullptr);
+    EXPECT_EQ(worker->count, 10u);
+    EXPECT_GE(obs::Profiler::threadCount(), 2u);
+    obs::Profiler::reset();
+}
+
+TEST(Profiler, DisabledRecordsNothing)
+{
+    obs::Profiler::reset();
+    obs::Profiler::setEnabled(false);
+    {
+        PARADOX_PROF_SCOPE("ghost");
+    }
+    EXPECT_TRUE(obs::Profiler::snapshot().empty());
+    EXPECT_EQ(obs::Profiler::rootTotalNs({}), 0u);
+}
+
+TEST(Profiler, JsonlRoundTrip)
+{
+    if (!obs::profilingCompiledIn)
+        GTEST_SKIP() << "built with PARADOX_PROFILING=0";
+    obs::Profiler::reset();
+    obs::Profiler::setEnabled(true);
+    {
+        PARADOX_PROF_SCOPE("run");
+        {
+            PARADOX_PROF_SCOPE("sim");
+        }
+    }
+    obs::Profiler::setEnabled(false);
+    std::vector<obs::ProfPhase> phases = obs::Profiler::snapshot();
+    ASSERT_EQ(phases.size(), 2u);
+
+    obs::ProfMeta meta;
+    meta.tool = "test_obs";
+    meta.workload = "bitcount";
+    meta.simInstructions = 123456;
+    meta.wallNs = obs::Profiler::rootTotalNs(phases) + 1000;
+    std::ostringstream os;
+    ASSERT_TRUE(obs::writeProfJsonl(os, phases, meta));
+
+    std::istringstream is(os.str());
+    obs::ParsedProf parsed;
+    std::string error;
+    ASSERT_TRUE(obs::readProfJsonl(is, parsed, error)) << error;
+    EXPECT_EQ(parsed.tool, "test_obs");
+    EXPECT_EQ(parsed.workload, "bitcount");
+    EXPECT_EQ(parsed.simInstructions, 123456u);
+    EXPECT_EQ(parsed.wallNs, meta.wallNs);
+    EXPECT_EQ(parsed.rootTotalNs,
+              obs::Profiler::rootTotalNs(phases));
+    ASSERT_EQ(parsed.phases.size(), 2u);
+    EXPECT_EQ(parsed.phases[0].path, phases[0].path);
+    EXPECT_EQ(parsed.phases[0].count, phases[0].count);
+    EXPECT_EQ(parsed.phases[0].totalNs, phases[0].totalNs);
+    EXPECT_EQ(parsed.phases[0].selfNs, phases[0].selfNs);
+    EXPECT_EQ(parsed.phases[1].path, phases[1].path);
+    EXPECT_EQ(parsed.phases[1].depth, 1u);
+    obs::Profiler::reset();
+}
+
+TEST(ProfReader, RejectsBadSchemaAndMissingHeader)
+{
+    obs::ParsedProf parsed;
+    std::string error;
+
+    std::istringstream bad_schema(
+        "{\"record\":\"header\",\"schema\":\"paradox-prof/999\"}\n");
+    EXPECT_FALSE(obs::readProfJsonl(bad_schema, parsed, error));
+    EXPECT_NE(error.find("schema"), std::string::npos);
+
+    std::istringstream no_header(
+        "{\"record\":\"phase\",\"path\":\"x\",\"total_ns\":1}\n");
+    EXPECT_FALSE(obs::readProfJsonl(no_header, parsed, error));
+
+    std::istringstream empty("");
+    EXPECT_FALSE(obs::readProfJsonl(empty, parsed, error));
+}
+
+/** Value printed on the dump line that starts with @p name. */
+double
+dumpValue(const std::string &dump, const std::string &name)
+{
+    const std::size_t pos = dump.find(name + " ");
+    if (pos == std::string::npos ||
+        (pos != 0 && dump[pos - 1] != '\n'))
+        return -1.0;
+    return std::strtod(dump.c_str() + pos + name.size(), nullptr);
+}
+
+TEST(SystemStats, RegistryDumpKeepsLegacyLayout)
+{
+    workloads::Workload w = workloads::build("bitcount", 1);
+    core::SystemConfig config =
+        core::SystemConfig::forMode(core::Mode::ParaDox);
+    core::System system(config, w.program);
+    core::RunResult r = system.run();
+    ASSERT_TRUE(r.halted);
+
+    std::ostringstream os;
+    system.dumpStats(os);
+    const std::string dump = os.str();
+
+    // The classic "system" lines still lead the dump, and the
+    // component groups follow under their dotted prefixes.
+    EXPECT_EQ(dump.rfind("system.rollbackNs", 0), 0u);
+    const char *order[] = {
+        "system.checkpointLength", "system.evictionCuts",
+        "system.voltage",          "main.committed",
+        "main.checkpoints",        "main.bpred.lookups",
+        "faults.rollbacks",        "mem.l1i.hits",
+        "mem.l1d.misses",          "mem.l1d.pinned_lines",
+        "mem.l2.misses",           "mem.dram.row_hits",
+        "mem.pf.issued",           "mem.dtlb.hits",
+        "mem.itlb.hits",
+    };
+    std::size_t last = 0;
+    for (const char *name : order) {
+        const std::size_t pos = dump.find(name);
+        ASSERT_NE(pos, std::string::npos) << name;
+        EXPECT_GT(pos, last) << name << " out of order";
+        last = pos;
+    }
+
+    // Gauges read the live component counters.
+    EXPECT_EQ(dumpValue(dump, "main.committed"), double(r.executed));
+    EXPECT_EQ(dumpValue(dump, "main.checkpoints"),
+              double(r.checkpoints));
+    EXPECT_GT(dumpValue(dump, "mem.l1i.hits"), 0.0);
+}
+
+TEST(SystemStats, RegistryJsonDumpIsFlatObject)
+{
+    workloads::Workload w = workloads::build("bitcount", 1);
+    core::SystemConfig config =
+        core::SystemConfig::forMode(core::Mode::ParaDox);
+    core::System system(config, w.program);
+    ASSERT_TRUE(system.run().halted);
+
+    std::ostringstream os;
+    system.registry().dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_EQ(json.rfind("{", 0), 0u);
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"main.committed\":"), std::string::npos);
+    EXPECT_NE(json.find("\"mem.l1d.misses\":"), std::string::npos);
+    EXPECT_NE(json.find("\"system.evictionCuts\":"),
+              std::string::npos);
+}
+
+TEST(SystemTracing, SamplerSourcesCountersFromRegistry)
+{
+    if (!obs::tracingCompiledIn)
+        GTEST_SKIP() << "built with PARADOX_TRACING=0";
+    std::istringstream is(tracedRunJsonl(0.0));
+    obs::ParsedTrace parsed;
+    std::string error;
+    ASSERT_TRUE(obs::readTraceJsonl(is, parsed, error)) << error;
+
+    std::set<std::string> counters;
+    for (const obs::ParsedEvent &e : parsed.events)
+        if (e.phase == obs::Phase::Counter)
+            counters.insert(e.name);
+    // Every stat marked with a series name in the System ctor must
+    // show up as a counter track, under its legacy event name.
+    for (const char *name :
+         {"committed", "mispredicts", "checkpoints", "checkers_busy",
+          "rollbacks", "detections", "faults_injected", "l1d_misses",
+          "l2_misses", "pinned_lines", "pinned_blocks"})
+        EXPECT_TRUE(counters.count(name)) << name;
 }
 
 TEST(SystemTracing, UntracedRunRecordsNothing)

@@ -247,6 +247,90 @@ TEST(Stats, GroupDumpContainsPrefix)
     EXPECT_EQ(counter.value(), 0u);
 }
 
+TEST(Stats, GaugeReadsLiveCallback)
+{
+    std::uint64_t raw = 0;
+    stats::Gauge gauge("g", "live value",
+                       [&] { return double(raw); });
+    EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+    raw = 42;
+    EXPECT_DOUBLE_EQ(gauge.value(), 42.0);
+    EXPECT_TRUE(gauge.sampleable());
+    EXPECT_DOUBLE_EQ(gauge.sampleValue(), 42.0);
+    // reset() must not clear the component-owned state.
+    gauge.reset();
+    EXPECT_DOUBLE_EQ(gauge.value(), 42.0);
+}
+
+TEST(Stats, RegistryGroupsKeepCreationOrder)
+{
+    stats::Registry reg;
+    reg.group("b").add<stats::Counter>("x", "first");
+    reg.group("a").add<stats::Counter>("y", "second");
+    // group() is get-or-create: no duplicate on re-lookup.
+    stats::StatGroup &b_again = reg.group("b");
+    b_again.add<stats::Counter>("z", "third");
+    ASSERT_EQ(reg.groups().size(), 2u);
+    EXPECT_EQ(reg.groups()[0]->prefix(), "b");
+    EXPECT_EQ(reg.groups()[1]->prefix(), "a");
+
+    // Dump order follows creation order, not name order.
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string dump = os.str();
+    EXPECT_LT(dump.find("b.x"), dump.find("a.y"));
+    EXPECT_LT(dump.find("b.z"), dump.find("a.y"));
+}
+
+TEST(Stats, RegistryFindAndForEach)
+{
+    stats::Registry reg;
+    auto &c = reg.group("mem.l1d").add<stats::Counter>("hits", "h");
+    c += 7;
+    stats::Stat *found = reg.find("mem.l1d.hits");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->sampleValue(), 7.0);
+    EXPECT_EQ(reg.find("mem.l1d.misses"), nullptr);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+
+    std::vector<std::string> names;
+    reg.forEach([&](const stats::Stat &s) {
+        names.push_back(s.name());
+    });
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "mem.l1d.hits");
+}
+
+TEST(Stats, SeriesMarkingOptsIntoSampling)
+{
+    stats::Registry reg;
+    auto &c = reg.group("g").add<stats::Counter>("n", "d");
+    EXPECT_TRUE(c.series().empty());
+    c.setSeries("legacy_name");
+    EXPECT_EQ(c.series(), "legacy_name");
+    // The series string is owned by the stat: the c_str pointer a
+    // sampler probe captures stays valid for the stat's lifetime.
+    const char *p = c.series().c_str();
+    EXPECT_STREQ(p, "legacy_name");
+}
+
+TEST(Stats, RegistryJsonDumpIsValidFlatObject)
+{
+    stats::Registry reg;
+    reg.group("a").add<stats::Counter>("c", "count") += 2;
+    auto &s = reg.group("a").add<stats::Scalar>("s", "scalar");
+    s = 1.5;
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"a.c\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"a.s\":1.5"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
 } // namespace
 
 namespace

@@ -28,7 +28,12 @@
  *
  *   fault_campaign [--smoke] [--correlated] [--scale N] [--seeds N]
  *                  [--jobs N] [--out FILE] [--trace-dir DIR]
- *                  [--vuln MODEL.jsonl]
+ *                  [--vuln MODEL.jsonl] [--timings]
+ *
+ * --timings stamps every run record with the parent-measured
+ * job_wall_ms (fork to reap) and job_queue_ms (campaign start to
+ * fork).  It is opt-in because host timing varies run to run and the
+ * default report must stay byte-identical across --jobs values.
  *
  * --vuln MODEL closes the static/dynamic loop: MODEL is the
  * paradox-vuln/1 JSONL emitted by `isa_lint --all --vuln --json`
@@ -296,6 +301,7 @@ main(int argc, char **argv)
     bool smoke = false;
     bool correlated = false;
     bool quiet = false;
+    bool timings = false;
     unsigned scale = 2;
     unsigned seeds = 2;
     unsigned jobs = 1;
@@ -318,6 +324,10 @@ main(int argc, char **argv)
             "paradox-vuln/1 model (isa_lint --vuln --json): stamp "
             "every fault with its static verdict and gate on zero "
             "dead-site divergences");
+    cli.flag("timings", timings,
+             "stamp each run record with host job_wall_ms / "
+             "job_queue_ms (report is then no longer byte-identical "
+             "across --jobs values)");
     cli.flag("quiet", quiet, "suppress warn/info/progress output");
     cli.alias("q", "quiet");
     if (!cli.parse(argc, argv))
@@ -512,8 +522,28 @@ main(int argc, char **argv)
             extra << ",\"correlated\":true";
         if (vuln)
             extra << ",\"vuln\":true";
+        if (timings)
+            extra << ",\"timings\":true";
         sink.header(extra.str());
     }
+
+    // --timings: host timing is owned by the parent (fork-to-reap),
+    // not the child, so it is spliced into each record after the
+    // fact; crash records carry it too.
+    auto stamp = [&](std::string rec,
+                     const exp::IsolatedResult &res) -> std::string {
+        if (!timings || res.wallMs < 0.0 || rec.empty() ||
+            rec.back() != '}')
+            return rec;
+        char buf[80];
+        std::snprintf(buf, sizeof buf,
+                      ",\"job_wall_ms\":%.3f,\"job_queue_ms\":%.3f}",
+                      res.wallMs,
+                      res.queueMs >= 0.0 ? res.queueMs : 0.0);
+        rec.pop_back();
+        rec += buf;
+        return rec;
+    };
 
     unsigned total = 0, n_ok = 0, n_detected = 0, n_incomplete = 0,
              n_silent = 0, n_crash = 0;
@@ -528,10 +558,11 @@ main(int argc, char **argv)
         ++total;
         if (res.crashed) {
             ++n_crash;
-            sink.writeLine(crashRecord(specs[i], res.status));
+            sink.writeLine(stamp(crashRecord(specs[i], res.status),
+                                 res));
             continue;
         }
-        sink.writeLine(res.payload);
+        sink.writeLine(stamp(res.payload, res));
         const std::string &p = res.payload;
         const bool silent =
             p.find("\"class\":\"silent_corruption\"") !=

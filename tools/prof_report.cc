@@ -1,0 +1,345 @@
+/**
+ * @file
+ * prof_report: offline analysis of paradox-prof/1 host profiles.
+ *
+ * Single-profile mode prints the attribution tree in preorder --
+ * call count, inclusive (total) and exclusive (self) milliseconds,
+ * each as a share of the attributed root time, and, when the header
+ * carries sim_instructions, the per-phase simulation speed the self
+ * time corresponds to -- followed by the top-N phases by self time.
+ *
+ * With a second (baseline) profile the report becomes a comparison:
+ * phases are matched by path, per-phase self-time deltas are printed
+ * for every phase above the noise floor (--min-share, percent of the
+ * root total, default 1), and --fail-above PCT turns any self-time
+ * regression beyond PCT percent into exit status 1 -- the CI gate
+ * for "a change made phase X slower".
+ *
+ * --json emits the same analysis as one machine-readable JSON
+ * object.  Exit status: 0 ok, 1 regression beyond --fail-above,
+ * 2 usage error, 3 unreadable profile.
+ *
+ *   prof_report [--top N] [--min-share PCT] [--fail-above PCT]
+ *               [--json] PROFILE.jsonl [BASELINE.jsonl]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/cli.hh"
+#include "obs/profiler.hh"
+
+namespace
+{
+
+using namespace paradox;
+
+double
+ms(std::uint64_t ns)
+{
+    return double(ns) / 1e6;
+}
+
+/** Share of @p ns in @p root, in percent (0 when root is empty). */
+double
+pct(std::uint64_t ns, std::uint64_t root)
+{
+    return root ? 100.0 * double(ns) / double(root) : 0.0;
+}
+
+/** Self-time simulation speed in Minst/s (0 = unknown). */
+double
+minstPerSec(const obs::ProfPhase &p, std::uint64_t simInst)
+{
+    if (!simInst || !p.selfNs)
+        return 0.0;
+    return double(simInst) / (double(p.selfNs) / 1e9) / 1e6;
+}
+
+/** One matched phase in a comparison. */
+struct Delta
+{
+    const obs::ProfPhase *cur = nullptr;  //!< null: baseline-only
+    const obs::ProfPhase *base = nullptr; //!< null: new phase
+    double deltaPct = 0.0;                //!< self-time change, percent
+};
+
+void
+printSingle(const obs::ParsedProf &prof, unsigned top)
+{
+    const std::uint64_t root = prof.rootTotalNs;
+    std::printf("  %9s %11s %6s %11s %6s %9s   phase\n", "count",
+                "total ms", "tot%", "self ms", "self%", "Minst/s");
+    for (const obs::ProfPhase &p : prof.phases) {
+        const double speed = minstPerSec(p, prof.simInstructions);
+        std::string label(std::size_t(p.depth) * 2, ' ');
+        label += p.name;
+        std::printf("  %9llu %11.2f %5.1f%% %11.2f %5.1f%% ",
+                    (unsigned long long)p.count, ms(p.totalNs),
+                    pct(p.totalNs, root), ms(p.selfNs),
+                    pct(p.selfNs, root));
+        if (speed > 0.0)
+            std::printf("%9.1f", speed);
+        else
+            std::printf("%9s", "-");
+        std::printf("   %s\n", label.c_str());
+    }
+
+    std::vector<obs::ProfPhase> hot = prof.phases;
+    std::sort(hot.begin(), hot.end(),
+              [](const obs::ProfPhase &a, const obs::ProfPhase &b) {
+                  return a.selfNs > b.selfNs;
+              });
+    if (hot.size() > top)
+        hot.resize(top);
+    std::printf("\n  top %zu by self time:\n", hot.size());
+    for (const obs::ProfPhase &p : hot)
+        std::printf("    %7.2f ms  %5.1f%%  %s\n", ms(p.selfNs),
+                    pct(p.selfNs, root), p.path.c_str());
+}
+
+void
+jsonEscapeInto(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    unsigned top = 10;
+    double min_share = 1.0;
+    double fail_above = -1.0;
+    exp::Cli cli("prof_report",
+                 "analyze / compare paradox-prof/1 host profiles");
+    cli.flag("json", json, "emit machine-readable JSON");
+    cli.opt("top", top, "hot phases to list by self time");
+    cli.opt("min-share", min_share,
+            "comparison noise floor: ignore phases below this "
+            "percent of the root total");
+    cli.opt("fail-above", fail_above,
+            "exit 1 when any phase's self time regresses more than "
+            "this percent vs the baseline");
+
+    // Cli has no positional support; split them off by hand.
+    std::vector<std::string> flags, files;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help") {
+            cli.usage(stdout);
+            std::printf("\narguments:\n"
+                        "  PROFILE.jsonl           profile to report\n"
+                        "  BASELINE.jsonl          optional baseline "
+                        "(comparison mode)\n");
+            return 0;
+        }
+        if (arg.rfind("-", 0) == 0) {
+            flags.push_back(arg);
+            if ((arg == "--top" || arg == "--min-share" ||
+                 arg == "--fail-above") &&
+                i + 1 < argc)
+                flags.push_back(argv[++i]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    std::string error;
+    if (!cli.parseArgs(flags, error)) {
+        std::fprintf(stderr, "prof_report: %s\n", error.c_str());
+        cli.usage(stderr);
+        return 2;
+    }
+    if (files.empty() || files.size() > 2) {
+        std::fprintf(stderr,
+                     "prof_report: expected PROFILE.jsonl "
+                     "[BASELINE.jsonl]\n");
+        return 2;
+    }
+
+    obs::ParsedProf prof;
+    if (!obs::readProfJsonlFile(files[0], prof, error)) {
+        std::fprintf(stderr, "prof_report: %s: %s\n",
+                     files[0].c_str(), error.c_str());
+        return 3;
+    }
+    const bool compare = files.size() == 2;
+    obs::ParsedProf base;
+    if (compare && !obs::readProfJsonlFile(files[1], base, error)) {
+        std::fprintf(stderr, "prof_report: %s: %s\n",
+                     files[1].c_str(), error.c_str());
+        return 3;
+    }
+
+    // Comparison: match by path, gate on the noise floor.  A phase
+    // only present on one side is reported but never gates (there is
+    // no ratio to take).
+    std::vector<Delta> deltas;
+    unsigned regressions = 0;
+    if (compare) {
+        std::map<std::string, const obs::ProfPhase *> by_path;
+        for (const obs::ProfPhase &p : base.phases)
+            by_path[p.path] = &p;
+        for (const obs::ProfPhase &p : prof.phases) {
+            Delta d;
+            d.cur = &p;
+            auto it = by_path.find(p.path);
+            if (it != by_path.end()) {
+                d.base = it->second;
+                by_path.erase(it);
+                if (d.base->selfNs)
+                    d.deltaPct = 100.0 *
+                                 (double(p.selfNs) -
+                                  double(d.base->selfNs)) /
+                                 double(d.base->selfNs);
+            }
+            const bool significant =
+                pct(p.selfNs, prof.rootTotalNs) >= min_share ||
+                (d.base && pct(d.base->selfNs, base.rootTotalNs) >=
+                               min_share);
+            if (!significant)
+                continue;
+            deltas.push_back(d);
+            if (fail_above > 0.0 && d.base &&
+                d.deltaPct > fail_above)
+                ++regressions;
+        }
+        for (const auto &kv : by_path) {
+            // Baseline-only phases (disappeared from the profile).
+            if (pct(kv.second->selfNs, base.rootTotalNs) < min_share)
+                continue;
+            Delta d;
+            d.base = kv.second;
+            deltas.push_back(d);
+        }
+        std::sort(deltas.begin(), deltas.end(),
+                  [](const Delta &a, const Delta &b) {
+                      return a.deltaPct > b.deltaPct;
+                  });
+    }
+
+    if (json) {
+        std::string out = "{\"record\":\"prof_report\",\"profile\":\"";
+        jsonEscapeInto(out, files[0]);
+        out += "\",\"tool\":\"";
+        jsonEscapeInto(out, prof.tool);
+        out += "\",\"workload\":\"";
+        jsonEscapeInto(out, prof.workload);
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "\",\"threads\":%u,\"wall_ns\":%llu,"
+                      "\"root_total_ns\":%llu,\"coverage\":%.4f,"
+                      "\"phases\":[",
+                      prof.threads,
+                      (unsigned long long)prof.wallNs,
+                      (unsigned long long)prof.rootTotalNs,
+                      prof.wallNs ? double(prof.rootTotalNs) /
+                                        double(prof.wallNs)
+                                  : 0.0);
+        out += buf;
+        for (std::size_t i = 0; i < prof.phases.size(); ++i) {
+            const obs::ProfPhase &p = prof.phases[i];
+            out += i ? ",{\"path\":\"" : "{\"path\":\"";
+            jsonEscapeInto(out, p.path);
+            std::snprintf(buf, sizeof buf,
+                          "\",\"count\":%llu,\"total_ns\":%llu,"
+                          "\"self_ns\":%llu}",
+                          (unsigned long long)p.count,
+                          (unsigned long long)p.totalNs,
+                          (unsigned long long)p.selfNs);
+            out += buf;
+        }
+        out += "]";
+        if (compare) {
+            std::snprintf(buf, sizeof buf,
+                          ",\"baseline_root_total_ns\":%llu,"
+                          "\"deltas\":[",
+                          (unsigned long long)base.rootTotalNs);
+            out += buf;
+            for (std::size_t i = 0; i < deltas.size(); ++i) {
+                const Delta &d = deltas[i];
+                out += i ? ",{\"path\":\"" : "{\"path\":\"";
+                jsonEscapeInto(out, d.cur ? d.cur->path
+                                          : d.base->path);
+                std::snprintf(
+                    buf, sizeof buf,
+                    "\",\"self_ns\":%llu,\"base_self_ns\":%llu,"
+                    "\"delta_pct\":%.1f}",
+                    (unsigned long long)(d.cur ? d.cur->selfNs : 0),
+                    (unsigned long long)(d.base ? d.base->selfNs : 0),
+                    d.deltaPct);
+                out += buf;
+            }
+            std::snprintf(buf, sizeof buf,
+                          "],\"regressions\":%u", regressions);
+            out += buf;
+        }
+        out += "}";
+        std::printf("%s\n", out.c_str());
+        return regressions ? 1 : 0;
+    }
+
+    std::printf("profile: %s\n", files[0].c_str());
+    std::printf("  tool %s", prof.tool.c_str());
+    if (!prof.workload.empty())
+        std::printf("  workload %s", prof.workload.c_str());
+    std::printf("  threads %u\n", prof.threads);
+    if (prof.wallNs)
+        std::printf("  wall %.2f ms  attributed %.1f%%\n",
+                    ms(prof.wallNs),
+                    pct(prof.rootTotalNs, prof.wallNs));
+    if (prof.simInstructions && prof.wallNs)
+        std::printf("  sim %.1f Minst/s (%llu instructions)\n",
+                    double(prof.simInstructions) /
+                        (double(prof.wallNs) / 1e9) / 1e6,
+                    (unsigned long long)prof.simInstructions);
+    std::printf("\n");
+    printSingle(prof, top);
+
+    if (compare) {
+        std::printf("\nbaseline: %s\n", files[1].c_str());
+        std::printf("  root total %.2f ms -> %.2f ms (%+.1f%%)\n",
+                    ms(base.rootTotalNs), ms(prof.rootTotalNs),
+                    base.rootTotalNs
+                        ? 100.0 * (double(prof.rootTotalNs) -
+                                   double(base.rootTotalNs)) /
+                              double(base.rootTotalNs)
+                        : 0.0);
+        std::printf("\n  self-time deltas (>= %.1f%% of root):\n",
+                    min_share);
+        for (const Delta &d : deltas) {
+            const char *path =
+                d.cur ? d.cur->path.c_str() : d.base->path.c_str();
+            if (!d.base)
+                std::printf("    %8.2f ms       new      %s\n",
+                            ms(d.cur->selfNs), path);
+            else if (!d.cur)
+                std::printf("    %8.2f ms       gone     %s\n",
+                            ms(d.base->selfNs), path);
+            else
+                std::printf("    %8.2f ms  %+7.1f%%     %s\n",
+                            ms(d.cur->selfNs), d.deltaPct, path);
+        }
+        if (fail_above > 0.0) {
+            if (regressions)
+                std::printf("\n  %u phase(s) regressed more than "
+                            "%.1f%% -- FAIL\n",
+                            regressions, fail_above);
+            else
+                std::printf("\n  no phase regressed more than "
+                            "%.1f%% -- ok\n",
+                            fail_above);
+        }
+    }
+    return regressions ? 1 : 0;
+}
