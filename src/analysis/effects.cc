@@ -1,0 +1,60 @@
+#include "analysis/effects.hh"
+
+namespace paradox
+{
+namespace analysis
+{
+
+EffectSummary
+EffectSummary::build(const isa::DecodedProgram &dp, const EffectParams &params)
+{
+    EffectSummary es;
+    es.params_ = params;
+    es.decodedUops_ = dp.size();
+    es.decodedHash_ = dp.contentHash();
+
+    const std::size_t n = dp.size();
+    es.uop_.resize(n, 0);
+    es.tail_.resize(n, 0);
+
+    // Tail bounds compose backwards: uop idx's run continues into the
+    // run tail at idx+1 exactly when runLen > 1.
+    for (std::size_t i = n; i-- > 0;) {
+        const isa::MicroOp &u = dp.at(i);
+        const std::uint64_t self = uopLogBound(u, params);
+        es.uop_[i] = static_cast<std::uint32_t>(self);
+        es.tail_[i] = self + (u.runLen > 1 ? es.tail_[i + 1] : 0);
+        if (self > es.maxUopBytes_)
+            es.maxUopBytes_ = self;
+        if (u.isLoad)
+            ++es.staticLoads_;
+        else if (u.isStore)
+            ++es.staticStores_;
+    }
+
+    // A run starts at index 0 and after every run end.
+    std::size_t start = 0;
+    while (start < n) {
+        RunSummary rs;
+        rs.start = static_cast<std::uint32_t>(start);
+        rs.len = dp.at(start).runLen;
+        if (rs.len == 0)
+            rs.len = 1; // defensive: decode guarantees runLen >= 1
+        rs.logBoundBytes = es.tail_[start];
+        for (std::size_t i = start; i < start + rs.len && i < n; ++i) {
+            const isa::MicroOp &u = dp.at(i);
+            if (u.isLoad)
+                ++rs.loads;
+            else if (u.isStore)
+                ++rs.stores;
+        }
+        if (rs.logBoundBytes > es.maxRunBytes_)
+            es.maxRunBytes_ = rs.logBoundBytes;
+        es.runs_.push_back(rs);
+        start += rs.len;
+    }
+    return es;
+}
+
+} // namespace analysis
+} // namespace paradox

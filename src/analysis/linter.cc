@@ -8,6 +8,7 @@
 
 #include "analysis/ai.hh"
 #include "analysis/cfg.hh"
+#include "analysis/memdep.hh"
 #include "analysis/vuln.hh"
 
 namespace paradox
@@ -75,6 +76,10 @@ Linter::lint(const isa::Program &prog) const
                 checkRanges(ctx, *ai, report.diags);
         });
 
+    if (opts_.memdep && ai && ai->converged())
+        timed("memdep",
+              [&] { checkMemDep(ctx, *ai, report.diags); });
+
     timed("termination", [&] {
         checkTermination(ctx, report.diags,
                          ai && ai->converged() ? &*ai : nullptr);
@@ -141,6 +146,7 @@ Linter::lint(const isa::Program &prog) const
                             return false;
                         return a.pass == "footprint" ||
                                a.pass == "ranges" ||
+                               a.pass == "memdep" ||
                                a.message == b.message;
                     }),
         report.diags.end());

@@ -1,0 +1,307 @@
+#include "analysis/memdep.hh"
+
+#include <array>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "analysis/regmodel.hh"
+
+namespace paradox
+{
+namespace analysis
+{
+
+namespace
+{
+
+using I128 = __int128;
+
+/** Inclusive byte extent [first, last] of an access. */
+struct Extent
+{
+    I128 first;
+    I128 last;
+};
+
+bool
+disjoint(const Extent &a, const Extent &b)
+{
+    return a.last < b.first || b.last < a.first;
+}
+
+/** Do @p a and @p b provably share their base value? */
+bool
+sameSymbolicBase(const MemAccess &a, const MemAccess &b)
+{
+    return a.block == b.block && a.baseReg == b.baseReg &&
+           a.baseEpoch == b.baseEpoch;
+}
+
+/** Provably the exact same bytes on every execution. */
+bool
+mustSameExtent(const MemAccess &a, const MemAccess &b)
+{
+    if (a.size != b.size)
+        return false;
+    if (sameSymbolicBase(a, b) && a.offset == b.offset)
+        return true;
+    return a.addr.isConstant() && b.addr.isConstant() &&
+           a.addr.lo == b.addr.lo;
+}
+
+/** Does @p outer provably overwrite every byte of @p inner? */
+bool
+mustCover(const MemAccess &outer, const MemAccess &inner)
+{
+    if (sameSymbolicBase(outer, inner) &&
+        outer.offset <= inner.offset &&
+        I128(outer.offset) + outer.size >=
+            I128(inner.offset) + inner.size)
+        return true;
+    return outer.addr.isConstant() && inner.addr.isConstant() &&
+           outer.addr.lo <= inner.addr.lo &&
+           I128(outer.addr.lo) + outer.size >=
+               I128(inner.addr.lo) + inner.size;
+}
+
+std::string
+accessStr(const MemAccess &a)
+{
+    return std::string(a.isStore ? "store" : "load") + " at #" +
+           std::to_string(a.index) + " (" + std::to_string(a.size) +
+           " bytes off x" + std::to_string(a.baseReg) +
+           (a.offset >= 0 ? "+" : "") + std::to_string(a.offset) + ")";
+}
+
+} // namespace
+
+const char *
+aliasKindName(AliasKind k)
+{
+    switch (k) {
+      case AliasKind::NoAlias: return "no";
+      case AliasKind::MayAlias: return "may";
+      case AliasKind::MustAlias: return "must";
+    }
+    return "?";
+}
+
+MemDep
+MemDep::run(const Context &ctx, const IntervalAnalysis &ai)
+{
+    MemDep md;
+    const auto &blocks = ctx.cfg.blocks();
+    const auto &code = ctx.prog.code();
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (!ctx.reachable[b])
+            continue;
+        RegState s = ai.blockIn(b);
+        if (!s.feasible)
+            continue;
+        std::array<std::uint32_t, isa::numIntRegs> epoch{};
+        for (std::size_t i = blocks[b].first; i <= blocks[b].last;
+             ++i) {
+            const auto &inst = code[i];
+            const auto &ii = inst.info();
+            if (ii.memSize != 0) {
+                MemAccess a;
+                a.index = i;
+                a.block = b;
+                a.isStore = ii.isStore;
+                a.size = ii.memSize;
+                a.baseReg = inst.rs1;
+                a.baseEpoch = epoch[inst.rs1];
+                a.offset = inst.imm;
+                a.addr = intervalAdd(s.regs[inst.rs1],
+                                     Interval::constant(inst.imm));
+                md.accesses_.push_back(a);
+            }
+            IntervalAnalysis::transfer(inst, i, s);
+            const UseDef ud = useDef(inst);
+            if (ud.def >= 0 && unsigned(ud.def) < isa::numIntRegs)
+                ++epoch[ud.def];
+        }
+    }
+    return md;
+}
+
+AliasKind
+MemDep::alias(const MemAccess &a, const MemAccess &b) const
+{
+    // Value-set separation works across arbitrary program points.
+    if (!a.addr.isBottom() && !b.addr.isBottom()) {
+        const Extent ea{a.addr.lo, I128(a.addr.hi) + a.size - 1};
+        const Extent eb{b.addr.lo, I128(b.addr.hi) + b.size - 1};
+        if (disjoint(ea, eb))
+            return AliasKind::NoAlias;
+        // Exact addresses on both sides: the overlap is certain.
+        if (a.addr.isConstant() && b.addr.isConstant())
+            return AliasKind::MustAlias;
+    }
+    // Same unmodified base register in one block: the displacement
+    // comparison is exact even when the base interval is wide.
+    if (sameSymbolicBase(a, b)) {
+        const Extent ea{a.offset, I128(a.offset) + a.size - 1};
+        const Extent eb{b.offset, I128(b.offset) + b.size - 1};
+        if (disjoint(ea, eb))
+            return AliasKind::NoAlias;
+        return AliasKind::MustAlias;
+    }
+    return AliasKind::MayAlias;
+}
+
+MemDep::PairCounts
+MemDep::pairCounts() const
+{
+    PairCounts pc;
+    for (std::size_t i = 0; i < accesses_.size(); ++i) {
+        for (std::size_t j = i + 1; j < accesses_.size(); ++j) {
+            switch (alias(accesses_[i], accesses_[j])) {
+              case AliasKind::NoAlias: ++pc.no; break;
+              case AliasKind::MayAlias: ++pc.may; break;
+              case AliasKind::MustAlias: ++pc.must; break;
+            }
+        }
+    }
+    return pc;
+}
+
+void
+checkMemDep(const Context &ctx, const IntervalAnalysis &ai,
+            std::vector<Diagnostic> &diags)
+{
+    const MemDep md = MemDep::run(ctx, ai);
+    const auto &acc = md.accesses();
+
+    // Accesses grouped per block (already in block-major order).
+    std::size_t lo = 0;
+    while (lo < acc.size()) {
+        std::size_t hi = lo;
+        while (hi < acc.size() && acc[hi].block == acc[lo].block)
+            ++hi;
+
+        for (std::size_t j = lo; j < hi; ++j) {
+            if (acc[j].isStore)
+                continue;
+            // redundant-load: an earlier load of exactly these bytes
+            // with no possibly-overlapping store in between.
+            for (std::size_t i = lo; i < j; ++i) {
+                if (acc[i].isStore || !mustSameExtent(acc[i], acc[j]))
+                    continue;
+                bool clobbered = false;
+                for (std::size_t k = i + 1; k < j && !clobbered; ++k)
+                    if (acc[k].isStore &&
+                        md.alias(acc[k], acc[j]) != AliasKind::NoAlias)
+                        clobbered = true;
+                if (clobbered)
+                    continue;
+                diags.push_back(
+                    {Severity::Info, "memdep", "redundant-load",
+                     acc[j].index, "", "",
+                     "load re-reads the exact bytes of the " +
+                         accessStr(acc[i]) +
+                         " with no intervening store that may "
+                         "overlap them"});
+                break;
+            }
+        }
+
+        for (std::size_t i = lo; i < hi; ++i) {
+            if (!acc[i].isStore)
+                continue;
+            // dead-memory-store: fully overwritten in the same block
+            // before any possibly-overlapping load.
+            for (std::size_t j = i + 1; j < hi; ++j) {
+                if (acc[j].isStore && mustCover(acc[j], acc[i])) {
+                    bool readFirst = false;
+                    for (std::size_t k = i + 1; k < j && !readFirst;
+                         ++k)
+                        if (!acc[k].isStore &&
+                            md.alias(acc[k], acc[i]) !=
+                                AliasKind::NoAlias)
+                            readFirst = true;
+                    if (!readFirst)
+                        diags.push_back(
+                            {Severity::Warning, "memdep",
+                             "dead-memory-store", acc[i].index, "",
+                             "",
+                             "stored bytes are fully overwritten "
+                             "by the " +
+                                 accessStr(acc[j]) +
+                                 " before any possibly-overlapping "
+                                 "load"});
+                    break;
+                }
+            }
+        }
+        lo = hi;
+    }
+
+    // always-overlapping-access: certain overlap, different extents
+    // (mixed-granularity traffic to the same memory).  One report
+    // per later access.
+    std::set<std::size_t> reported;
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        for (std::size_t j = i + 1; j < acc.size(); ++j) {
+            if (md.alias(acc[i], acc[j]) != AliasKind::MustAlias ||
+                mustSameExtent(acc[i], acc[j]))
+                continue;
+            const std::size_t at =
+                std::max(acc[i].index, acc[j].index);
+            if (!reported.insert(at).second)
+                continue;
+            diags.push_back(
+                {Severity::Warning, "memdep",
+                 "always-overlapping-access", at, "", "",
+                 accessStr(acc[i]) + " and " + accessStr(acc[j]) +
+                     " always overlap but cover different bytes"});
+        }
+    }
+}
+
+std::string
+memdepJsonHeader()
+{
+    // Compact form (no space after ':' or ','): obs::jsonField only
+    // recognizes keys immediately preceded by '{' or ','.
+    return "{\"record\":\"header\",\"schema\":\"paradox-memdep/1\"}";
+}
+
+std::string
+memdepJsonLine(const std::string &workload, unsigned scale,
+               const EffectSummary &es,
+               const MemDep::PairCounts &pairs,
+               std::size_t staticAccesses)
+{
+    std::string s = "{\"record\":\"memdep\",\"program\":\"" +
+                    jsonEscape(workload) + "\"";
+    auto num = [&](const char *key, std::uint64_t v) {
+        s += ",\"" + std::string(key) + "\":" + std::to_string(v);
+    };
+    num("scale", scale);
+    num("decoded_uops", es.decodedUops());
+    num("decoded_hash", es.decodedHash());
+    num("runs", es.runs().size());
+    num("static_loads", es.staticLoads());
+    num("static_stores", es.staticStores());
+    num("static_accesses", staticAccesses);
+    num("max_run_log_bytes", es.maxRunBytes());
+    num("max_uop_log_bytes", es.maxUopBytes());
+    const EffectParams &p = es.params();
+    num("load_entry_bytes", p.loadEntryBytes);
+    num("store_entry_bytes", p.storeEntryBytes);
+    num("store_old_value_bytes", p.storeOldValueBytes);
+    num("line_copy_bytes", p.lineCopyBytes);
+    num("line_bytes", p.lineBytes);
+    num("line_granularity", p.lineGranularityRollback ? 1 : 0);
+    num("rollback", p.rollbackSupported ? 1 : 0);
+    num("pairs_no", pairs.no);
+    num("pairs_may", pairs.may);
+    num("pairs_must", pairs.must);
+    s += "}";
+    return s;
+}
+
+} // namespace analysis
+} // namespace paradox

@@ -11,6 +11,8 @@
  *  - "dataflow":    def-before-use, maybe-uninitialized, dead stores
  *  - "footprint":   out-of-footprint and misaligned constant accesses
  *  - "termination": infinite and likely-infinite loops
+ *  - "memdep":      redundant / dead / always-overlapping memory
+ *                   accesses (memdep.hh, needs the interval AI)
  *
  * ("cfg" diagnostics — invalid branch targets, fallthrough off the
  * end of the image — are emitted during Cfg::build itself.)
@@ -59,6 +61,14 @@ struct Options
      * interval facts prune provably-masked bits.
      */
     bool vuln = false;
+
+    /**
+     * Run the memory-dependence pass (redundant-load,
+     * dead-memory-store, always-overlapping-access).  Requires
+     * ranges=true; silently skipped when the interval fixpoint did
+     * not converge.
+     */
+    bool memdep = false;
 };
 
 /** Shared read-only state handed to each pass. */

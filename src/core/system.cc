@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "analysis/vuln.hh"
+#include "core/logbytes.hh"
 #include "isa/decoded.hh"
 #include "isa/decoded_run.hh"
 #include "obs/profiler.hh"
@@ -134,6 +135,13 @@ System::System(const SystemConfig &config, const isa::Program &program,
     mainCore_->registerStats(main_g);
     main_g.add<stats::Gauge>("checkpoints", "checkpoints taken",
                              [this] { return double(checkpoints_); });
+    sbBatches_ = &main_g.add<stats::Counter>(
+        "sb_batches", "superblock batches that committed progress");
+    sbUops_ = &main_g.add<stats::Counter>(
+        "sb_uops", "micro-ops committed inside superblock batches");
+    sbGateStops_ = &main_g.add<stats::Counter>(
+        "sb_gate_stops",
+        "superblock batch stops from a gate-refused memory op");
     main_g.add<stats::Gauge>("checkers_busy", "checker cores busy",
                              [this] {
                                  return double(sched()->busyCount());
@@ -162,6 +170,9 @@ System::System(const SystemConfig &config, const isa::Program &program,
             panic("System: sampled stat missing from registry");
     };
     mark("main.committed", "committed");
+    mark("main.sb_batches", "sb_batches");
+    mark("main.sb_uops", "sb_uops");
+    mark("main.sb_gate_stops", "sb_gate_stops");
     mark("main.mispredicts", "mispredicts");
     mark("main.checkpoints", "checkpoints");
     mark("main.checkers_busy", "checkers_busy");
@@ -361,25 +372,17 @@ System::enableDvfs(const faults::UndervoltErrorModel::Params &model)
 std::size_t
 System::bytesNeeded(const isa::MemPeek &p) const
 {
-    const LogParams &log = config_.log;
-    std::size_t bytes = 0;
-    if (p.isLoad) {
-        bytes += log.loadEntryBytes;
-    } else if (p.isStore) {
-        bytes += log.storeEntryBytes;
-        if (config_.lineGranularityRollback) {
-            const unsigned lb = hierarchy_->lineBytes();
-            Addr first = p.addr & ~Addr(lb - 1);
-            Addr last = (p.addr + p.size - 1) & ~Addr(lb - 1);
-            for (Addr line = first; line <= last; line += lb) {
-                if (!linesCopiedThisCkpt_.count(line))
-                    bytes += log.lineCopyBytes;
-            }
-        } else if (config_.rollbackSupported) {
-            bytes += log.storeOldValueBytes;
-        }
-    }
-    return bytes;
+    const analysis::EffectParams params =
+        logEffectParams(config_, hierarchy_->lineBytes());
+    if (p.isLoad)
+        return params.loadEntryBytes;
+    if (p.isStore)
+        return storeLogBytes(params, p.addr, p.size,
+                             [this](std::uint64_t line) {
+                                 return linesCopiedThisCkpt_.count(
+                                            line) != 0;
+                             });
+    return 0;
 }
 
 void
@@ -444,6 +447,7 @@ System::openSegment()
             filling_->open(segSeq_++, archState_, netIndex_,
                            mainCore_->now());
             instsInSegment_ = 0;
+            segBoundBytes_ = 0;
             mainFiredInSeg_ = 0;
             mainDeadInSeg_ = 0;
             linesCopiedThisCkpt_.clear();
@@ -492,6 +496,16 @@ System::closeSegmentAndDispatch()
         tracer_->instant(trSegments_, "seg-insts", mainCore_->now(),
                          nullptr, double(instsInSegment_),
                          filling_->id());
+        // Actual log bytes vs the static worst-case bound the
+        // segment's accesses were admitted under; `trace_report
+        // --memdep` asserts actual <= bound on fault-free runs.
+        tracer_->instant(trSegments_, "seg-log-bytes",
+                         mainCore_->now(), nullptr,
+                         double(filling_->bytesUsed()),
+                         filling_->id());
+        tracer_->instant(trSegments_, "seg-bound-bytes",
+                         mainCore_->now(), nullptr,
+                         double(segBoundBytes_), filling_->id());
     }
     // Taking the register checkpoint blocks commit (Table I).
     mainCore_->blockCommit(config_.regCheckpointCycles);
@@ -709,6 +723,7 @@ System::closeSegmentAndDispatch()
 
     fillingChecker_ = -1;
     instsInSegment_ = 0;
+    segBoundBytes_ = 0;
     linesCopiedThisCkpt_.clear();
 
     checkpointHousekeeping();
@@ -819,6 +834,7 @@ System::machineCheckRollback()
     filling_.reset();
     fillingChecker_ = -1;
     instsInSegment_ = 0;
+    segBoundBytes_ = 0;
     linesCopiedThisCkpt_.clear();
 
     mainCore_->resetPipeline(now + cost);
@@ -985,6 +1001,7 @@ System::performRollback(std::size_t idx, Tick stop)
         filling_.reset();
         fillingChecker_ = -1;
         instsInSegment_ = 0;
+        segBoundBytes_ = 0;
         linesCopiedThisCkpt_.clear();
     }
     for (std::size_t j = idx; j < pending_.size(); ++j) {
@@ -1241,6 +1258,10 @@ System::stepInstruction()
     const isa::CommitRecord r = engine_->step(archState_, memory_);
 
     if (config_.mode != Mode::Baseline) {
+        // Re-peeked so a capacity cut just above (which emptied the
+        // copied-line set) is reflected: the charge must stay an
+        // upper bound on what logResult appends to *this* segment.
+        segBoundBytes_ += bytesNeeded(peek);
         logResult(r);
         ++instsInSegment_;
     }
@@ -1350,26 +1371,51 @@ System::stepSuperblock()
     if (max_uops == 0)
         return false;
 
-    // Worst-case log bytes one load/store can consume.  While the
-    // open segment has at least this much headroom a memory op cannot
-    // overflow it, so the op commits inside the batch; below that the
-    // gate stops the batch *before* executing it and stepInstruction
-    // performs the exact peeked bytesNeeded() cut.
-    const LogParams &log = config_.log;
-    std::size_t store_worst = log.storeEntryBytes;
-    if (config_.lineGranularityRollback)
-        store_worst += 2 * std::size_t(log.lineCopyBytes);
-    else if (config_.rollbackSupported)
-        store_worst += log.storeOldValueBytes;
-    const std::size_t worst =
-        std::max<std::size_t>(log.loadEntryBytes, store_worst);
+    // Static per-run effect summary of the decoded image: exact
+    // worst-case log bytes per micro-op and per straight-line run
+    // tail.  decodedProg_ is fixed at construction, so one build
+    // serves the whole run.
+    if (!effects_)
+        effects_ = analysis::EffectSummary::build(
+            *decodedProg_,
+            logEffectParams(config_, hierarchy_->lineBytes()));
+    const analysis::EffectSummary &ef = *effects_;
+    const std::size_t seg_cap = config_.log.segmentBytes;
 
     bool stopped = false;   // the sink handled a phase change itself
     bool progressed = false;
+    std::uint64_t batch_uops = 0;
 
-    auto gate = [this, worst]() -> bool {
-        return !filling_ ||
-               !filling_->wouldOverflow(worst, config_.log.segmentBytes);
+    // Byte-budget admission: when the whole remaining run fits the
+    // open segment's headroom its tail bound is reserved once and
+    // later memory ops in the run just draw the budget down -- so
+    // batches run through segment tails instead of stopping at the
+    // first op the old single-op-worst-case check could not clear.
+    // When the tail does not fit, fall back to admitting one op at a
+    // time under its own (kind- and size-exact) bound.  The budget
+    // never outlives the batch: only the sink below appends to the
+    // log while it is live, and every append is <= its op bound.
+    std::uint64_t budget = 0;
+    auto gate = [&](std::uint64_t idx) -> bool {
+        if (!filling_)
+            return true;
+        const std::uint64_t op = ef.uopBound(idx);
+        if (budget >= op) {
+            budget -= op;
+            return true;
+        }
+        const std::uint64_t tail = ef.tailBound(idx);
+        if (!filling_->wouldOverflow(tail, seg_cap)) {
+            segBoundBytes_ += tail;
+            budget = tail - op;
+            return true;
+        }
+        if (!filling_->wouldOverflow(op, seg_cap)) {
+            segBoundBytes_ += op;
+            return true;
+        }
+        ++*sbGateStops_;
+        return false;
     };
 
     // Per-record commit pipeline: the same sequence stepInstruction
@@ -1384,6 +1430,7 @@ System::stepSuperblock()
         }
         ++executed_;
         ++netIndex_;
+        ++batch_uops;
         progressed = true;
         if (maybeEccEvent(r)) {
             machineCheckRollback();
@@ -1438,6 +1485,10 @@ System::stepSuperblock()
 
     const isa::RunStop stop = isa::runDecoded(
         *decodedProg_, archState_, memory_, max_uops, sink, gate);
+    if (progressed) {
+        ++*sbBatches_;
+        *sbUops_ += batch_uops;
+    }
     if (stopped)
         return true;
     if (stop == isa::RunStop::MemNext && !progressed)

@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/effects.hh"
 #include "core/aimd.hh"
 #include "core/checker_replay.hh"
 #include "core/config.hh"
@@ -518,6 +519,16 @@ class System
     int fillingChecker_ = -1;
     unsigned instsInSegment_ = 0;
     std::unordered_set<Addr> linesCopiedThisCkpt_;
+    /**
+     * Sum of the static worst-case log-byte bounds the segment's
+     * accesses were admitted under (superblock gate: effect-summary
+     * run/uop bounds; single-step path: the exact peeked bytes).
+     * Always >= filling_->bytesUsed(); emitted per segment as the
+     * "seg-bound-bytes" instant for trace_report --memdep.
+     */
+    std::uint64_t segBoundBytes_ = 0;
+    /** Per-run static log bounds of decodedProg_ (built on demand). */
+    std::optional<analysis::EffectSummary> effects_;
 
     // Dispatched segments, oldest first.
     std::deque<PendingCheck> pending_;
@@ -606,6 +617,11 @@ class System
     stats::Counter *panicResetsStat_;
     stats::Counter *watchdogTripsStat_;
     stats::Counter *dueRollbacksStat_;
+    /** @{ Superblock batching visibility (main.sb_*). */
+    stats::Counter *sbBatches_;
+    stats::Counter *sbUops_;
+    stats::Counter *sbGateStops_;
+    /** @} */
     stats::TimeSeries *voltTrace_;
 };
 

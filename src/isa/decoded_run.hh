@@ -53,7 +53,8 @@ namespace rundetail
 /** Default memory gate: every load/store may execute. */
 struct NoMemGate
 {
-    constexpr bool operator()() const { return true; }
+    constexpr bool operator()(std::uint64_t /* idx */) const
+    { return true; }
 };
 
 inline std::int64_t
@@ -101,7 +102,9 @@ mulHigh(std::uint64_t a, std::uint64_t b)
  * instruction, a wild fetch delivers an invalid record and leaves
  * the state untouched.
  *
- * @p mem_gate is consulted *before* executing any load/store micro-op;
+ * @p mem_gate is consulted *before* executing any load/store
+ * micro-op and receives the micro-op's index, so the gate can
+ * consult per-op static facts (the effect-summary byte bounds);
  * returning false stops the run with RunStop::MemNext and the state
  * positioned exactly at that instruction (pc unchanged, nothing
  * committed).  The commit loop uses it to break a superblock batch
@@ -246,7 +249,7 @@ dispatch:
         return RunStop::WildFetch;
     }
     u = &uops[idx];
-    if ((u->isLoad || u->isStore) && !mem_gate())
+    if ((u->isLoad || u->isStore) && !mem_gate(idx))
         return RunStop::MemNext;
     r = CommitRecord{};
     r.valid = true;

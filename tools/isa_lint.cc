@@ -18,6 +18,7 @@
  *   isa_lint --all --ranges --cost --json   # paradox-cost/1 JSONL
  *   isa_lint --all --vuln --json            # paradox-vuln/1 JSONL
  *   isa_lint --all --vuln --chip-seed 101 --json  # + cell verdicts
+ *   isa_lint --all --memdep --json          # paradox-memdep/1 JSONL
  *
  * --cost replaces the lint reports on stdout with the static
  * segment-cost model (one record per workload; JSONL under --json);
@@ -26,7 +27,11 @@
  * the same with the static fault-vulnerability model (live-bit/ACE
  * masks; implies --ranges so interval facts prune provably-masked
  * ranges); --chip-seed additionally emits per-weak-cell verdicts for
- * that chip's fault map.
+ * that chip's fault map.  --memdep emits the memory-dependence /
+ * effect-summary model: per-run load/store counts, worst-case
+ * log-byte bounds, and the alias-oracle pair census, stamped with
+ * the decoded content hash so `trace_report --memdep` can reject a
+ * stale model.
  *
  * Exit status: 0 when every linted program is clean, 1 when any
  * program has an error-severity diagnostic (or any warning under
@@ -41,8 +46,11 @@
 
 #include "analysis/costmodel.hh"
 #include "analysis/linter.hh"
+#include "analysis/memdep.hh"
 #include "analysis/vuln.hh"
 #include "core/config.hh"
+#include "core/logbytes.hh"
+#include "isa/decoded.hh"
 #include "exp/cli.hh"
 #include "faults/chip_model.hh"
 #include "isa/builder.hh"
@@ -56,6 +64,7 @@ main(int argc, char **argv)
 
     bool all = false, json = false, werror = false, list = false;
     bool ranges = false, cost = false, stats = false, vuln = false;
+    bool memdep = false;
     unsigned scale = 1;
     std::uint64_t chipSeed = 0;
 
@@ -81,6 +90,11 @@ main(int argc, char **argv)
              "emit the static fault-vulnerability model (live-bit/ACE "
              "masks, paradox-vuln/1 JSONL under --json) instead of "
              "lint reports (implies --ranges)");
+    cli.flag("memdep", memdep,
+             "emit the static memory-dependence / effect-summary "
+             "model (per-run log-byte bounds, alias pair census, "
+             "paradox-memdep/1 JSONL under --json) instead of lint "
+             "reports (implies --ranges)");
     cli.opt("scale", scale, "workload size multiplier");
     cli.opt("chip-seed", chipSeed,
             "with --vuln: also emit per-weak-cell ACE verdicts for "
@@ -120,13 +134,14 @@ main(int argc, char **argv)
                      "(pass names, --all, or --list)\n");
         return 2;
     }
-    if (vuln && cost) {
+    if (int(vuln) + int(cost) + int(memdep) > 1) {
         std::fprintf(stderr,
-                     "isa_lint: --vuln and --cost are mutually "
-                     "exclusive (one model stream per run)\n");
+                     "isa_lint: --vuln, --cost and --memdep are "
+                     "mutually exclusive (one model stream per "
+                     "run)\n");
         return 2;
     }
-    if (cost || vuln)
+    if (cost || vuln || memdep)
         ranges = true;
 
     // Every workload stores its checksum to the ABI result cell,
@@ -134,10 +149,12 @@ main(int argc, char **argv)
     analysis::Options opts;
     opts.extraRegions.push_back({workloads::resultAddr, 8, "result"});
     opts.ranges = ranges;
-    // The vulnerability pass rides along with the interval passes:
-    // its live-bit summary lands in lint reports (and its counts and
-    // timing in --stats) whether or not the model itself is emitted.
+    // The vulnerability and memory-dependence passes ride along with
+    // the interval passes: their diagnostics land in lint reports
+    // (and their counts and timings in --stats) whether or not a
+    // model stream is emitted.
     opts.vuln = ranges;
+    opts.memdep = ranges;
     const analysis::Linter linter(opts);
 
     analysis::CostParams cparams;
@@ -149,6 +166,8 @@ main(int argc, char **argv)
         std::printf("%s\n", analysis::costJsonHeader().c_str());
     if (vuln && json)
         std::printf("%s\n", analysis::vulnJsonHeader().c_str());
+    if (memdep && json)
+        std::printf("%s\n", analysis::memdepJsonHeader().c_str());
     for (const auto &name : names) {
         analysis::Report report;
         bool built = false;
@@ -257,13 +276,58 @@ main(int argc, char **argv)
             continue;
         }
 
+        if (memdep) {
+            if (!report.clean(werror))
+                std::fputs(report.toText(stats).c_str(), stderr);
+            if (!built)
+                continue;
+            const analysis::Cfg cfg = analysis::Cfg::build(w.program);
+            const std::vector<bool> reachable = cfg.reachableBlocks();
+            const analysis::IntervalAnalysis ai =
+                analysis::IntervalAnalysis::run(w.program, cfg,
+                                                reachable);
+            const analysis::Context ctx{w.program, cfg, reachable,
+                                        opts};
+            const analysis::MemDep md = analysis::MemDep::run(ctx, ai);
+            const analysis::MemDep::PairCounts pairs = md.pairCounts();
+            const auto dp = isa::DecodedProgram::get(w.program);
+            // The byte geometry the running system admits batches
+            // under (line size from the default hierarchy).
+            const core::SystemConfig sys =
+                core::SystemConfig::forMode(core::Mode::ParaDox);
+            const analysis::EffectSummary es =
+                analysis::EffectSummary::build(
+                    *dp, core::logEffectParams(
+                             sys, sys.hierarchy.l1d.lineBytes));
+            if (json) {
+                std::printf("%s\n",
+                            analysis::memdepJsonLine(
+                                name, scale, es, pairs,
+                                md.accesses().size())
+                                .c_str());
+            } else {
+                std::printf(
+                    "%s: %zu access(es), pairs no/may/must "
+                    "%llu/%llu/%llu, %zu run(s), max run bound "
+                    "%llu B, max op bound %llu B\n",
+                    name.c_str(), md.accesses().size(),
+                    (unsigned long long)pairs.no,
+                    (unsigned long long)pairs.may,
+                    (unsigned long long)pairs.must,
+                    es.runs().size(),
+                    (unsigned long long)es.maxRunBytes(),
+                    (unsigned long long)es.maxUopBytes());
+            }
+            continue;
+        }
+
         if (json)
             std::printf("%s\n", report.toJson().c_str());
         else
             std::fputs(report.toText(stats).c_str(), stdout);
     }
 
-    if (!json && !cost && !vuln)
+    if (!json && !cost && !vuln && !memdep)
         std::printf("%zu workload(s): %zu error(s), %zu warning(s)%s\n",
                     names.size(), totalErrors, totalWarnings,
                     werror ? " [-Werror]" : "");

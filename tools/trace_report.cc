@@ -24,24 +24,38 @@
  * exit status non-zero -- either the workload changed without
  * re-emitting the model, or the abstract interpretation is unsound.
  *
+ * --memdep MEMDEP.jsonl cross-validates each fault-free trace
+ * against the static memory-dependence model (`isa_lint --memdep
+ * --json`): every segment's actual logged bytes ("seg-log-bytes")
+ * must stay within the static bound the superblock gate admitted it
+ * under ("seg-bound-bytes") and within committed-insts times the
+ * model's per-op worst case.  The decoded-hash staleness gate is
+ * shared with --cost.
+ *
  * --json emits the same analysis as a single machine-readable JSON
  * object instead.  Exit status 0 iff every input parsed and no
- * static cost bound was violated; 1 on a violation or unreadable
- * trace; 2 on usage errors; 3 when the --cost model itself is
- * unreadable or garbled (distinct so CI can tell "the model is
- * wrong" from "the model could not be loaded").
+ * static cost/memdep bound was violated; 1 on a violation or
+ * unreadable trace; 2 on usage errors; 3 when a --cost/--memdep
+ * model itself is unreadable or garbled (distinct so CI can tell
+ * "the model is wrong" from "the model could not be loaded").
+ *
+ * --jobs N analyzes the input traces on N worker threads.  Results
+ * are buffered and emitted in input order, so the report is
+ * byte-identical at any job count (CI cmp-gates this).
  *
  *   trace_report [--json] [--burst-gap-us N] [--cost COST.jsonl]
- *                FILE.jsonl ...
+ *                [--memdep MEMDEP.jsonl] [--jobs N] FILE.jsonl ...
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/cli.hh"
@@ -124,6 +138,12 @@ struct Analysis
     std::uint64_t segInsts = 0;   //!< summed "seg-insts" values
     std::uint64_t segments = 0;   //!< number of "seg-insts" instants
     bool faulty = false;          //!< any fault/recovery event seen
+    /** @} */
+
+    /** @{ Memdep cross-validation inputs, in segment order. */
+    std::vector<std::uint64_t> segInstsVec;   //!< "seg-insts"
+    std::vector<std::uint64_t> segLogBytes;   //!< "seg-log-bytes"
+    std::vector<std::uint64_t> segBoundBytes; //!< "seg-bound-bytes"
     /** @} */
 };
 
@@ -291,6 +311,168 @@ checkCost(const Analysis &a,
     return c;
 }
 
+/** One paradox-memdep/1 record, keyed by program name. */
+struct MemdepRec
+{
+    std::uint64_t scale = 1;
+    std::uint64_t decodedUops = 0;
+    std::uint64_t decodedHash = 0;
+    std::uint64_t maxRunBytes = 0;  //!< worst per-run log bound
+    std::uint64_t maxUopBytes = 0;  //!< worst per-op log bound
+};
+
+/** Outcome of checking one trace against the memdep model. */
+struct MemdepCheck
+{
+    bool attempted = false;  //!< a matching memdep record existed
+    bool skipped = false;    //!< trace had faults or no byte events
+    std::string skipReason;
+    bool ok = true;          //!< all per-segment bounds held
+    std::size_t segsChecked = 0;
+    std::size_t violations = 0;
+    /** @{ Decoded-image staleness gate (same pattern as --cost). */
+    bool decodedChecked = false;
+    bool decodedOk = true;
+    std::string decodedNote;
+    /** @} */
+    MemdepRec rec;
+};
+
+bool
+loadMemdepModel(const std::string &path,
+                std::map<std::string, MemdepRec> &out,
+                std::string &error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::string line, v;
+    bool sawHeader = false;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (obs::jsonField(line, "schema", v)) {
+            if (v != "paradox-memdep/1") {
+                error = path + ": unsupported schema '" + v + "'";
+                return false;
+            }
+            sawHeader = true;
+            continue;
+        }
+        if (!obs::jsonField(line, "record", v) || v != "memdep")
+            continue;
+        std::string prog;
+        if (!obs::jsonField(line, "program", prog) || prog.empty()) {
+            error = path + ": memdep record without a program name";
+            return false;
+        }
+        MemdepRec rec;
+        // Records that lost their bound fields must fail loudly: a
+        // defaulted zero bound would flag every segment.
+        if (!obs::jsonField(line, "max_run_log_bytes", v)) {
+            error = path + ": garbled memdep record for '" + prog +
+                    "' (missing max_run_log_bytes)";
+            return false;
+        }
+        rec.maxRunBytes = std::strtoull(v.c_str(), nullptr, 10);
+        if (!obs::jsonField(line, "max_uop_log_bytes", v)) {
+            error = path + ": garbled memdep record for '" + prog +
+                    "' (missing max_uop_log_bytes)";
+            return false;
+        }
+        rec.maxUopBytes = std::strtoull(v.c_str(), nullptr, 10);
+        if (obs::jsonField(line, "scale", v))
+            rec.scale = std::strtoull(v.c_str(), nullptr, 10);
+        if (obs::jsonField(line, "decoded_uops", v))
+            rec.decodedUops = std::strtoull(v.c_str(), nullptr, 10);
+        if (obs::jsonField(line, "decoded_hash", v))
+            rec.decodedHash = std::strtoull(v.c_str(), nullptr, 10);
+        out[prog] = rec;
+    }
+    if (!sawHeader || out.empty()) {
+        error = path + ": no paradox-memdep/1 records (expected "
+                "`isa_lint --memdep --json` output)";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Check one analyzed trace against the memdep model.  Only
+ * fault-free runs are comparable (a rolled-back segment's byte
+ * instants describe work that was undone).  Two invariants, both
+ * per segment:
+ *
+ *  - actual log bytes <= the admitted static bound the gate charged
+ *    ("seg-bound-bytes"), the effect-summary soundness contract;
+ *  - actual log bytes <= committed insts * max per-op bound, the
+ *    per-op byte model validated independently of the gate.
+ */
+MemdepCheck
+checkMemdep(const Analysis &a,
+            const std::map<std::string, MemdepRec> &model)
+{
+    MemdepCheck c;
+    auto it = model.find(a.trace.tool);
+    if (it == model.end())
+        return c;
+    c.attempted = true;
+    c.rec = it->second;
+
+    // Staleness gate: the model must describe the decoded image the
+    // traced run actually executed.
+    if (c.rec.decodedUops != 0) {
+        c.decodedChecked = true;
+        try {
+            const workloads::Workload w = workloads::build(
+                a.trace.tool, unsigned(c.rec.scale));
+            const auto dp = isa::DecodedProgram::get(w.program);
+            if (dp->size() != c.rec.decodedUops ||
+                dp->contentHash() != c.rec.decodedHash) {
+                c.decodedOk = false;
+                c.ok = false;
+                c.decodedNote =
+                    "memdep record decode (" +
+                    std::to_string(c.rec.decodedUops) +
+                    " uops) does not match the current workload (" +
+                    std::to_string(dp->size()) +
+                    " uops) -- stale memdep file?";
+            }
+        } catch (const std::exception &) {
+            c.decodedChecked = false;
+        }
+    }
+
+    if (a.faulty) {
+        c.skipped = true;
+        c.skipReason = "trace contains fault/recovery events";
+        return c;
+    }
+    if (a.segLogBytes.empty()) {
+        c.skipped = true;
+        c.skipReason = "trace has no seg-log-bytes events";
+        return c;
+    }
+    for (std::size_t i = 0; i < a.segLogBytes.size(); ++i) {
+        ++c.segsChecked;
+        bool bad = false;
+        if (i < a.segBoundBytes.size() &&
+            a.segLogBytes[i] > a.segBoundBytes[i])
+            bad = true;
+        if (i < a.segInstsVec.size() &&
+            a.segLogBytes[i] >
+                a.segInstsVec[i] * c.rec.maxUopBytes)
+            bad = true;
+        if (bad)
+            ++c.violations;
+    }
+    if (c.violations > 0)
+        c.ok = false;
+    return c;
+}
+
 bool
 isFaultEvent(const std::string &name)
 {
@@ -346,7 +528,12 @@ analyze(Analysis &a, Tick burst_gap)
             if (e.name == "seg-insts") {
                 a.segInsts += std::uint64_t(e.value);
                 ++a.segments;
+                a.segInstsVec.push_back(std::uint64_t(e.value));
             }
+            if (e.name == "seg-log-bytes")
+                a.segLogBytes.push_back(std::uint64_t(e.value));
+            if (e.name == "seg-bound-bytes")
+                a.segBoundBytes.push_back(std::uint64_t(e.value));
             if (isFaultEvent(e.name))
                 a.faulty = true;
             break;
@@ -437,7 +624,35 @@ printCostText(const Analysis &a, const CostCheck &c)
 }
 
 void
-printText(const Analysis &a, const CostCheck *cost)
+printMemdepText(const Analysis &a, const MemdepCheck &c)
+{
+    std::printf("\nmemdep cross-validation:\n");
+    if (!c.attempted) {
+        std::printf("  no memdep record for tool '%s'\n",
+                    a.trace.tool.c_str());
+        return;
+    }
+    if (c.decodedChecked)
+        std::printf("  decoded image: %llu uop(s), %s\n",
+                    (unsigned long long)c.rec.decodedUops,
+                    c.decodedOk ? "matches current decode"
+                                : c.decodedNote.c_str());
+    if (c.skipped) {
+        std::printf("  skipped: %s\n", c.skipReason.c_str());
+        return;
+    }
+    std::printf("  %zu segment(s) checked against per-run bounds "
+                "(max run %llu B, max op %llu B): %zu violation(s) "
+                "-- %s\n",
+                c.segsChecked,
+                (unsigned long long)c.rec.maxRunBytes,
+                (unsigned long long)c.rec.maxUopBytes, c.violations,
+                c.ok ? "OK" : "VIOLATED");
+}
+
+void
+printText(const Analysis &a, const CostCheck *cost,
+          const MemdepCheck *memdep)
 {
     std::printf("== %s ==\n", a.path.c_str());
     std::printf("tool %s, %zu tracks, %zu events, %.3f ms spanned",
@@ -500,6 +715,8 @@ printText(const Analysis &a, const CostCheck *cost)
     }
     if (cost)
         printCostText(a, *cost);
+    if (memdep)
+        printMemdepText(a, *memdep);
     std::printf("\n");
 }
 
@@ -514,7 +731,8 @@ jsonEscapeTo(std::ostringstream &os, const std::string &s)
 }
 
 std::string
-toJson(const Analysis &a, const CostCheck *cost)
+toJson(const Analysis &a, const CostCheck *cost,
+       const MemdepCheck *memdep)
 {
     std::ostringstream os;
     os << "{\"file\":\"";
@@ -612,6 +830,33 @@ toJson(const Analysis &a, const CostCheck *cost)
         }
         os << "}";
     }
+    if (memdep) {
+        os << ",\"memdep\":{\"attempted\":"
+           << (memdep->attempted ? "true" : "false");
+        if (memdep->attempted) {
+            if (memdep->decodedChecked) {
+                os << ",\"decoded_uops\":" << memdep->rec.decodedUops
+                   << ",\"decoded_ok\":"
+                   << (memdep->decodedOk ? "true" : "false");
+            }
+            os << ",\"skipped\":"
+               << (memdep->skipped ? "true" : "false");
+            if (memdep->skipped) {
+                os << ",\"skip_reason\":\"";
+                jsonEscapeTo(os, memdep->skipReason);
+                os << "\"";
+            } else {
+                os << ",\"segments\":" << memdep->segsChecked
+                   << ",\"max_run_log_bytes\":"
+                   << memdep->rec.maxRunBytes
+                   << ",\"max_uop_log_bytes\":"
+                   << memdep->rec.maxUopBytes
+                   << ",\"violations\":" << memdep->violations
+                   << ",\"ok\":" << (memdep->ok ? "true" : "false");
+            }
+        }
+        os << "}";
+    }
     os << "}";
     return os.str();
 }
@@ -624,6 +869,7 @@ main(int argc, char **argv)
     bool json = false;
     unsigned burst_gap_us = 50;
     std::string costPath;
+    std::string memdepPath;
     exp::Cli cli("trace_report",
                  "summarize paradox-trace/1 execution traces");
     cli.flag("json", json, "emit machine-readable JSON");
@@ -631,6 +877,13 @@ main(int argc, char **argv)
             "max gap between detections in one burst");
     cli.opt("cost", costPath,
             "paradox-cost/1 JSONL to cross-validate traces against");
+    cli.opt("memdep", memdepPath,
+            "paradox-memdep/1 JSONL to cross-validate per-segment "
+            "log bytes against");
+    unsigned jobsOpt = 1;
+    cli.opt("jobs", jobsOpt,
+            "worker threads analyzing traces (output stays in "
+            "input order)");
 
     // Cli has no positional support; split them off by hand.
     std::vector<std::string> flags, files;
@@ -644,7 +897,8 @@ main(int argc, char **argv)
         }
         if (arg.rfind("-", 0) == 0) {
             flags.push_back(arg);
-            if ((arg == "--burst-gap-us" || arg == "--cost") &&
+            if ((arg == "--burst-gap-us" || arg == "--cost" ||
+                 arg == "--memdep" || arg == "--jobs") &&
                 i + 1 < argc)
                 flags.push_back(argv[++i]);
         } else {
@@ -677,25 +931,79 @@ main(int argc, char **argv)
                      error.c_str());
         return 3;
     }
+    std::map<std::string, MemdepRec> memdepModel;
+    const bool haveMemdep = !memdepPath.empty();
+    if (haveMemdep &&
+        !loadMemdepModel(memdepPath, memdepModel, error)) {
+        std::fprintf(stderr,
+                     "trace_report: memdep model unusable: %s (no "
+                     "traces were checked; this is not a bound "
+                     "violation)\n",
+                     error.c_str());
+        return 3;
+    }
+
+    // Per-file analysis is independent: read, analyze and
+    // cross-validate on worker threads (the loaded models are
+    // read-only), then aggregate and print serially in input order
+    // so the report is byte-identical at any --jobs.
+    struct FileJob
+    {
+        bool readOk = false;
+        std::string readError;
+        Analysis a;
+        CostCheck check;
+        MemdepCheck mdCheck;
+    };
+    std::vector<FileJob> results(files.size());
+    {
+        const unsigned jobs = std::max(
+            1u, std::min<unsigned>(jobsOpt,
+                                   unsigned(files.size())));
+        std::atomic<std::size_t> cursor{0};
+        auto worker = [&] {
+            for (std::size_t i;
+                 (i = cursor.fetch_add(1)) < files.size();) {
+                FileJob &job = results[i];
+                job.a.path = files[i];
+                job.readOk = obs::readTraceJsonlFile(
+                    files[i], job.a.trace, job.readError);
+                if (!job.readOk)
+                    continue;
+                analyze(job.a, Tick(burst_gap_us) * ticksPerUs);
+                if (haveCost)
+                    job.check = checkCost(job.a, costModel);
+                if (haveMemdep)
+                    job.mdCheck = checkMemdep(job.a, memdepModel);
+            }
+        };
+        if (jobs == 1) {
+            worker();
+        } else {
+            std::vector<std::thread> pool;
+            for (unsigned t = 0; t < jobs; ++t)
+                pool.emplace_back(worker);
+            for (std::thread &t : pool)
+                t.join();
+        }
+    }
 
     bool all_ok = true;
     bool first = true;
     std::size_t costChecked = 0, costViolated = 0;
+    std::size_t memdepChecked = 0, memdepViolated = 0;
     if (json)
         std::printf("[");
-    for (const std::string &path : files) {
-        Analysis a;
-        a.path = path;
-        if (!obs::readTraceJsonlFile(path, a.trace, error)) {
+    for (FileJob &job : results) {
+        if (!job.readOk) {
             std::fprintf(stderr, "trace_report: %s: %s\n",
-                         path.c_str(), error.c_str());
+                         job.a.path.c_str(), job.readError.c_str());
             all_ok = false;
             continue;
         }
-        analyze(a, Tick(burst_gap_us) * ticksPerUs);
-        CostCheck check;
+        const Analysis &a = job.a;
         if (haveCost) {
-            check = checkCost(a, costModel);
+            const CostCheck &check = job.check;
             if (check.attempted && check.decodedChecked &&
                 !check.decodedOk)
                 all_ok = false;
@@ -707,12 +1015,28 @@ main(int argc, char **argv)
                 }
             }
         }
+        if (haveMemdep) {
+            const MemdepCheck &mdCheck = job.mdCheck;
+            if (mdCheck.attempted && mdCheck.decodedChecked &&
+                !mdCheck.decodedOk)
+                all_ok = false;
+            if (mdCheck.attempted && !mdCheck.skipped) {
+                ++memdepChecked;
+                if (!mdCheck.ok) {
+                    ++memdepViolated;
+                    all_ok = false;
+                }
+            }
+        }
         if (json) {
             std::printf("%s%s", first ? "" : ",\n",
-                        toJson(a, haveCost ? &check : nullptr).c_str());
+                        toJson(a, haveCost ? &job.check : nullptr,
+                               haveMemdep ? &job.mdCheck : nullptr)
+                            .c_str());
             first = false;
         } else {
-            printText(a, haveCost ? &check : nullptr);
+            printText(a, haveCost ? &job.check : nullptr,
+                      haveMemdep ? &job.mdCheck : nullptr);
         }
     }
     if (json)
@@ -721,5 +1045,10 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "trace_report: cost model: %zu trace(s) checked, "
                      "%zu violation(s)\n", costChecked, costViolated);
+    if (haveMemdep)
+        std::fprintf(stderr,
+                     "trace_report: memdep model: %zu trace(s) "
+                     "checked, %zu violation(s)\n",
+                     memdepChecked, memdepViolated);
     return all_ok ? 0 : 1;
 }
